@@ -1,0 +1,28 @@
+"""Fig. 5: SSD lifespan, required PCIe write bandwidth, and maximal
+activations per GPU for the large-scale deployment configurations.
+
+Paper claims regenerated: lifespan > 2 years in every configuration, write
+bandwidth per GPU bounded (paper: <= 12.1 GB/s), max activations 0.4-1.8
+TB/GPU, and both metrics improving as the system scales up.
+"""
+
+from repro.analysis.ssd_model import project_all_fig5
+
+from benchmarks.conftest import emit
+
+
+def test_fig5_deployment_projection(benchmark):
+    projections = benchmark(project_all_fig5)
+    header = f"{'configuration':<28} {'GPUs':>5}  {'write BW':>12}  {'lifespan':>9}  {'max act':>8}"
+    lines = [header, "-" * len(header)]
+    lines.extend(p.as_row() for p in projections)
+    lines.append(
+        f"max write BW = {max(p.required_write_bw_gbps for p in projections):.1f} GB/s "
+        "(paper: <= 12.1); "
+        f"min lifespan = {min(p.lifespan_years for p in projections):.2f} yr (paper: > 2)"
+    )
+    emit("Fig. 5 — SSD viability projection (4x Samsung 980 PRO per GPU)", lines)
+
+    for p in projections:
+        assert p.lifespan_years > 2.0, p.label
+        assert p.required_write_bw_gbps < 20.0, p.label

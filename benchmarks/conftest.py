@@ -1,0 +1,34 @@
+"""Shared constants and helpers for the paper-figure benchmarks.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's experiment index).  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+``-s`` shows the regenerated rows/series next to the timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB
+from repro.train.parallel import ParallelismConfig
+
+#: Table II: each A100 gets a dedicated RAID0 array; we model the 4-SSD one.
+SSD_WRITE_BW = 4 * INTEL_OPTANE_P5800X_1600GB.write_bw
+SSD_READ_BW = 4 * INTEL_OPTANE_P5800X_1600GB.read_bw
+
+#: The evaluation uses the two GPUs for tensor parallelism (Sec. IV-A).
+EVAL_PARALLELISM = ParallelismConfig(tp=2)
+
+#: Fig. 6 / Table III grid.
+EVAL_GRID = [(8192, 4), (12288, 3), (16384, 2)]
+
+
+def emit(title: str, lines) -> None:
+    """Print a regenerated table under a banner (visible with -s)."""
+    print()
+    print(f"== {title} ==")
+    for line in lines:
+        print(f"   {line}")

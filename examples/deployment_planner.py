@@ -1,0 +1,104 @@
+"""Deployment planner: is activation offloading viable on YOUR cluster?
+
+The Sec. III-D methodology as a tool: given a model, a parallelism layout,
+and an SSD provisioning plan, project the required per-GPU PCIe write
+bandwidth, the SSD lifespan, and the per-step activation volume — the three
+numbers that decide whether SSDTrain deployment is sustainable.
+
+Usage::
+
+    python examples/deployment_planner.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.configs import FIG5_CONFIGS, Fig5Config
+from repro.analysis.ssd_model import project_deployment
+from repro.device.ssd import SAMSUNG_980_PRO_1TB, SSDEnduranceModel, SSDSpec
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig
+
+
+def plan(
+    name: str,
+    model: ModelConfig,
+    parallelism: ParallelismConfig,
+    microbatch_size: int,
+    num_microbatches: int,
+    ssd: SSDSpec = SAMSUNG_980_PRO_1TB,
+    ssds_per_gpu: int = 4,
+) -> None:
+    config = Fig5Config(
+        label=name,
+        model=model,
+        parallelism=parallelism,
+        microbatch_size=microbatch_size,
+        num_microbatches=num_microbatches,
+        efficiency_derate=0.7,  # locked-clock calibration (see configs.py)
+    )
+    projection = project_deployment(config, ssd=ssd, ssds_per_gpu=ssds_per_gpu)
+    array_bw = ssds_per_gpu * ssd.write_bw / 1e9
+    headroom = array_bw / projection.required_write_bw_gbps
+    verdict = "viable" if projection.lifespan_years > 2 and headroom > 1 else "NOT viable"
+    print(f"{name}")
+    print(f"  GPUs: {projection.num_gpus}   step time: {projection.step_time_s:.1f} s")
+    print(f"  activations/GPU/step: {projection.activation_bytes_per_step / 1e9:.0f} GB")
+    print(f"  required write BW:    {projection.required_write_bw_gbps:.1f} GB/s "
+          f"(array provides {array_bw:.1f} GB/s, {headroom:.1f}x headroom)")
+    print(f"  projected lifespan:   {projection.lifespan_years:.1f} years "
+          f"({ssds_per_gpu}x {ssd.name})")
+    print(f"  SSD capacity needed:  {projection.max_activation_bytes_per_gpu / 1e12:.2f} TB/GPU")
+    print(f"  -> {verdict}\n")
+
+
+def main() -> None:
+    print("=== Fig. 5 configurations (paper's viability table) ===\n")
+    for config in FIG5_CONFIGS[:3]:
+        projection = project_deployment(config)
+        print(projection.as_row())
+    print("\n=== Custom plans ===\n")
+
+    # A 70B-class model on a modest cluster.
+    llama70b = ModelConfig(arch="gpt", hidden=8192, num_layers=80, seq_len=4096)
+    plan(
+        "70B on 64 GPUs (TP8 x PP8), micro-batch 4",
+        llama70b,
+        ParallelismConfig(tp=8, pp=8, dp=1),
+        microbatch_size=4,
+        num_microbatches=16,
+    )
+
+    # Same model with cheap low-endurance SSDs: lifespan collapses.
+    consumer_ssd = SSDSpec(
+        name="budget-QLC-1TB",
+        capacity_bytes=10**12,
+        write_bw_gbps=2.0,
+        read_bw_gbps=3.0,
+        write_latency_s=80e-6,
+        read_latency_s=80e-6,
+        rated_writes_bytes=200e12,  # 200 TBW
+    )
+    plan(
+        "70B on 64 GPUs, budget QLC SSDs",
+        llama70b,
+        ParallelismConfig(tp=8, pp=8, dp=1),
+        microbatch_size=4,
+        num_microbatches=16,
+        ssd=consumer_ssd,
+        ssds_per_gpu=2,
+    )
+
+    # Endurance sensitivity: what the JESD-vs-sequential and retention
+    # relaxation arguments buy (Sec. II-C).
+    print("=== Endurance model sensitivity (Megatron 175B @ 384 GPUs) ===\n")
+    for label, endurance in (
+        ("JESD rating only (pessimistic)", SSDEnduranceModel(jesd_waf=1.0, retention_relaxation=1.0)),
+        ("+ sequential-write bonus (WAF 2.5 -> 1)", SSDEnduranceModel(retention_relaxation=1.0)),
+        ("+ retention relaxation 86x (paper)", SSDEnduranceModel()),
+    ):
+        projection = project_deployment(FIG5_CONFIGS[0], endurance=endurance)
+        print(f"  {label:<42} lifespan {projection.lifespan_years:8.2f} years")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""SSDTrain reproduction: activation offloading to SSDs for LLM training.
+
+Reproduces "SSDTrain: An Activation Offloading Framework to SSDs for
+Faster Large Language Model Training" (DAC 2025, arXiv:2408.10013) as a
+self-contained Python library.  See README.md for the architecture tour,
+DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+paper-vs-reproduction numbers.
+
+Top-level convenience re-exports cover the common entry points::
+
+    from repro import TensorCache, SSDOffloader, Trainer, PlacementStrategy
+    from repro import GPT, BERT, T5, ModelConfig, GPU
+"""
+
+from repro.core import (
+    CPUOffloader,
+    OffloadPolicy,
+    PolicyConfig,
+    SSDOffloader,
+    TensorCache,
+    TensorIDRegistry,
+)
+from repro.device import GPU, MemoryTag
+from repro.models import BERT, GPT, ModelConfig, T5
+from repro.optim import Adam, SGD
+from repro.train import PlacementStrategy, Trainer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TensorCache",
+    "SSDOffloader",
+    "CPUOffloader",
+    "OffloadPolicy",
+    "PolicyConfig",
+    "TensorIDRegistry",
+    "GPU",
+    "MemoryTag",
+    "GPT",
+    "BERT",
+    "T5",
+    "ModelConfig",
+    "SGD",
+    "Adam",
+    "Trainer",
+    "PlacementStrategy",
+    "__version__",
+]

@@ -1,0 +1,47 @@
+"""Analytic models: performance, SSD endurance projections, scaling laws.
+
+This package reimplements the modeling layer of the paper:
+
+- :mod:`~repro.analysis.perf_model` — llm-analysis-style step-time and
+  activation-footprint model (Sec. III-D's ``t = max(sum_l max(t_compute,
+  t_memory), t_zero_communicate)`` pipeline).
+- :mod:`~repro.analysis.ssd_model` — lifespan / required-write-bandwidth
+  projections behind Fig. 5 and the Fig. 8(b) upscaling study.
+- :mod:`~repro.analysis.scaling` — the Fig. 1 trend database and the
+  Sec. II-B scaling-law argument.
+- :mod:`~repro.analysis.configs` — the paper's hardware and LLM configs
+  (Table II, Megatron 175B/350B, ZeRO-3 variants).
+"""
+
+from repro.analysis.perf_model import (
+    LayerPerf,
+    StepPerf,
+    layer_activation_inventory,
+    model_step_perf,
+    transformer_layer_perf,
+)
+from repro.analysis.ssd_model import DeploymentProjection, project_deployment
+from repro.analysis.configs import (
+    MEGATRON_175B,
+    MEGATRON_350B,
+    FIG5_CONFIGS,
+    Fig5Config,
+)
+from repro.analysis.scaling import TrendPoint, fit_growth_rate, fig1_series
+
+__all__ = [
+    "LayerPerf",
+    "StepPerf",
+    "layer_activation_inventory",
+    "transformer_layer_perf",
+    "model_step_perf",
+    "DeploymentProjection",
+    "project_deployment",
+    "MEGATRON_175B",
+    "MEGATRON_350B",
+    "FIG5_CONFIGS",
+    "Fig5Config",
+    "TrendPoint",
+    "fit_growth_rate",
+    "fig1_series",
+]

@@ -1,0 +1,131 @@
+"""Hardware and workload configurations used by the paper's projections.
+
+Table II (the evaluation machine), the Fig. 5 large-scale configurations
+(Megatron 175B / 350B and their ZeRO-3 DeepSpeed variants at 384-2240
+GPUs), and the per-GPU SSD provisioning assumption (4x Samsung 980 PRO).
+
+The 175B layout follows Megatron-LM's published GPT-3 config (L=96,
+H=12288, TP=8, PP=12 -> 96-GPU model instance; DP in {4, 8, 16} gives the
+384 / 768 / 1536 GPU points).  The 350B model scales the hidden dimension
+to 16384 with L=105 (TP=8, PP=14 -> 112-GPU instance; DP in {5, 10, 20}
+gives 560 / 1120 / 2240).  ZeRO-3 variants shard weights across DP ranks
+with TP=8 and no PP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.device.gpu import A100_PCIE_40GB, GPUSpec
+from repro.device.ssd import SAMSUNG_980_PRO_1TB, SSDSpec
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig, ZeroStage
+
+#: GPT-3-scale decoder-only configs used in Fig. 5.
+MEGATRON_175B = ModelConfig(
+    arch="gpt", hidden=12288, num_layers=96, vocab_size=50257, seq_len=2048
+)
+MEGATRON_350B = ModelConfig(
+    arch="gpt", hidden=16384, num_layers=105, vocab_size=50257, seq_len=2048
+)
+
+#: SSDs assumed per GPU in the Fig. 5 viability projection.
+FIG5_SSDS_PER_GPU = 4
+FIG5_SSD_SPEC: SSDSpec = SAMSUNG_980_PRO_1TB
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """One bar group of Fig. 5.
+
+    ``efficiency_derate`` calibrates achieved GEMM efficiency to published
+    large-scale measurements ("we use measured data from Megatron-LM",
+    Sec. III-D): the locked-base-clock A100 PCIe runs at ~0.7 of the
+    SXM-boost efficiency the roofline assumes, and ZeRO-3's parameter
+    all-gathers interfere with compute for roughly another 2x, growing
+    mildly with the data-parallel degree.
+    """
+
+    label: str
+    model: ModelConfig
+    parallelism: ParallelismConfig
+    microbatch_size: int
+    num_microbatches: int
+    efficiency_derate: float = 1.0
+
+    @property
+    def num_gpus(self) -> int:
+        return self.parallelism.num_gpus
+
+
+#: Base-clock A100 PCIe vs roofline efficiency (Table II locks clocks).
+BASE_CLOCK_DERATE = 0.7
+
+
+def _megatron(model: ModelConfig, pp: int, dp: int, mbs: int, mbcount: int) -> Fig5Config:
+    par = ParallelismConfig(tp=8, pp=pp, dp=dp)
+    name = "Megatron 175B" if model is MEGATRON_175B else "Megatron 350B"
+    return Fig5Config(
+        label=f"{name} @ {par.num_gpus} GPUs",
+        model=model,
+        parallelism=par,
+        microbatch_size=mbs,
+        num_microbatches=mbcount,
+        efficiency_derate=BASE_CLOCK_DERATE,
+    )
+
+
+def _zero3(model: ModelConfig, dp: int, mbs: int) -> Fig5Config:
+    import math
+
+    par = ParallelismConfig(tp=8, pp=1, dp=dp, zero_stage=ZeroStage.WEIGHTS)
+    name = "ZeRO3 175B" if model is MEGATRON_175B else "ZeRO3 350B"
+    zero_derate = 0.5 / (1.0 + 0.06 * math.log2(dp))
+    return Fig5Config(
+        label=f"{name} @ {par.num_gpus} GPUs",
+        model=model,
+        parallelism=par,
+        microbatch_size=mbs,
+        num_microbatches=1,
+        efficiency_derate=BASE_CLOCK_DERATE * zero_derate,
+    )
+
+
+#: The twelve configurations of Fig. 5: micro-batch sizes "range from 8 to
+#: 32"; the Megatron micro-batch count keeps the global batch in the
+#: BLOOM/GPT-3 regime (~1.5-4k sequences); ZeRO-3 runs one micro-batch
+#: (no PP, so gradient accumulation adds nothing to the offload pattern).
+FIG5_CONFIGS: List[Fig5Config] = [
+    _megatron(MEGATRON_175B, pp=12, dp=4, mbs=8, mbcount=48),
+    _megatron(MEGATRON_175B, pp=12, dp=8, mbs=8, mbcount=24),
+    _megatron(MEGATRON_175B, pp=12, dp=16, mbs=8, mbcount=12),
+    _megatron(MEGATRON_350B, pp=14, dp=5, mbs=8, mbcount=56),
+    _megatron(MEGATRON_350B, pp=14, dp=10, mbs=8, mbcount=28),
+    _megatron(MEGATRON_350B, pp=14, dp=20, mbs=8, mbcount=14),
+    _zero3(MEGATRON_175B, dp=48, mbs=32),
+    _zero3(MEGATRON_175B, dp=96, mbs=32),
+    _zero3(MEGATRON_175B, dp=192, mbs=32),
+    _zero3(MEGATRON_350B, dp=80, mbs=16),
+    _zero3(MEGATRON_350B, dp=140, mbs=16),
+    _zero3(MEGATRON_350B, dp=280, mbs=16),
+]
+
+
+#: Table II: the evaluation machine.
+@dataclass(frozen=True)
+class EvaluationSystem:
+    gpu: GPUSpec
+    num_gpus: int
+    ssd: SSDSpec
+    raid0_arrays: Tuple[int, ...]  # SSDs per array, one array per GPU
+
+
+from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB  # noqa: E402
+
+TABLE2_SYSTEM = EvaluationSystem(
+    gpu=A100_PCIE_40GB,
+    num_gpus=2,
+    ssd=INTEL_OPTANE_P5800X_1600GB,
+    raid0_arrays=(3, 4),
+)

@@ -1,0 +1,138 @@
+"""Micro-batch size studies: Fig. 8(a) and Fig. 8(b).
+
+Fig. 8(a) decomposes the throughput improvement from a larger micro-batch
+(relative to B=1) into two stacked components:
+
+- **weights-update saving** — the optimizer step is paid once per step
+  regardless of micro-batch size, so its relative cost shrinks as B grows
+  ("weight update and gradient accumulation cost is inversely proportional
+  to the micro-batch size", Sec. IV-D);
+- **higher compute efficiency** — GEMMs on larger inputs achieve a larger
+  fraction of peak FLOP/s.
+
+Fig. 8(b) projects the per-GPU PCIe write bandwidth when the training
+system is scaled up (TP x PP growing from the 2-GPU testbed), with
+Megatron sequence parallelism sharding activations across the TP group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.perf_model import StepPerf, model_step_perf
+from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig
+
+
+@dataclass(frozen=True)
+class MicrobatchBreakdown:
+    """One bar of Fig. 8(a)."""
+
+    batch_size: int
+    throughput_tflops: float
+    baseline_tflops: float
+    total_improvement: float          # T(B)/T(1) - 1
+    update_saving_improvement: float  # share from weight-update amortization
+    efficiency_improvement: float     # share from GEMM efficiency
+
+
+def microbatch_breakdown(
+    config: ModelConfig,
+    batch_sizes: Sequence[int] = (2, 4, 8, 16),
+    gpu: GPUSpec = A100_PCIE_40GB,
+    parallelism: Optional[ParallelismConfig] = None,
+    timing: Optional[KernelTimingModel] = None,
+) -> List[MicrobatchBreakdown]:
+    """Fig. 8(a): throughput improvement vs B=1, decomposed.
+
+    The decomposition holds per-sample compute time at its B=1 value to
+    isolate the update-amortization gain; the remainder is the efficiency
+    gain.  The two stack to the total.
+    """
+    base = model_step_perf(config, 1, gpu, parallelism, timing=timing)
+    base_tput = base.model_throughput_tflops()
+    per_sample_flops = base.algorithmic_flops
+    per_sample_compute = base.compute_time_s
+    update = base.weight_update_time_s
+
+    rows: List[MicrobatchBreakdown] = []
+    for b in batch_sizes:
+        if b < 1:
+            raise ValueError(f"batch size must be >= 1: {b}")
+        perf = model_step_perf(config, b, gpu, parallelism, timing=timing)
+        tput = perf.model_throughput_tflops()
+        total = tput / base_tput - 1.0
+        # Hypothetical: B samples at B=1 efficiency, one update.
+        update_only_tput = (
+            per_sample_flops * b / (per_sample_compute * b + update) / 1e12
+        )
+        update_part = update_only_tput / base_tput - 1.0
+        rows.append(
+            MicrobatchBreakdown(
+                batch_size=b,
+                throughput_tflops=tput,
+                baseline_tflops=base_tput,
+                total_improvement=total,
+                update_saving_improvement=update_part,
+                efficiency_improvement=total - update_part,
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class UpscalingPoint:
+    """One bar of Fig. 8(b)."""
+
+    label: str
+    pp: int
+    tp: int
+    num_layers: int
+    write_bandwidth_gbps: float
+
+
+#: The Fig. 8(b) x-axis: (PP, TP, L) growing from the 2-GPU testbed.
+FIG8B_CONFIGS: List[Tuple[int, int, int]] = [
+    (1, 4, 3),
+    (1, 8, 3),
+    (2, 8, 6),
+    (4, 8, 12),
+    (8, 8, 24),
+]
+
+
+def upscaling_write_bandwidth(
+    hidden: int = 12288,
+    batch: int = 16,
+    seq_len: int = 1024,
+    configs: Sequence[Tuple[int, int, int]] = tuple(FIG8B_CONFIGS),
+    gpu: GPUSpec = A100_PCIE_40GB,
+) -> Tuple[float, List[UpscalingPoint]]:
+    """Fig. 8(b): per-GPU write bandwidth under upscaling.
+
+    Returns ``(reference_gbps, points)`` where the reference is the
+    original 2-GPU case (TP=2, PP=1, L=3 — the orange dashed line).
+    """
+    ref_cfg = ModelConfig(arch="bert", hidden=hidden, num_layers=3, seq_len=seq_len)
+    ref_perf = model_step_perf(ref_cfg, batch, gpu, ParallelismConfig(tp=2))
+    reference = ref_perf.required_write_bandwidth() / 1e9
+
+    points: List[UpscalingPoint] = []
+    for pp, tp, layers in configs:
+        cfg = ModelConfig(arch="bert", hidden=hidden, num_layers=layers, seq_len=seq_len)
+        par = ParallelismConfig(tp=tp, pp=pp, sequence_parallel=True)
+        # Enough micro-batches to fill the pipeline (typical configs).
+        num_mb = max(1, 2 * pp)
+        perf = model_step_perf(cfg, batch, gpu, par, num_microbatches=num_mb)
+        points.append(
+            UpscalingPoint(
+                label=f"PP{pp} TP{tp} L{layers}",
+                pp=pp,
+                tp=tp,
+                num_layers=layers,
+                write_bandwidth_gbps=perf.required_write_bandwidth() / 1e9,
+            )
+        )
+    return reference, points

@@ -1,0 +1,348 @@
+"""Performance model: step time and activation footprint (Sec. III-D).
+
+Follows the llm-analysis pipeline the paper extends: each transformer
+layer's forward is ``t = max(sum_l max(t_l_compute, t_l_memory),
+t_zero_communicate)`` — compute/memory rooflines per sub-operator, with
+ZeRO communication assumed perfectly pipelined at transformer-layer level.
+Backward compute is 2x forward.
+
+The activation inventory is per-tensor and mirrors exactly what the
+functional engine saves through the pack hook (with FlashAttention, no
+O(S^2) tensors appear):
+
+======================  ==============  =====================
+tensor                  saved by        bytes (dtype_bytes x)
+======================  ==============  =====================
+ln_attn input           LayerNorm       b s h
+ln_attn output          QKV matmul      b s h
+q, k, v                 FlashAttention  3 b s h
+attn merged output      out-proj matmul b s h
+residual-1 output       LayerNorm       b s h
+ln_mlp output           fc_in matmul    b s h
+fc_in output            GELU            4 b s h
+gelu output             fc_out matmul   4 b s h
+======================  ==============  =====================
+
+Total: 16 x b s h elements per layer (32 bsh bytes in FP16), plus the loss
+logits (b s V) once per micro-batch.  This is the "model estimate" column
+of Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.device.gpu import GPUSpec, KernelTimingModel, A100_PCIE_40GB
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig
+from repro.train.pipeline import ScheduleKind, ideal_bubble_fraction
+
+
+@dataclass(frozen=True)
+class ActivationTensor:
+    """One entry of the per-layer activation inventory."""
+
+    name: str
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class LayerPerf:
+    """Per-transformer-layer performance numbers (one micro-batch)."""
+
+    forward_time_s: float
+    backward_time_s: float
+    forward_flops: float
+    activation_bytes: int
+    param_bytes: int
+    inventory: Tuple[ActivationTensor, ...]
+
+
+@dataclass(frozen=True)
+class StepPerf:
+    """Whole-step projection for one GPU."""
+
+    forward_time_s: float
+    backward_time_s: float
+    weight_update_time_s: float
+    accumulation_time_s: float
+    bubble_time_s: float
+    step_time_s: float
+    activation_bytes_per_microbatch: int
+    activation_bytes_per_step: int
+    algorithmic_flops: float
+    params_per_gpu: float
+
+    @property
+    def compute_time_s(self) -> float:
+        return self.forward_time_s + self.backward_time_s
+
+    def model_throughput_tflops(self) -> float:
+        return self.algorithmic_flops / self.step_time_s / 1e12
+
+    def required_write_bandwidth(self, offloaded_bytes: Optional[int] = None) -> float:
+        """Per-GPU PCIe write bandwidth: offloaded bytes over half the step
+        time (the paper's Sec. III-D definition)."""
+        bytes_out = (
+            offloaded_bytes
+            if offloaded_bytes is not None
+            else self.activation_bytes_per_step
+        )
+        return bytes_out / (self.step_time_s / 2.0)
+
+
+def layer_activation_inventory(
+    config: ModelConfig,
+    batch: int,
+    tp: int = 1,
+    cross_attention: bool = False,
+    sequence_parallel: bool = False,
+) -> List[ActivationTensor]:
+    """The per-tensor activation inventory of one transformer layer.
+
+    Tensor-parallelism shards the attention/MLP internals ``tp`` ways;
+    the residual-path tensors stay replicated unless Megatron sequence
+    parallelism is on (``sequence_parallel``), which shards them too.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1: {batch}")
+    elems = batch * config.seq_len * config.hidden  # b s h
+    dt = config.dtype_bytes
+    residual_shard = tp if sequence_parallel else 1
+    inventory = [
+        ActivationTensor("ln_attn_in", elems * dt // residual_shard),
+        ActivationTensor("ln_attn_out", elems * dt // residual_shard),
+        ActivationTensor("attn_q", elems * dt // tp),
+        ActivationTensor("attn_k", elems * dt // tp),
+        ActivationTensor("attn_v", elems * dt // tp),
+        ActivationTensor("attn_merged", elems * dt // tp),
+        ActivationTensor("residual1_out", elems * dt // residual_shard),
+        ActivationTensor("ln_mlp_out", elems * dt // residual_shard),
+        ActivationTensor("fc_in_out", 4 * elems * dt // tp),
+        ActivationTensor("gelu_out", 4 * elems * dt // tp),
+    ]
+    if cross_attention:
+        inventory.extend(
+            [
+                ActivationTensor("ln_cross_out", elems * dt // residual_shard),
+                ActivationTensor("cross_q", elems * dt // tp),
+                ActivationTensor("cross_k", elems * dt // tp),
+                ActivationTensor("cross_v", elems * dt // tp),
+                ActivationTensor("cross_merged", elems * dt // tp),
+            ]
+        )
+    return inventory
+
+
+def layer_param_count(config: ModelConfig, cross_attention: bool = False) -> float:
+    """Parameters of one transformer layer: 12 h^2 (+4 h^2 for cross-attn)."""
+    h = config.hidden
+    params = 12 * h * h  # 4h^2 attention + 8h^2 MLP
+    if cross_attention:
+        params += 4 * h * h
+    return params
+
+
+def layer_forward_flops(config: ModelConfig, batch: int, cross_attention: bool = False) -> float:
+    """Forward FLOPs of one layer for one micro-batch."""
+    b, s, h = batch, config.seq_len, config.hidden
+    flops = 24.0 * b * s * h * h  # projections + MLP GEMMs
+    flops += 4.0 * b * s * s * h  # attention core (qk^T and pv)
+    if cross_attention:
+        flops += 8.0 * b * s * h * h + 4.0 * b * s * s * h
+    return flops
+
+
+def transformer_layer_perf(
+    config: ModelConfig,
+    batch: int,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    parallelism: Optional[ParallelismConfig] = None,
+    timing: Optional[KernelTimingModel] = None,
+    cross_attention: bool = False,
+) -> LayerPerf:
+    """Roofline timing + activation inventory for one layer."""
+    par = parallelism if parallelism is not None else ParallelismConfig()
+    model = timing if timing is not None else KernelTimingModel(gpu)
+    flops = layer_forward_flops(config, batch, cross_attention) / par.tp
+    params = layer_param_count(config, cross_attention)
+    param_bytes = int(params * config.dtype_bytes / par.tp)
+    inventory = tuple(
+        layer_activation_inventory(
+            config,
+            batch,
+            tp=par.tp,
+            cross_attention=cross_attention,
+            sequence_parallel=par.sequence_parallel,
+        )
+    )
+    act_bytes = sum(t.nbytes for t in inventory)
+    # Memory traffic: weights once, activations a handful of times.
+    bytes_moved = param_bytes + 3 * act_bytes
+    compute = model.kernel_time(flops, bytes_moved, batch_size=batch)
+    tp_comm = par.tp_comm_time_per_layer(
+        batch, config.seq_len, config.hidden, config.dtype_bytes
+    )
+    zero_comm = par.zero_comm_time_per_layer(params * config.dtype_bytes / par.tp)
+    # ZeRO communication perfectly pipelined at the layer level (Sec. III-D);
+    # TP all-reduces are on the critical path.
+    forward = max(compute + tp_comm, zero_comm)
+    backward = max(2.0 * compute + tp_comm, zero_comm)
+    return LayerPerf(
+        forward_time_s=forward,
+        backward_time_s=backward,
+        forward_flops=flops,
+        activation_bytes=act_bytes,
+        param_bytes=param_bytes,
+        inventory=inventory,
+    )
+
+
+def logits_activation_bytes(config: ModelConfig, batch: int) -> int:
+    """The loss logits saved by cross-entropy (b s V elements)."""
+    return batch * config.seq_len * config.vocab_size * config.dtype_bytes
+
+
+def embedding_activation_bytes(config: ModelConfig, batch: int) -> int:
+    """Embedding-segment output (b s h elements)."""
+    return batch * config.seq_len * config.hidden * config.dtype_bytes
+
+
+def weight_update_time(
+    params_per_gpu: float,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    optimizer_state_reads: int = 1,
+    dtype_bytes: int = 2,
+    fixed_overhead_s: float = 80e-3,
+) -> float:
+    """Optimizer step time: memory-bound sweep over parameters + gradients
+    plus the framework's per-step overhead.
+
+    SGD reads the weight and gradient and writes the weight
+    (``optimizer_state_reads=1``); Adam adds two state tensors read+written
+    (``optimizer_state_reads=5``).  The fixed overhead models the
+    Megatron-DeepSpeed bookkeeping around the update — gradient-buffer
+    zeroing/copies, loss-scale checks, thousands of small optimizer kernel
+    launches — which the paper identifies as "huge when the micro-batch
+    size is 1 or 2" (Sec. IV-D).  The whole term is paid once per *step*
+    regardless of micro-batch size, which is exactly why Fig. 8(a)'s
+    improvement is dominated by weight-update saving.
+    """
+    bytes_swept = params_per_gpu * dtype_bytes * (2 + optimizer_state_reads)
+    return bytes_swept / gpu.mem_bandwidth + fixed_overhead_s
+
+
+def accumulation_time_per_microbatch(
+    params_per_gpu: float,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    dtype_bytes: int = 2,
+    fixed_overhead_s: float = 5e-3,
+) -> float:
+    """Gradient-accumulation cost paid per micro-batch beyond the first.
+
+    Each extra micro-batch's backward reads and read-modify-writes the
+    gradient accumulation buffers — a full parameter-sized sweep — plus a
+    fixed bookkeeping overhead.  Summed over a step, this cost is
+    "inversely proportional to the micro-batch size" (Sec. IV-D), the other
+    half of the pipeline-bubble trade-off SSDTrain relaxes.
+    """
+    bytes_swept = params_per_gpu * dtype_bytes * 3  # read grad, read buf, write
+    return bytes_swept / gpu.mem_bandwidth + fixed_overhead_s
+
+
+def model_step_perf(
+    config: ModelConfig,
+    batch: int,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    parallelism: Optional[ParallelismConfig] = None,
+    num_microbatches: int = 1,
+    timing: Optional[KernelTimingModel] = None,
+    include_logits: bool = True,
+) -> StepPerf:
+    """Project one training step on one GPU.
+
+    Per-GPU layer count honours pipeline parallelism; bubbles use the
+    ideal ``(p-1)/(m+p-1)`` fraction of the compute time.
+    """
+    if num_microbatches < 1:
+        raise ValueError("num_microbatches must be >= 1")
+    par = parallelism if parallelism is not None else ParallelismConfig()
+
+    num_cross = config.num_decoder_layers if config.arch == "t5" else 0
+    num_plain = config.num_layers - num_cross
+    layers_per_gpu_total = par.layers_per_gpu(config.num_layers)
+    # Distribute plain/cross layers proportionally across stages.
+    frac = layers_per_gpu_total / config.num_layers
+    plain_on_gpu = num_plain * frac
+    cross_on_gpu = num_cross * frac
+
+    plain = transformer_layer_perf(config, batch, gpu, par, timing)
+    fwd = plain.forward_time_s * plain_on_gpu
+    bwd = plain.backward_time_s * plain_on_gpu
+    act = plain.activation_bytes * plain_on_gpu
+    flops = plain.forward_flops * plain_on_gpu * 3  # fwd + 2x bwd
+    if cross_on_gpu:
+        cross = transformer_layer_perf(config, batch, gpu, par, timing, cross_attention=True)
+        fwd += cross.forward_time_s * cross_on_gpu
+        bwd += cross.backward_time_s * cross_on_gpu
+        act += cross.activation_bytes * cross_on_gpu
+        flops += cross.forward_flops * cross_on_gpu * 3
+
+    # Embedding + head segments live on the first/last pipeline stage; for
+    # per-GPU averages under PP > 1 they amortize away.  With sequence
+    # parallelism, the vocab-parallel head's logits and the embedding
+    # output are sharded across the TP group as well.
+    emb_head_shard = par.tp if par.sequence_parallel else 1
+    if par.pp == 1:
+        act += embedding_activation_bytes(config, batch) / emb_head_shard
+        if include_logits:
+            act += logits_activation_bytes(config, batch) / emb_head_shard
+            head_flops = 2.0 * batch * config.seq_len * config.hidden * config.vocab_size / par.tp
+            flops += 3 * head_flops
+            model = timing if timing is not None else KernelTimingModel(gpu)
+            head_time = model.kernel_time(head_flops, logits_activation_bytes(config, batch), batch_size=batch)
+            fwd += head_time
+            bwd += 2 * head_time
+
+    act_per_mb = int(act)
+    fwd_total = fwd * num_microbatches
+    bwd_total = bwd * num_microbatches
+    compute = fwd_total + bwd_total
+
+    bubble = 0.0
+    if par.pp > 1:
+        frac_bubble = ideal_bubble_fraction(par.pp, num_microbatches)
+        bubble = compute * frac_bubble / (1 - frac_bubble)
+
+    total_params = model_param_count(config)
+    params_per_gpu = par.params_per_gpu(total_params)
+    update = weight_update_time(params_per_gpu, gpu, dtype_bytes=config.dtype_bytes)
+    accumulation = (num_microbatches - 1) * accumulation_time_per_microbatch(
+        params_per_gpu, gpu, dtype_bytes=config.dtype_bytes
+    )
+
+    step_time = compute + bubble + update + accumulation
+    return StepPerf(
+        forward_time_s=fwd_total,
+        backward_time_s=bwd_total,
+        weight_update_time_s=update,
+        accumulation_time_s=accumulation,
+        bubble_time_s=bubble,
+        step_time_s=step_time,
+        activation_bytes_per_microbatch=act_per_mb,
+        activation_bytes_per_step=act_per_mb * num_microbatches,
+        algorithmic_flops=flops * num_microbatches,
+        params_per_gpu=params_per_gpu,
+    )
+
+
+def model_param_count(config: ModelConfig) -> float:
+    """Total parameter count: layers + embeddings + LM head."""
+    num_cross = config.num_decoder_layers if config.arch == "t5" else 0
+    params = layer_param_count(config) * (config.num_layers - num_cross)
+    if num_cross:
+        params += layer_param_count(config, cross_attention=True) * num_cross
+    params += 2 * config.vocab_size * config.hidden  # embedding + head
+    params += config.seq_len * config.hidden  # positions
+    return params

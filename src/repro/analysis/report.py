@@ -1,0 +1,86 @@
+"""Result export: serialize experiment outputs to JSON/CSV.
+
+Benches and examples print human tables; this module gives downstream
+users machine-readable artifacts (e.g. to plot the figures) without
+depending on any plotting stack.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import enum
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+
+def _coerce(value: Any) -> Any:
+    """Make a value JSON-serializable."""
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _coerce(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if not f.name.startswith("_") and f.repr
+        }
+    if isinstance(value, dict):
+        return {str(k): _coerce(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_coerce(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):  # numpy scalars
+        try:
+            return value.item()
+        except Exception:
+            pass
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def rows_from(objects: Iterable[Any]) -> List[Dict[str, Any]]:
+    """Flatten dataclasses/dicts into uniform row dicts."""
+    rows = []
+    for obj in objects:
+        coerced = _coerce(obj)
+        if not isinstance(coerced, dict):
+            raise TypeError(f"cannot tabulate {type(obj).__name__}")
+        rows.append(coerced)
+    return rows
+
+
+def to_json(objects: Union[Any, Iterable[Any]], path: Optional[Union[str, Path]] = None, indent: int = 2) -> str:
+    """Serialize results to JSON; optionally write to ``path``."""
+    payload = _coerce(objects)
+    text = json.dumps(payload, indent=indent, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(text + "\n")
+    return text
+
+
+def to_csv(objects: Iterable[Any], path: Optional[Union[str, Path]] = None, columns: Optional[Sequence[str]] = None) -> str:
+    """Serialize a homogeneous result list to CSV.
+
+    Nested values are JSON-encoded into their cell.  Column order follows
+    the first row unless ``columns`` is given.
+    """
+    rows = rows_from(objects)
+    if not rows:
+        raise ValueError("no rows to serialize")
+    fieldnames = list(columns) if columns is not None else list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        flat = {
+            k: json.dumps(v) if isinstance(v, (dict, list)) else v
+            for k, v in row.items()
+            if k in fieldnames
+        }
+        writer.writerow(flat)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,139 @@
+"""Scaling-law trends (Fig. 1) and the Sec. II-B growth argument.
+
+Fig. 1 plots, against release date: LLM sizes, GPU FP16 throughput, and
+GPU memory capacity (as FP16-element counts).  The paper's observation:
+memory capacity grows at ~41% of the rate of compute throughput, while
+model sizes track compute — so activation memory becomes the binding
+constraint.
+
+Sec. II-B's derivation, reproduced in :func:`activation_growth_exponent`:
+with C ∝ N·D_batch, N ∝ C^0.5 (Chinchilla) and h a slow function of N
+(h ∝ N^(1/3)), activation footprint S_act ∝ (N/h)·D_batch ∝ C^(5/6),
+while other memory S_others ∝ N ∝ C^0.5 — activations dominate and
+whole-system memory demand outpaces the historical capacity trend.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One device or model release."""
+
+    name: str
+    year: float          # fractional release year
+    value: float         # FP16 elements (capacity / model size) or FLOP/s
+    kind: str            # "gpu_flops" | "gpu_memory" | "llm_size"
+
+
+#: Nvidia 100-class GPUs and Google TPUs (Fig. 1 sources: memory capacity
+#: in FP16 elements, peak dense FP16 throughput in FLOP/s).
+GPU_TRENDS: List[TrendPoint] = [
+    TrendPoint("K100/K40", 2013.8, 12e9 / 2, "gpu_memory"),
+    TrendPoint("K100/K40", 2013.8, 4.29e12 / 2, "gpu_flops"),
+    TrendPoint("M40", 2015.9, 24e9 / 2, "gpu_memory"),
+    TrendPoint("M40", 2015.9, 6.8e12 / 2, "gpu_flops"),
+    TrendPoint("P100", 2016.4, 16e9 / 2, "gpu_memory"),
+    TrendPoint("P100", 2016.4, 21.2e12, "gpu_flops"),
+    TrendPoint("V100", 2017.5, 32e9 / 2, "gpu_memory"),
+    TrendPoint("V100", 2017.5, 125e12, "gpu_flops"),
+    TrendPoint("TPUv2", 2017.9, 16e9 / 2, "gpu_memory"),
+    TrendPoint("TPUv2", 2017.9, 45e12, "gpu_flops"),
+    TrendPoint("TPUv3", 2018.9, 32e9 / 2, "gpu_memory"),
+    TrendPoint("TPUv3", 2018.9, 123e12, "gpu_flops"),
+    TrendPoint("A100", 2020.4, 80e9 / 2, "gpu_memory"),
+    TrendPoint("A100", 2020.4, 312e12, "gpu_flops"),
+    TrendPoint("TPUv4", 2021.4, 32e9 / 2, "gpu_memory"),
+    TrendPoint("TPUv4", 2021.4, 275e12, "gpu_flops"),
+    TrendPoint("H100", 2022.7, 80e9 / 2, "gpu_memory"),
+    TrendPoint("H100", 2022.7, 989e12, "gpu_flops"),
+    TrendPoint("H200", 2023.9, 141e9 / 2, "gpu_memory"),
+    TrendPoint("H200", 2023.9, 989e12, "gpu_flops"),
+]
+
+#: Representative LLM releases (parameter counts).
+LLM_TRENDS: List[TrendPoint] = [
+    TrendPoint("BERT-L", 2018.8, 0.34e9, "llm_size"),
+    TrendPoint("GPT-2", 2019.1, 1.5e9, "llm_size"),
+    TrendPoint("Megatron-LM", 2019.7, 8.3e9, "llm_size"),
+    TrendPoint("T5-11B", 2019.8, 11e9, "llm_size"),
+    TrendPoint("GPT-3", 2020.4, 175e9, "llm_size"),
+    TrendPoint("MT-NLG", 2021.8, 530e9, "llm_size"),
+    TrendPoint("PaLM", 2022.3, 540e9, "llm_size"),
+    TrendPoint("BLOOM", 2022.5, 176e9, "llm_size"),
+    TrendPoint("Llama-2", 2023.5, 70e9, "llm_size"),
+    TrendPoint("GPT-4 (est.)", 2023.2, 1.8e12, "llm_size"),
+]
+
+
+def fit_growth_rate(points: Sequence[TrendPoint]) -> float:
+    """Least-squares exponential growth rate (fraction/year).
+
+    Fits ``log10(value) = a * year + b`` and returns ``10^a - 1``.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to fit a trend")
+    years = np.array([p.year for p in points])
+    logs = np.log10([p.value for p in points])
+    slope, _ = np.polyfit(years, logs, 1)
+    return float(10**slope - 1.0)
+
+
+def fig1_series() -> dict:
+    """The three Fig. 1 series with fitted annual growth rates."""
+    flops = [p for p in GPU_TRENDS if p.kind == "gpu_flops"]
+    memory = [p for p in GPU_TRENDS if p.kind == "gpu_memory"]
+    llm = LLM_TRENDS
+    return {
+        "gpu_flops": {"points": flops, "growth_per_year": fit_growth_rate(flops)},
+        "gpu_memory": {"points": memory, "growth_per_year": fit_growth_rate(memory)},
+        "llm_size": {"points": llm, "growth_per_year": fit_growth_rate(llm)},
+    }
+
+
+def memory_to_compute_growth_ratio() -> float:
+    """Fig. 1's headline: memory capacity grows at ~41% the rate of
+    compute throughput (in log-slope terms)."""
+    series = fig1_series()
+    mem_slope = math.log10(1 + series["gpu_memory"]["growth_per_year"])
+    flops_slope = math.log10(1 + series["gpu_flops"]["growth_per_year"])
+    return mem_slope / flops_slope
+
+
+def activation_growth_exponent(
+    chinchilla_exponent: float = 0.5,
+    hidden_exponent: float = 1.0 / 3.0,
+) -> float:
+    """Sec. II-B: exponent g such that S_activations ∝ C^g.
+
+    S_act ∝ (N/h)·D_batch with N ∝ C^a, h ∝ N^b, D_batch ∝ C^(1-a):
+    g = a·(1-b) + (1-a).  Defaults give 5/6.
+    """
+    a, b = chinchilla_exponent, hidden_exponent
+    return a * (1 - b) + (1 - a)
+
+
+def others_growth_exponent(chinchilla_exponent: float = 0.5) -> float:
+    """S_others (weights, grads, optimizer) ∝ N ∝ C^0.5."""
+    return chinchilla_exponent
+
+
+def checkpointed_activation_growth_exponent(
+    chinchilla_exponent: float = 0.5,
+    hidden_exponent: float = 1.0 / 3.0,
+    layer_exponent: float = 1.0 / 3.0,
+) -> float:
+    """With sqrt(L) checkpointing: S'_act ∝ sqrt(L)·h·D_batch ∝ C^g'.
+
+    L ∝ N^l, h ∝ N^b: g' = a·(l/2 + b) + (1-a).  Still above the ~0.5
+    exponent of S_others for the default parameters — checkpointing alone
+    does not close the gap (the paper's closing argument in Sec. II-B).
+    """
+    a, b, l = chinchilla_exponent, hidden_exponent, layer_exponent
+    return a * (l / 2 + b) + (1 - a)

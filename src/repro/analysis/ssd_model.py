@@ -1,0 +1,105 @@
+"""SSD deployment projections (Fig. 5, Table III, Fig. 8b).
+
+Combines the performance model with the endurance model to answer the
+paper's three viability questions per configuration:
+
+1. required PCIe write bandwidth per GPU — offloaded bytes over half the
+   step time;
+2. projected SSD lifespan — effective endurance x step time / activation
+   bytes per step;
+3. maximal activations size per GPU — with only two layers resident and
+   everything else offloaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.configs import (
+    FIG5_CONFIGS,
+    FIG5_SSD_SPEC,
+    FIG5_SSDS_PER_GPU,
+    Fig5Config,
+)
+from repro.analysis.perf_model import StepPerf, model_step_perf, transformer_layer_perf
+from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
+from repro.device.ssd import SSDEnduranceModel, SSDSpec
+
+
+@dataclass(frozen=True)
+class DeploymentProjection:
+    """One bar group of Fig. 5."""
+
+    label: str
+    num_gpus: int
+    step_time_s: float
+    activation_bytes_per_step: int
+    required_write_bw_gbps: float
+    lifespan_years: float
+    max_activation_bytes_per_gpu: int
+
+    def as_row(self) -> str:
+        return (
+            f"{self.label:<28} {self.num_gpus:>5}  "
+            f"{self.required_write_bw_gbps:>6.2f} GB/s  "
+            f"{self.lifespan_years:>6.2f} yr  "
+            f"{self.max_activation_bytes_per_gpu / 1e12:>6.2f} TB"
+        )
+
+
+def project_deployment(
+    config: Fig5Config,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    ssd: SSDSpec = FIG5_SSD_SPEC,
+    ssds_per_gpu: int = FIG5_SSDS_PER_GPU,
+    endurance: Optional[SSDEnduranceModel] = None,
+) -> DeploymentProjection:
+    """Project lifespan / bandwidth / max-activation for one Fig. 5 config."""
+    model = endurance if endurance is not None else SSDEnduranceModel()
+    timing = KernelTimingModel(gpu, eff_max=0.52 * config.efficiency_derate)
+    perf: StepPerf = model_step_perf(
+        config.model,
+        config.microbatch_size,
+        gpu=gpu,
+        parallelism=config.parallelism,
+        num_microbatches=config.num_microbatches,
+        timing=timing,
+    )
+    act_bytes = perf.activation_bytes_per_step
+    write_bw = perf.required_write_bandwidth()
+    lifespan = model.lifespan_years(
+        ssd,
+        activation_bytes_per_step=act_bytes,
+        step_time_s=perf.step_time_s,
+        num_ssds=ssds_per_gpu,
+    )
+    # Max activations per GPU: "assuming only two layers in a row are in
+    # GPU memory at the same time while all other activations are
+    # offloaded" — the SSD capacity the step's activations need.
+    layer = transformer_layer_perf(
+        config.model, config.microbatch_size, gpu, config.parallelism
+    )
+    resident = 2 * layer.activation_bytes  # only the in-flight micro-batch
+    max_act = max(0, int(act_bytes - resident))
+    return DeploymentProjection(
+        label=config.label,
+        num_gpus=config.num_gpus,
+        step_time_s=perf.step_time_s,
+        activation_bytes_per_step=act_bytes,
+        required_write_bw_gbps=write_bw / 1e9,
+        lifespan_years=lifespan,
+        max_activation_bytes_per_gpu=max_act,
+    )
+
+
+def project_all_fig5(
+    gpu: GPUSpec = A100_PCIE_40GB,
+    ssd: SSDSpec = FIG5_SSD_SPEC,
+    ssds_per_gpu: int = FIG5_SSDS_PER_GPU,
+) -> List[DeploymentProjection]:
+    """All twelve Fig. 5 bar groups."""
+    return [
+        project_deployment(config, gpu=gpu, ssd=ssd, ssds_per_gpu=ssds_per_gpu)
+        for config in FIG5_CONFIGS
+    ]

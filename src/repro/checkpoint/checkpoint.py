@@ -1,0 +1,131 @@
+"""Gradient/activation checkpointing, PyTorch-style.
+
+``checkpoint(fn, *inputs)`` runs ``fn`` without building a graph (so none
+of its internal activations are saved) and re-executes it during backward
+to reproduce them.  Two integration points matter for SSDTrain:
+
+- the *inputs* of a checkpointed segment are saved through the regular
+  pack hook, so they can themselves be offloaded;
+- the recomputation runs inside backward, where the tensor cache's pack
+  hook sees ``in_backward`` and keeps the recomputed activations in GPU
+  memory instead of offloading them again (Alg. 1 line 5);
+- recomputed FLOPs are recorded as executed but **not algorithmic**, so
+  the Fig. 7 model-throughput metric penalizes recomputation through the
+  longer step time only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor import flags
+from repro.tensor.function import BackwardNode, FunctionContext, run_backward
+from repro.tensor.tensor import Tensor
+
+
+class _CheckpointNode(BackwardNode):
+    """Backward node that recomputes a segment instead of loading saves."""
+
+    __slots__ = ("run_fn", "num_inputs")
+
+    def __init__(self, run_fn: Callable, inputs: Sequence[Any]) -> None:
+        ctx = FunctionContext()
+        tensor_inputs = [a for a in inputs if isinstance(a, Tensor)]
+        ctx.save_for_backward(*[t.detach() for t in tensor_inputs])
+        ctx.input_spec = [
+            (isinstance(a, Tensor), a.requires_grad if isinstance(a, Tensor) else False)
+            for a in inputs
+        ]
+        ctx.non_tensor_args = [a for a in inputs if not isinstance(a, Tensor)]
+        edges = [
+            a._grad_edge() if isinstance(a, Tensor) and a.requires_grad else None
+            for a in inputs
+        ]
+        super().__init__(_CheckpointNode, ctx, edges)
+        self.run_fn = run_fn
+        self.num_inputs = len(inputs)
+        self.name = "Checkpoint"
+
+    def run_backward(self, grad_output: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        for cb in self.pre_callbacks:
+            cb(grad_output)
+        saved = list(self.ctx.saved_tensors)
+        non_tensors = list(self.ctx.non_tensor_args)
+        rebuilt: List[Any] = []
+        leaves: List[Optional[Tensor]] = []
+        for is_tensor, requires_grad in self.ctx.input_spec:
+            if is_tensor:
+                base = saved.pop(0)
+                leaf = Tensor(
+                    base.data,
+                    storage=base.storage,
+                    requires_grad=requires_grad,
+                )
+                rebuilt.append(leaf)
+                leaves.append(leaf if requires_grad else None)
+            else:
+                rebuilt.append(non_tensors.pop(0))
+                leaves.append(None)
+        # Re-run the segment with grad enabled; recomputation executes
+        # inside backward, which the tensor cache and FLOP accounting see.
+        with flags.set_flag("grad_enabled", True):
+            with flags.recompute_region():
+                output = self.run_fn(*rebuilt)
+        if not isinstance(output, Tensor):
+            raise TypeError("checkpointed function must return a single Tensor")
+        if output.grad_fn is None:
+            raise RuntimeError(
+                "checkpointed function built no graph on recompute; "
+                "did it detach its output?"
+            )
+        run_backward(output.grad_fn, grad_output)
+        grads: List[Optional[np.ndarray]] = []
+        for leaf in leaves:
+            if leaf is not None and leaf.grad is not None:
+                grads.append(leaf.grad.data)
+            else:
+                grads.append(None)
+        for cb in self.post_callbacks:
+            cb(tuple(grads))
+        self.ctx.release()
+        return tuple(grads)
+
+
+def checkpoint(run_fn: Callable, *inputs: Any) -> Tensor:
+    """Checkpoint one segment.
+
+    Runs ``run_fn(*inputs)`` under ``no_grad`` (activations inside are not
+    saved) and splices a recompute node into the graph.
+
+    Args:
+        run_fn: a module or function mapping inputs to a single Tensor.
+        inputs: positional arguments; Tensor inputs are the checkpoint's
+            saved state.
+
+    Returns:
+        The segment output, connected to the autograd graph through the
+        recompute node.
+    """
+    if not flags.grad_enabled():
+        return run_fn(*inputs)
+    with flags.set_flag("grad_enabled", False):
+        output = run_fn(*inputs)
+    if not isinstance(output, Tensor):
+        raise TypeError("checkpointed function must return a single Tensor")
+    tensor_inputs = [a for a in inputs if isinstance(a, Tensor)]
+    if any(t.requires_grad for t in tensor_inputs):
+        node = _CheckpointNode(run_fn, inputs)
+        output.requires_grad = True
+        output.grad_fn = node
+    return output
+
+
+def checkpoint_sequential(segments: Sequence[Callable], x: Tensor) -> Tensor:
+    """Layerwise full recomputation over a stack of layers (Fig. 7's
+    "Recompute" strategy): each layer is its own checkpoint segment, so
+    only the per-layer inputs stay resident."""
+    for segment in segments:
+        x = checkpoint(segment, x)
+    return x

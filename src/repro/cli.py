@@ -1,0 +1,219 @@
+"""Command-line interface: regenerate any paper artifact.
+
+Usage::
+
+    python -m repro list                 # what can be regenerated
+    python -m repro fig1                 # scaling trends
+    python -m repro fig2                 # step timeline
+    python -m repro fig5                 # SSD viability projection
+    python -m repro fig6                 # step time & activation peak grid
+    python -m repro fig7 [--hidden H]    # ROK curve
+    python -m repro fig8a                # micro-batch breakdown
+    python -m repro fig8b                # upscaling bandwidth
+    python -m repro table3               # offload amount vs estimate
+    python -m repro memory [--zero N]    # ZeRO memory breakdown (extension)
+    python -m repro quickstart           # functional offloaded training demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig, ZeroStage
+from repro.train.trainer import PlacementStrategy
+
+SSD_WRITE_BW = 4 * INTEL_OPTANE_P5800X_1600GB.write_bw
+SSD_READ_BW = 4 * INTEL_OPTANE_P5800X_1600GB.read_bw
+EVAL_PAR = ParallelismConfig(tp=2)
+
+
+def cmd_fig1(args: argparse.Namespace) -> None:
+    from repro.analysis.scaling import fig1_series, memory_to_compute_growth_ratio
+
+    series = fig1_series()
+    for key, entry in series.items():
+        print(f"{key:<11} growth {100 * entry['growth_per_year']:6.1f} %/yr")
+        for p in entry["points"]:
+            print(f"    {p.year:7.1f}  {p.name:<14} {p.value:.3e}")
+    print(f"memory/compute growth ratio: {memory_to_compute_growth_ratio():.2f} (paper ~0.41)")
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    from repro.sim import StepSimulator, build_segments
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    segments = build_segments(config, args.batch, parallelism=EVAL_PAR)
+    sim = StepSimulator(
+        segments,
+        PlacementStrategy.OFFLOAD,
+        write_bandwidth=SSD_WRITE_BW,
+        read_bandwidth=SSD_READ_BW,
+        num_microbatches=2,
+        keep_last_segments=2,
+    )
+    result = sim.run(weight_update_s=0.02)
+    print(result.timeline.render_ascii(width=100, lanes=["gpu", "store", "load"]))
+    print(f"step={result.step_time_s * 1e3:.0f} ms  stall={result.io_stall_time_s * 1e3:.1f} ms  "
+          f"offloaded={result.offloaded_bytes / 2**30:.1f} GiB")
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.analysis.ssd_model import project_all_fig5
+
+    for projection in project_all_fig5():
+        print(projection.as_row())
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    from repro.sim import simulate_strategy
+
+    print(f"{'model':<5} {'H':>6} {'L':>2} {'overhead':>9} {'peak keep':>10} "
+          f"{'peak off':>9} {'reduction':>9}")
+    for arch in ("bert", "t5", "gpt"):
+        for hidden, layers in ((8192, 4), (12288, 3), (16384, 2)):
+            config = ModelConfig(arch=arch, hidden=hidden, num_layers=layers, seq_len=1024)
+            keep = simulate_strategy(
+                config, args.batch, PlacementStrategy.KEEP, SSD_WRITE_BW, SSD_READ_BW,
+                parallelism=EVAL_PAR,
+            )
+            off = simulate_strategy(
+                config, args.batch, PlacementStrategy.OFFLOAD, SSD_WRITE_BW, SSD_READ_BW,
+                parallelism=EVAL_PAR,
+            )
+            print(f"{arch:<5} {hidden:>6} {layers:>2} "
+                  f"{off.step_time_s / keep.step_time_s - 1:>8.2%} "
+                  f"{keep.activation_peak_bytes / 2**30:>8.2f}GB "
+                  f"{off.activation_peak_bytes / 2**30:>7.2f}GB "
+                  f"{1 - off.activation_peak_bytes / keep.activation_peak_bytes:>8.0%}")
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.sim import simulate_strategy
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    print(f"{'B':>3} {'strategy':<10} {'act peak':>9} {'throughput':>12}")
+    for batch in (4, 8, 16):
+        for strategy in PlacementStrategy:
+            r = simulate_strategy(
+                config, batch, strategy, SSD_WRITE_BW, SSD_READ_BW, parallelism=EVAL_PAR
+            )
+            print(f"{batch:>3} {strategy.value:<10} {r.activation_peak_bytes / 2**30:>7.2f}GB "
+                  f"{r.model_throughput_tflops():>9.1f} TF")
+
+
+def cmd_fig8a(args: argparse.Namespace) -> None:
+    from repro.analysis.microbatch import microbatch_breakdown
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    for row in microbatch_breakdown(config, parallelism=EVAL_PAR):
+        print(f"B{row.batch_size:<3} total {row.total_improvement:6.1%}  "
+              f"update {row.update_saving_improvement:6.1%}  "
+              f"efficiency {row.efficiency_improvement:6.1%}")
+
+
+def cmd_fig8b(args: argparse.Namespace) -> None:
+    from repro.analysis.microbatch import upscaling_write_bandwidth
+
+    reference, points = upscaling_write_bandwidth(hidden=args.hidden)
+    print(f"reference (2-GPU TP2): {reference:.1f} GB/s")
+    for p in points:
+        print(f"  {p.label:<14} {p.write_bandwidth_gbps:>6.1f} GB/s")
+
+
+def cmd_table3(args: argparse.Namespace) -> None:
+    from repro.analysis.perf_model import (
+        model_param_count,
+        model_step_perf,
+        weight_update_time,
+    )
+    from repro.sim import StepSimulator, build_segments
+
+    for hidden, layers in ((8192, 4), (12288, 3), (16384, 2)):
+        config = ModelConfig(arch="bert", hidden=hidden, num_layers=layers, seq_len=1024)
+        segments = build_segments(config, args.batch, parallelism=EVAL_PAR)
+        update = weight_update_time(EVAL_PAR.params_per_gpu(model_param_count(config)))
+        sim = StepSimulator(
+            segments, PlacementStrategy.OFFLOAD, SSD_WRITE_BW, SSD_READ_BW,
+            keep_last_segments=1,
+        )
+        result = sim.run(weight_update_s=update)
+        estimate = model_step_perf(
+            config, args.batch, parallelism=EVAL_PAR
+        ).activation_bytes_per_microbatch
+        print(f"H{hidden:<6} L{layers} offloaded {result.offloaded_bytes / 1e9:6.2f} GB  "
+              f"estimate {estimate / 1e9:6.2f} GB  "
+              f"write BW {result.required_write_bandwidth_gbps():5.2f} GB/s")
+
+
+def cmd_memory(args: argparse.Namespace) -> None:
+    from repro.train.zero_memory import zero_memory_breakdown
+
+    config = ModelConfig(arch="gpt", hidden=args.hidden, num_layers=args.layers, seq_len=1024)
+    par = ParallelismConfig(tp=args.tp, dp=args.dp, zero_stage=ZeroStage(args.zero))
+    for offload in (0.0, 0.5):
+        breakdown = zero_memory_breakdown(
+            config, args.batch, parallelism=par, offload_fraction=offload
+        )
+        print(f"offload_fraction={offload}:")
+        for name, nbytes in breakdown.as_dict().items():
+            print(f"  {name:<12} {nbytes / 2**30:8.2f} GiB")
+        print(f"  {'total':<12} {breakdown.total / 2**30:8.2f} GiB "
+              f"({breakdown.activation_fraction:.0%} activations)")
+
+
+def cmd_quickstart(args: argparse.Namespace) -> None:
+    from examples.quickstart import main as quickstart_main
+
+    quickstart_main()
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "fig1": cmd_fig1,
+    "fig2": cmd_fig2,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8a": cmd_fig8a,
+    "fig8b": cmd_fig8b,
+    "table3": cmd_table3,
+    "memory": cmd_memory,
+    "quickstart": cmd_quickstart,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate SSDTrain paper artifacts."
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available artifacts")
+    for name in COMMANDS:
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--hidden", type=int, default=12288)
+        p.add_argument("--batch", type=int, default=16)
+        if name == "memory":
+            p.add_argument("--layers", type=int, default=24)
+            p.add_argument("--tp", type=int, default=2)
+            p.add_argument("--dp", type=int, default=4)
+            p.add_argument("--zero", type=int, default=0, choices=[0, 1, 2, 3])
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        print("available artifacts:")
+        for name in COMMANDS:
+            print(f"  {name}")
+        return 0
+    COMMANDS[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""SSDTrain core: the adaptive activation offloading framework.
+
+Public surface:
+
+- :class:`~repro.core.tensor_cache.TensorCache` — the tensor cache that
+  offloads activations during forward and prefetches them during backward.
+- :class:`~repro.core.offloader.SSDOffloader` /
+  :class:`~repro.core.offloader.CPUOffloader` — transfer backends.
+- :class:`~repro.core.policy.OffloadPolicy` / ``PolicyConfig`` — Alg. 1
+  decisions and knobs.
+- :class:`~repro.core.ids.TensorIDRegistry` — ``get_id()`` deduplication
+  and weight exclusion.
+- :mod:`~repro.core.adaptive` — offload budget sizing from model/hardware.
+- :class:`~repro.core.hints.SchedulerHints` — Megatron/DeepSpeed-style
+  scheduler notifications.
+"""
+
+from repro.core.ids import TensorID, TensorIDRegistry
+from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
+from repro.core.tensor_cache import ActivationRecord, CacheStats, RecordState, TensorCache
+from repro.core.adaptive import WorkloadProfile, choose_offload_budget, configure_policy
+from repro.core.hints import SchedulerHints, Stage, patch_schedule
+
+__all__ = [
+    "TensorID",
+    "TensorIDRegistry",
+    "Decision",
+    "KeepReason",
+    "OffloadPolicy",
+    "PolicyConfig",
+    "StepAccounting",
+    "Offloader",
+    "SSDOffloader",
+    "CPUOffloader",
+    "PinnedMemoryPool",
+    "TensorCache",
+    "ActivationRecord",
+    "CacheStats",
+    "RecordState",
+    "WorkloadProfile",
+    "choose_offload_budget",
+    "configure_policy",
+    "SchedulerHints",
+    "Stage",
+    "patch_schedule",
+]

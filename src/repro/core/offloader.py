@@ -1,0 +1,177 @@
+"""Offloaders: the transfer backends of the tensor cache (Fig. 3).
+
+Each offloader "encapsulates the logic to transfer CUDA tensors to and
+from a target":
+
+- :class:`SSDOffloader` — the primary target.  Persists tensors through a
+  :class:`~repro.io.filestore.TensorFileStore` (real file I/O standing in
+  for kvikio/GDS) and registers buffers with the
+  :class:`~repro.io.gds.GDSRegistry` the way the CUDA-malloc hook library
+  does.
+- :class:`CPUOffloader` — host-memory target backed by a pre-allocated
+  pinned pool whose size is fixed after profiling the first training step
+  (Sec. III-A; the paper keeps it for future work on remote storage).
+
+Both expose the same API: an async ``store`` returning an
+:class:`~repro.io.aio.IOJob` and a synchronous ``load`` executed on the
+load pool by the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ids import TensorID
+from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.filestore import TensorFileStore
+from repro.io.gds import GDSRegistry
+from repro.tensor.tensor import Tensor
+
+
+class Offloader:
+    """Abstract transfer backend."""
+
+    def store(self, tid: TensorID, data: np.ndarray) -> None:
+        """Synchronously persist ``data`` under ``tid`` (runs on a pool)."""
+        raise NotImplementedError
+
+    def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Synchronously read the tensor back (runs on a pool)."""
+        raise NotImplementedError
+
+    def location(self, tid: TensorID) -> str:
+        """Human-readable location (the record's "file path" column, Fig. 4)."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class SSDOffloader(Offloader):
+    """NVMe-SSD-targeting offloader via the file store.
+
+    Args:
+        store_dir: directory of the RAID0 array mount (e.g. ``/mnt/md1``).
+        throttle_bytes_per_s: optional bandwidth cap for tests.
+        array: SSD wear-model to charge with traffic.
+        gds: registry emulating the CUDA-malloc-hook GDS registration.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        throttle_bytes_per_s: Optional[float] = None,
+        array=None,
+        gds: Optional[GDSRegistry] = None,
+    ) -> None:
+        self.file_store = TensorFileStore(
+            store_dir, throttle_bytes_per_s=throttle_bytes_per_s, array=array
+        )
+        self.gds = gds if gds is not None else GDSRegistry()
+
+    def register_tensor(self, tensor: Tensor) -> None:
+        """Register the tensor's buffer for GDS, as the malloc hook would."""
+        self.gds.register(tensor.untyped_storage())
+
+    def store(self, tid: TensorID, data: np.ndarray) -> None:
+        self.file_store.write(tid.filename(), data)
+
+    def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        return self.file_store.read(tid.filename(), shape, dtype)
+
+    def location(self, tid: TensorID) -> str:
+        return str(self.file_store.path_for(tid.filename()))
+
+    def shutdown(self) -> None:
+        self.file_store.clear()
+
+
+class PinnedMemoryPool:
+    """A fixed-capacity host-pinned buffer pool.
+
+    The paper sizes the pool by profiling the first training step; the
+    cache calls :meth:`fit_to_high_watermark` after step 0.  Exceeding the
+    capacity after sizing raises, surfacing the profiling assumption.
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._lock = threading.Lock()
+        self._used = 0
+        self._high_watermark = 0
+
+    def alloc(self, nbytes: int) -> None:
+        with self._lock:
+            new_used = self._used + nbytes
+            if self.capacity_bytes is not None and new_used > self.capacity_bytes:
+                raise MemoryError(
+                    f"pinned pool exhausted: {new_used} > {self.capacity_bytes} bytes"
+                )
+            self._used = new_used
+            self._high_watermark = max(self._high_watermark, new_used)
+
+    def free(self, nbytes: int) -> None:
+        with self._lock:
+            if nbytes > self._used:
+                raise ValueError("freeing more pinned memory than allocated")
+            self._used -= nbytes
+
+    @property
+    def used(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def high_watermark(self) -> int:
+        with self._lock:
+            return self._high_watermark
+
+    def fit_to_high_watermark(self, slack: float = 1.1) -> int:
+        """Fix capacity to the profiled peak (plus slack); returns it."""
+        with self._lock:
+            self.capacity_bytes = int(self._high_watermark * slack)
+            return self.capacity_bytes
+
+
+class CPUOffloader(Offloader):
+    """Host-memory offloader backed by the pinned pool."""
+
+    def __init__(self, pool: Optional[PinnedMemoryPool] = None) -> None:
+        self.pool = pool if pool is not None else PinnedMemoryPool()
+        self._lock = threading.Lock()
+        self._buffers: Dict[TensorID, np.ndarray] = {}
+
+    def store(self, tid: TensorID, data: np.ndarray) -> None:
+        copy = np.array(data, copy=True)
+        self.pool.alloc(copy.nbytes)
+        with self._lock:
+            old = self._buffers.get(tid)
+            self._buffers[tid] = copy
+        if old is not None:
+            self.pool.free(old.nbytes)
+
+    def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        with self._lock:
+            buf = self._buffers.get(tid)
+        if buf is None:
+            raise KeyError(f"tensor {tid} not in host pool")
+        return buf.reshape(shape).astype(dtype, copy=True)
+
+    def evict(self, tid: TensorID) -> None:
+        with self._lock:
+            buf = self._buffers.pop(tid, None)
+        if buf is not None:
+            self.pool.free(buf.nbytes)
+
+    def location(self, tid: TensorID) -> str:
+        return f"pinned://{tid.filename()}"
+
+    def shutdown(self) -> None:
+        with self._lock:
+            buffers = list(self._buffers.values())
+            self._buffers.clear()
+        for buf in buffers:
+            self.pool.free(buf.nbytes)

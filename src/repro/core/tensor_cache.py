@@ -1,0 +1,570 @@
+"""The SSDTrain tensor cache (paper Sec. III-B, III-C).
+
+The cache is "the in-memory structure that manages the references to all
+activations and tracks activations' states, including if they are being
+offloaded, the path in the file system, etc."  It plugs into the engine
+through four mechanisms:
+
+1. the **saved-tensor pack/unpack hook pair** (Alg. 1) — pack decides
+   pass-through / keep / offload and returns a :class:`TensorID` that the
+   autograd graph holds instead of the tensor;
+2. **module forward hook pairs** — maintain the current scope stack and
+   record the order activations are produced in;
+3. **module backward hook pairs** — entering a module in backward triggers
+   prefetching of upcoming activations; exiting removes the module from
+   every activation's scope list, releasing tensors no longer in use;
+4. **scheduler hints** — micro-batch switches and step boundaries
+   (Fig. 2 markers 2-4).
+
+Data forwarding (Sec. III-C2): a load that races an in-flight store simply
+adopts the reference the store job still holds — no SSD read happens.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ids import TensorID, TensorIDRegistry
+from repro.core.offloader import Offloader
+from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.io.aio import AsyncIOPool, IOJob
+from repro.tensor import flags
+from repro.tensor.module import Module, RemovableHandle
+from repro.tensor.saved_tensors import saved_tensors_hooks
+from repro.tensor.storage import Device
+from repro.tensor.tensor import Tensor
+
+logger = logging.getLogger(__name__)
+
+#: Sentinel scope id for tensors saved outside any tracked sub-module
+#: (e.g. the loss logits saved by CrossEntropy in the root forward).
+_ROOT_SCOPE = -1
+
+
+class RecordState(enum.Enum):
+    OFFLOADING = "being_stored"    # store in flight (Fig. 4c)
+    OFFLOADED = "on_ssd"
+    LOADING = "being_loaded"       # prefetch in flight (Fig. 4d)
+    LOADED = "loaded"
+    KEPT = "kept_in_gpu_memory"
+    CONSUMED = "consumed"
+
+
+class ActivationRecord:
+    """State of one managed activation (one row of the Fig. 4 tables)."""
+
+    __slots__ = (
+        "tid",
+        "shape",
+        "dtype",
+        "nbytes",
+        "state",
+        "tensor",
+        "scopes",
+        "store_job",
+        "load_job",
+        "forwarded",
+        "keep_reason",
+        "loaded_event",
+        "error",
+        "lock",
+        "location",
+    )
+
+    def __init__(self, tid: TensorID, tensor: Tensor) -> None:
+        self.tid = tid
+        self.shape = tuple(tensor.shape)
+        self.dtype = tensor.dtype
+        self.nbytes = tensor.nbytes
+        self.state = RecordState.KEPT
+        self.tensor: Optional[Tensor] = tensor
+        self.scopes: List[int] = []
+        self.store_job: Optional[IOJob] = None
+        self.load_job: Optional[IOJob] = None
+        self.forwarded = False
+        self.keep_reason: Optional[KeepReason] = None
+        self.loaded_event = threading.Event()
+        self.error: Optional[BaseException] = None
+        self.lock = threading.Lock()
+        self.location = "gpu"
+
+
+@dataclass
+class MicrobatchRecords:
+    """Per-micro-batch bookkeeping ("SSDTrain keeps individual records for
+    each micro-batch", Sec. III-A)."""
+
+    records: Dict[TensorID, ActivationRecord] = field(default_factory=dict)
+    pack_order: List[TensorID] = field(default_factory=list)
+    tids_by_scope: Dict[int, List[TensorID]] = field(default_factory=dict)
+    backward_cursor: int = 0
+
+
+@dataclass
+class CacheStats:
+    """Cumulative statistics exposed for benchmarks and tests."""
+
+    stored_tensors: int = 0
+    stored_bytes: int = 0
+    loaded_tensors: int = 0
+    loaded_bytes: int = 0
+    forwarded_tensors: int = 0
+    dedup_hits: int = 0
+    kept_tensors: int = 0
+    kept_bytes: int = 0
+    passed_tensors: int = 0
+    prefetch_issued: int = 0
+    unpack_waits: int = 0
+
+
+class TensorCache:
+    """The activation offloading manager.
+
+    Typical use (the "few lines added to the existing script", Sec. III-A)::
+
+        cache = TensorCache(offloader=SSDOffloader(tmpdir))
+        cache.register_weights(model)      # bookkeep weights to exclude
+        cache.attach(model)                # register PyTorch-style hooks
+        with cache:                        # install pack/unpack hooks
+            loss = model(tokens, targets)
+            cache.on_backward_begin()
+            loss.backward()
+        cache.on_step_end()
+
+    (The :class:`~repro.train.trainer.Trainer` automates all of this,
+    including the scheduler hints.)
+    """
+
+    def __init__(
+        self,
+        offloader: Offloader,
+        policy: Optional[OffloadPolicy] = None,
+        registry: Optional[TensorIDRegistry] = None,
+        num_store_workers: int = 2,
+        num_load_workers: int = 2,
+        prefetch_window: int = 8,
+    ) -> None:
+        self.offloader = offloader
+        self.policy = policy if policy is not None else OffloadPolicy()
+        self.registry = registry if registry is not None else TensorIDRegistry()
+        self.store_pool = AsyncIOPool(num_store_workers, name="ssdtrain-store")
+        self.load_pool = AsyncIOPool(num_load_workers, name="ssdtrain-load")
+        self.prefetch_window = prefetch_window
+        self.stats = CacheStats()
+        self.accounting = StepAccounting()
+
+        self._lock = threading.Lock()
+        self._microbatches: Dict[int, MicrobatchRecords] = {0: MicrobatchRecords()}
+        self._current_mb = 0
+        self._scope_stack: List[Module] = []
+        self._handles: List[RemovableHandle] = []
+        self._hooks_ctx: Optional[saved_tensors_hooks] = None
+        self._device: Optional[Device] = None
+        self._in_keep_scope = False
+        self._keep_all_hint = False
+        self._step_index = 0
+        # Profiled on step 0: the id of the last top-level segment, whose
+        # activations are kept because its backward begins immediately
+        # (Fig. 2 marker 4).
+        self._segment_order: List[int] = []
+        self._last_segment_id: Optional[int] = None
+        self._shutdown = False
+
+    # ------------------------------------------------------------- plumbing
+    @property
+    def current(self) -> MicrobatchRecords:
+        return self._microbatches[self._current_mb]
+
+    def register_weights(self, module: Module) -> int:
+        """Record all parameters (and transposes) in the exclusion set."""
+        return self.registry.record_module_weights(module)
+
+    def attach(self, module: Module) -> None:
+        """Register forward/backward hook pairs on every sub-module."""
+        for sub in module.modules():
+            self._handles.append(sub.register_forward_pre_hook(self._forward_pre_hook))
+            self._handles.append(sub.register_forward_hook(self._forward_hook))
+            self._handles.append(
+                sub.register_full_backward_pre_hook(self._backward_pre_hook)
+            )
+            self._handles.append(sub.register_full_backward_hook(self._backward_hook))
+
+    def detach(self) -> None:
+        """Remove all module hooks."""
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def __enter__(self) -> "TensorCache":
+        self._hooks_ctx = saved_tensors_hooks(self.pack_hook, self.unpack_hook)
+        self._hooks_ctx.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._hooks_ctx is not None:
+            self._hooks_ctx.__exit__(exc_type, exc, tb)
+            self._hooks_ctx = None
+
+    def shutdown(self) -> None:
+        """Drain pools and release every record (idempotent)."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self.store_pool.shutdown()
+        self.load_pool.shutdown()
+        with self._lock:
+            tables = list(self._microbatches.values())
+            self._microbatches = {0: MicrobatchRecords()}
+        for table in tables:
+            for rec in table.records.values():
+                rec.tensor = None
+        self.offloader.shutdown()
+        self.detach()
+
+    # ----------------------------------------------------- scheduler hints
+    def set_microbatch(self, index: int) -> None:
+        """Hint 2 in Fig. 2: switch the per-micro-batch record table."""
+        with self._lock:
+            if index not in self._microbatches:
+                self._microbatches[index] = MicrobatchRecords()
+            self._current_mb = index
+
+    def hint_keep_remaining(self, keep: bool = True) -> None:
+        """Scheduler hint: backward begins right after the current forward,
+        so stop offloading (the Fig. 2 marker-4 case)."""
+        self._keep_all_hint = keep
+
+    def on_backward_begin(self) -> None:
+        """Hint 3/5: backward for the current micro-batch starts; warm the
+        prefetch pipeline from the tail of the pack order."""
+        table = self.current
+        table.backward_cursor = len(table.pack_order)
+        self._prefetch_ahead(table)
+
+    def on_backward_end(self) -> None:
+        """Hint: backward for the current micro-batch finished.
+
+        Releases any record whose scope never fires a backward-exit hook
+        (root-scope saves) or whose release lagged — by now every saved
+        tensor has been consumed.
+        """
+        table = self.current
+        with self._lock:
+            records = list(table.records.values())
+        for rec in records:
+            with rec.lock:
+                if rec.state in (RecordState.LOADED, RecordState.KEPT):
+                    rec.tensor = None
+                    rec.scopes.clear()
+                    rec.state = RecordState.CONSUMED
+
+    def on_step_end(self) -> None:
+        """Step boundary: wait for in-flight stores, release records, and
+        finalize first-step profiling."""
+        self.store_pool.drain()
+        self.load_pool.drain()
+        with self._lock:
+            tables = list(self._microbatches.items())
+            self._microbatches = {self._current_mb: MicrobatchRecords()}
+        leftover = 0
+        for _, table in tables:
+            for rec in table.records.values():
+                if rec.state not in (RecordState.CONSUMED,):
+                    leftover += 1
+                rec.tensor = None
+                if rec.location != "gpu":
+                    # Reclaim SSD space for this step's files.
+                    try:
+                        self._delete_backing(rec.tid)
+                    except Exception:  # pragma: no cover - best-effort cleanup
+                        logger.debug("cleanup failed for %s", rec.tid)
+        if leftover:
+            logger.debug("%d records not consumed by backward", leftover)
+        if self._step_index == 0 and self._segment_order:
+            self._last_segment_id = self._segment_order[-1]
+        self._segment_order = []
+        self._step_index += 1
+        self._keep_all_hint = False
+        self.accounting.reset()
+
+    def _delete_backing(self, tid: TensorID) -> None:
+        delete = getattr(self.offloader, "file_store", None)
+        if delete is not None:
+            delete.delete(tid.filename())
+        evict = getattr(self.offloader, "evict", None)
+        if evict is not None:
+            evict(tid)
+
+    # ----------------------------------------------------------- fwd hooks
+    def _forward_pre_hook(self, module: Module, inputs: Tuple[Any, ...]) -> None:
+        if flags.in_backward():
+            return  # recomputation re-enters modules; scopes stay backward's
+        self._scope_stack.append(module)
+        if len(self._scope_stack) == 2:  # a top-level segment under the root
+            self._segment_order.append(id(module))
+            if (
+                self.policy.config.keep_last_module
+                and self._last_segment_id is not None
+                and id(module) == self._last_segment_id
+            ):
+                self._in_keep_scope = True
+
+    def _forward_hook(self, module: Module, inputs: Tuple[Any, ...], output: Any) -> None:
+        if flags.in_backward():
+            return
+        if self._scope_stack and self._scope_stack[-1] is module:
+            self._scope_stack.pop()
+        if len(self._scope_stack) == 1 and self._in_keep_scope:
+            self._in_keep_scope = False
+
+    # ----------------------------------------------------------- bwd hooks
+    def _backward_pre_hook(self, module: Module, grad_output: Any) -> None:
+        """Backward enters a module: prefetch upcoming activations."""
+        self._prefetch_ahead(self.current)
+
+    def _backward_hook(self, module: Module, grad_input: Any) -> None:
+        """Backward exits a module: shrink scope lists, release free records."""
+        table = self.current
+        with self._lock:
+            tids = table.tids_by_scope.pop(id(module), [])
+        for tid in tids:
+            rec = table.records.get(tid)
+            if rec is None:
+                continue
+            with rec.lock:
+                if id(module) in rec.scopes:
+                    rec.scopes.remove(id(module))
+                if not rec.scopes and rec.state in (RecordState.LOADED, RecordState.KEPT):
+                    rec.tensor = None
+                    rec.state = RecordState.CONSUMED
+
+    # -------------------------------------------------------- pack / unpack
+    def pack_hook(self, t: Any) -> Any:
+        """Alg. 1 ``pack_hook``: decide and return graph-resident object."""
+        if not isinstance(t, Tensor):
+            return t
+        decision_inputs = dict(
+            is_weight=self.registry.is_weight(t),
+            is_cpu=t.is_cpu,
+            numel=t.numel,
+            nbytes=t.nbytes,
+            in_backward=flags.in_backward(),
+            in_keep_scope=self._in_keep_scope or self._keep_all_hint,
+            accounting=self.accounting,
+        )
+        decision = self.policy.decide(**decision_inputs)
+        if decision is Decision.PASS_THROUGH:
+            self.stats.passed_tensors += 1
+            self.accounting.passed_bytes += t.nbytes
+            return t
+
+        if self._device is None:
+            self._device = t.device
+        tid = self.registry.get_id(t)
+        table = self.current
+        self.accounting.pack_calls += 1
+        # The scope of this save is the innermost module — the one whose
+        # backward consumes the tensor.  (The root module's backward-exit
+        # hook cannot fire — its inputs are token ids without grads — so
+        # root-scope saves are released by on_backward_end instead.)
+        if len(self._scope_stack) > 1:
+            scope_ids = [id(self._scope_stack[-1])]
+        else:
+            scope_ids = [_ROOT_SCOPE]
+
+        with self._lock:
+            rec = table.records.get(tid)
+            if rec is not None:
+                # Deduplication: same tensor saved again (another op or a
+                # view) — extend scopes, never store twice (Sec. III-C1).
+                self.stats.dedup_hits += 1
+                self.accounting.dedup_hits += 1
+                self._extend_scopes(table, rec, scope_ids)
+                return tid
+            rec = ActivationRecord(tid, t)
+            table.records[tid] = rec
+            table.pack_order.append(tid)
+            self._extend_scopes(table, rec, scope_ids)
+
+        if decision is Decision.KEEP:
+            rec.state = RecordState.KEPT
+            rec.keep_reason = self.policy.keep_reason(
+                in_backward=decision_inputs["in_backward"],
+                in_keep_scope=decision_inputs["in_keep_scope"],
+                accounting=self.accounting,
+            )
+            rec.loaded_event.set()
+            self.stats.kept_tensors += 1
+            self.stats.kept_bytes += t.nbytes
+            self.accounting.kept_bytes += t.nbytes
+            return tid
+
+        # Decision.OFFLOAD: async store; the job holds the only strong
+        # reference after this function returns, and drops it on completion.
+        rec.state = RecordState.OFFLOADING
+        rec.location = self.offloader.location(tid)
+        self.accounting.offloaded_bytes += t.nbytes
+        self.stats.stored_tensors += 1
+        self.stats.stored_bytes += t.nbytes
+        register = getattr(self.offloader, "register_tensor", None)
+        if register is not None:
+            register(t)
+
+        def do_store(tensor: Tensor = t, record: ActivationRecord = rec) -> None:
+            self.offloader.store(record.tid, tensor.data)
+
+        job = self.store_pool.submit(do_store, label=str(tid))
+        rec.store_job = job
+        job.add_done_callback(lambda j, record=rec: self._on_store_done(record, j))
+        return tid
+
+    def _extend_scopes(self, table: MicrobatchRecords, rec: ActivationRecord, scope_ids: List[int]) -> None:
+        for sid in scope_ids:
+            rec.scopes.append(sid)
+            table.tids_by_scope.setdefault(sid, []).append(rec.tid)
+
+    def _on_store_done(self, rec: ActivationRecord, job: IOJob) -> None:
+        with rec.lock:
+            if job.error is not None:
+                rec.error = job.error
+                rec.loaded_event.set()
+                return
+            if rec.forwarded:
+                # A consumer already adopted the in-memory reference; the
+                # record stays resident (data forwarding, Sec. III-C2).
+                rec.state = RecordState.LOADED
+                rec.loaded_event.set()
+            else:
+                rec.tensor = None  # release GPU memory via refcount
+                rec.state = RecordState.OFFLOADED
+
+    def unpack_hook(self, obj: Any) -> Any:
+        """Alg. 1 ``unpack_hook``: wait for availability, return the tensor."""
+        if isinstance(obj, Tensor):
+            return obj
+        if not isinstance(obj, TensorID):
+            return obj
+        rec = self._find_record(obj)
+        if rec is None:
+            raise KeyError(f"tensor cache has no record for {obj}")
+        self._advance_cursor(obj)
+        self._ensure_available(rec)
+        if not rec.loaded_event.is_set():
+            self.stats.unpack_waits += 1
+        rec.loaded_event.wait()
+        if rec.error is not None:
+            raise RuntimeError(f"offload I/O failed for {obj}") from rec.error
+        tensor = rec.tensor
+        if tensor is None:
+            raise RuntimeError(
+                f"tensor {obj} was consumed before this unpack; "
+                "scope tracking released it too early"
+            )
+        return tensor
+
+    def _find_record(self, tid: TensorID) -> Optional[ActivationRecord]:
+        with self._lock:
+            rec = self._microbatches[self._current_mb].records.get(tid)
+            if rec is not None:
+                return rec
+            for table in self._microbatches.values():
+                if tid in table.records:
+                    return table.records[tid]
+        return None
+
+    def _advance_cursor(self, tid: TensorID) -> None:
+        table = self.current
+        try:
+            index = table.pack_order.index(tid)
+        except ValueError:
+            return
+        if index < table.backward_cursor:
+            table.backward_cursor = index
+        self._prefetch_ahead(table)
+
+    # -------------------------------------------------------------- prefetch
+    def _ensure_available(self, rec: ActivationRecord) -> None:
+        """Move a record toward LOADED (forwarding, load, or no-op)."""
+        with rec.lock:
+            if rec.state in (
+                RecordState.KEPT,
+                RecordState.LOADED,
+                RecordState.LOADING,
+            ):
+                return
+            if rec.state is RecordState.OFFLOADING:
+                # Data forwarding: adopt the reference the store job holds.
+                rec.forwarded = True
+                self.stats.forwarded_tensors += 1
+                self.accounting.forwarding_hits += 1
+                # Store-done callback will publish LOADED; if the store
+                # already finished between our state read and now, the
+                # callback ran with forwarded=False — handle below.
+                if rec.store_job is not None and rec.store_job.done_event.is_set():
+                    if rec.tensor is not None:
+                        rec.state = RecordState.LOADED
+                        rec.loaded_event.set()
+                    else:
+                        rec.state = RecordState.OFFLOADED
+                        rec.forwarded = False
+                        self._submit_load_locked(rec)
+                return
+            if rec.state is RecordState.OFFLOADED:
+                self._submit_load_locked(rec)
+                return
+            if rec.state is RecordState.CONSUMED:
+                raise RuntimeError(f"record {rec.tid} already consumed")
+
+    def _submit_load_locked(self, rec: ActivationRecord) -> None:
+        """Submit the SSD read for ``rec``; caller holds ``rec.lock``."""
+        rec.state = RecordState.LOADING
+        self.stats.prefetch_issued += 1
+
+        def do_load(record: ActivationRecord = rec) -> None:
+            data = self.offloader.load(record.tid, record.shape, record.dtype)
+            tensor = Tensor(data, device=self._device)
+            with record.lock:
+                record.tensor = tensor
+                record.state = RecordState.LOADED
+                record.loaded_event.set()
+            self.stats.loaded_tensors += 1
+            self.stats.loaded_bytes += record.nbytes
+
+        def on_done(job: IOJob, record: ActivationRecord = rec) -> None:
+            if job.error is not None:
+                with record.lock:
+                    record.error = job.error
+                    record.loaded_event.set()
+
+        job = self.load_pool.submit(do_load, label=str(rec.tid))
+        rec.load_job = job
+        job.add_done_callback(on_done)
+
+    def _prefetch_ahead(self, table: MicrobatchRecords) -> None:
+        """Ensure the next ``prefetch_window`` activations (walking the pack
+        order in reverse from the backward cursor) are available or in
+        flight.
+
+        The window is positional: only the entries immediately ahead of the
+        cursor are touched, bounding the prefetched resident set.  Issuing
+        a bounded look-ahead on every backward module entry keeps "always
+        I/O tasks in the queue" (Sec. III-C2) without reloading the whole
+        step's activations up front.
+        """
+        cursor = table.backward_cursor
+        low = max(0, cursor - self.prefetch_window)
+        for index in range(cursor - 1, low - 1, -1):
+            tid = table.pack_order[index]
+            rec = table.records.get(tid)
+            if rec is None:
+                continue
+            with rec.lock:
+                state = rec.state
+            if state in (RecordState.OFFLOADED, RecordState.OFFLOADING):
+                self._ensure_available(rec)

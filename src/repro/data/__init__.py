@@ -1,0 +1,6 @@
+"""Synthetic corpus and tokenizer (stand-in for the OSCAR dataset)."""
+
+from repro.data.tokenizer import ToyTokenizer
+from repro.data.dataset import SyntheticCorpus, TokenBatchLoader
+
+__all__ = ["ToyTokenizer", "SyntheticCorpus", "TokenBatchLoader"]

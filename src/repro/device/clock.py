@@ -1,0 +1,62 @@
+"""A virtual clock for simulated time.
+
+Functional runs (real numpy math) use wall-clock time; simulated runs
+(discrete-event benchmarks) advance a :class:`VirtualClock`.  Keeping the
+clock explicit lets the same policy/accounting code run in both modes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class VirtualClock:
+    """Monotonic simulated clock measured in seconds.
+
+    The clock can only move forward.  A monotonically increasing tick counter
+    is also exposed so that events scheduled at the same instant retain a
+    deterministic order.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._ticks = itertools.count()
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to absolute time ``t``.
+
+        Raises:
+            ValueError: if ``t`` is earlier than the current time.
+        """
+        with self._lock:
+            if t < self._now:
+                raise ValueError(
+                    f"clock cannot move backwards: now={self._now}, requested={t}"
+                )
+            self._now = t
+
+    def advance_by(self, dt: float) -> None:
+        """Move the clock forward by ``dt`` seconds (must be >= 0)."""
+        if dt < 0:
+            raise ValueError(f"negative clock advance: {dt}")
+        with self._lock:
+            self._now += dt
+
+    def next_tick(self) -> int:
+        """Return a unique, monotonically increasing sequence number."""
+        return next(self._ticks)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock to ``start`` (used between simulated steps)."""
+        with self._lock:
+            self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f}s)"

@@ -1,0 +1,74 @@
+"""PCIe interconnect model.
+
+SSDTrain's viability argument (Sec. III-D) is stated in terms of the *PCIe
+write bandwidth per GPU* needed to fully overlap activation offloading with
+computation.  This module provides a simple bandwidth/latency link model and
+the standard PCIe generation parameters used by the paper's platforms
+(A100 is PCIe 4.0 x16; the P5800X is PCIe 4.0 x4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PCIeGeneration(enum.Enum):
+    """Per-lane usable data rate in GB/s (after encoding overhead)."""
+
+    GEN3 = 0.985
+    GEN4 = 1.969
+    GEN5 = 3.938
+
+    @property
+    def lane_gbps(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A point-to-point PCIe link.
+
+    Attributes:
+        generation: PCIe generation of the link.
+        lanes: number of lanes (x4, x8, x16 ...).
+        latency_s: per-transfer fixed latency (DMA setup, doorbell, etc.).
+        efficiency: achievable fraction of the wire rate (protocol overhead,
+            payload framing); ~0.85-0.92 is typical for large DMAs.
+    """
+
+    generation: PCIeGeneration = PCIeGeneration.GEN4
+    lanes: int = 16
+    latency_s: float = 5e-6
+    efficiency: float = 0.88
+
+    def __post_init__(self) -> None:
+        if self.lanes <= 0:
+            raise ValueError(f"lanes must be positive: {self.lanes}")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1]: {self.efficiency}")
+
+    @property
+    def bandwidth_gbps(self) -> float:
+        """Usable one-direction bandwidth in GB/s."""
+        return self.generation.lane_gbps * self.lanes * self.efficiency
+
+    @property
+    def bandwidth(self) -> float:
+        """Usable one-direction bandwidth in bytes/s."""
+        return self.bandwidth_gbps * 1e9
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across the link."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_s + nbytes / self.bandwidth
+
+
+#: x16 Gen4 link between GPU and the root complex (A100 PCIe).
+GPU_LINK_GEN4_X16 = PCIeLink(PCIeGeneration.GEN4, lanes=16)
+
+#: x4 Gen4 link of a single NVMe SSD (P5800X, Samsung 980 PRO).
+SSD_LINK_GEN4_X4 = PCIeLink(PCIeGeneration.GEN4, lanes=4)

@@ -1,0 +1,28 @@
+"""Tensor-parallel execution with per-rank tensor caches.
+
+The evaluation machine runs the two A100s in tensor parallelism, each with
+a dedicated RAID0 array (Table II), and SSDTrain "extends naturally to
+distributed settings ... by working below PyTorch and keeping each
+process' activities local" (Sec. III-A).  This package provides the
+Megatron-style sharded layers and the lockstep collective primitives to
+reproduce that setup in one process: every rank owns its weight shards,
+its own tensor cache, and its own offload target.
+"""
+
+from repro.distributed.tp import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    all_reduce,
+    shard_columns,
+    shard_rows,
+)
+
+__all__ = [
+    "all_reduce",
+    "shard_columns",
+    "shard_rows",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+]

@@ -1,0 +1,202 @@
+"""Megatron-style tensor parallelism over per-rank tensor lists.
+
+Ranks execute in lockstep within one process: a "distributed tensor" is a
+list with one :class:`~repro.tensor.tensor.Tensor` per rank.  Collectives
+are ordinary differentiable ops — an all-reduce is a chain of adds, whose
+autograd backward is exactly the broadcast the real collective needs — so
+offloading, hooks, and the tensor caches see nothing unusual.
+
+Layer layout follows Megatron-LM:
+
+- :class:`ColumnParallelLinear` shards the weight's *output* dimension;
+  each rank computes a slice of the output (no communication in forward).
+- :class:`RowParallelLinear` shards the *input* dimension; each rank
+  computes a partial product and the results are all-reduced.
+- :class:`TensorParallelMLP` chains the two (fc_in column-, fc_out
+  row-parallel), needing exactly one all-reduce in forward and one in
+  backward — the communication pattern priced by
+  :meth:`~repro.train.parallel.ParallelismConfig.tp_allreduce_bytes_per_layer`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.activations import GELU
+from repro.tensor import ops
+from repro.tensor.module import Module, ModuleList
+from repro.tensor.tensor import Parameter, Tensor
+
+
+def all_reduce(parts: Sequence[Tensor]) -> Tensor:
+    """Sum the per-rank partial tensors (differentiable).
+
+    Backward broadcasts the gradient to every rank's partial — the
+    autograd of addition *is* the all-reduce backward rule.
+    """
+    if not parts:
+        raise ValueError("all_reduce needs at least one tensor")
+    total = parts[0]
+    for part in parts[1:]:
+        total = ops.add(total, part)
+    return total
+
+
+def shard_columns(weight: np.ndarray, world_size: int) -> List[np.ndarray]:
+    """Split a (out, in) weight along the output dimension."""
+    if weight.shape[0] % world_size != 0:
+        raise ValueError(
+            f"output dim {weight.shape[0]} not divisible by {world_size}"
+        )
+    return [np.ascontiguousarray(s) for s in np.split(weight, world_size, axis=0)]
+
+
+def shard_rows(weight: np.ndarray, world_size: int) -> List[np.ndarray]:
+    """Split a (out, in) weight along the input dimension."""
+    if weight.shape[1] % world_size != 0:
+        raise ValueError(
+            f"input dim {weight.shape[1]} not divisible by {world_size}"
+        )
+    return [np.ascontiguousarray(s) for s in np.split(weight, world_size, axis=1)]
+
+
+class _RankLinear(Module):
+    """One rank's shard of a parallel linear layer."""
+
+    def __init__(self, weight_shard: np.ndarray, bias_shard: Optional[np.ndarray]) -> None:
+        super().__init__()
+        self.weight = Parameter(weight_shard)
+        self.bias = Parameter(bias_shard) if bias_shard is not None else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class ColumnParallelLinear(Module):
+    """Output-sharded linear: rank r computes columns ``[r*k, (r+1)*k)``.
+
+    ``forward`` maps one replicated input per rank to one output shard per
+    rank; ``gather`` concatenates shards when a full tensor is needed.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        world_size: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1: {world_size}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.world_size = world_size
+        gen = rng if rng is not None else np.random.default_rng()
+        std = 1.0 / np.sqrt(in_features)
+        full_weight = (gen.standard_normal((out_features, in_features)) * std).astype(np.float32)
+        full_bias = np.zeros(out_features, dtype=np.float32) if bias else None
+        weight_shards = shard_columns(full_weight, world_size)
+        bias_shards = (
+            np.split(full_bias, world_size) if full_bias is not None else [None] * world_size
+        )
+        self.ranks = ModuleList(
+            _RankLinear(w, b) for w, b in zip(weight_shards, bias_shards)
+        )
+
+    def forward(self, inputs: Sequence[Tensor]) -> List[Tensor]:
+        if len(inputs) != self.world_size:
+            raise ValueError(f"expected {self.world_size} rank inputs, got {len(inputs)}")
+        return [rank(x) for rank, x in zip(self.ranks, inputs)]
+
+    def gather(self, outputs: Sequence[Tensor]) -> Tensor:
+        result = outputs[0]
+        for shard in outputs[1:]:
+            result = ops.concat(result, shard, axis=result.ndim - 1)
+        return result
+
+
+class RowParallelLinear(Module):
+    """Input-sharded linear: partial products all-reduce into the output."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        world_size: int,
+        rng: Optional[np.random.Generator] = None,
+        bias: bool = True,
+    ) -> None:
+        super().__init__()
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1: {world_size}")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.world_size = world_size
+        gen = rng if rng is not None else np.random.default_rng()
+        std = 1.0 / np.sqrt(in_features)
+        full_weight = (gen.standard_normal((out_features, in_features)) * std).astype(np.float32)
+        weight_shards = shard_rows(full_weight, world_size)
+        # The bias is applied once, after the reduction (Megatron keeps it
+        # on one rank).
+        self.bias = Parameter(np.zeros(out_features, dtype=np.float32)) if bias else None
+        self.ranks = ModuleList(_RankLinear(w, None) for w in weight_shards)
+
+    def forward(self, inputs: Sequence[Tensor]) -> Tensor:
+        if len(inputs) != self.world_size:
+            raise ValueError(f"expected {self.world_size} rank inputs, got {len(inputs)}")
+        partials = [rank(x) for rank, x in zip(self.ranks, inputs)]
+        total = all_reduce(partials)
+        if self.bias is not None:
+            total = total + self.bias
+        return total
+
+
+class TensorParallelMLP(Module):
+    """The Megatron MLP: column-parallel fc_in, GELU, row-parallel fc_out.
+
+    One all-reduce in forward (fc_out) and one in backward (fc_in's input
+    grad) — no gather is ever materialized for the 4x-hidden tensor, which
+    is why TP shards exactly the activation entries the inventory divides
+    by ``tp`` (`repro.analysis.perf_model.layer_activation_inventory`).
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        world_size: int,
+        ffn_hidden: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.world_size = world_size
+        self.ffn_hidden = ffn_hidden if ffn_hidden is not None else 4 * hidden
+        gen = rng if rng is not None else np.random.default_rng()
+        self.fc_in = ColumnParallelLinear(hidden, self.ffn_hidden, world_size, rng=gen)
+        self.act = GELU()
+        self.fc_out = RowParallelLinear(self.ffn_hidden, hidden, world_size, rng=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        # Input is replicated to every rank (identity in forward; its
+        # backward is the second all-reduce of the layer).
+        replicated = [x for _ in range(self.world_size)]
+        hidden_shards = self.fc_in(replicated)
+        activated = [self.act(h) for h in hidden_shards]
+        return self.fc_out(activated)
+
+    def reference_weights(self) -> tuple:
+        """The equivalent unsharded (fc_in, fc_out) weights, for tests."""
+        w_in = np.concatenate([r.weight.data for r in self.fc_in.ranks], axis=0)
+        b_in = np.concatenate(
+            [r.bias.data for r in self.fc_in.ranks if r.bias is not None]
+        )
+        w_out = np.concatenate([r.weight.data for r in self.fc_out.ranks], axis=1)
+        b_out = self.fc_out.bias.data if self.fc_out.bias is not None else None
+        return w_in, b_in, w_out, b_out

@@ -1,0 +1,23 @@
+"""Asynchronous I/O substrate for activation offloading.
+
+- :class:`~repro.io.aio.AsyncIOPool` — FIFO worker pool (the paper's tensor
+  cache runs one pool for stores and one for loads, Sec. III-C2).
+- :class:`~repro.io.filestore.TensorFileStore` — real file-backed tensor
+  persistence with optional bandwidth throttling and SSD wear accounting.
+- :mod:`~repro.io.gds` — GPUDirect Storage path model: direct GPU<->SSD
+  transfers vs. a CPU bounce buffer, plus the CUDA-malloc-hook registration
+  emulation (Sec. III-A).
+"""
+
+from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.filestore import TensorFileStore
+from repro.io.gds import BounceBufferPath, DirectGDSPath, GDSRegistry
+
+__all__ = [
+    "AsyncIOPool",
+    "IOJob",
+    "TensorFileStore",
+    "GDSRegistry",
+    "DirectGDSPath",
+    "BounceBufferPath",
+]

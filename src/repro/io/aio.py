@@ -1,0 +1,143 @@
+"""FIFO worker pools for tensor stores and loads.
+
+The tensor cache owns two pools — "one for storing tensors and the other
+for loading tensors.  Submitted jobs are executed in first-in-first-out
+(FIFO) order." (Sec. III-C2.)  A thin wrapper around a queue + worker
+threads keeps job states observable (pending/running/done) so tests can
+assert overlap and forwarding behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+import queue
+import threading
+from typing import Any, Callable, List, Optional
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+class IOJob:
+    """A unit of I/O work with an observable state and completion event."""
+
+    def __init__(self, fn: Callable[[], Any], label: str = "") -> None:
+        self.fn = fn
+        self.label = label
+        self.state = JobState.PENDING
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.done_event = threading.Event()
+        self._callbacks: List[Callable[["IOJob"], None]] = []
+        self._lock = threading.Lock()
+
+    def add_done_callback(self, cb: Callable[["IOJob"], None]) -> None:
+        """Run ``cb(job)`` on completion (immediately if already done)."""
+        run_now = False
+        with self._lock:
+            if self.done_event.is_set():
+                run_now = True
+            else:
+                self._callbacks.append(cb)
+        if run_now:
+            cb(self)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self.done_event.wait(timeout)
+
+    def _finish(self, state: JobState) -> None:
+        with self._lock:
+            self.state = state
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self.done_event.set()
+        for cb in callbacks:
+            cb(self)
+
+    def run(self) -> None:
+        self.state = JobState.RUNNING
+        try:
+            self.result = self.fn()
+        except BaseException as exc:  # surfaced via .error, re-raised on wait
+            self.error = exc
+            self.fn = None  # drop closure refs (e.g. the tensor being stored)
+            self._finish(JobState.FAILED)
+            return
+        self.fn = None  # drop closure refs so GPU buffers can be reclaimed
+        self._finish(JobState.DONE)
+
+
+class AsyncIOPool:
+    """A FIFO pool of worker threads.
+
+    Args:
+        num_workers: worker thread count (1 preserves strict FIFO
+            completion order, matching a single SSD queue; more workers
+            model deeper NVMe queues).
+        name: thread-name prefix for debugging.
+    """
+
+    def __init__(self, num_workers: int = 1, name: str = "io") -> None:
+        if num_workers < 1:
+            raise ValueError(f"need at least one worker: {num_workers}")
+        self.name = name
+        self._queue: "queue.Queue[Optional[IOJob]]" = queue.Queue()
+        self._shutdown = False
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._idle = threading.Event()
+        self._idle.set()
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"{name}-{i}", daemon=True)
+            for i in range(num_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            job.run()
+            with self._lock:
+                self._pending -= 1
+                if self._pending == 0:
+                    self._idle.set()
+
+    def submit(self, fn: Callable[[], Any], label: str = "") -> IOJob:
+        """Enqueue work; returns the job handle."""
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError(f"pool {self.name} is shut down")
+            self._pending += 1
+            self._idle.clear()
+        job = IOJob(fn, label=label)
+        self._queue.put(job)
+        return job
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has finished."""
+        return self._idle.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Drain and stop the workers (idempotent)."""
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self._idle.wait()
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=5)

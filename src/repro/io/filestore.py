@@ -1,0 +1,137 @@
+"""File-backed tensor persistence (the functional-mode "SSD").
+
+Writes raw tensor bytes to files under a directory (one file per tensor
+identifier, like the paper's ``/mnt/md1/t1.pt`` in Fig. 4) and reads them
+back.  Optional throttling emulates a bandwidth-limited device so tests can
+exercise stalls, backpressure, and forwarding races; writes/reads are also
+recorded against an optional :class:`~repro.device.ssd.RAID0Array` for wear
+accounting.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.device.ssd import RAID0Array, SSD
+
+
+class TensorFileStore:
+    """Stores numpy arrays as raw files, one per tensor id.
+
+    Args:
+        root: directory for tensor files (created if missing).
+        throttle_bytes_per_s: if set, sleep so that transfers do not exceed
+            this bandwidth — used to emulate slow SSDs in tests.
+        array: optional SSD/RAID0 model charged with the traffic.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        throttle_bytes_per_s: Optional[float] = None,
+        array: Optional[Union[SSD, RAID0Array]] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if throttle_bytes_per_s is not None and throttle_bytes_per_s <= 0:
+            raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
+        self.throttle_bytes_per_s = throttle_bytes_per_s
+        self.array = array
+        self._lock = threading.Lock()
+        self._bytes_written = 0
+        self._bytes_read = 0
+        self._write_count = 0
+        self._read_count = 0
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def bytes_written(self) -> int:
+        with self._lock:
+            return self._bytes_written
+
+    @property
+    def bytes_read(self) -> int:
+        with self._lock:
+            return self._bytes_read
+
+    @property
+    def write_count(self) -> int:
+        with self._lock:
+            return self._write_count
+
+    @property
+    def read_count(self) -> int:
+        with self._lock:
+            return self._read_count
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._bytes_written = 0
+            self._bytes_read = 0
+            self._write_count = 0
+            self._read_count = 0
+
+    # ------------------------------------------------------------------- I/O
+    def path_for(self, tensor_id: str) -> Path:
+        return self.root / f"{tensor_id}.bin"
+
+    def _throttle(self, nbytes: int, start: float) -> None:
+        if self.throttle_bytes_per_s is None:
+            return
+        required = nbytes / self.throttle_bytes_per_s
+        elapsed = time.monotonic() - start
+        if elapsed < required:
+            time.sleep(required - elapsed)
+
+    def write(self, tensor_id: str, data: np.ndarray) -> Path:
+        """Persist ``data``; returns the file path."""
+        start = time.monotonic()
+        path = self.path_for(tensor_id)
+        contiguous = np.ascontiguousarray(data)
+        with open(path, "wb") as f:
+            f.write(contiguous.tobytes())
+        nbytes = contiguous.nbytes
+        self._throttle(nbytes, start)
+        with self._lock:
+            self._bytes_written += nbytes
+            self._write_count += 1
+        if self.array is not None:
+            self.array.record_write(nbytes)
+        return path
+
+    def read(self, tensor_id: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Read a tensor back as a fresh array of ``shape``/``dtype``."""
+        start = time.monotonic()
+        path = self.path_for(tensor_id)
+        if not path.exists():
+            raise FileNotFoundError(f"no offloaded tensor at {path}")
+        raw = path.read_bytes()
+        data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        self._throttle(data.nbytes, start)
+        with self._lock:
+            self._bytes_read += data.nbytes
+            self._read_count += 1
+        if self.array is not None:
+            self.array.record_read(data.nbytes)
+        return data
+
+    def delete(self, tensor_id: str) -> None:
+        """Best-effort removal of an offloaded tensor file."""
+        try:
+            self.path_for(tensor_id).unlink()
+        except FileNotFoundError:
+            pass
+
+    def clear(self) -> None:
+        """Remove every tensor file (used between steps/tests)."""
+        for path in self.root.glob("*.bin"):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass

@@ -1,0 +1,158 @@
+"""I/O trace recorder for the functional tensor cache.
+
+Records store/load/forward events with wall-clock timestamps so a *real*
+offloaded run can be rendered as a Fig. 2-style timeline and checked for
+overlap — the functional-mode counterpart of the simulator's
+:class:`~repro.sim.timeline.Timeline`.
+
+Attach a tracer to a cache via :func:`attach_tracer`; it wraps the
+offloader's ``store``/``load`` methods (they execute on the cache's
+thread pools, so events carry the actual concurrency).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class IOTraceEvent:
+    """One completed I/O operation."""
+
+    kind: str          # "store" | "load"
+    tensor_id: str
+    nbytes: int
+    start_s: float     # relative to the tracer epoch
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class OverlapStats:
+    """Summary of how I/O time relates to the traced wall-clock window."""
+
+    window_s: float
+    store_busy_s: float
+    load_busy_s: float
+    store_bytes: int
+    load_bytes: int
+
+    @property
+    def store_bandwidth(self) -> float:
+        return self.store_bytes / self.store_busy_s if self.store_busy_s else 0.0
+
+    @property
+    def load_bandwidth(self) -> float:
+        return self.load_bytes / self.load_busy_s if self.load_busy_s else 0.0
+
+
+class IOTracer:
+    """Thread-safe collector of I/O events."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = time.monotonic()
+        self.events: List[IOTraceEvent] = []
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def record(self, kind: str, tensor_id: str, nbytes: int, start_s: float, end_s: float) -> None:
+        if kind not in ("store", "load"):
+            raise ValueError(f"unknown I/O kind: {kind}")
+        with self._lock:
+            self.events.append(IOTraceEvent(kind, tensor_id, nbytes, start_s, end_s))
+
+    def reset(self) -> None:
+        with self._lock:
+            self.events.clear()
+            self._epoch = time.monotonic()
+
+    # ------------------------------------------------------------------ query
+    def _busy_time(self, kind: str) -> float:
+        """Union length of the intervals of one kind (overlaps merged)."""
+        with self._lock:
+            intervals = sorted(
+                (e.start_s, e.end_s) for e in self.events if e.kind == kind
+            )
+        busy = 0.0
+        cursor = float("-inf")
+        for start, end in intervals:
+            if start > cursor:
+                busy += end - start
+                cursor = end
+            elif end > cursor:
+                busy += end - cursor
+                cursor = end
+        return busy
+
+    def stats(self, window_s: Optional[float] = None) -> OverlapStats:
+        with self._lock:
+            events = list(self.events)
+        if window_s is None:
+            window_s = max((e.end_s for e in events), default=0.0)
+        return OverlapStats(
+            window_s=window_s,
+            store_busy_s=self._busy_time("store"),
+            load_busy_s=self._busy_time("load"),
+            store_bytes=sum(e.nbytes for e in events if e.kind == "store"),
+            load_bytes=sum(e.nbytes for e in events if e.kind == "load"),
+        )
+
+    def render_ascii(self, width: int = 80) -> str:
+        """A two-lane (store/load) timeline of the traced run."""
+        with self._lock:
+            events = list(self.events)
+        if not events:
+            return "(no I/O events traced)"
+        total = max(e.end_s for e in events)
+        rows = []
+        for kind, mark in (("store", "s"), ("load", "l")):
+            row = [" "] * width
+            for e in events:
+                if e.kind != kind:
+                    continue
+                lo = min(width - 1, int(e.start_s / total * width))
+                hi = min(width, max(lo + 1, int(e.end_s / total * width)))
+                for i in range(lo, hi):
+                    row[i] = mark
+            rows.append(f"{kind:>6} |{''.join(row)}|")
+        return "\n".join(rows)
+
+
+def attach_tracer(cache: Any, tracer: Optional[IOTracer] = None) -> IOTracer:
+    """Wrap ``cache.offloader``'s store/load with trace recording.
+
+    Returns the tracer (a fresh one when not supplied).  Wrapping is
+    idempotent per offloader instance.
+    """
+    tracer = tracer if tracer is not None else IOTracer()
+    offloader = cache.offloader
+    if getattr(offloader, "_ssdtrain_tracer", None) is tracer:
+        return tracer
+
+    original_store: Callable = offloader.store
+    original_load: Callable = offloader.load
+
+    def traced_store(tid, data):
+        start = tracer.now()
+        result = original_store(tid, data)
+        tracer.record("store", str(tid), int(data.nbytes), start, tracer.now())
+        return result
+
+    def traced_load(tid, shape, dtype):
+        start = tracer.now()
+        data = original_load(tid, shape, dtype)
+        tracer.record("load", str(tid), int(data.nbytes), start, tracer.now())
+        return data
+
+    offloader.store = traced_store
+    offloader.load = traced_load
+    offloader._ssdtrain_tracer = tracer
+    return tracer

@@ -1,0 +1,15 @@
+"""Model zoo: the three architectures the paper evaluates.
+
+- :class:`~repro.models.gpt.GPT` — decoder-only (causal self-attention).
+- :class:`~repro.models.bert.BERT` — encoder-only (bidirectional).
+- :class:`~repro.models.t5.T5` — encoder-decoder with cross-attention; the
+  number of decoders is half the total layer count, rounded down
+  (Sec. IV-A).
+"""
+
+from repro.models.config import ModelConfig, paper_eval_configs
+from repro.models.gpt import GPT
+from repro.models.bert import BERT
+from repro.models.t5 import T5
+
+__all__ = ["ModelConfig", "paper_eval_configs", "GPT", "BERT", "T5"]

@@ -1,0 +1,102 @@
+"""Model hyper-parameter configuration.
+
+The paper's evaluation grid (Sec. IV-A): hidden dimension H from 8192 to
+16384 with layer counts chosen to fit 40 GB A100s — (H, L) in
+{(8192, 4), (12288, 3), (16384, 2)} — attention head dimension 128,
+sequence length 1024, FP16, batch size 16 unless stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Attention head dimension used throughout the evaluation.
+HEAD_DIM = 128
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Hyper-parameters shared by GPT/BERT/T5 in the evaluation.
+
+    Attributes:
+        arch: "gpt" | "bert" | "t5".
+        hidden: hidden dimension H.
+        num_layers: total transformer layer count L (for T5 this is the
+            combined encoder+decoder count; decoders = L // 2).
+        vocab_size: vocabulary size.
+        seq_len: text sequence length (paper: 1024).
+        dropout: dropout probability.
+        dtype_bytes: bytes per element (2 for the paper's FP16 runs).
+        head_dim: attention head dimension (paper: 128; tests shrink it).
+    """
+
+    arch: str
+    hidden: int
+    num_layers: int
+    vocab_size: int = 50257
+    seq_len: int = 1024
+    dropout: float = 0.0
+    dtype_bytes: int = 2
+    head_dim: int = HEAD_DIM
+    #: Layerwise full recomputation (the Fig. 7 "Recompute" strategy).
+    recompute: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arch not in ("gpt", "bert", "t5"):
+            raise ValueError(f"unknown arch: {self.arch}")
+        if self.hidden % self.head_dim != 0:
+            raise ValueError(
+                f"hidden {self.hidden} must be a multiple of head_dim {self.head_dim}"
+            )
+        if self.num_layers < 1:
+            raise ValueError(f"need at least one layer: {self.num_layers}")
+
+    @property
+    def num_heads(self) -> int:
+        return self.hidden // self.head_dim
+
+    @property
+    def ffn_hidden(self) -> int:
+        return 4 * self.hidden
+
+    @property
+    def num_decoder_layers(self) -> int:
+        """T5 decoder count: half of the total, rounded down (Sec. IV-A)."""
+        if self.arch != "t5":
+            return self.num_layers if self.arch == "gpt" else 0
+        return self.num_layers // 2
+
+    @property
+    def num_encoder_layers(self) -> int:
+        if self.arch == "bert":
+            return self.num_layers
+        if self.arch == "t5":
+            return self.num_layers - self.num_decoder_layers
+        return 0
+
+    def scaled(self, **overrides) -> "ModelConfig":
+        """A copy with some fields overridden (used to shrink for tests)."""
+        from dataclasses import asdict, replace
+
+        return replace(self, **overrides)
+
+
+#: The (hidden, layers) grid of Fig. 6 / Table III.
+PAPER_EVAL_GRID: List[Tuple[int, int]] = [(8192, 4), (12288, 3), (16384, 2)]
+
+
+def paper_eval_configs(arch: str, seq_len: int = 1024, vocab_size: int = 50257) -> List[ModelConfig]:
+    """The three (H, L) evaluation configs of Fig. 6 for one architecture."""
+    return [
+        ModelConfig(
+            arch=arch,
+            hidden=hidden,
+            num_layers=layers,
+            seq_len=seq_len,
+            vocab_size=vocab_size,
+        )
+        for hidden, layers in PAPER_EVAL_GRID
+    ]

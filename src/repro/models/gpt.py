@@ -1,0 +1,67 @@
+"""GPT: decoder-only transformer (causal self-attention)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.checkpoint import checkpoint
+from repro.models.config import ModelConfig
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import ops
+from repro.tensor.module import Module, ModuleList
+from repro.tensor.tensor import Tensor
+
+
+class GPT(Module):
+    """Decoder-only LM with token+position embeddings and an LM head.
+
+    ``forward(tokens, targets)`` returns the mean cross-entropy loss over
+    all positions; with ``targets=None`` it returns the logits.
+    """
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if config.arch != "gpt":
+            raise ValueError(f"GPT requires arch='gpt', got {config.arch}")
+        self.config = config
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.token_emb = Embedding(config.vocab_size, config.hidden, rng=gen)
+        self.pos_emb = Embedding(config.seq_len, config.hidden, rng=gen)
+        self.emb_dropout = Dropout(config.dropout)
+        self.layers = ModuleList(
+            TransformerLayer(
+                config.hidden,
+                config.num_heads,
+                causal=True,
+                dropout=config.dropout,
+                rng=gen,
+            )
+            for _ in range(config.num_layers)
+        )
+        self.final_ln = LayerNorm(config.hidden)
+        self.lm_head = Linear(config.hidden, config.vocab_size, bias=False, rng=gen)
+
+    def forward(self, tokens: Tensor, targets: Optional[Tensor] = None) -> Tensor:
+        batch, seq = tokens.shape
+        positions = Tensor(
+            np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq)).copy(),
+            device=tokens.device,
+        )
+        x = self.token_emb(tokens) + self.pos_emb(positions)
+        x = self.emb_dropout(x)
+        for layer in self.layers:
+            if self.config.recompute:
+                x = checkpoint(layer, x)
+            else:
+                x = layer(x)
+        x = self.final_ln(x)
+        logits = self.lm_head(x)
+        if targets is None:
+            return logits
+        return ops.cross_entropy(logits, targets)

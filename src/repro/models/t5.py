@@ -1,0 +1,105 @@
+"""T5: encoder-decoder transformer with cross-attention.
+
+Per the paper's setup (Sec. IV-A), "the number of decoders is half of the
+total number of layers, rounded down"; decoder layers apply self-attention
+to the target text and cross-attention over the encoder output tokens
+(Sec. II-A).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.checkpoint import checkpoint
+from repro.models.config import ModelConfig
+from repro.nn.dropout import Dropout
+from repro.nn.embedding import Embedding
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.nn.transformer import TransformerLayer
+from repro.tensor import ops
+from repro.tensor.module import Module, ModuleList
+from repro.tensor.tensor import Tensor
+
+
+class T5(Module):
+    """Encoder-decoder LM.
+
+    ``forward(src_tokens, tgt_tokens, targets)`` encodes the source
+    sequence, decodes the target sequence with causal self-attention plus
+    cross-attention over the encoder output, and returns the cross-entropy
+    loss (or the logits when ``targets`` is None).
+    """
+
+    def __init__(self, config: ModelConfig, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if config.arch != "t5":
+            raise ValueError(f"T5 requires arch='t5', got {config.arch}")
+        if config.num_layers < 2:
+            raise ValueError("T5 needs at least one encoder and one decoder layer")
+        self.config = config
+        gen = rng if rng is not None else np.random.default_rng(0)
+        self.token_emb = Embedding(config.vocab_size, config.hidden, rng=gen)
+        self.pos_emb = Embedding(config.seq_len, config.hidden, rng=gen)
+        self.emb_dropout = Dropout(config.dropout)
+        self.encoder_layers = ModuleList(
+            TransformerLayer(
+                config.hidden,
+                config.num_heads,
+                causal=False,
+                dropout=config.dropout,
+                rng=gen,
+            )
+            for _ in range(config.num_encoder_layers)
+        )
+        self.decoder_layers = ModuleList(
+            TransformerLayer(
+                config.hidden,
+                config.num_heads,
+                causal=True,
+                cross_attention=True,
+                dropout=config.dropout,
+                rng=gen,
+            )
+            for _ in range(config.num_decoder_layers)
+        )
+        self.final_ln = LayerNorm(config.hidden)
+        self.lm_head = Linear(config.hidden, config.vocab_size, bias=False, rng=gen)
+
+    def _embed(self, tokens: Tensor) -> Tensor:
+        batch, seq = tokens.shape
+        positions = Tensor(
+            np.broadcast_to(np.arange(seq, dtype=np.int64), (batch, seq)).copy(),
+            device=tokens.device,
+        )
+        return self.emb_dropout(self.token_emb(tokens) + self.pos_emb(positions))
+
+    def encode(self, src_tokens: Tensor) -> Tensor:
+        x = self._embed(src_tokens)
+        for layer in self.encoder_layers:
+            if self.config.recompute:
+                x = checkpoint(layer, x)
+            else:
+                x = layer(x)
+        return x
+
+    def forward(
+        self,
+        src_tokens: Tensor,
+        tgt_tokens: Tensor,
+        targets: Optional[Tensor] = None,
+    ) -> Tensor:
+        context = self.encode(src_tokens)
+        y = self._embed(tgt_tokens)
+        for layer in self.decoder_layers:
+            if self.config.recompute:
+                y = checkpoint(layer, y, context)
+            else:
+                y = layer(y, context=context)
+        y = self.final_ln(y)
+        logits = self.lm_head(y)
+        if targets is None:
+            return logits
+        return ops.cross_entropy(logits, targets)

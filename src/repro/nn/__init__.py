@@ -1,0 +1,27 @@
+"""Neural-network layers built on the tensor engine.
+
+Follows the Megatron transformer layout the paper trains: pre-LayerNorm
+blocks, a fused FlashAttention-style core attention (so the O(S^2)
+intermediates never hit the autograd graph), and an MLP with a 4x hidden
+expansion and GELU.
+"""
+
+from repro.nn.linear import Linear
+from repro.nn.layernorm import LayerNorm
+from repro.nn.embedding import Embedding
+from repro.nn.dropout import Dropout
+from repro.nn.activations import GELU, ReLU
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.transformer import MLP, TransformerLayer
+
+__all__ = [
+    "Linear",
+    "LayerNorm",
+    "Embedding",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "MultiHeadAttention",
+    "MLP",
+    "TransformerLayer",
+]

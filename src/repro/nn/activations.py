@@ -1,0 +1,19 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+from repro.tensor import ops
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class GELU(Module):
+    """tanh-approximation GELU (GPT/Megatron MLP activation)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)

@@ -1,0 +1,48 @@
+"""Dropout module with deterministic per-call seeding.
+
+Seeds are recorded in forward order and replayed during checkpoint
+recomputation (``flags.recompute_mode``), so a recomputed segment
+reproduces the exact masks of its original forward — the same guarantee
+PyTorch provides by snapshotting RNG state in ``torch.utils.checkpoint``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque
+
+from repro.tensor import flags, ops
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+_seed_counter = itertools.count(0x5EED)
+
+
+class Dropout(Module):
+    """Inverted dropout, active only in training mode."""
+
+    def __init__(self, p: float = 0.1) -> None:
+        super().__init__()
+        if not 0 <= p < 1:
+            raise ValueError(f"dropout p must be in [0, 1): {p}")
+        self.p = p
+        self._seed_history: Deque[int] = deque()
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        if flags.recompute_mode():
+            if not self._seed_history:
+                raise RuntimeError(
+                    "dropout recompute without a recorded seed; was the "
+                    "segment recomputed more times than it ran forward?"
+                )
+            seed = self._seed_history.popleft()
+        else:
+            seed = next(_seed_counter)
+            self._seed_history.append(seed)
+        return ops.dropout(x, self.p, seed)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"

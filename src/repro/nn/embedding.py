@@ -1,0 +1,36 @@
+"""Token and position embedding tables."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.module import Module
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        gen = rng if rng is not None else np.random.default_rng()
+        self.weight = Parameter(
+            (gen.standard_normal((num_embeddings, embedding_dim)) * 0.02).astype(dtype)
+        )
+
+    def forward(self, ids: Tensor) -> Tensor:
+        return ops.embedding(self.weight, ids)
+
+    def __repr__(self) -> str:
+        return f"Embedding({self.num_embeddings}, {self.embedding_dim})"

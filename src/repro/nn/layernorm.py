@@ -1,0 +1,26 @@
+"""LayerNorm module wrapping the fused layernorm op."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import ops
+from repro.tensor.module import Module
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with affine parameters."""
+
+    def __init__(self, hidden: int, eps: float = 1e-5, dtype=np.float32) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.eps = eps
+        self.gamma = Parameter(np.ones(hidden, dtype=dtype))
+        self.beta = Parameter(np.zeros(hidden, dtype=dtype))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.layernorm(x, self.gamma, self.beta, self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.hidden})"

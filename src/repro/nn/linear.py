@@ -1,0 +1,52 @@
+"""Linear layer.
+
+Stores its weight as ``(out_features, in_features)`` and computes
+``x @ W.T`` like PyTorch.  The transpose is a *view sharing the weight's
+storage* — this is the exact case Sec. III-C1 calls out: SSDTrain records
+the identifier of the transpose before training, and because ``get_id()``
+stamps the underlying storage, the transposed weight deduplicates to the
+same identifier in every step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.tensor.module import Module
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        gen = rng if rng is not None else np.random.default_rng()
+        std = 1.0 / np.sqrt(in_features)
+        self.weight = Parameter(
+            (gen.standard_normal((out_features, in_features)) * std).astype(dtype)
+        )
+        if bias:
+            self.bias = Parameter(np.zeros(out_features, dtype=dtype))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features})"

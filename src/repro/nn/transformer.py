@@ -1,0 +1,97 @@
+"""Transformer layers (pre-LayerNorm, Megatron layout).
+
+A :class:`TransformerLayer` is an attention block plus an MLP block with
+residual connections.  Decoder layers add causality; T5 decoder layers add
+a cross-attention block between the self-attention and the MLP
+(Sec. II-A of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.activations import GELU
+from repro.nn.attention import MultiHeadAttention
+from repro.nn.dropout import Dropout
+from repro.nn.layernorm import LayerNorm
+from repro.nn.linear import Linear
+from repro.tensor.module import Module
+from repro.tensor.tensor import Tensor
+
+
+class MLP(Module):
+    """Position-wise MLP: hidden -> ffn_hidden -> hidden with GELU."""
+
+    def __init__(
+        self,
+        hidden: int,
+        ffn_hidden: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.ffn_hidden = ffn_hidden if ffn_hidden is not None else 4 * hidden
+        self.fc_in = Linear(hidden, self.ffn_hidden, rng=rng, dtype=dtype)
+        self.act = GELU()
+        self.fc_out = Linear(self.ffn_hidden, hidden, rng=rng, dtype=dtype)
+        self.dropout = Dropout(dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.dropout(self.fc_out(self.act(self.fc_in(x))))
+
+
+class TransformerLayer(Module):
+    """One transformer layer: [LN -> attn -> +res] then [LN -> MLP -> +res].
+
+    Args:
+        hidden: hidden dimension H.
+        num_heads: attention heads (paper: head dim 128, so heads = H/128).
+        causal: True for decoder-only (GPT) and T5-decoder self-attention.
+        cross_attention: add a cross-attention block (T5 decoder layers).
+        dropout: dropout probability applied in attention/MLP outputs.
+    """
+
+    def __init__(
+        self,
+        hidden: int,
+        num_heads: int,
+        causal: bool = False,
+        cross_attention: bool = False,
+        ffn_hidden: Optional[int] = None,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        dtype=np.float32,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.causal = causal
+        self.cross_attention = cross_attention
+        self.ln_attn = LayerNorm(hidden, dtype=dtype)
+        self.attn = MultiHeadAttention(
+            hidden, num_heads, causal=causal, dropout=dropout, rng=rng, dtype=dtype
+        )
+        if cross_attention:
+            self.ln_cross = LayerNorm(hidden, dtype=dtype)
+            self.cross_attn = MultiHeadAttention(
+                hidden, num_heads, is_cross=True, dropout=dropout, rng=rng, dtype=dtype
+            )
+        self.ln_mlp = LayerNorm(hidden, dtype=dtype)
+        self.mlp = MLP(hidden, ffn_hidden=ffn_hidden, dropout=dropout, rng=rng, dtype=dtype)
+
+    def forward(self, x: Tensor, context: Optional[Tensor] = None) -> Tensor:
+        x = x + self.attn(self.ln_attn(x))
+        if self.cross_attention:
+            if context is None:
+                raise ValueError("cross-attention layer requires encoder context")
+            x = x + self.cross_attn(self.ln_cross(x), context=context)
+        x = x + self.mlp(self.ln_mlp(x))
+        return x
+
+    def __repr__(self) -> str:
+        kind = "decoder" if self.causal else "encoder"
+        cross = "+cross" if self.cross_attention else ""
+        return f"TransformerLayer({self.hidden}, {kind}{cross})"

@@ -1,0 +1,12 @@
+"""Optimizers.
+
+The paper's evaluation uses SGD (to shrink optimizer state on 40 GB A100s,
+Sec. IV-A); Adam is provided for completeness and for the optimizer-state
+terms of the memory model.  Optimizer state is charged to the OPTIMIZER
+memory tag so its footprint is visible in ledger snapshots.
+"""
+
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam
+
+__all__ = ["SGD", "Adam"]

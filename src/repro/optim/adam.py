@@ -1,0 +1,75 @@
+"""Adam optimizer (two FP32 state tensors per parameter)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.device.memory import MemoryTag
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class Adam:
+    """Adam with bias correction.
+
+    Keeps first/second-moment buffers in FP32 charged to the OPTIMIZER tag,
+    so ledger snapshots reflect the 8-bytes-per-parameter state the paper's
+    memory budget discussion assumes for Adam-based training.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: Tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m: Dict[int, Tensor] = {}
+        self._v: Dict[int, Tensor] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bc1 = 1.0 - self.beta1**t
+        bc2 = 1.0 - self.beta2**t
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad.data.astype(np.float32)
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data.astype(np.float32)
+            key = id(p)
+            if key not in self._m:
+                self._m[key] = Tensor(
+                    np.zeros(p.shape, dtype=np.float32),
+                    device=p.device,
+                    tag=MemoryTag.OPTIMIZER,
+                )
+                self._v[key] = Tensor(
+                    np.zeros(p.shape, dtype=np.float32),
+                    device=p.device,
+                    tag=MemoryTag.OPTIMIZER,
+                )
+            m, v = self._m[key], self._v[key]
+            m.data *= self.beta1
+            m.data += (1 - self.beta1) * grad
+            v.data *= self.beta2
+            v.data += (1 - self.beta2) * grad * grad
+            update = (m.data / bc1) / (np.sqrt(v.data / bc2) + self.eps)
+            p.data -= (self.lr * update).astype(p.dtype)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None

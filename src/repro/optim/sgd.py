@@ -1,0 +1,66 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.device.memory import MemoryTag
+from repro.tensor.storage import is_gpu
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class SGD:
+    """SGD optimizer.
+
+    Args:
+        params: parameters to optimize.
+        lr: learning rate.
+        momentum: momentum factor; 0 disables the velocity buffers (and
+            their optimizer-state memory).
+        weight_decay: L2 penalty coefficient.
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive: {lr}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, Tensor] = {}
+
+    def step(self) -> None:
+        """Apply one update to every parameter with a gradient."""
+        for p in self.params:
+            if p.grad is None:
+                continue
+            grad = p.grad.data
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                key = id(p)
+                if key not in self._velocity:
+                    self._velocity[key] = Tensor(
+                        np.zeros_like(p.data),
+                        device=p.device,
+                        tag=MemoryTag.OPTIMIZER,
+                    )
+                vel = self._velocity[key]
+                vel.data *= self.momentum
+                vel.data += grad
+                grad = vel.data
+            p.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None

@@ -1,0 +1,453 @@
+"""Step-level discrete-event simulation of the three placement strategies.
+
+A model is lowered to a list of :class:`SegmentSpec` (embedding segment,
+one per transformer layer, LM-head segment).  The simulator plays one
+training step over three serial resources — the GPU compute stream, the
+SSD store channel, and the SSD load channel (the two thread pools of
+Sec. III-C2) — making offload decisions with the *same*
+:class:`~repro.core.policy.OffloadPolicy` the functional tensor cache uses:
+
+- forward: at each segment's completion its activations are packed; kept
+  tensors stay resident until their backward; offloaded tensors enqueue on
+  the store channel and release memory when the store completes;
+- backward: loads are issued in reverse order with a bounded segment
+  look-ahead; a segment's backward stalls the GPU if its activations are
+  not resident yet (this is where a slow SSD shows up as overhead);
+- data forwarding: if the store is still in flight when the tensor is
+  needed, the in-memory reference is adopted — no load, memory never
+  released in between;
+- recompute: only segment inputs are kept; backward replays the forward
+  (executed FLOPs grow, algorithmic FLOPs do not).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.perf_model import (
+    ActivationTensor,
+    embedding_activation_bytes,
+    layer_forward_flops,
+    logits_activation_bytes,
+    model_param_count,
+    transformer_layer_perf,
+    weight_update_time,
+)
+from repro.core.policy import Decision, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
+from repro.models.config import ModelConfig
+from repro.sim.timeline import Timeline
+from repro.train.parallel import ParallelismConfig
+from repro.train.trainer import PlacementStrategy
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One schedulable forward/backward unit (a "module" of Fig. 2)."""
+
+    name: str
+    forward_time_s: float
+    backward_time_s: float
+    forward_flops: float
+    activations: Tuple[ActivationTensor, ...]
+    #: bytes of the segment *input*, what recomputation keeps resident.
+    input_bytes: int
+
+    @property
+    def activation_bytes(self) -> int:
+        return sum(t.nbytes for t in self.activations)
+
+
+@dataclass
+class SimResult:
+    """Outputs of one simulated training step."""
+
+    strategy: PlacementStrategy
+    step_time_s: float
+    forward_time_s: float
+    backward_time_s: float
+    weight_update_time_s: float
+    io_stall_time_s: float
+    activation_peak_bytes: int
+    offloaded_bytes: int
+    loaded_bytes: int
+    forwarded_bytes: int
+    algorithmic_flops: float
+    executed_flops: float
+    timeline: Timeline = field(repr=False, default_factory=Timeline)
+
+    def model_throughput_tflops(self) -> float:
+        return self.algorithmic_flops / self.step_time_s / 1e12
+
+    def required_write_bandwidth_gbps(self) -> float:
+        """Table III row 3: offloaded bytes over half the step time."""
+        return self.offloaded_bytes / (self.step_time_s / 2.0) / 1e9
+
+
+def build_segments(
+    config: ModelConfig,
+    batch: int,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    parallelism: Optional[ParallelismConfig] = None,
+    timing: Optional[KernelTimingModel] = None,
+) -> List[SegmentSpec]:
+    """Lower a model config to its forward segment list."""
+    par = parallelism if parallelism is not None else ParallelismConfig()
+    model = timing if timing is not None else KernelTimingModel(gpu)
+    dt = config.dtype_bytes
+    bsh_bytes = batch * config.seq_len * config.hidden * dt
+    segments: List[SegmentSpec] = []
+
+    emb_bytes = embedding_activation_bytes(config, batch)
+    emb_flops = 2.0 * batch * config.seq_len * config.hidden  # lookups+add
+    emb_time = model.kernel_time(emb_flops, 2 * emb_bytes, batch_size=batch)
+    segments.append(
+        SegmentSpec(
+            name="embed",
+            forward_time_s=emb_time,
+            backward_time_s=2 * emb_time,
+            forward_flops=emb_flops,
+            activations=(ActivationTensor("emb_out", emb_bytes),),
+            input_bytes=batch * config.seq_len * 8,  # token ids (int64)
+        )
+    )
+
+    num_cross = config.num_decoder_layers if config.arch == "t5" else 0
+    num_plain = config.num_layers - num_cross
+    plain_perf = transformer_layer_perf(config, batch, gpu, par, model)
+    for i in range(num_plain):
+        segments.append(
+            SegmentSpec(
+                name=f"layer{i}",
+                forward_time_s=plain_perf.forward_time_s,
+                backward_time_s=plain_perf.backward_time_s,
+                forward_flops=plain_perf.forward_flops,
+                activations=plain_perf.inventory,
+                input_bytes=bsh_bytes,
+            )
+        )
+    if num_cross:
+        cross_perf = transformer_layer_perf(
+            config, batch, gpu, par, model, cross_attention=True
+        )
+        for i in range(num_cross):
+            segments.append(
+                SegmentSpec(
+                    name=f"declayer{i}",
+                    forward_time_s=cross_perf.forward_time_s,
+                    backward_time_s=cross_perf.backward_time_s,
+                    forward_flops=cross_perf.forward_flops,
+                    activations=cross_perf.inventory,
+                    input_bytes=bsh_bytes,
+                )
+            )
+
+    head_bytes = logits_activation_bytes(config, batch)
+    head_flops = 2.0 * batch * config.seq_len * config.hidden * config.vocab_size / par.tp
+    head_time = model.kernel_time(head_flops, head_bytes, batch_size=batch)
+    segments.append(
+        SegmentSpec(
+            name="head",
+            forward_time_s=head_time,
+            backward_time_s=2 * head_time,
+            forward_flops=head_flops,
+            activations=(ActivationTensor("logits", head_bytes),),
+            input_bytes=bsh_bytes,
+        )
+    )
+    return segments
+
+
+class StepSimulator:
+    """Simulates one training step for a segment list and a strategy."""
+
+    def __init__(
+        self,
+        segments: List[SegmentSpec],
+        strategy: PlacementStrategy,
+        write_bandwidth: float,
+        read_bandwidth: float,
+        policy: Optional[OffloadPolicy] = None,
+        num_microbatches: int = 1,
+        prefetch_segments: int = 2,
+        keep_last_segments: int = 2,
+        prefetch_budget_bytes: Optional[int] = None,
+        recompute_workspace_factor: float = 2.0,
+        io_latency_s: float = 20e-6,
+        dtype_bytes: int = 2,
+    ) -> None:
+        if write_bandwidth <= 0 or read_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if num_microbatches < 1:
+            raise ValueError("num_microbatches must be >= 1")
+        self.segments = segments
+        self.strategy = strategy
+        self.write_bw = write_bandwidth
+        self.read_bw = read_bandwidth
+        self.policy = policy if policy is not None else OffloadPolicy()
+        self.num_microbatches = num_microbatches
+        self.prefetch_segments = prefetch_segments
+        # Fig. 2 marker 4: the last module's backward begins immediately
+        # after its forward, so its activations are kept (the functional
+        # cache keeps the final top-level segment; pass 2 to also keep the
+        # final transformer layer as in the Fig. 2 sketch).
+        self.keep_last_segments = keep_last_segments
+        # Recomputation transient: the recomputed activations coexist with
+        # the gradient buffers of the segment's backward.
+        self.recompute_workspace_factor = recompute_workspace_factor
+        # Bound on prefetched-but-unconsumed bytes, the simulator analogue
+        # of the tensor cache's bounded look-ahead window: a prefetch may
+        # run ahead of consumption by at most this many bytes.  Defaults to
+        # half the largest segment's activation footprint (the adaptive
+        # sizing scales the window with the workload).
+        if prefetch_budget_bytes is None:
+            prefetch_budget_bytes = max(s.activation_bytes for s in segments) // 2
+        self.prefetch_budget_bytes = prefetch_budget_bytes
+        self.io_latency_s = io_latency_s
+        self.dtype_bytes = dtype_bytes
+
+    def run(self, weight_update_s: float = 0.0) -> SimResult:
+        timeline = Timeline()
+        accounting = StepAccounting()
+        gpu_t = 0.0
+        store_t = 0.0
+        load_t = 0.0
+        io_stall = 0.0
+        offloaded = loaded = forwarded = 0
+        alg_flops = exec_flops = 0.0
+        fwd_total = bwd_total = 0.0
+
+        keep_last = self.policy.config.keep_last_module
+
+        for mb in range(self.num_microbatches):
+            # ------------------------------------------------------ forward
+            # store_end[i][j]: completion time of activation j of segment i
+            # (None = kept resident).
+            store_end: List[List[Optional[float]]] = []
+            freed_at_store: List[List[bool]] = []
+            for si, seg in enumerate(self.segments):
+                seg_start = gpu_t
+                gpu_t += seg.forward_time_s
+                fwd_total += seg.forward_time_s
+                alg_flops += seg.forward_flops
+                exec_flops += seg.forward_flops
+                timeline.record("gpu", f"F{si}", seg_start, gpu_t)
+                ends: List[Optional[float]] = []
+                freed: List[bool] = []
+                in_keep_scope = (
+                    keep_last
+                    and si >= len(self.segments) - self.keep_last_segments
+                )
+
+                if self.strategy is PlacementStrategy.RECOMPUTE and si > 0:
+                    # Only the segment input survives; approximate it as one
+                    # resident tensor per segment (freed after backward).
+                    timeline.alloc(seg_start, seg.input_bytes)
+                    store_end.append([None] * len(seg.activations))
+                    freed_at_store.append([False] * len(seg.activations))
+                    continue
+
+                count = len(seg.activations)
+                for aj, act in enumerate(seg.activations):
+                    # Tensors are produced progressively as the segment's
+                    # ops finish; offloading "starts once the operator
+                    # producing it finishes" (Fig. 2 marker 1).
+                    produced = seg_start + (aj + 1) / count * seg.forward_time_s
+                    timeline.alloc(produced, act.nbytes)
+                    if self.strategy is not PlacementStrategy.OFFLOAD:
+                        ends.append(None)
+                        freed.append(False)
+                        continue
+                    decision = self.policy.decide(
+                        is_weight=False,
+                        is_cpu=False,
+                        numel=act.nbytes // self.dtype_bytes,
+                        nbytes=act.nbytes,
+                        in_backward=False,
+                        in_keep_scope=in_keep_scope,
+                        accounting=accounting,
+                    )
+                    if decision is Decision.OFFLOAD:
+                        start = max(store_t, produced)
+                        done = start + self.io_latency_s + act.nbytes / self.write_bw
+                        store_t = done
+                        timeline.record("store", f"s{si}", start, done)
+                        accounting.offloaded_bytes += act.nbytes
+                        offloaded += act.nbytes
+                        ends.append(done)
+                        freed.append(True)
+                        timeline.free(done, act.nbytes)
+                    else:
+                        accounting.kept_bytes += act.nbytes
+                        ends.append(None)
+                        freed.append(False)
+                store_end.append(ends)
+                freed_at_store.append(freed)
+
+            # ----------------------------------------------------- backward
+            n = len(self.segments)
+            load_end: Dict[Tuple[int, int], float] = {}
+            bwd_start_of: List[Optional[float]] = [None] * n
+
+            def issue_loads(
+                si: int,
+                trigger: float,
+                credit_state: Optional[List[float]] = None,
+                consumption_rate: float = 0.0,
+                deadline_window_s: float = 0.0,
+            ) -> None:
+                """Issue loads for segment ``si``'s activations.
+
+                ``credit_state`` is a one-element list holding the
+                cumulative prefetched bytes of this backward entry; loads
+                beyond ``prefetch_budget_bytes`` wait until consumption of
+                the current segment (at ``consumption_rate`` bytes/s) has
+                earned them credit.
+                """
+                nonlocal load_t, loaded, forwarded, io_stall
+                seg = self.segments[si]
+                for aj in range(len(seg.activations) - 1, -1, -1):
+                    # Consumption is last-produced-first, so load in
+                    # reverse production order.
+                    act = seg.activations[aj]
+                    if (si, aj) in load_end:
+                        continue
+                    paced_trigger = trigger
+                    if credit_state is not None:
+                        overdraft = credit_state[0] + act.nbytes - self.prefetch_budget_bytes
+                        if overdraft > 0 and consumption_rate > 0:
+                            paced_trigger = trigger + overdraft / consumption_rate
+                        credit_state[0] += act.nbytes
+                        # Never let the budget push a load past its need
+                        # time: it must complete before the consuming
+                        # segment's backward begins (deadline - duration).
+                        load_duration = self.io_latency_s + act.nbytes / self.read_bw
+                        deadline_start = trigger + deadline_window_s - 1.2 * load_duration
+                        paced_trigger = max(trigger, min(paced_trigger, deadline_start))
+                    end = store_end[si][aj]
+                    if end is None:
+                        load_end[(si, aj)] = trigger  # resident (kept)
+                        continue
+                    if end > paced_trigger and not freed_at_store[si][aj]:
+                        load_end[(si, aj)] = end
+                        continue
+                    if end > paced_trigger:
+                        # Store still in flight at prefetch time: data
+                        # forwarding — adopt the in-memory copy, cancel the
+                        # free that the store completion would have done.
+                        forwarded += act.nbytes
+                        timeline.alloc(end, act.nbytes)  # undo the free
+                        load_end[(si, aj)] = paced_trigger
+                        continue
+                    start = max(load_t, end, paced_trigger)
+                    done = start + self.io_latency_s + act.nbytes / self.read_bw
+                    load_t = done
+                    timeline.record("load", f"l{si}", start, done)
+                    timeline.alloc(start, act.nbytes)
+                    loaded += act.nbytes
+                    load_end[(si, aj)] = done
+
+            for si in range(n - 1, -1, -1):
+                seg = self.segments[si]
+                # Entering segment si's backward triggers prefetch of the
+                # next ``prefetch_segments`` segments (Sec. III-C2); the
+                # byte budget is earned back as this segment's backward
+                # consumes its own activations.
+                issue_loads(si, gpu_t)
+                credit = [0.0]
+                rate = (
+                    seg.activation_bytes / seg.backward_time_s
+                    if seg.backward_time_s > 0
+                    else 0.0
+                )
+                for ahead in range(1, self.prefetch_segments + 1):
+                    if si - ahead >= 0:
+                        issue_loads(
+                            si - ahead,
+                            gpu_t,
+                            credit_state=credit,
+                            consumption_rate=rate,
+                            deadline_window_s=ahead * seg.backward_time_s,
+                        )
+
+                if self.strategy is PlacementStrategy.RECOMPUTE and si > 0:
+                    # Replay forward, then backward.
+                    start = gpu_t
+                    recompute_peak = int(
+                        self.recompute_workspace_factor
+                        * sum(a.nbytes for a in seg.activations)
+                    )
+                    timeline.alloc(start, recompute_peak)
+                    gpu_t = start + seg.forward_time_s + seg.backward_time_s
+                    exec_flops += seg.forward_flops
+                    timeline.record("gpu", f"R{si}", start, start + seg.forward_time_s)
+                    timeline.record("gpu", f"B{si}", start + seg.forward_time_s, gpu_t)
+                    timeline.free(gpu_t, recompute_peak + seg.input_bytes)
+                else:
+                    ready = max(
+                        [gpu_t]
+                        + [load_end[(si, aj)] for aj in range(len(seg.activations))]
+                    )
+                    io_stall += ready - gpu_t
+                    start = ready
+                    gpu_t = start + seg.backward_time_s
+                    timeline.record("gpu", f"B{si}", start, gpu_t)
+                    # Backward consumes the segment's saved tensors
+                    # progressively (last-produced first); each is released
+                    # as its consuming node finishes (SavedTensor.clear +
+                    # scope exit in the functional cache).
+                    count = len(seg.activations)
+                    for aj, act in enumerate(seg.activations):
+                        frac = (count - aj) / count
+                        timeline.free(start + frac * seg.backward_time_s, act.nbytes)
+                bwd_total += gpu_t - start
+                alg_flops += 2 * seg.forward_flops
+                exec_flops += 2 * seg.forward_flops
+
+        step_time = gpu_t + weight_update_s
+        return SimResult(
+            strategy=self.strategy,
+            step_time_s=step_time,
+            forward_time_s=fwd_total,
+            backward_time_s=bwd_total,
+            weight_update_time_s=weight_update_s,
+            io_stall_time_s=io_stall,
+            activation_peak_bytes=timeline.memory_peak(),
+            offloaded_bytes=offloaded,
+            loaded_bytes=loaded,
+            forwarded_bytes=forwarded,
+            algorithmic_flops=alg_flops,
+            executed_flops=exec_flops,
+            timeline=timeline,
+        )
+
+
+def simulate_strategy(
+    config: ModelConfig,
+    batch: int,
+    strategy: PlacementStrategy,
+    write_bandwidth: float,
+    read_bandwidth: float,
+    gpu: GPUSpec = A100_PCIE_40GB,
+    parallelism: Optional[ParallelismConfig] = None,
+    policy: Optional[OffloadPolicy] = None,
+    num_microbatches: int = 1,
+    timing: Optional[KernelTimingModel] = None,
+) -> SimResult:
+    """Convenience wrapper: build segments, add weight-update time, run."""
+    par = parallelism if parallelism is not None else ParallelismConfig()
+    segments = build_segments(config, batch, gpu, par, timing)
+    params_per_gpu = par.params_per_gpu(model_param_count(config))
+    update = weight_update_time(params_per_gpu, gpu, dtype_bytes=config.dtype_bytes)
+    sim = StepSimulator(
+        segments,
+        strategy,
+        write_bandwidth=write_bandwidth,
+        read_bandwidth=read_bandwidth,
+        policy=policy,
+        num_microbatches=num_microbatches,
+        dtype_bytes=config.dtype_bytes,
+    )
+    return sim.run(weight_update_s=update)

@@ -1,0 +1,78 @@
+"""Timeline recording for the simulator (renders Fig. 2-style traces)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One box on a resource lane."""
+
+    lane: str        # "gpu" | "store" | "load"
+    label: str       # e.g. "F L2 mb0" or "store L2.fc_in_out"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Collects events and memory deltas; computes peaks and renders ASCII."""
+
+    def __init__(self) -> None:
+        self.events: List[TimelineEvent] = []
+        self._memory_deltas: List[Tuple[float, int]] = []
+
+    def record(self, lane: str, label: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"event ends before it starts: {label}")
+        self.events.append(TimelineEvent(lane, label, start, end))
+
+    def alloc(self, t: float, nbytes: int) -> None:
+        self._memory_deltas.append((t, nbytes))
+
+    def free(self, t: float, nbytes: int) -> None:
+        self._memory_deltas.append((t, -nbytes))
+
+    def memory_peak(self) -> int:
+        """Peak concurrent bytes over the recorded deltas."""
+        current = 0
+        peak = 0
+        # Frees at the same instant as allocations settle first so a
+        # back-to-back free/alloc at time t is not double-counted.
+        for _, delta in sorted(self._memory_deltas, key=lambda e: (e[0], e[1])):
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    def lane_busy_time(self, lane: str) -> float:
+        return sum(e.duration for e in self.events if e.lane == lane)
+
+    def end_time(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events)
+
+    def render_ascii(self, width: int = 100, lanes: Optional[List[str]] = None) -> str:
+        """A Fig. 2-style lane chart (one character ~ total/width seconds)."""
+        if not self.events:
+            return "(empty timeline)"
+        total = self.end_time()
+        lane_names = lanes if lanes is not None else sorted({e.lane for e in self.events})
+        rows = []
+        for lane in lane_names:
+            row = [" "] * width
+            for event in self.events:
+                if event.lane != lane:
+                    continue
+                lo = min(width - 1, int(event.start / total * width))
+                hi = min(width, max(lo + 1, int(event.end / total * width)))
+                mark = event.label[0] if event.label else "#"
+                for i in range(lo, hi):
+                    row[i] = mark
+            rows.append(f"{lane:>6} |{''.join(row)}|")
+        return "\n".join(rows)

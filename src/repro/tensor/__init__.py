@@ -1,0 +1,44 @@
+"""A numpy-backed tensor/autograd engine mirroring the PyTorch semantics
+that SSDTrain's tensor cache relies on.
+
+The engine reproduces, faithfully enough for the paper's mechanism to work
+unchanged:
+
+- **storages**: a :class:`~repro.tensor.storage.UntypedStorage` is shared by
+  views/transposes of the same data and carries a metadata dict.  SSDTrain's
+  ``get_id()`` stamps its timestamp on the *storage*, which is why a weight
+  and its transpose deduplicate to one identifier (Sec. III-C1).
+- **saved-tensor pack/unpack hooks**: every tensor an operator saves for
+  backward passes through the active pack hook, and the object it returns is
+  what the graph holds; the unpack hook must hand the tensor back at
+  backward time (Alg. 1).
+- **module forward/backward hook pairs**: used by the cache to maintain the
+  scope stack and to trigger prefetching (Sec. III-B).
+- **prompt memory release**: the graph holds *packed objects*, not tensors;
+  once the pack hook returns an identifier and the store completes, Python
+  reference counting frees the GPU buffer — exactly the mechanism the paper
+  describes.
+"""
+
+from repro.tensor.storage import Device, UntypedStorage, cpu
+from repro.tensor.tensor import Parameter, Tensor, no_grad, tensor
+from repro.tensor.function import Function, FunctionContext
+from repro.tensor.saved_tensors import saved_tensors_hooks
+from repro.tensor.module import Module, ModuleList
+from repro.tensor import ops
+
+__all__ = [
+    "Device",
+    "UntypedStorage",
+    "cpu",
+    "Tensor",
+    "Parameter",
+    "tensor",
+    "no_grad",
+    "Function",
+    "FunctionContext",
+    "saved_tensors_hooks",
+    "Module",
+    "ModuleList",
+    "ops",
+]

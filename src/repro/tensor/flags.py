@@ -1,0 +1,62 @@
+"""Thread-local execution flags for the autograd engine.
+
+Three flags matter to the reproduction:
+
+- ``grad_enabled`` — whether ops record autograd nodes (``no_grad``).
+- ``in_backward`` — set while the backward engine runs.  Activation
+  checkpointing re-executes forward code *inside* backward; SSDTrain's pack
+  hook consults this to keep recomputed activations in memory instead of
+  offloading them again (Alg. 1 line 5, second condition).
+- ``recompute_mode`` — set during checkpoint recomputation so FLOPs are
+  counted as executed but *not* algorithmic (the Fig. 7 model-throughput
+  definition excludes recomputation).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+_state = threading.local()
+
+
+def _get(name: str, default: bool) -> bool:
+    return getattr(_state, name, default)
+
+
+def grad_enabled() -> bool:
+    return _get("grad_enabled", True)
+
+
+def in_backward() -> bool:
+    return _get("in_backward", False)
+
+
+def recompute_mode() -> bool:
+    return _get("recompute_mode", False)
+
+
+@contextlib.contextmanager
+def set_flag(name: str, value: bool):
+    """Temporarily set a thread-local flag."""
+    old = _get(name, {"grad_enabled": True}.get(name, False))
+    setattr(_state, name, value)
+    try:
+        yield
+    finally:
+        setattr(_state, name, old)
+
+
+def no_grad():
+    """Context manager disabling graph construction."""
+    return set_flag("grad_enabled", False)
+
+
+def backward_running():
+    """Context manager marking backward execution (engine-internal)."""
+    return set_flag("in_backward", True)
+
+
+def recompute_region():
+    """Context manager marking checkpoint recomputation."""
+    return set_flag("recompute_mode", True)

@@ -1,0 +1,271 @@
+"""Autograd functions, graph nodes, and the backward engine.
+
+The graph layout follows PyTorch: nodes reference *parent nodes* (edges),
+never input tensors, and saved activations live on the node's context only
+as :class:`~repro.tensor.saved_tensors.SavedTensor` slots.  Consequently an
+intermediate activation is kept alive solely by the packed object the pack
+hook returned — drop that (SSDTrain replaces it with a string identifier)
+and the buffer is reclaimed by reference counting.
+
+After a node's backward executes, its context is released (``retain_graph``
+is not supported; LLM training never retains graphs), so prefetched
+activations are likewise freed as backward sweeps through the layers.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor import flags
+from repro.tensor.saved_tensors import SavedTensor
+
+
+class FunctionContext:
+    """Per-application context: saved tensors plus arbitrary attributes.
+
+    Ops stash non-tensor metadata (shapes, axes, scalars) as plain
+    attributes; tensors needed in backward go through
+    :meth:`save_for_backward`, which routes them through the active
+    saved-tensor pack hook.
+    """
+
+    def __init__(self) -> None:
+        self._saved: Optional[List[SavedTensor]] = None
+        self._released = False
+
+    def save_for_backward(self, *tensors: Any) -> None:
+        if self._saved is not None:
+            raise RuntimeError("save_for_backward called twice in one forward")
+        self._saved = [SavedTensor(t) for t in tensors]
+
+    @property
+    def saved_tensors(self) -> Tuple[Any, ...]:
+        if self._released:
+            raise RuntimeError(
+                "saved tensors already freed: backward ran once and "
+                "retain_graph semantics are not supported"
+            )
+        if self._saved is None:
+            return ()
+        return tuple(slot.unpack() for slot in self._saved)
+
+    def release(self) -> None:
+        """Drop saved tensors after backward has consumed them."""
+        if self._saved is not None:
+            for slot in self._saved:
+                slot.clear()
+            self._saved = None
+        self._released = True
+
+
+class BackwardNode:
+    """A node of the backward graph (single tensor output).
+
+    Attributes:
+        ctx: the forward context with saved tensors.
+        next_edges: parent nodes aligned with the forward inputs; ``None``
+            for inputs that do not require grad.
+        pre_callbacks / post_callbacks: fired immediately before/after this
+            node's backward runs.  Module backward hooks (and therefore the
+            tensor cache's backward scope tracking and prefetch triggers)
+            are implemented with these.
+    """
+
+    __slots__ = (
+        "fn_cls",
+        "ctx",
+        "next_edges",
+        "pre_callbacks",
+        "post_callbacks",
+        "name",
+        "__weakref__",
+    )
+
+    def __init__(self, fn_cls: type, ctx: FunctionContext, next_edges: Sequence[Optional["BackwardNode"]]) -> None:
+        self.fn_cls = fn_cls
+        self.ctx = ctx
+        self.next_edges: List[Optional[BackwardNode]] = list(next_edges)
+        self.pre_callbacks: List[Any] = []
+        self.post_callbacks: List[Any] = []
+        self.name = fn_cls.__name__
+
+    def run_backward(self, grad_output: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        for cb in self.pre_callbacks:
+            cb(grad_output)
+        grads = self.fn_cls.backward(self.ctx, grad_output)
+        if not isinstance(grads, tuple):
+            grads = (grads,)
+        for cb in self.post_callbacks:
+            cb(grads)
+        self.ctx.release()
+        return grads
+
+    def __repr__(self) -> str:
+        return f"<{self.name}Backward>"
+
+
+class AccumulateGrad(BackwardNode):
+    """Terminal node that accumulates the gradient of a leaf tensor.
+
+    Holds a strong reference to the leaf (weights are meant to stay
+    resident; SSDTrain explicitly excludes them from offloading).
+    """
+
+    __slots__ = ("variable",)
+
+    def __init__(self, variable: Any) -> None:
+        super().__init__(AccumulateGrad, FunctionContext(), [])
+        self.variable = variable
+        self.name = "AccumulateGrad"
+
+    def run_backward(self, grad_output: np.ndarray) -> Tuple[Optional[np.ndarray], ...]:
+        for cb in self.pre_callbacks:
+            cb(grad_output)
+        self.variable._accumulate_grad(grad_output)
+        for cb in self.post_callbacks:
+            cb(())
+        return ()
+
+
+class Function:
+    """Base class for differentiable ops.
+
+    Subclasses implement::
+
+        @staticmethod
+        def forward(ctx, *args) -> np.ndarray          # numpy in/out
+        @staticmethod
+        def backward(ctx, grad_output) -> tuple        # grads per input
+
+    ``apply`` handles tensor unwrapping, device/FLOP bookkeeping, and graph
+    construction.  Inputs may be Tensors or plain Python values; gradients
+    are produced only for Tensor inputs that require grad.
+    """
+
+    @staticmethod
+    def forward(ctx: FunctionContext, *args: Any) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def backward(ctx: FunctionContext, grad_output: np.ndarray) -> Any:
+        raise NotImplementedError
+
+    #: FLOPs executed by one application, given the forward args; subclasses
+    #: override to feed the device counters.  Return (forward_flops,).
+    @staticmethod
+    def flops(*args: Any) -> float:
+        return 0.0
+
+    @classmethod
+    def apply(cls, *args: Any) -> "Any":
+        from repro.tensor.tensor import Tensor  # cycle: tensor imports ops
+
+        tensor_inputs = [a for a in args if isinstance(a, Tensor)]
+        if not tensor_inputs:
+            raise TypeError(f"{cls.__name__}.apply needs at least one Tensor input")
+        device = tensor_inputs[0].device
+        for t in tensor_inputs[1:]:
+            if t.device is not device:
+                raise RuntimeError(
+                    f"{cls.__name__}: inputs on different devices "
+                    f"({device} vs {t.device})"
+                )
+
+        ctx = FunctionContext()
+        out_data = cls.forward(ctx, *args)
+
+        fwd_flops = cls.flops(*args)
+        from repro.tensor.storage import is_gpu
+
+        if fwd_flops and is_gpu(device):
+            device.record_flops(fwd_flops, algorithmic=not flags.recompute_mode())
+
+        requires_grad = flags.grad_enabled() and any(
+            t.requires_grad for t in tensor_inputs
+        )
+        # View-producing ops (transpose, reshape of contiguous data) return
+        # arrays aliasing an input buffer.  The output tensor must share that
+        # input's storage: this is what makes a weight and its transpose
+        # deduplicate to one identifier in SSDTrain's get_id() scheme.
+        owner = None
+        for t in tensor_inputs:
+            buf = t.storage.data
+            if out_data is buf or out_data.base is buf:
+                owner = t.storage
+                break
+        if owner is not None:
+            out = Tensor(out_data, storage=owner, requires_grad=requires_grad)
+        else:
+            out = Tensor(out_data, device=device, requires_grad=requires_grad)
+        if requires_grad:
+            edges: List[Optional[BackwardNode]] = []
+            for a in args:
+                if isinstance(a, Tensor) and a.requires_grad:
+                    edges.append(a._grad_edge())
+                else:
+                    edges.append(None)
+            out.grad_fn = BackwardNode(cls, ctx, edges)
+        else:
+            ctx.release()
+        return out
+
+
+def run_backward(root_node: BackwardNode, grad: np.ndarray) -> None:
+    """Execute backward from ``root_node`` with seed gradient ``grad``.
+
+    Standard reverse topological traversal with gradient accumulation at
+    fan-in.  Runs under the ``in_backward`` flag so checkpoint recomputation
+    (and SSDTrain's pack hook) can detect backward context.
+    """
+    # Dependency counting: number of children (consumers) per node within
+    # the reachable graph, so a node runs only after all its output grads
+    # have arrived.
+    dependencies: Dict[int, int] = {}
+    nodes: Dict[int, BackwardNode] = {id(root_node): root_node}
+    stack = [root_node]
+    while stack:
+        node = stack.pop()
+        for parent in node.next_edges:
+            if parent is None:
+                continue
+            pid = id(parent)
+            dependencies[pid] = dependencies.get(pid, 0) + 1
+            if pid not in nodes:
+                nodes[pid] = parent
+                stack.append(parent)
+
+    pending_grads: Dict[int, np.ndarray] = {id(root_node): grad}
+    ready = [root_node]
+    with flags.backward_running():
+        while ready:
+            node = ready.pop()
+            grad_output = pending_grads.pop(id(node))
+            input_grads = node.run_backward(grad_output)
+            if len(input_grads) < len(node.next_edges):
+                raise RuntimeError(
+                    f"{node.name}.backward returned {len(input_grads)} grads for "
+                    f"{len(node.next_edges)} inputs"
+                )
+            for parent, g in zip(node.next_edges, input_grads):
+                if parent is None:
+                    continue
+                pid = id(parent)
+                if g is None:
+                    # This edge contributes nothing; still consume the
+                    # dependency so the parent can fire.
+                    pass
+                elif pid in pending_grads:
+                    pending_grads[pid] = pending_grads[pid] + g
+                else:
+                    pending_grads[pid] = g
+                dependencies[pid] -= 1
+                if dependencies[pid] == 0:
+                    if pid not in pending_grads:
+                        pending_grads[pid] = None  # type: ignore[assignment]
+                    if pending_grads[pid] is not None:
+                        ready.append(parent)
+                    else:
+                        pending_grads.pop(pid)

@@ -1,0 +1,248 @@
+"""Module system with the four hook kinds SSDTrain uses (Sec. III-B).
+
+- *forward pre hook* — fires at module entry during forward propagation;
+  the tensor cache pushes the module onto its scope stack.
+- *forward hook* — fires at module exit during forward; the cache pops the
+  scope stack.
+- *full backward pre hook* — fires when backward propagation **enters** the
+  module (gradient reaches the module outputs); the cache prefetches the
+  activations of upcoming (earlier) modules here.
+- *full backward hook* — fires when backward **exits** the module (gradients
+  w.r.t. the module inputs are done); the cache removes the module from all
+  activations' scope lists, releasing tensors no longer in use.
+
+Backward hooks are implemented the way PyTorch implements them: identity
+*boundary nodes* are spliced around the module's subgraph — one on the
+outputs (entry detection) and one on the inputs (exit detection).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import flags
+from repro.tensor.function import Function, FunctionContext
+from repro.tensor.storage import Device, cpu
+from repro.tensor.tensor import Parameter, Tensor
+
+_hook_ids = itertools.count()
+
+
+class RemovableHandle:
+    """Deregistration handle returned by ``register_*_hook``."""
+
+    def __init__(self, registry: Dict[int, Callable]) -> None:
+        self.hook_id = next(_hook_ids)
+        self._registry = registry
+
+    def remove(self) -> None:
+        self._registry.pop(self.hook_id, None)
+
+
+class _Boundary(Function):
+    """Identity op used to observe gradient flow at module boundaries."""
+
+    @staticmethod
+    def forward(ctx: FunctionContext, a: Tensor) -> np.ndarray:
+        return a.data  # alias: output shares the input storage
+
+    @staticmethod
+    def backward(ctx: FunctionContext, grad: np.ndarray):
+        return grad
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        self._forward_pre_hooks: Dict[int, Callable] = {}
+        self._forward_hooks: Dict[int, Callable] = {}
+        self._backward_pre_hooks: Dict[int, Callable] = {}
+        self._backward_hooks: Dict[int, Callable] = {}
+        self.training = True
+
+    # ---------------------------------------------------------- registration
+    def __setattr__(self, name: str, value: Any) -> None:
+        params = self.__dict__.get("_parameters")
+        modules = self.__dict__.get("_modules")
+        if isinstance(value, Parameter) and params is not None:
+            params[name] = value
+        elif isinstance(value, Module) and modules is not None:
+            modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # --------------------------------------------------------------- queries
+    def parameters(self, recurse: bool = True) -> Iterator[Parameter]:
+        for _, p in self.named_parameters(recurse=recurse):
+            yield p
+
+    def named_parameters(self, prefix: str = "", recurse: bool = True) -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        if recurse:
+            for mod_name, module in self._modules.items():
+                yield from module.named_parameters(prefix=f"{prefix}{mod_name}.", recurse=True)
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield (prefix or "root", self)
+        for name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{name}." if prefix else name)
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    # ------------------------------------------------------------------ mode
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def to(self, device: Device) -> "Module":
+        """Move all parameters to ``device`` in place."""
+        for holder in self.modules():
+            for name, p in list(holder._parameters.items()):
+                if p.device is not device:
+                    moved = Parameter(np.array(p.data, copy=True), device=device)
+                    holder._parameters[name] = moved
+                    object.__setattr__(holder, name, moved)
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.numel for p in self.parameters())
+
+    # ----------------------------------------------------------------- hooks
+    def register_forward_pre_hook(self, hook: Callable) -> RemovableHandle:
+        """``hook(module, inputs)`` fired before ``forward``."""
+        handle = RemovableHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.hook_id] = hook
+        return handle
+
+    def register_forward_hook(self, hook: Callable) -> RemovableHandle:
+        """``hook(module, inputs, output)`` fired after ``forward``."""
+        handle = RemovableHandle(self._forward_hooks)
+        self._forward_hooks[handle.hook_id] = hook
+        return handle
+
+    def register_full_backward_pre_hook(self, hook: Callable) -> RemovableHandle:
+        """``hook(module, grad_output)`` fired when backward enters the module."""
+        handle = RemovableHandle(self._backward_pre_hooks)
+        self._backward_pre_hooks[handle.hook_id] = hook
+        return handle
+
+    def register_full_backward_hook(self, hook: Callable) -> RemovableHandle:
+        """``hook(module, grad_input)`` fired when backward exits the module."""
+        handle = RemovableHandle(self._backward_hooks)
+        self._backward_hooks[handle.hook_id] = hook
+        return handle
+
+    # ------------------------------------------------------------------ call
+    def forward(self, *args: Any, **kwargs: Any) -> Any:
+        raise NotImplementedError
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        for hook in list(self._forward_pre_hooks.values()):
+            hook(self, args)
+
+        need_boundaries = flags.grad_enabled() and (
+            self._backward_pre_hooks or self._backward_hooks
+        )
+
+        if need_boundaries and self._backward_hooks:
+            exit_fired = [False]
+
+            def on_exit(grad: np.ndarray, _module: "Module" = self) -> None:
+                if not exit_fired[0]:
+                    exit_fired[0] = True
+                    for hook in list(_module._backward_hooks.values()):
+                        hook(_module, grad)
+
+            args = tuple(
+                self._wrap_boundary(a, on_exit) if _needs_boundary(a) else a
+                for a in args
+            )
+
+        output = self.forward(*args, **kwargs)
+
+        if need_boundaries and self._backward_pre_hooks:
+            entry_fired = [False]
+
+            def on_entry(grad: np.ndarray, _module: "Module" = self) -> None:
+                if not entry_fired[0]:
+                    entry_fired[0] = True
+                    for hook in list(_module._backward_pre_hooks.values()):
+                        hook(_module, grad)
+
+            if isinstance(output, Tensor):
+                output = self._wrap_boundary(output, on_entry, pre=True)
+            elif isinstance(output, tuple):
+                output = tuple(
+                    self._wrap_boundary(o, on_entry, pre=True) if _needs_boundary(o) else o
+                    for o in output
+                )
+
+        for hook in list(self._forward_hooks.values()):
+            hook(self, args, output)
+        return output
+
+    @staticmethod
+    def _wrap_boundary(t: Tensor, callback: Callable, pre: bool = True) -> Tensor:
+        wrapped = _Boundary.apply(t)
+        if wrapped.grad_fn is not None:
+            # pre_callbacks fire before the (identity) backward runs, which
+            # is the earliest observable point of gradient arrival.
+            wrapped.grad_fn.pre_callbacks.append(callback)
+        return wrapped
+
+    def __repr__(self) -> str:
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"
+
+
+def _needs_boundary(value: Any) -> bool:
+    return isinstance(value, Tensor) and value.requires_grad
+
+
+class ModuleList(Module):
+    """An indexable list of sub-modules."""
+
+    def __init__(self, modules: Optional[Iterable[Module]] = None) -> None:
+        super().__init__()
+        self._list: List[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self._modules[str(len(self._list))] = module
+        self._list.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._list[index]
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._list)

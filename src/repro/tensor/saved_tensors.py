@@ -1,0 +1,106 @@
+"""Saved-tensor pack/unpack hooks (the PyTorch mechanism behind Alg. 1).
+
+When an autograd :class:`~repro.tensor.function.Function` saves a tensor for
+backward, the tensor is routed through the innermost active *pack hook*, and
+whatever the hook returns is what the computation graph actually holds.  At
+backward time the stored object is routed through the matching *unpack hook*
+to recover the tensor.
+
+SSDTrain's tensor cache is one big pack/unpack hook pair: pack offloads the
+activation and returns a lightweight identifier; unpack waits for the
+prefetch and returns the reloaded tensor (paper Alg. 1, Fig. 4).
+
+Hooks nest like PyTorch's ``torch.autograd.graph.saved_tensors_hooks``
+context manager: the innermost pair wins.  The hook stack is thread-local so
+that offloading threads never observe the training thread's hooks.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Tuple
+
+PackHook = Callable[[Any], Any]
+UnpackHook = Callable[[Any], Any]
+
+_state = threading.local()
+
+
+def _stack() -> List[Tuple[PackHook, UnpackHook]]:
+    if not hasattr(_state, "stack"):
+        _state.stack = []
+    return _state.stack
+
+
+class saved_tensors_hooks:
+    """Context manager installing a pack/unpack hook pair.
+
+    Example:
+        >>> with saved_tensors_hooks(pack, unpack):
+        ...     loss = model(batch)          # forward saves via pack
+        >>> loss.backward()                   # unpack runs lazily at use
+
+    Note that like PyTorch, the hooks must be installed while the *forward*
+    graph is built; the unpack hook captured at save time is the one used at
+    backward time even if the context has exited.
+    """
+
+    def __init__(self, pack_hook: PackHook, unpack_hook: UnpackHook) -> None:
+        if not callable(pack_hook) or not callable(unpack_hook):
+            raise TypeError("pack_hook and unpack_hook must be callable")
+        self.pack_hook = pack_hook
+        self.unpack_hook = unpack_hook
+
+    def __enter__(self) -> "saved_tensors_hooks":
+        _stack().append((self.pack_hook, self.unpack_hook))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        top = _stack().pop()
+        if top != (self.pack_hook, self.unpack_hook):
+            raise RuntimeError("saved_tensors_hooks exited out of order")
+
+
+def current_hooks() -> Tuple[PackHook, UnpackHook]:
+    """The innermost active hook pair, or identity hooks when none are set."""
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    return (lambda t: t, lambda obj: obj)
+
+
+class SavedTensor:
+    """A tensor slot on the computation graph.
+
+    Holds the *packed* representation plus the unpack hook captured at save
+    time.  ``unpack()`` is called exactly once per backward execution; after
+    the owning node's backward completes, :meth:`clear` drops the reference so
+    the (possibly reloaded) tensor can be garbage-collected promptly — the
+    release behaviour Sec. III-B describes.
+    """
+
+    __slots__ = ("_packed", "_unpack_hook", "_cleared")
+
+    def __init__(self, tensor: Any) -> None:
+        pack, unpack = current_hooks()
+        self._packed = pack(tensor)
+        self._unpack_hook = unpack
+        self._cleared = False
+
+    def unpack(self) -> Any:
+        if self._cleared:
+            raise RuntimeError(
+                "saved tensor accessed after its graph node was freed "
+                "(backward already ran; use retain_graph semantics if needed)"
+            )
+        return self._unpack_hook(self._packed)
+
+    @property
+    def packed(self) -> Any:
+        """The raw packed object (exposed for tests and diagnostics)."""
+        return self._packed
+
+    def clear(self) -> None:
+        self._packed = None
+        self._unpack_hook = None
+        self._cleared = True

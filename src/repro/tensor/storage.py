@@ -1,0 +1,104 @@
+"""Tensor storages with device placement and ledger-backed accounting.
+
+A storage owns a contiguous numpy buffer.  Multiple tensors (views,
+transposes) share one storage; SSDTrain's deduplication works because
+``get_id()`` attaches its identifier to the storage's ``metadata`` dict
+rather than to any particular tensor object.
+
+When the storage lives on a simulated GPU, its bytes are charged to the
+GPU's :class:`~repro.device.memory.MemoryLedger` on construction and
+released when the storage is garbage-collected — mirroring how the paper
+relies on Python GC to reclaim offloaded activations once no reference
+remains (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.device.gpu import GPU
+from repro.device.memory import MemoryTag
+
+
+class _CPUDevice:
+    """Singleton marker for host memory (not tracked by a ledger)."""
+
+    def __repr__(self) -> str:
+        return "device(cpu)"
+
+
+#: The host device.  GPU devices are :class:`repro.device.gpu.GPU` instances.
+cpu = _CPUDevice()
+
+Device = Union[_CPUDevice, GPU]
+
+
+def is_gpu(device: Device) -> bool:
+    """True when ``device`` is a (simulated) GPU."""
+    return isinstance(device, GPU)
+
+
+class UntypedStorage:
+    """A reference-counted buffer with device placement and metadata.
+
+    Attributes:
+        data: the underlying contiguous numpy array (1-D byte view is not
+            required; we keep the natural dtype for simplicity).
+        device: ``cpu`` or a :class:`GPU`.
+        tag: the memory-ledger tag the bytes are charged to.
+        metadata: free-form dict; SSDTrain's ``get_id()`` stores its
+            first-seen timestamp/shape here (Sec. III-C1).
+    """
+
+    __slots__ = ("data", "device", "tag", "metadata", "_released", "_lock", "__weakref__")
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        device: Device = cpu,
+        tag: MemoryTag = MemoryTag.ACTIVATIONS,
+    ) -> None:
+        if not isinstance(data, np.ndarray):
+            raise TypeError(f"storage requires a numpy array, got {type(data)}")
+        self.data = np.ascontiguousarray(data)
+        self.device = device
+        self.tag = tag
+        self.metadata: Dict[str, Any] = {}
+        self._released = False
+        self._lock = threading.Lock()
+        if is_gpu(device):
+            device.ledger.alloc(self.nbytes, tag)
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def release(self) -> None:
+        """Return the bytes to the ledger (idempotent).
+
+        Called from ``__del__``; may run on any thread, including SSDTrain's
+        offloading threads when they drop the last reference.
+        """
+        with self._lock:
+            if self._released:
+                return
+            self._released = True
+        if is_gpu(self.device):
+            self.device.ledger.free(self.nbytes, self.tag)
+
+    def __del__(self) -> None:
+        try:
+            self.release()
+        except Exception:
+            # Interpreter shutdown can tear down the ledger first; losing the
+            # final free is harmless there.
+            pass
+
+    def __repr__(self) -> str:
+        return (
+            f"UntypedStorage(nbytes={self.nbytes}, device={self.device}, "
+            f"tag={self.tag.value})"
+        )

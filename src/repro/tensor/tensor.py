@@ -1,0 +1,289 @@
+"""The Tensor type: numpy data + device placement + autograd metadata."""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.device.memory import MemoryTag
+from repro.tensor import flags
+from repro.tensor.function import AccumulateGrad, BackwardNode, run_backward
+from repro.tensor.storage import Device, UntypedStorage, cpu, is_gpu
+
+#: Re-exported for convenience (``from repro.tensor import no_grad``).
+no_grad = flags.no_grad
+
+
+class Tensor:
+    """A view over an :class:`UntypedStorage` plus autograd metadata.
+
+    Mirrors the PyTorch properties SSDTrain's tensor cache touches:
+    ``untyped_storage()`` (shared by views/transposes), ``is_cpu``,
+    ``size()``, ``grad_fn``, and reference-count-driven memory release.
+    """
+
+    def __init__(
+        self,
+        data: Union[np.ndarray, float, int, Sequence],
+        device: Device = cpu,
+        requires_grad: bool = False,
+        storage: Optional[UntypedStorage] = None,
+        tag: MemoryTag = MemoryTag.ACTIVATIONS,
+    ) -> None:
+        if storage is not None:
+            if not isinstance(data, np.ndarray):
+                raise TypeError("view construction requires a numpy array")
+            if data.base is not storage.data and data is not storage.data:
+                raise ValueError("view data must alias the given storage")
+            self.storage = storage
+            self.data = data
+        else:
+            arr = np.asarray(data)
+            if arr.dtype == np.float64:
+                arr = arr.astype(np.float32)
+            self.storage = UntypedStorage(arr, device=device, tag=tag)
+            self.data = self.storage.data
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[Tensor] = None
+        self.grad_fn: Optional[BackwardNode] = None
+        self._accumulate_node: Optional[AccumulateGrad] = None
+
+    # ------------------------------------------------------------ properties
+    @property
+    def device(self) -> Device:
+        return self.storage.device
+
+    @property
+    def is_cpu(self) -> bool:
+        return not is_gpu(self.device)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def numel(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.grad_fn is None
+
+    def size(self) -> Tuple[int, ...]:
+        """PyTorch-style ``size()`` (Alg. 1 line 2 uses it)."""
+        return self.data.shape
+
+    def untyped_storage(self) -> UntypedStorage:
+        """The shared storage — where ``get_id()`` stamps its identifier."""
+        return self.storage
+
+    # -------------------------------------------------------------- autograd
+    def _grad_edge(self) -> BackwardNode:
+        """The backward-graph node that receives this tensor's gradient."""
+        if self.grad_fn is not None:
+            return self.grad_fn
+        if self._accumulate_node is None:
+            self._accumulate_node = AccumulateGrad(self)
+        return self._accumulate_node
+
+    def _accumulate_grad(self, grad_data: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = Tensor(
+                np.array(grad_data, copy=True),
+                device=self.device,
+                tag=MemoryTag.GRADIENTS,
+            )
+        else:
+            self.grad.data += grad_data
+
+    def backward(self, grad: Optional["Tensor"] = None) -> None:
+        """Run backward propagation from this tensor.
+
+        Args:
+            grad: seed gradient; defaults to ones (scalar outputs only).
+        """
+        if self.grad_fn is None:
+            if self.requires_grad:
+                seed = grad.data if grad is not None else np.ones_like(self.data)
+                self._accumulate_grad(seed)
+                return
+            raise RuntimeError("tensor does not require grad")
+        if grad is None:
+            if self.numel != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward")
+            seed = np.ones_like(self.data)
+        else:
+            seed = grad.data
+        run_backward(self.grad_fn, seed)
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing this storage, outside the autograd graph.
+
+        Ops use this to save their own outputs without creating reference
+        cycles; SSDTrain's dedup still works because the storage is shared.
+        """
+        return Tensor(self.data, storage=self.storage)
+
+    # ------------------------------------------------------------- transport
+    def to(self, device: Device, tag: Optional[MemoryTag] = None) -> "Tensor":
+        """Copy this tensor to ``device`` (no-op copy elision if same)."""
+        if device is self.device:
+            return self
+        out = Tensor(
+            np.array(self.data, copy=True),
+            device=device,
+            requires_grad=self.requires_grad,
+            tag=tag if tag is not None else self.storage.tag,
+        )
+        return out
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        if self.numel != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.reshape(()))
+
+    # ------------------------------------------------------------- operators
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.matmul(self, other)
+
+    def __add__(self, other: Any) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.add(self, _wrap(other, self))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Any) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(self, _wrap(other, self))
+
+    def __rsub__(self, other: Any) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sub(_wrap(other, self), self)
+
+    def __mul__(self, other: Any) -> "Tensor":
+        from repro.tensor import ops
+
+        if isinstance(other, (int, float)):
+            return ops.scale(self, float(other))
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Any) -> "Tensor":
+        from repro.tensor import ops
+
+        if isinstance(other, (int, float)):
+            return ops.scale(self, 1.0 / float(other))
+        return ops.div(self, other)
+
+    def __neg__(self) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.scale(self, -1.0)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        return self @ other
+
+    def reshape(self, *shape: int) -> "Tensor":
+        from repro.tensor import ops
+
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def transpose(self, axis0: int, axis1: int) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.transpose(self, axis0, axis1)
+
+    @property
+    def T(self) -> "Tensor":
+        if self.ndim != 2:
+            raise ValueError(".T requires a 2-D tensor")
+        return self.transpose(0, 1)
+
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.sum_(self, axis=axis, keepdims=keepdims)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        from repro.tensor import ops
+
+        return ops.mean_(self, axis=axis, keepdims=keepdims)
+
+    def __repr__(self) -> str:
+        grad_part = f", grad_fn={self.grad_fn}" if self.grad_fn else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}, device={self.device}{grad_part})"
+
+
+class Parameter(Tensor):
+    """A trainable weight: requires grad, charged to the WEIGHTS tag.
+
+    The tensor cache records all Parameter storages before training so the
+    pack hook can return them as-is (Sec. III-C1, "Excluding Weights").
+    """
+
+    def __init__(self, data: Union[np.ndarray, Sequence], device: Device = cpu) -> None:
+        super().__init__(data, device=device, requires_grad=True, tag=MemoryTag.WEIGHTS)
+
+
+def _wrap(value: Any, like: Tensor) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=like.dtype), device=like.device)
+
+
+def tensor(
+    data: Union[np.ndarray, float, int, Sequence],
+    device: Device = cpu,
+    requires_grad: bool = False,
+    dtype: Optional[np.dtype] = None,
+) -> Tensor:
+    """Factory mirroring ``torch.tensor``."""
+    arr = np.asarray(data)
+    if dtype is not None:
+        arr = arr.astype(dtype)
+    return Tensor(arr, device=device, requires_grad=requires_grad)
+
+
+def zeros(shape: Sequence[int], device: Device = cpu, dtype=np.float32) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), device=device)
+
+
+def ones(shape: Sequence[int], device: Device = cpu, dtype=np.float32) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), device=device)
+
+
+def randn(
+    shape: Sequence[int],
+    device: Device = cpu,
+    dtype=np.float32,
+    rng: Optional[np.random.Generator] = None,
+    scale: float = 1.0,
+    requires_grad: bool = False,
+) -> Tensor:
+    gen = rng if rng is not None else np.random.default_rng()
+    data = (gen.standard_normal(shape) * scale).astype(dtype)
+    return Tensor(data, device=device, requires_grad=requires_grad)

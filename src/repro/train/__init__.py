@@ -1,0 +1,25 @@
+"""Training-loop substrate: micro-batch scheduling, the trainer, pipeline
+parallelism schedules, and TP/DP/ZeRO cost models (mini Megatron-DeepSpeed).
+"""
+
+from repro.train.schedule import MicrobatchSchedule
+from repro.train.trainer import PlacementStrategy, StepResult, Trainer
+from repro.train.pipeline import (
+    PipelineSchedule,
+    ScheduleKind,
+    simulate_pipeline,
+)
+from repro.train.parallel import ParallelismConfig, ZeroStage
+
+__all__ = [
+    "MicrobatchSchedule",
+    "Trainer",
+    "TrainerConfig",
+    "StepResult",
+    "PlacementStrategy",
+    "PipelineSchedule",
+    "ScheduleKind",
+    "simulate_pipeline",
+    "ParallelismConfig",
+    "ZeroStage",
+]

@@ -1,0 +1,113 @@
+"""Parallelism configurations and communication cost models (Sec. II-A).
+
+Covers the three levels of parallelism the paper describes — tensor (TP),
+pipeline (PP) and data (DP) — plus ZeRO sharding stages.  The analytic
+communication terms feed the performance model's ZeRO-communication
+pipeline term and the Fig. 8(b) upscaling study.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ZeroStage(enum.IntEnum):
+    """What ZeRO shards across data-parallel ranks (Sec. II-D)."""
+
+    NONE = 0       # vanilla DP: full replicas
+    OPTIMIZER = 1  # optimizer states sharded
+    GRADS = 2      # + gradients sharded
+    WEIGHTS = 3    # + parameters sharded (ZeRO-3 / ZeRO-Infinity base)
+
+
+@dataclass(frozen=True)
+class ParallelismConfig:
+    """A (TP, PP, DP) decomposition with an optional ZeRO stage.
+
+    Attributes:
+        tp: tensor-parallel degree (shards each weight).
+        pp: pipeline-parallel degree (shards the layer stack).
+        dp: data-parallel degree (replicates; micro-batches split).
+        zero_stage: ZeRO sharding level applied to the DP group.
+        interconnect_gbps: per-GPU interconnect bandwidth for collectives
+            (NVLink within a node, IB across nodes; a blended figure).
+    """
+
+    tp: int = 1
+    pp: int = 1
+    dp: int = 1
+    zero_stage: ZeroStage = ZeroStage.NONE
+    interconnect_gbps: float = 150.0
+    #: Megatron sequence parallelism: shard the residual-path activations
+    #: (LayerNorm inputs/outputs) across the TP group as well.  Off in the
+    #: paper's 2-GPU measurements; on in the Fig. 8(b) upscaling projection.
+    sequence_parallel: bool = False
+
+    def __post_init__(self) -> None:
+        for name, value in (("tp", self.tp), ("pp", self.pp), ("dp", self.dp)):
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1: {value}")
+
+    @property
+    def num_gpus(self) -> int:
+        return self.tp * self.pp * self.dp
+
+    @property
+    def interconnect(self) -> float:
+        return self.interconnect_gbps * 1e9
+
+    # ------------------------------------------------------- communication
+    def tp_allreduce_bytes_per_layer(
+        self, batch: int, seq: int, hidden: int, dtype_bytes: int = 2, direction: str = "forward"
+    ) -> float:
+        """TP all-reduce traffic per transformer layer per micro-batch.
+
+        Megatron TP needs two all-reduces in forward (attention out, MLP
+        out) and two in backward; ring all-reduce moves ~2x the payload.
+        ``direction`` selects the forward or backward pair.
+        """
+        if self.tp == 1:
+            return 0.0
+        payload = batch * seq * hidden * dtype_bytes
+        ring_factor = 2.0 * (self.tp - 1) / self.tp
+        return 2 * payload * ring_factor
+
+    def zero_comm_bytes_per_layer(self, layer_param_bytes: float) -> float:
+        """ZeRO-3 traffic per layer per micro-batch: parameter all-gather
+        in forward and backward, gradient reduce-scatter in backward."""
+        if self.zero_stage < ZeroStage.WEIGHTS or self.dp == 1:
+            return 0.0
+        shard_factor = (self.dp - 1) / self.dp
+        # all-gather (fwd) + all-gather (bwd) + reduce-scatter (bwd)
+        return 3 * layer_param_bytes * shard_factor
+
+    def zero_comm_time_per_layer(self, layer_param_bytes: float) -> float:
+        bytes_moved = self.zero_comm_bytes_per_layer(layer_param_bytes)
+        if bytes_moved == 0.0:
+            return 0.0
+        return bytes_moved / self.interconnect
+
+    def tp_comm_time_per_layer(self, batch: int, seq: int, hidden: int, dtype_bytes: int = 2) -> float:
+        bytes_moved = self.tp_allreduce_bytes_per_layer(batch, seq, hidden, dtype_bytes)
+        if bytes_moved == 0.0:
+            return 0.0
+        return bytes_moved / self.interconnect
+
+    # ------------------------------------------------------------ sharding
+    def params_per_gpu(self, total_params: float) -> float:
+        """Parameters resident per GPU under TP/PP (and ZeRO-3) sharding."""
+        resident = total_params / (self.tp * self.pp)
+        if self.zero_stage >= ZeroStage.WEIGHTS:
+            resident /= self.dp
+        return resident
+
+    def layers_per_gpu(self, total_layers: int) -> int:
+        """Layers per pipeline stage (ceil division)."""
+        return -(-total_layers // self.pp)
+
+    def optimizer_state_factor(self) -> float:
+        """Fraction of the full optimizer state resident per DP rank."""
+        if self.zero_stage >= ZeroStage.OPTIMIZER:
+            return 1.0 / self.dp
+        return 1.0

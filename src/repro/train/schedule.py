@@ -1,0 +1,63 @@
+"""Micro-batch schedule with hintable command methods.
+
+This mirrors the command-loop shape of DeepSpeed's pipeline engine: a step
+is a sequence of ``forward_microbatch(i)`` / ``backward_microbatch(i)``
+commands followed by ``optimizer_step()``.  SSDTrain integrates by
+monkey-patching these methods (:func:`repro.core.hints.patch_schedule`),
+which is exactly how the paper adds hints "before and after the execution
+of each command".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class MicrobatchSchedule:
+    """Gradient-accumulation schedule over ``num_microbatches``.
+
+    Without pipeline parallelism "a new micro-batch will not start before
+    both forward propagation and backward propagation of the previous
+    micro-batch are done" (Sec. IV-A): the command order is F0 B0 F1 B1 ...
+    followed by the optimizer step.
+    """
+
+    def __init__(
+        self,
+        forward_fn: Callable[[int], Any],
+        backward_fn: Callable[[int, Any], None],
+        optimizer_fn: Callable[[], None],
+        num_microbatches: int = 1,
+    ) -> None:
+        if num_microbatches < 1:
+            raise ValueError(f"need at least one micro-batch: {num_microbatches}")
+        self._forward_fn = forward_fn
+        self._backward_fn = backward_fn
+        self._optimizer_fn = optimizer_fn
+        self.num_microbatches = num_microbatches
+        self.command_log: List[str] = []
+
+    # Command methods — the surface the hints monkey-patch wraps.
+    def forward_microbatch(self, index: int) -> Any:
+        self.command_log.append(f"F{index}")
+        return self._forward_fn(index)
+
+    def backward_microbatch(self, index: int, forward_result: Any) -> None:
+        self.command_log.append(f"B{index}")
+        self._backward_fn(index, forward_result)
+
+    def optimizer_step(self) -> None:
+        self.command_log.append("U")
+        self._optimizer_fn()
+
+    def run_step(self) -> List[Any]:
+        """Execute one training step; returns per-micro-batch results."""
+        results = []
+        for index in range(self.num_microbatches):
+            # Without PP, backward follows this forward immediately — the
+            # keep-hint case of Fig. 2 marker 4 applies to every micro-batch.
+            result = self.forward_microbatch(index)
+            results.append(result)
+            self.backward_microbatch(index, result)
+        self.optimizer_step()
+        return results

@@ -1,0 +1,151 @@
+"""Per-GPU memory breakdown across ZeRO stages (Sec. II-B, II-D).
+
+The paper's Sec. II-B argument — activations dominate GPU memory and grow
+faster than everything else — rests on the breakdown of "all other memory
+use": parameters, gradients, and optimizer states, each shardable by a
+ZeRO stage.  This module computes the breakdown for a model/parallelism
+pair, which also reproduces the premise behind Fig. 5's ZeRO-3 rows and
+Table I's "ZeRO-Infinity is available only in certain ZeRO stages" note.
+
+Conventions (mixed-precision Adam, the common LLM recipe):
+
+- parameters: 2 bytes/param (FP16 working copy);
+- gradients: 2 bytes/param;
+- optimizer states: 12 bytes/param (FP32 master copy + two Adam moments);
+- the paper's own evaluation shrinks this with FP16 SGD (state 0), which
+  ``optimizer_bytes_per_param`` exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.analysis.perf_model import model_param_count, model_step_perf
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig, ZeroStage
+
+
+@dataclass(frozen=True)
+class MemoryBreakdown:
+    """Bytes per GPU by category (the Sec. II-B taxonomy)."""
+
+    parameters: float
+    gradients: float
+    optimizer: float
+    activations: float
+
+    @property
+    def others(self) -> float:
+        """S_others: everything but activations."""
+        return self.parameters + self.gradients + self.optimizer
+
+    @property
+    def total(self) -> float:
+        return self.others + self.activations
+
+    @property
+    def activation_fraction(self) -> float:
+        """The paper's headline "about 80% of the GPU memory ... consists
+        of activations" statistic for recent LLM training configs."""
+        if self.total == 0:
+            return 0.0
+        return self.activations / self.total
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "parameters": self.parameters,
+            "gradients": self.gradients,
+            "optimizer": self.optimizer,
+            "activations": self.activations,
+        }
+
+
+def zero_memory_breakdown(
+    config: ModelConfig,
+    batch: int,
+    parallelism: Optional[ParallelismConfig] = None,
+    num_microbatches: int = 1,
+    param_bytes_per_param: float = 2.0,
+    grad_bytes_per_param: float = 2.0,
+    optimizer_bytes_per_param: float = 12.0,
+    offload_fraction: float = 0.0,
+) -> MemoryBreakdown:
+    """Per-GPU memory breakdown under the given ZeRO stage.
+
+    Args:
+        config: model shape.
+        batch: micro-batch size.
+        parallelism: TP/PP/DP + ZeRO stage; defaults to a single GPU.
+        num_microbatches: resident micro-batches (1 without PP; up to the
+            stage depth under 1F1B).
+        param_bytes_per_param / grad_bytes_per_param /
+        optimizer_bytes_per_param: precision recipe (defaults: FP16 + Adam
+            mixed precision; the paper's eval uses FP16 SGD = (2, 2, 0)).
+        offload_fraction: fraction of activations SSDTrain keeps off-GPU.
+    """
+    if not 0.0 <= offload_fraction <= 1.0:
+        raise ValueError(f"offload_fraction must be in [0, 1]: {offload_fraction}")
+    par = parallelism if parallelism is not None else ParallelismConfig()
+    total_params = model_param_count(config)
+
+    # Model-parallel sharding applies to everything resident.
+    mp_shard = par.tp * par.pp
+    params_bytes = total_params / mp_shard * param_bytes_per_param
+    grads_bytes = total_params / mp_shard * grad_bytes_per_param
+    optimizer_bytes = total_params / mp_shard * optimizer_bytes_per_param
+
+    # ZeRO shards across the DP group by stage.
+    if par.dp > 1:
+        if par.zero_stage >= ZeroStage.OPTIMIZER:
+            optimizer_bytes /= par.dp
+        if par.zero_stage >= ZeroStage.GRADS:
+            grads_bytes /= par.dp
+        if par.zero_stage >= ZeroStage.WEIGHTS:
+            params_bytes /= par.dp
+
+    perf = model_step_perf(config, batch, parallelism=par, num_microbatches=1)
+    activations = perf.activation_bytes_per_microbatch * num_microbatches
+    activations *= 1.0 - offload_fraction
+
+    return MemoryBreakdown(
+        parameters=params_bytes,
+        gradients=grads_bytes,
+        optimizer=optimizer_bytes,
+        activations=activations,
+    )
+
+
+def max_microbatch_size(
+    config: ModelConfig,
+    memory_budget_bytes: float,
+    parallelism: Optional[ParallelismConfig] = None,
+    num_microbatches: int = 1,
+    offload_fraction: float = 0.0,
+    max_batch: int = 4096,
+    **precision,
+) -> int:
+    """Largest micro-batch size whose breakdown fits the budget.
+
+    The knob SSDTrain turns (Fig. 7 / Fig. 8a): raising
+    ``offload_fraction`` raises the feasible micro-batch size.
+    Returns 0 when even batch 1 does not fit.
+    """
+    if memory_budget_bytes <= 0:
+        raise ValueError("memory budget must be positive")
+    best = 0
+    batch = 1
+    while batch <= max_batch:
+        breakdown = zero_memory_breakdown(
+            config,
+            batch,
+            parallelism=parallelism,
+            num_microbatches=num_microbatches,
+            offload_fraction=offload_fraction,
+            **precision,
+        )
+        if breakdown.total > memory_budget_bytes:
+            break
+        best = batch
+        batch *= 2
+    return best

@@ -1,0 +1,219 @@
+"""Tests for the analytic models: perf, SSD projections, scaling, microbatch."""
+
+import pytest
+
+from repro.analysis.configs import FIG5_CONFIGS, MEGATRON_175B, MEGATRON_350B
+from repro.analysis.microbatch import microbatch_breakdown, upscaling_write_bandwidth
+from repro.analysis.perf_model import (
+    layer_activation_inventory,
+    layer_param_count,
+    model_param_count,
+    model_step_perf,
+    transformer_layer_perf,
+    weight_update_time,
+)
+from repro.analysis.scaling import (
+    activation_growth_exponent,
+    checkpointed_activation_growth_exponent,
+    fig1_series,
+    memory_to_compute_growth_ratio,
+    others_growth_exponent,
+)
+from repro.analysis.ssd_model import project_all_fig5, project_deployment
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig
+
+
+CFG = ModelConfig(arch="bert", hidden=12288, num_layers=3, seq_len=1024)
+
+
+# ------------------------------------------------------------------ perf model
+def test_inventory_totals_32bsh_fp16():
+    """Per layer: 16 x bsh elements = 32 bsh bytes in FP16 (tp=1)."""
+    inv = layer_activation_inventory(CFG, batch=16)
+    bsh = 16 * 1024 * 12288
+    assert sum(t.nbytes for t in inv) == 32 * bsh
+
+
+def test_inventory_tp_shards_internals_only():
+    full = layer_activation_inventory(CFG, 16, tp=1)
+    tp2 = layer_activation_inventory(CFG, 16, tp=2)
+    by_name = {t.name: t.nbytes for t in tp2}
+    full_by_name = {t.name: t.nbytes for t in full}
+    assert by_name["attn_q"] == full_by_name["attn_q"] // 2
+    assert by_name["ln_attn_in"] == full_by_name["ln_attn_in"]  # residual path
+
+
+def test_inventory_sequence_parallel_shards_everything():
+    sp = layer_activation_inventory(CFG, 16, tp=4, sequence_parallel=True)
+    full = layer_activation_inventory(CFG, 16, tp=1)
+    assert sum(t.nbytes for t in sp) == sum(t.nbytes for t in full) // 4
+
+
+def test_inventory_cross_attention_adds_tensors():
+    plain = layer_activation_inventory(CFG, 16)
+    cross = layer_activation_inventory(CFG, 16, cross_attention=True)
+    assert len(cross) == len(plain) + 5
+    assert sum(t.nbytes for t in cross) > sum(t.nbytes for t in plain)
+
+
+def test_layer_param_count():
+    assert layer_param_count(CFG) == 12 * 12288**2
+    assert layer_param_count(CFG, cross_attention=True) == 16 * 12288**2
+
+
+def test_model_param_count_gpt3_scale():
+    params = model_param_count(MEGATRON_175B)
+    assert 165e9 < params < 185e9  # ~175B
+
+
+def test_backward_twice_forward():
+    perf = transformer_layer_perf(CFG, 16)
+    assert perf.backward_time_s == pytest.approx(2 * perf.forward_time_s, rel=0.05)
+
+
+def test_step_perf_scales_with_microbatches():
+    one = model_step_perf(CFG, 16, num_microbatches=1)
+    four = model_step_perf(CFG, 16, num_microbatches=4)
+    assert four.activation_bytes_per_step == 4 * one.activation_bytes_per_step
+    # Compute scales 4x; update is paid once.
+    assert four.compute_time_s == pytest.approx(4 * one.compute_time_s, rel=1e-6)
+    assert four.weight_update_time_s == one.weight_update_time_s
+
+
+def test_step_perf_pp_adds_bubbles():
+    flat = model_step_perf(CFG, 16, parallelism=ParallelismConfig(pp=1))
+    cfg24 = ModelConfig(arch="bert", hidden=12288, num_layers=24, seq_len=1024)
+    piped = model_step_perf(
+        cfg24, 16, parallelism=ParallelismConfig(pp=8), num_microbatches=4
+    )
+    assert flat.bubble_time_s == 0.0
+    assert piped.bubble_time_s > 0.0
+
+
+def test_required_write_bandwidth_definition():
+    perf = model_step_perf(CFG, 16)
+    bw = perf.required_write_bandwidth()
+    assert bw == pytest.approx(
+        perf.activation_bytes_per_step / (perf.step_time_s / 2)
+    )
+
+
+def test_weight_update_independent_of_batch():
+    # The Fig. 8(a) premise.
+    assert weight_update_time(1e9) == weight_update_time(1e9)
+    assert weight_update_time(2e9) > weight_update_time(1e9)
+
+
+def test_table3_estimate_close_to_simulated_offload():
+    """Table III: the model estimate tracks the measured offload within ~15%."""
+    from repro.sim import build_segments
+
+    par = ParallelismConfig(tp=2)
+    for hidden, layers in ((8192, 4), (12288, 3), (16384, 2)):
+        cfg = ModelConfig(arch="bert", hidden=hidden, num_layers=layers, seq_len=1024)
+        estimate = model_step_perf(cfg, 16, parallelism=par).activation_bytes_per_microbatch
+        segments = build_segments(cfg, 16, parallelism=par)
+        simulated = sum(s.activation_bytes for s in segments)
+        assert abs(estimate - simulated) / simulated < 0.15
+
+
+# ------------------------------------------------------------------------ fig5
+def test_fig5_all_configs_viable():
+    """The paper's headline: lifespan > 2 years, write bw bounded, max
+    activations within SSD capacity, in every configuration."""
+    projections = project_all_fig5()
+    assert len(projections) == 12
+    for p in projections:
+        assert p.lifespan_years > 2.0, p.label
+        assert p.required_write_bw_gbps < 20.0, p.label  # 4x SSD array covers
+        assert p.max_activation_bytes_per_gpu < 4 * 1e12, p.label  # fits 4TB
+
+
+def test_fig5_bandwidth_decreases_with_scale():
+    """'when the system size ... scales up, the required PCIe write
+    bandwidth reduces, and the projected lifespan increases'."""
+    projections = project_all_fig5()
+    by_family = {}
+    for p in projections:
+        family = p.label.rsplit("@", 1)[0]
+        by_family.setdefault(family, []).append(p)
+    for family, points in by_family.items():
+        points.sort(key=lambda p: p.num_gpus)
+        bws = [p.required_write_bw_gbps for p in points]
+        lifespans = [p.lifespan_years for p in points]
+        assert all(a >= b for a, b in zip(bws, bws[1:])), family
+        assert all(a <= b for a, b in zip(lifespans, lifespans[1:])), family
+
+
+def test_fig5_max_activation_range():
+    projections = project_all_fig5()
+    tb = [p.max_activation_bytes_per_gpu / 1e12 for p in projections]
+    # Paper: 0.4 - 1.8 TB; allow a generous band around it.
+    assert 0.1 < min(tb) and max(tb) < 2.5
+
+
+def test_fig5_respects_custom_endurance():
+    from repro.device.ssd import SSDEnduranceModel
+
+    harsh = SSDEnduranceModel(retention_relaxation=1.0)
+    p_relaxed = project_deployment(FIG5_CONFIGS[0])
+    p_harsh = project_deployment(FIG5_CONFIGS[0], endurance=harsh)
+    assert p_harsh.lifespan_years < p_relaxed.lifespan_years / 50
+
+
+# --------------------------------------------------------------------- scaling
+def test_fig1_growth_rates():
+    series = fig1_series()
+    assert series["gpu_flops"]["growth_per_year"] > series["gpu_memory"]["growth_per_year"]
+    assert series["llm_size"]["growth_per_year"] > series["gpu_memory"]["growth_per_year"]
+
+
+def test_memory_grows_at_fraction_of_compute():
+    # Paper: ~41%; our database lands in the same regime.
+    ratio = memory_to_compute_growth_ratio()
+    assert 0.25 < ratio < 0.55
+
+
+def test_activation_exponent_five_sixths():
+    assert activation_growth_exponent() == pytest.approx(5.0 / 6.0)
+
+
+def test_activations_outgrow_others_even_with_checkpointing():
+    # Sec. II-B's closing argument.
+    assert activation_growth_exponent() > others_growth_exponent()
+    assert checkpointed_activation_growth_exponent() > others_growth_exponent()
+
+
+# ------------------------------------------------------------------ microbatch
+def test_fig8a_update_saving_dominates():
+    rows = microbatch_breakdown(CFG, parallelism=ParallelismConfig(tp=2))
+    for row in rows:
+        assert row.total_improvement > 0
+        assert row.update_saving_improvement > row.efficiency_improvement
+        assert row.total_improvement == pytest.approx(
+            row.update_saving_improvement + row.efficiency_improvement, rel=1e-6
+        )
+
+
+def test_fig8a_improvement_grows_with_batch():
+    rows = microbatch_breakdown(CFG, parallelism=ParallelismConfig(tp=2))
+    improvements = [r.total_improvement for r in rows]
+    assert improvements == sorted(improvements)
+
+
+def test_fig8b_all_below_reference():
+    """'In all projected cases, the write bandwidth per GPU is smaller than
+    the original 2-GPU case.'"""
+    reference, points = upscaling_write_bandwidth()
+    assert reference > 0
+    for p in points:
+        assert p.write_bandwidth_gbps < reference, p.label
+
+
+def test_fig8b_pp_reduces_bandwidth():
+    _, points = upscaling_write_bandwidth()
+    tp8 = [p for p in points if p.tp == 8]
+    tp8.sort(key=lambda p: p.pp)
+    bws = [p.write_bandwidth_gbps for p in tp8]
+    assert all(a >= b for a, b in zip(bws, bws[1:]))

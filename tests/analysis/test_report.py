@@ -1,0 +1,73 @@
+"""Tests for the result-export module."""
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import rows_from, to_csv, to_json
+from repro.analysis.ssd_model import project_all_fig5
+from repro.train.trainer import PlacementStrategy
+
+
+@dataclass
+class _Row:
+    name: str
+    value: float
+    tags: list
+
+
+def test_to_json_roundtrip():
+    rows = [_Row("a", 1.5, ["x"]), _Row("b", 2.5, ["y", "z"])]
+    payload = json.loads(to_json(rows))
+    assert payload[0]["name"] == "a"
+    assert payload[1]["tags"] == ["y", "z"]
+
+
+def test_to_json_writes_file(tmp_path):
+    path = tmp_path / "out.json"
+    to_json({"k": 1}, path=path)
+    assert json.loads(path.read_text()) == {"k": 1}
+
+
+def test_enum_and_numpy_coercion():
+    payload = json.loads(to_json({"strategy": PlacementStrategy.OFFLOAD, "x": np.float32(1.5)}))
+    assert payload["strategy"] == "offload"
+    assert payload["x"] == 1.5
+
+
+def test_to_csv_basic(tmp_path):
+    rows = [_Row("a", 1.5, []), _Row("b", 2.5, [1, 2])]
+    path = tmp_path / "out.csv"
+    text = to_csv(rows, path=path)
+    lines = text.strip().splitlines()
+    assert lines[0] == "name,value,tags"
+    assert lines[1].startswith("a,1.5")
+    assert path.exists()
+
+
+def test_to_csv_column_selection():
+    rows = [_Row("a", 1.5, [])]
+    text = to_csv(rows, columns=["value", "name"])
+    assert text.splitlines()[0] == "value,name"
+
+
+def test_to_csv_rejects_empty():
+    with pytest.raises(ValueError):
+        to_csv([])
+
+
+def test_rows_from_rejects_scalars():
+    with pytest.raises(TypeError):
+        rows_from([42])
+
+
+def test_fig5_projection_exports():
+    """Real experiment results serialize cleanly end to end."""
+    projections = project_all_fig5()
+    payload = json.loads(to_json(projections))
+    assert len(payload) == 12
+    assert {"label", "lifespan_years", "required_write_bw_gbps"} <= set(payload[0])
+    csv_text = to_csv(projections)
+    assert csv_text.count("\n") == 13  # header + 12 rows

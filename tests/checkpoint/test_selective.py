@@ -1,0 +1,69 @@
+"""Tests for selective checkpointing and the Sec. IV-C FlashAttention claim."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.checkpoint.selective import (
+    attention_intermediate_bytes,
+    selective_checkpoint_attention,
+    selective_checkpoint_savings,
+)
+from repro.device import MemoryTag
+from repro.nn.attention import MultiHeadAttention
+from repro.tensor.tensor import Tensor
+
+
+def _run_attention(gpu, selective, seed=0):
+    attn = MultiHeadAttention(32, 4, causal=True, rng=np.random.default_rng(seed)).to(gpu)
+    if selective:
+        selective_checkpoint_attention(attn)
+    x = Tensor(
+        np.random.default_rng(1).standard_normal((2, 16, 32)).astype(np.float32),
+        device=gpu,
+        requires_grad=True,
+    )
+    gpu.ledger.reset_peak()
+    attn(x).sum().backward()
+    gc.collect()
+    grads = {n: p.grad.data.copy() for n, p in attn.named_parameters()}
+    return x.grad.data.copy(), grads, gpu.ledger.peak(MemoryTag.ACTIVATIONS)
+
+
+def test_selective_checkpoint_preserves_gradients(gpu):
+    xg0, g0, _ = _run_attention(gpu, selective=False)
+    xg1, g1, _ = _run_attention(gpu, selective=True)
+    assert np.allclose(xg0, xg1, atol=1e-5)
+    for name in g0:
+        assert np.allclose(g0[name], g1[name], atol=1e-5), name
+
+
+def test_selective_with_flash_changes_little(gpu):
+    """Sec. IV-C: with FlashAttention the core attention saves only Q/K/V,
+    so selective checkpointing reclaims (almost) nothing."""
+    _, _, peak_plain = _run_attention(gpu, selective=False)
+    _, _, peak_selective = _run_attention(gpu, selective=True)
+    assert abs(peak_selective - peak_plain) / peak_plain < 0.15
+
+
+def test_intermediate_bytes_fused_vs_unfused():
+    fused = attention_intermediate_bytes(8, 16, 2048, 128, fused=True)
+    unfused = attention_intermediate_bytes(8, 16, 2048, 128, fused=False)
+    # Unfused adds two (B, H, S, S) tensors, dominating at long sequences.
+    assert unfused > 3 * fused
+    assert fused == 3 * 8 * 16 * 2048 * 128 * 2
+
+
+def test_savings_fraction():
+    assert selective_checkpoint_savings(8, 16, 2048, 128, fused=True) == 0.0
+    unfused = selective_checkpoint_savings(8, 16, 2048, 128, fused=False)
+    assert 0.8 < unfused < 1.0
+    # Savings grow with sequence length (the S^2 term).
+    shorter = selective_checkpoint_savings(8, 16, 256, 128, fused=False)
+    assert unfused > shorter
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        attention_intermediate_bytes(0, 1, 1, 1)

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadPolicy, PolicyConfig, SSDOffloader, TensorCache
+from repro.device import GPU
+from repro.models import ModelConfig
+from repro.tensor.tensor import Tensor
+
+
+@pytest.fixture
+def gpu() -> GPU:
+    return GPU()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_gpt_config() -> ModelConfig:
+    return ModelConfig(
+        arch="gpt", hidden=64, num_layers=2, vocab_size=97, seq_len=16, head_dim=16
+    )
+
+
+@pytest.fixture
+def tiny_bert_config() -> ModelConfig:
+    return ModelConfig(
+        arch="bert", hidden=64, num_layers=2, vocab_size=97, seq_len=16, head_dim=16
+    )
+
+
+@pytest.fixture
+def tiny_t5_config() -> ModelConfig:
+    return ModelConfig(
+        arch="t5", hidden=64, num_layers=3, vocab_size=97, seq_len=16, head_dim=16
+    )
+
+
+@pytest.fixture
+def token_batch(gpu, rng):
+    tokens = Tensor(rng.integers(0, 97, (2, 16)).astype(np.int64), device=gpu)
+    targets = Tensor(rng.integers(0, 97, (2, 16)).astype(np.int64), device=gpu)
+    return tokens, targets
+
+
+@pytest.fixture
+def make_cache(tmp_path):
+    """Factory for tensor caches backed by a per-test temp directory."""
+    caches = []
+
+    def _make(min_offload_numel: int = 64, **kwargs) -> TensorCache:
+        policy = OffloadPolicy(
+            PolicyConfig(min_offload_numel=min_offload_numel, **kwargs.pop("policy_kwargs", {}))
+        )
+        cache = TensorCache(
+            SSDOffloader(tmp_path / f"store{len(caches)}"), policy=policy, **kwargs
+        )
+        caches.append(cache)
+        return cache
+
+    yield _make
+    for cache in caches:
+        cache.shutdown()
+
+
+def numeric_grad(f, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar-valued ``f`` at ``x``."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f(x)
+        flat[i] = orig - eps
+        fm = f(x)
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad

@@ -1,0 +1,92 @@
+"""Tests for the Alg. 1 offload policy."""
+
+import pytest
+
+from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
+
+
+def _decide(policy, **overrides):
+    defaults = dict(
+        is_weight=False,
+        is_cpu=False,
+        numel=2**21,
+        nbytes=2**22,
+        in_backward=False,
+        in_keep_scope=False,
+        accounting=StepAccounting(),
+    )
+    defaults.update(overrides)
+    return policy.decide(**defaults)
+
+
+def test_weights_pass_through():
+    assert _decide(OffloadPolicy(), is_weight=True) is Decision.PASS_THROUGH
+
+
+def test_cpu_tensors_pass_through():
+    assert _decide(OffloadPolicy(), is_cpu=True) is Decision.PASS_THROUGH
+
+
+def test_small_tensors_pass_through():
+    """Alg. 1 line 2: math.prod(t.size()) < 2**20 returns as-is."""
+    policy = OffloadPolicy()
+    assert _decide(policy, numel=2**20 - 1) is Decision.PASS_THROUGH
+    assert _decide(policy, numel=2**20) is Decision.OFFLOAD
+
+
+def test_backward_packs_are_kept():
+    """Recomputed activations (checkpointing) must not be re-offloaded."""
+    assert _decide(OffloadPolicy(), in_backward=True) is Decision.KEEP
+
+
+def test_keep_scope_keeps():
+    assert _decide(OffloadPolicy(), in_keep_scope=True) is Decision.KEEP
+
+
+def test_budget_reached_keeps():
+    policy = OffloadPolicy(PolicyConfig(offload_budget_bytes=100))
+    acct = StepAccounting(offloaded_bytes=100)
+    assert _decide(policy, accounting=acct) is Decision.KEEP
+    acct2 = StepAccounting(offloaded_bytes=99)
+    assert _decide(policy, accounting=acct2) is Decision.OFFLOAD
+
+
+def test_no_budget_offloads_everything_eligible():
+    policy = OffloadPolicy(PolicyConfig(offload_budget_bytes=None))
+    acct = StepAccounting(offloaded_bytes=10**15)
+    assert _decide(policy, accounting=acct) is Decision.OFFLOAD
+
+
+def test_precedence_weight_over_keep():
+    """Pass-through outranks keep: weights are never even recorded."""
+    assert (
+        _decide(OffloadPolicy(), is_weight=True, in_backward=True)
+        is Decision.PASS_THROUGH
+    )
+
+
+def test_keep_reason_priority():
+    policy = OffloadPolicy(PolicyConfig(offload_budget_bytes=10))
+    full = StepAccounting(offloaded_bytes=10)
+    assert (
+        policy.keep_reason(in_backward=True, in_keep_scope=False, accounting=full)
+        is KeepReason.BUDGET_REACHED
+    )
+    empty = StepAccounting()
+    assert (
+        policy.keep_reason(in_backward=True, in_keep_scope=False, accounting=empty)
+        is KeepReason.IN_BACKWARD
+    )
+    assert (
+        policy.keep_reason(in_backward=False, in_keep_scope=True, accounting=empty)
+        is KeepReason.LAST_MODULE
+    )
+
+
+def test_accounting_reset():
+    acct = StepAccounting(offloaded_bytes=5, kept_bytes=3, pack_calls=2, dedup_hits=1)
+    acct.reset()
+    assert acct.offloaded_bytes == 0
+    assert acct.kept_bytes == 0
+    assert acct.pack_calls == 0
+    assert acct.dedup_hits == 0

@@ -1,0 +1,356 @@
+"""Integration tests for the SSDTrain tensor cache (Sec. III-B / III-C).
+
+These exercise the full mechanism on real models with real file I/O:
+correctness (identical losses/gradients), memory release, deduplication,
+weight exclusion, data forwarding, budget capping, micro-batch switching,
+and failure injection.
+"""
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CPUOffloader,
+    OffloadPolicy,
+    PolicyConfig,
+    RecordState,
+    SSDOffloader,
+    TensorCache,
+)
+from repro.device import GPU, MemoryTag
+from repro.models import GPT, ModelConfig
+from repro.nn.linear import Linear
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+def _run_model_step(model, gpu, cache=None, seed=42):
+    rng = np.random.default_rng(seed)
+    vocab = model.config.vocab_size
+    seq = model.config.seq_len
+    tokens = Tensor(rng.integers(0, vocab, (2, seq)).astype(np.int64), device=gpu)
+    targets = Tensor(rng.integers(0, vocab, (2, seq)).astype(np.int64), device=gpu)
+    gpu.ledger.reset_peak()
+    if cache is not None:
+        with cache:
+            loss = model(tokens, targets)
+            cache.on_backward_begin()
+            loss.backward()
+            cache.on_backward_end()
+        cache.on_step_end()
+    else:
+        loss = model(tokens, targets)
+        loss.backward()
+    gc.collect()
+    grads = {n: p.grad.data.copy() for n, p in model.named_parameters()}
+    model.zero_grad()
+    return loss.item(), grads, gpu.ledger.peak(MemoryTag.ACTIVATIONS)
+
+
+def _fresh_model(gpu, tiny_gpt_config, seed=0):
+    return GPT(tiny_gpt_config, rng=np.random.default_rng(seed)).to(gpu)
+
+
+# ----------------------------------------------------------------- correctness
+def test_offloaded_step_bitwise_identical(gpu, tiny_gpt_config, make_cache):
+    baseline_model = _fresh_model(gpu, tiny_gpt_config)
+    loss0, grads0, _ = _run_model_step(baseline_model, gpu)
+
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    loss1, grads1, _ = _run_model_step(model, gpu, cache)
+
+    assert loss0 == pytest.approx(loss1, abs=1e-7)
+    for name in grads0:
+        assert np.array_equal(grads0[name], grads1[name]), name
+
+
+def test_cache_actually_offloads(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)
+    assert cache.stats.stored_tensors > 10
+    assert cache.stats.stored_bytes > 0
+    assert cache.offloader.file_store.bytes_written > 0
+
+
+def test_activation_peak_reduced(gpu, tiny_gpt_config, make_cache):
+    config = tiny_gpt_config.scaled(num_layers=3, seq_len=32)
+    baseline = _fresh_model(gpu, config)
+    _, _, peak_base = _run_model_step(baseline, gpu)
+
+    model = _fresh_model(gpu, config)
+    cache = make_cache(prefetch_window=4)
+    cache.register_weights(model)
+    cache.attach(model)
+    # Step 0 profiles; step 1 has keep-last active.
+    _run_model_step(model, gpu, cache)
+    _, _, peak_off = _run_model_step(model, gpu, cache)
+    assert peak_off < 0.7 * peak_base  # at least 30% reduction
+
+
+def test_multi_step_stability(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    losses = [
+        _run_model_step(model, gpu, cache, seed=s)[0] for s in range(4)
+    ]
+    assert all(np.isfinite(l) for l in losses)
+
+
+# --------------------------------------------------------------------- weights
+def test_weights_never_offloaded(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)
+    weight_shapes = {tuple(p.shape) for p in model.parameters()}
+    weight_shapes |= {tuple(reversed(s)) for s in weight_shapes if len(s) == 2}
+    for table in cache._microbatches.values():
+        for tid in table.records:
+            assert tid.shape not in weight_shapes or len(tid.shape) != 2, (
+                f"weight-shaped tensor {tid} was managed"
+            )
+
+
+def test_small_tensors_pass_through(gpu, make_cache):
+    layer = Linear(8, 8, rng=np.random.default_rng(0)).to(gpu)
+    cache = make_cache(min_offload_numel=10**9)  # nothing qualifies
+    cache.register_weights(layer)
+    cache.attach(layer)
+    x = Tensor(np.ones((2, 8), dtype=np.float32), device=gpu, requires_grad=True)
+    with cache:
+        layer(x).sum().backward()
+    assert cache.stats.stored_tensors == 0
+    assert cache.stats.passed_tensors > 0
+
+
+# ----------------------------------------------------------------------- dedup
+def test_dedup_prevents_redundant_io(gpu, make_cache):
+    """A tensor saved by two consumers is stored once."""
+    cache = make_cache()
+    x = Tensor(
+        np.random.default_rng(0).standard_normal((32, 32)).astype(np.float32),
+        device=gpu,
+        requires_grad=True,
+    )
+    with cache:
+        # gelu and mul both save (a view of) their input x.
+        y = (ops.gelu(x) + ops.mul(x, x)).sum()
+        cache.on_backward_begin()
+        y.backward()
+        cache.on_backward_end()
+    assert cache.stats.dedup_hits >= 1
+    stored_for_x = [
+        1
+        for table in cache._microbatches.values()
+        for tid in table.records
+        if tid.shape == (32, 32)
+    ]
+    cache.on_step_end()
+    assert cache.stats.stored_tensors <= 2  # x (+ x*x output), never 3
+
+
+# ------------------------------------------------------------------ forwarding
+def test_data_forwarding_on_slow_store(gpu, tmp_path):
+    """With a slow SSD, backward begins while stores are in flight; the
+    cache must return the in-memory reference instead of loading."""
+    offloader = SSDOffloader(tmp_path / "slow", throttle_bytes_per_s=2e6)
+    cache = TensorCache(
+        offloader,
+        policy=OffloadPolicy(PolicyConfig(min_offload_numel=64)),
+        num_store_workers=1,
+    )
+    try:
+        layer = Linear(64, 64, rng=np.random.default_rng(0)).to(gpu)
+        cache.register_weights(layer)
+        cache.attach(layer)
+        x = Tensor(
+            np.ones((16, 64), dtype=np.float32), device=gpu, requires_grad=True
+        )
+        with cache:
+            loss = ops.gelu(layer(x)).sum()
+            cache.on_backward_begin()
+            loss.backward()  # stores still in flight: must forward
+            cache.on_backward_end()
+        assert cache.stats.forwarded_tensors >= 1
+        assert x.grad is not None
+        cache.on_step_end()
+    finally:
+        cache.shutdown()
+
+
+def test_forwarding_preserves_values(gpu, tmp_path, tiny_gpt_config):
+    """Slow-store runs must still produce identical gradients."""
+    baseline = _fresh_model(gpu, tiny_gpt_config)
+    loss0, grads0, _ = _run_model_step(baseline, gpu)
+
+    offloader = SSDOffloader(tmp_path / "fwd", throttle_bytes_per_s=5e5)
+    cache = TensorCache(
+        offloader, policy=OffloadPolicy(PolicyConfig(min_offload_numel=64))
+    )
+    try:
+        model = _fresh_model(gpu, tiny_gpt_config)
+        cache.register_weights(model)
+        cache.attach(model)
+        loss1, grads1, _ = _run_model_step(model, gpu, cache)
+        assert loss0 == pytest.approx(loss1, abs=1e-6)
+        for name in grads0:
+            assert np.array_equal(grads0[name], grads1[name])
+    finally:
+        cache.shutdown()
+
+
+# ---------------------------------------------------------------------- budget
+def test_offload_budget_caps_stored_bytes(gpu, tiny_gpt_config, make_cache):
+    budget = 50_000
+    cache = make_cache(policy_kwargs=dict(offload_budget_bytes=budget))
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)
+    # Budget is checked before each store; overshoot is at most one tensor.
+    assert cache.stats.stored_bytes <= budget + 64 * 1024
+    assert cache.stats.kept_tensors > 0
+
+
+# ----------------------------------------------------------------- micro-batch
+def test_microbatch_records_are_separate(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    rng = np.random.default_rng(0)
+    vocab, seq = tiny_gpt_config.vocab_size, tiny_gpt_config.seq_len
+    with cache:
+        losses = []
+        for mb in range(2):
+            cache.set_microbatch(mb)
+            tokens = Tensor(rng.integers(0, vocab, (1, seq)).astype(np.int64), device=gpu)
+            targets = Tensor(rng.integers(0, vocab, (1, seq)).astype(np.int64), device=gpu)
+            loss = model(tokens, targets)
+            cache.on_backward_begin()
+            loss.backward()
+            cache.on_backward_end()
+            losses.append(loss.item())
+    assert len(cache._microbatches) == 2
+    cache.on_step_end()
+    assert all(np.isfinite(l) for l in losses)
+
+
+# -------------------------------------------------------------------- keep-last
+def test_keep_last_module_after_profiling(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)  # profiling step
+    assert cache._last_segment_id is not None
+    kept_before = cache.stats.kept_tensors
+    _run_model_step(model, gpu, cache)
+    assert cache.stats.kept_tensors > kept_before
+
+
+def test_keep_hint_stops_offloading(gpu, make_cache):
+    cache = make_cache()
+    layer = Linear(64, 64, rng=np.random.default_rng(0)).to(gpu)
+    cache.register_weights(layer)
+    cache.attach(layer)
+    cache.hint_keep_remaining(True)
+    x = Tensor(np.ones((16, 64), dtype=np.float32), device=gpu, requires_grad=True)
+    with cache:
+        loss = ops.gelu(layer(x)).sum()
+        cache.on_backward_begin()
+        loss.backward()
+        cache.on_backward_end()
+    assert cache.stats.stored_tensors == 0
+    assert cache.stats.kept_tensors > 0
+
+
+# --------------------------------------------------------------------- cleanup
+def test_step_end_releases_records_and_files(gpu, tiny_gpt_config, make_cache):
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache = make_cache()
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)
+    store_dir = cache.offloader.file_store.root
+    assert list(store_dir.glob("*.bin")) == []  # files deleted at step end
+    assert all(not t.records for t in cache._microbatches.values())
+
+
+def test_shutdown_idempotent(gpu, tiny_gpt_config, make_cache):
+    cache = make_cache()
+    model = _fresh_model(gpu, tiny_gpt_config)
+    cache.register_weights(model)
+    cache.attach(model)
+    _run_model_step(model, gpu, cache)
+    cache.shutdown()
+    cache.shutdown()
+
+
+# -------------------------------------------------------------- cpu offloader
+def test_cpu_offloader_end_to_end(gpu, tiny_gpt_config):
+    baseline = _fresh_model(gpu, tiny_gpt_config)
+    loss0, grads0, _ = _run_model_step(baseline, gpu)
+
+    cache = TensorCache(
+        CPUOffloader(), policy=OffloadPolicy(PolicyConfig(min_offload_numel=64))
+    )
+    try:
+        model = _fresh_model(gpu, tiny_gpt_config)
+        cache.register_weights(model)
+        cache.attach(model)
+        loss1, grads1, _ = _run_model_step(model, gpu, cache)
+        assert loss0 == pytest.approx(loss1, abs=1e-6)
+        for name in grads0:
+            assert np.array_equal(grads0[name], grads1[name])
+        assert cache.stats.stored_tensors > 0
+    finally:
+        cache.shutdown()
+
+
+def test_cpu_offloader_pool_profiling(gpu, tiny_gpt_config):
+    offloader = CPUOffloader()
+    cache = TensorCache(
+        offloader, policy=OffloadPolicy(PolicyConfig(min_offload_numel=64))
+    )
+    try:
+        model = _fresh_model(gpu, tiny_gpt_config)
+        cache.register_weights(model)
+        cache.attach(model)
+        _run_model_step(model, gpu, cache)
+        assert offloader.pool.high_watermark > 0
+        capacity = offloader.pool.fit_to_high_watermark()
+        assert capacity >= offloader.pool.high_watermark
+        # Subsequent identical steps fit in the profiled pool.
+        _run_model_step(model, gpu, cache)
+    finally:
+        cache.shutdown()
+
+
+# ------------------------------------------------------------ failure injection
+def test_load_failure_surfaces_as_runtime_error(gpu, make_cache):
+    cache = make_cache()
+    layer = Linear(64, 64, rng=np.random.default_rng(0)).to(gpu)
+    cache.register_weights(layer)
+    cache.attach(layer)
+    x = Tensor(np.ones((16, 64), dtype=np.float32), device=gpu, requires_grad=True)
+    with cache:
+        loss = ops.gelu(layer(x)).sum()
+        cache.store_pool.drain()
+        # Sabotage: delete the offloaded files so loads fail.
+        cache.offloader.file_store.clear()
+        cache.on_backward_begin()
+        with pytest.raises((RuntimeError, FileNotFoundError)):
+            loss.backward()

@@ -1,0 +1,82 @@
+"""Tests for the synthetic corpus and tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCorpus, TokenBatchLoader, ToyTokenizer
+
+
+def test_corpus_shape_and_range():
+    corpus = SyntheticCorpus(vocab_size=100, seed=0)
+    tokens = corpus.sample_tokens(4, 32)
+    assert tokens.shape == (4, 32)
+    assert tokens.dtype == np.int64
+    assert tokens.min() >= 0 and tokens.max() < 100
+
+
+def test_corpus_deterministic_per_seed():
+    a = SyntheticCorpus(vocab_size=50, seed=7).sample_tokens(2, 8)
+    b = SyntheticCorpus(vocab_size=50, seed=7).sample_tokens(2, 8)
+    assert np.array_equal(a, b)
+
+
+def test_corpus_zipfian_skew():
+    corpus = SyntheticCorpus(vocab_size=1000, zipf_a=1.5, seed=0)
+    tokens = corpus.sample_tokens(10, 1000).reshape(-1)
+    counts = np.bincount(tokens, minlength=1000)
+    # Rank-0 token dominates rank-500.
+    assert counts[0] > 10 * max(counts[500], 1)
+
+
+def test_corpus_validation():
+    with pytest.raises(ValueError):
+        SyntheticCorpus(vocab_size=2)
+    with pytest.raises(ValueError):
+        SyntheticCorpus(vocab_size=100).sample_tokens(0, 5)
+
+
+def test_loader_targets_are_shifted(gpu):
+    loader = TokenBatchLoader(SyntheticCorpus(vocab_size=64, seed=1), 2, 8, device=gpu)
+    tokens, targets = loader.next_batch()
+    assert tokens.shape == (2, 8) and targets.shape == (2, 8)
+    assert np.array_equal(tokens.data[:, 1:], targets.data[:, :-1])
+    assert not tokens.is_cpu
+
+
+def test_loader_iterates(gpu):
+    loader = TokenBatchLoader(SyntheticCorpus(vocab_size=64, seed=1), 1, 4, device=gpu)
+    it = iter(loader)
+    first = next(it)
+    second = next(it)
+    assert not np.array_equal(first[0].data, second[0].data)
+
+
+def test_tokenizer_deterministic():
+    tok = ToyTokenizer(vocab_size=1000)
+    assert tok.encode("hello world") == tok.encode("hello world")
+
+
+def test_tokenizer_special_tokens():
+    tok = ToyTokenizer(vocab_size=1000)
+    ids = tok.encode("a b c")
+    assert ids[0] == ToyTokenizer.BOS and ids[-1] == ToyTokenizer.EOS
+    assert len(tok.encode("a b c", add_special=False)) == 3
+
+
+def test_tokenizer_ids_in_range():
+    tok = ToyTokenizer(vocab_size=128)
+    ids = tok.encode("the quick brown fox jumps")
+    assert all(0 <= i < 128 for i in ids)
+    assert all(i >= 4 for i in tok.encode("x y z", add_special=False))
+
+
+def test_tokenizer_batch_pads_and_truncates():
+    tok = ToyTokenizer(vocab_size=1000)
+    batch = tok.encode_batch(["one two", "a much longer sentence " * 10], seq_len=8)
+    assert all(len(row) == 8 for row in batch)
+    assert batch[0][-1] == ToyTokenizer.PAD
+
+
+def test_tokenizer_validation():
+    with pytest.raises(ValueError):
+        ToyTokenizer(vocab_size=4)

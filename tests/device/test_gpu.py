@@ -1,0 +1,78 @@
+"""Tests for the GPU device model."""
+
+import pytest
+
+from repro.device.gpu import A100_PCIE_40GB, GPU, KernelTimingModel
+
+
+def test_efficiency_monotone_in_batch():
+    model = KernelTimingModel(A100_PCIE_40GB)
+    effs = [model.efficiency(b) for b in (1, 2, 4, 8, 16)]
+    assert all(a < b for a, b in zip(effs, effs[1:]))
+    assert effs[-1] < model.eff_max
+
+
+def test_batch_one_already_efficient():
+    """Transformer GEMMs carry the full sequence even at B=1."""
+    model = KernelTimingModel(A100_PCIE_40GB)
+    assert model.efficiency(1) > 0.7 * model.eff_max
+
+
+def test_kernel_time_roofline():
+    model = KernelTimingModel(A100_PCIE_40GB, launch_overhead_s=0.0)
+    # Compute-bound: huge flops, no bytes.
+    t_compute = model.kernel_time(1e12, 0, batch_size=16)
+    # Memory-bound: no flops, huge bytes.
+    t_memory = model.kernel_time(0, 1e10, batch_size=16)
+    assert t_compute == pytest.approx(
+        1e12 / (A100_PCIE_40GB.fp16_flops * model.efficiency(16))
+    )
+    assert t_memory == pytest.approx(1e10 / A100_PCIE_40GB.mem_bandwidth)
+
+
+def test_kernel_time_rejects_negative():
+    model = KernelTimingModel(A100_PCIE_40GB)
+    with pytest.raises(ValueError):
+        model.kernel_time(-1, 0)
+    with pytest.raises(ValueError):
+        model.efficiency(0)
+
+
+def test_invalid_eff_max():
+    with pytest.raises(ValueError):
+        KernelTimingModel(A100_PCIE_40GB, eff_max=1.5)
+
+
+def test_flop_counters_distinguish_recompute():
+    gpu = GPU()
+    gpu.record_flops(100.0, algorithmic=True)
+    gpu.record_flops(50.0, algorithmic=False)  # recomputation
+    assert gpu.flops_executed == 150.0
+    assert gpu.algorithmic_flops == 100.0
+
+
+def test_model_throughput_definition():
+    gpu = GPU()
+    gpu.record_flops(2e12, algorithmic=True)
+    gpu.record_flops(2e12, algorithmic=False)
+    # Fig. 7: only algorithmic flops count.
+    assert gpu.model_throughput_tflops(step_time_s=1.0) == pytest.approx(2.0)
+
+
+def test_reset_counters():
+    gpu = GPU()
+    gpu.record_flops(10.0)
+    gpu.reset_counters()
+    assert gpu.flops_executed == 0.0
+
+
+def test_capacity_enforcement_optional():
+    free = GPU(enforce_capacity=False)
+    assert free.ledger.capacity_bytes is None
+    capped = GPU(enforce_capacity=True)
+    assert capped.ledger.capacity_bytes == A100_PCIE_40GB.memory_bytes
+
+
+def test_a100_spec_constants():
+    assert A100_PCIE_40GB.memory_bytes == 40 * 1024**3
+    assert A100_PCIE_40GB.fp16_tflops == 312.0

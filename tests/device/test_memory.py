@@ -1,0 +1,120 @@
+"""Tests for the memory ledger."""
+
+import threading
+
+import pytest
+
+from repro.device.memory import MemoryLedger, MemoryTag, OutOfMemoryError
+
+
+def test_alloc_free_roundtrip():
+    ledger = MemoryLedger()
+    ledger.alloc(1000, MemoryTag.ACTIVATIONS)
+    assert ledger.current(MemoryTag.ACTIVATIONS) == 1000
+    ledger.free(1000, MemoryTag.ACTIVATIONS)
+    assert ledger.current(MemoryTag.ACTIVATIONS) == 0
+
+
+def test_peak_tracks_high_watermark():
+    ledger = MemoryLedger()
+    ledger.alloc(500, MemoryTag.ACTIVATIONS)
+    ledger.alloc(700, MemoryTag.ACTIVATIONS)
+    ledger.free(1000, MemoryTag.ACTIVATIONS)
+    assert ledger.peak(MemoryTag.ACTIVATIONS) == 1200
+    assert ledger.current(MemoryTag.ACTIVATIONS) == 200
+
+
+def test_per_tag_isolation():
+    ledger = MemoryLedger()
+    ledger.alloc(100, MemoryTag.WEIGHTS)
+    ledger.alloc(200, MemoryTag.ACTIVATIONS)
+    assert ledger.current(MemoryTag.WEIGHTS) == 100
+    assert ledger.current(MemoryTag.ACTIVATIONS) == 200
+    assert ledger.current() == 300
+
+
+def test_total_peak_across_tags():
+    ledger = MemoryLedger()
+    ledger.alloc(100, MemoryTag.WEIGHTS)
+    ledger.alloc(100, MemoryTag.ACTIVATIONS)
+    ledger.free(100, MemoryTag.WEIGHTS)
+    ledger.alloc(50, MemoryTag.GRADIENTS)
+    assert ledger.peak() == 200
+
+
+def test_overfree_raises():
+    ledger = MemoryLedger()
+    ledger.alloc(10, MemoryTag.ACTIVATIONS)
+    with pytest.raises(ValueError):
+        ledger.free(11, MemoryTag.ACTIVATIONS)
+
+
+def test_negative_alloc_rejected():
+    ledger = MemoryLedger()
+    with pytest.raises(ValueError):
+        ledger.alloc(-1, MemoryTag.ACTIVATIONS)
+
+
+def test_capacity_enforced():
+    ledger = MemoryLedger(capacity_bytes=100)
+    ledger.alloc(90, MemoryTag.ACTIVATIONS)
+    with pytest.raises(OutOfMemoryError):
+        ledger.alloc(11, MemoryTag.ACTIVATIONS)
+    # Failed alloc must not corrupt accounting.
+    assert ledger.current() == 90
+
+
+def test_reset_peak_scopes_measurement():
+    ledger = MemoryLedger()
+    ledger.alloc(1000, MemoryTag.ACTIVATIONS)
+    ledger.free(1000, MemoryTag.ACTIVATIONS)
+    ledger.reset_peak()
+    assert ledger.peak() == 0
+    ledger.alloc(10, MemoryTag.ACTIVATIONS)
+    assert ledger.peak() == 10
+
+
+def test_reset_peak_single_tag():
+    ledger = MemoryLedger()
+    ledger.alloc(100, MemoryTag.ACTIVATIONS)
+    ledger.alloc(100, MemoryTag.WEIGHTS)
+    ledger.free(100, MemoryTag.ACTIVATIONS)
+    ledger.reset_peak(MemoryTag.ACTIVATIONS)
+    assert ledger.peak(MemoryTag.ACTIVATIONS) == 0
+    assert ledger.peak(MemoryTag.WEIGHTS) == 100
+
+
+def test_total_allocated_is_cumulative():
+    ledger = MemoryLedger()
+    for _ in range(5):
+        ledger.alloc(10, MemoryTag.ACTIVATIONS)
+        ledger.free(10, MemoryTag.ACTIVATIONS)
+    assert ledger.total_allocated(MemoryTag.ACTIVATIONS) == 50
+
+
+def test_snapshot_consistency():
+    ledger = MemoryLedger()
+    ledger.alloc(123, MemoryTag.OPTIMIZER)
+    snap = ledger.snapshot()
+    assert snap.current(MemoryTag.OPTIMIZER) == 123
+    assert snap.current_total == 123
+    ledger.free(123, MemoryTag.OPTIMIZER)
+    # Snapshot is a copy, unaffected by later mutation.
+    assert snap.current(MemoryTag.OPTIMIZER) == 123
+
+
+def test_thread_safety_under_contention():
+    ledger = MemoryLedger()
+    iterations = 2000
+
+    def worker():
+        for _ in range(iterations):
+            ledger.alloc(8, MemoryTag.ACTIVATIONS)
+            ledger.free(8, MemoryTag.ACTIVATIONS)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert ledger.current(MemoryTag.ACTIVATIONS) == 0

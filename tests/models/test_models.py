@@ -1,0 +1,156 @@
+"""Tests for the GPT/BERT/T5 model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticCorpus, TokenBatchLoader
+from repro.models import BERT, GPT, ModelConfig, T5, paper_eval_configs
+from repro.models.config import PAPER_EVAL_GRID
+from repro.optim import SGD
+from repro.tensor.tensor import Tensor
+
+
+def _batch(gpu, vocab=97, shape=(2, 16), seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        Tensor(rng.integers(0, vocab, shape).astype(np.int64), device=gpu),
+        Tensor(rng.integers(0, vocab, shape).astype(np.int64), device=gpu),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ModelConfig(arch="rnn", hidden=64, num_layers=1, head_dim=16)
+    with pytest.raises(ValueError):
+        ModelConfig(arch="gpt", hidden=65, num_layers=1, head_dim=16)
+    with pytest.raises(ValueError):
+        ModelConfig(arch="gpt", hidden=64, num_layers=0, head_dim=16)
+
+
+def test_paper_grid_configs():
+    configs = paper_eval_configs("bert")
+    assert [(c.hidden, c.num_layers) for c in configs] == PAPER_EVAL_GRID
+    for c in configs:
+        assert c.head_dim == 128  # "attention head dimension is 128"
+        assert c.seq_len == 1024
+
+
+def test_t5_decoder_split():
+    # "the number of decoders is half of the total number of layers,
+    # rounded down"
+    c3 = ModelConfig(arch="t5", hidden=128, num_layers=3)
+    assert c3.num_decoder_layers == 1 and c3.num_encoder_layers == 2
+    c4 = ModelConfig(arch="t5", hidden=128, num_layers=4)
+    assert c4.num_decoder_layers == 2 and c4.num_encoder_layers == 2
+
+
+def test_arch_mismatch_rejected(tiny_gpt_config):
+    with pytest.raises(ValueError):
+        BERT(tiny_gpt_config)
+    with pytest.raises(ValueError):
+        T5(tiny_gpt_config)
+
+
+def test_gpt_forward_shapes(gpu, tiny_gpt_config):
+    model = GPT(tiny_gpt_config).to(gpu)
+    tokens, targets = _batch(gpu)
+    logits = model(tokens)
+    assert logits.shape == (2, 16, 97)
+    loss = model(tokens, targets)
+    assert loss.numel == 1 and loss.item() > 0
+
+
+def test_gpt_loss_near_uniform_at_init(gpu, tiny_gpt_config):
+    model = GPT(tiny_gpt_config).to(gpu)
+    tokens, targets = _batch(gpu)
+    loss = model(tokens, targets).item()
+    assert abs(loss - np.log(97)) < 1.0
+
+
+def test_gpt_trains(gpu, tiny_gpt_config):
+    model = GPT(tiny_gpt_config).to(gpu)
+    loader = TokenBatchLoader(SyntheticCorpus(vocab_size=97, seed=0), 2, 16, device=gpu)
+    opt = SGD(model.parameters(), lr=5e-3)
+    losses = []
+    for _ in range(8):
+        tokens, targets = loader.next_batch()
+        loss = model(tokens, targets)
+        loss.backward()
+        opt.step()
+        opt.zero_grad()
+        losses.append(loss.item())
+    assert min(losses[4:]) < losses[0]
+
+
+def test_gpt_causality(gpu, tiny_gpt_config):
+    """Logits at position i must not depend on tokens after i."""
+    model = GPT(tiny_gpt_config).to(gpu)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 97, (1, 16)).astype(np.int64)
+    logits1 = model(Tensor(ids.copy(), device=gpu)).data
+    ids2 = ids.copy()
+    ids2[0, -1] = (ids2[0, -1] + 1) % 97
+    logits2 = model(Tensor(ids2, device=gpu)).data
+    assert np.allclose(logits1[0, :-1], logits2[0, :-1], atol=1e-4)
+
+
+def test_bert_not_causal(gpu, tiny_bert_config):
+    model = BERT(tiny_bert_config).to(gpu)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(0, 97, (1, 16)).astype(np.int64)
+    logits1 = model(Tensor(ids.copy(), device=gpu)).data
+    ids2 = ids.copy()
+    ids2[0, -1] = (ids2[0, -1] + 1) % 97
+    logits2 = model(Tensor(ids2, device=gpu)).data
+    # Bidirectional: early positions change too.
+    assert not np.allclose(logits1[0, 0], logits2[0, 0], atol=1e-5)
+
+
+def test_bert_forward_and_backward(gpu, tiny_bert_config):
+    model = BERT(tiny_bert_config).to(gpu)
+    tokens, targets = _batch(gpu)
+    loss = model(tokens, targets)
+    loss.backward()
+    assert all(p.grad is not None for p in model.parameters())
+
+
+def test_t5_forward_and_backward(gpu, tiny_t5_config):
+    model = T5(tiny_t5_config).to(gpu)
+    src, _ = _batch(gpu, seed=1)
+    tgt, targets = _batch(gpu, seed=2)
+    loss = model(src, tgt, targets)
+    loss.backward()
+    assert all(p.grad is not None for p in model.parameters())
+
+
+def test_t5_uses_encoder_context(gpu, tiny_t5_config):
+    model = T5(tiny_t5_config).to(gpu)
+    rng = np.random.default_rng(0)
+    src1 = Tensor(rng.integers(0, 97, (1, 16)).astype(np.int64), device=gpu)
+    src2 = Tensor(rng.integers(0, 97, (1, 16)).astype(np.int64), device=gpu)
+    tgt = Tensor(rng.integers(0, 97, (1, 16)).astype(np.int64), device=gpu)
+    out1 = model(src1, tgt).data
+    out2 = model(src2, tgt).data
+    assert not np.allclose(out1, out2, atol=1e-5)
+
+
+def test_t5_requires_two_layers():
+    with pytest.raises(ValueError):
+        T5(ModelConfig(arch="t5", hidden=64, num_layers=1, head_dim=16))
+
+
+def test_recompute_flag_preserves_results(gpu, tiny_gpt_config):
+    tokens_targets = _batch(gpu)
+    results = {}
+    for recompute in (False, True):
+        cfg = tiny_gpt_config.scaled(recompute=recompute)
+        model = GPT(cfg, rng=np.random.default_rng(7)).to(gpu)
+        loss = model(*tokens_targets)
+        loss.backward()
+        results[recompute] = (
+            loss.item(),
+            {n: p.grad.data.copy() for n, p in model.named_parameters()},
+        )
+    assert results[False][0] == pytest.approx(results[True][0], abs=1e-6)
+    for name in results[False][1]:
+        assert np.allclose(results[False][1][name], results[True][1][name], atol=1e-5)

@@ -1,0 +1,161 @@
+"""Tests for the NN layer library."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, MLP, MultiHeadAttention, TransformerLayer
+from repro.tensor import no_grad
+from repro.tensor.tensor import Tensor
+
+
+def _x(shape=(2, 5, 16), seed=0):
+    return Tensor(
+        np.random.default_rng(seed).standard_normal(shape).astype(np.float32),
+        requires_grad=True,
+    )
+
+
+def test_linear_shapes_and_transpose_weight():
+    layer = Linear(16, 8, rng=np.random.default_rng(0))
+    out = layer(_x())
+    assert out.shape == (2, 5, 8)
+    assert layer.weight.shape == (8, 16)  # (out, in), used transposed
+
+
+def test_linear_no_bias():
+    layer = Linear(4, 4, bias=False, rng=np.random.default_rng(0))
+    assert layer.bias is None
+    assert len(list(layer.parameters())) == 1
+
+
+def test_linear_matches_numpy():
+    layer = Linear(4, 3, rng=np.random.default_rng(0))
+    x = _x((2, 4))
+    expected = x.data @ layer.weight.data.T + layer.bias.data
+    assert np.allclose(layer(x).data, expected, atol=1e-5)
+
+
+def test_layernorm_normalizes():
+    ln = LayerNorm(16)
+    out = ln(_x())
+    assert np.abs(out.data.mean(-1)).max() < 1e-4
+    assert np.abs(out.data.std(-1) - 1.0).max() < 1e-2
+
+
+def test_layernorm_affine_params_learnable():
+    ln = LayerNorm(8)
+    x = _x((3, 8))
+    ln(x).sum().backward()
+    assert ln.gamma.grad is not None and ln.beta.grad is not None
+
+
+def test_embedding_lookup():
+    emb = Embedding(10, 4, rng=np.random.default_rng(0))
+    ids = Tensor(np.array([[1, 1, 2]], dtype=np.int64))
+    out = emb(ids)
+    assert out.shape == (1, 3, 4)
+    assert np.array_equal(out.data[0, 0], out.data[0, 1])
+
+
+def test_dropout_train_vs_eval():
+    d = Dropout(0.5)
+    x = _x((64, 64))
+    out = d(x)
+    assert (out.data == 0).sum() > 0
+    d.eval()
+    assert d(x) is x
+
+
+def test_dropout_rejects_bad_p():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_dropout_preserves_expectation():
+    d = Dropout(0.3)
+    x = Tensor(np.ones((200, 200), dtype=np.float32))
+    out = d(x)
+    assert abs(out.data.mean() - 1.0) < 0.02
+
+
+def test_attention_self_shapes():
+    attn = MultiHeadAttention(16, 4, rng=np.random.default_rng(0))
+    assert attn(_x()).shape == (2, 5, 16)
+
+
+def test_attention_causal_masks_future():
+    """Changing a future token must not change earlier outputs."""
+    attn = MultiHeadAttention(16, 4, causal=True, rng=np.random.default_rng(0))
+    x1 = _x((1, 5, 16), seed=1)
+    x2_data = x1.data.copy()
+    x2_data[0, 4] += 10.0  # perturb last position only
+    x2 = Tensor(x2_data)
+    out1 = attn(x1).data
+    out2 = attn(x2).data
+    assert np.allclose(out1[0, :4], out2[0, :4], atol=1e-4)
+    assert not np.allclose(out1[0, 4], out2[0, 4], atol=1e-4)
+
+
+def test_attention_bidirectional_sees_future():
+    attn = MultiHeadAttention(16, 4, causal=False, rng=np.random.default_rng(0))
+    x1 = _x((1, 5, 16), seed=1)
+    x2_data = x1.data.copy()
+    x2_data[0, 4] += 10.0
+    out1 = attn(x1).data
+    out2 = attn(Tensor(x2_data)).data
+    assert not np.allclose(out1[0, 0], out2[0, 0], atol=1e-4)
+
+
+def test_cross_attention_uses_context():
+    attn = MultiHeadAttention(16, 4, is_cross=True, rng=np.random.default_rng(0))
+    x = _x((2, 5, 16))
+    ctx = _x((2, 7, 16), seed=9)
+    out = attn(x, context=ctx)
+    assert out.shape == (2, 5, 16)
+    with pytest.raises(ValueError):
+        attn(x)
+
+
+def test_attention_rejects_bad_heads():
+    with pytest.raises(ValueError):
+        MultiHeadAttention(16, 5)
+
+
+def test_mlp_expansion():
+    mlp = MLP(16, rng=np.random.default_rng(0))
+    assert mlp.ffn_hidden == 64
+    assert mlp(_x()).shape == (2, 5, 16)
+
+
+def test_transformer_layer_residual_path():
+    """With zeroed projections, the layer must be the identity."""
+    layer = TransformerLayer(16, 4, rng=np.random.default_rng(0))
+    layer.attn.out_proj.weight.data[:] = 0
+    layer.attn.out_proj.bias.data[:] = 0
+    layer.mlp.fc_out.weight.data[:] = 0
+    layer.mlp.fc_out.bias.data[:] = 0
+    x = _x()
+    assert np.allclose(layer(x).data, x.data, atol=1e-5)
+
+
+def test_transformer_layer_gradients_flow_to_all_params():
+    layer = TransformerLayer(16, 4, rng=np.random.default_rng(0))
+    layer(_x()).sum().backward()
+    for name, p in layer.named_parameters():
+        assert p.grad is not None, name
+
+
+def test_decoder_layer_with_cross_attention():
+    layer = TransformerLayer(
+        16, 4, causal=True, cross_attention=True, rng=np.random.default_rng(0)
+    )
+    x = _x((2, 5, 16))
+    ctx = _x((2, 7, 16), seed=3)
+    assert layer(x, context=ctx).shape == (2, 5, 16)
+    with pytest.raises(ValueError):
+        layer(x)
+
+
+def test_gelu_module():
+    out = GELU()(_x((4, 4)))
+    assert out.shape == (4, 4)

@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ids import TensorIDRegistry
+from repro.core.policy import Decision, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.device.memory import MemoryLedger, MemoryTag
+from repro.device.ssd import SAMSUNG_980_PRO_1TB, SSDEnduranceModel
+from repro.sim.timeline import Timeline
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+from repro.train.pipeline import ScheduleKind, ideal_bubble_fraction, simulate_pipeline
+
+
+# ------------------------------------------------------------------- ledger
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=10**6)),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_ledger_never_negative_and_peak_dominates(events):
+    ledger = MemoryLedger()
+    live = 0
+    for is_alloc, size in events:
+        if is_alloc:
+            ledger.alloc(size, MemoryTag.ACTIVATIONS)
+            live += size
+        else:
+            to_free = min(size, live)
+            if to_free:
+                ledger.free(to_free, MemoryTag.ACTIVATIONS)
+                live -= to_free
+        assert ledger.current(MemoryTag.ACTIVATIONS) == live
+        assert ledger.peak(MemoryTag.ACTIVATIONS) >= ledger.current(MemoryTag.ACTIVATIONS)
+
+
+# --------------------------------------------------------------------- ids
+@given(st.lists(st.tuples(st.integers(1, 8), st.integers(1, 8)), min_size=1, max_size=30))
+def test_ids_unique_across_distinct_storages(shapes):
+    registry = TensorIDRegistry()
+    ids = [
+        registry.get_id(Tensor(np.zeros(shape, dtype=np.float32)))
+        for shape in shapes
+    ]
+    assert len(set(ids)) == len(ids)
+
+
+@given(st.integers(1, 6), st.integers(1, 6))
+def test_id_stable_under_views(rows, cols):
+    registry = TensorIDRegistry()
+    t = Tensor(np.zeros((rows, cols), dtype=np.float32))
+    tid = registry.get_id(t)
+    assert registry.get_id(t.detach()) == tid
+    assert registry.get_id(t.reshape(cols * rows)) != tid  # shape differs
+    assert registry.get_id(t.reshape(cols * rows)).stamp == tid.stamp
+
+
+# ------------------------------------------------------------------- policy
+@given(
+    st.booleans(),
+    st.booleans(),
+    st.integers(min_value=1, max_value=2**24),
+    st.booleans(),
+    st.booleans(),
+    st.integers(min_value=0, max_value=2**30),
+)
+def test_policy_decision_total_and_consistent(
+    is_weight, is_cpu, numel, in_backward, in_keep_scope, offloaded
+):
+    policy = OffloadPolicy(PolicyConfig(offload_budget_bytes=2**29))
+    accounting = StepAccounting(offloaded_bytes=offloaded)
+    decision = policy.decide(
+        is_weight=is_weight,
+        is_cpu=is_cpu,
+        numel=numel,
+        nbytes=numel * 2,
+        in_backward=in_backward,
+        in_keep_scope=in_keep_scope,
+        accounting=accounting,
+    )
+    assert decision in Decision
+    if is_weight or is_cpu or numel < 2**20:
+        assert decision is Decision.PASS_THROUGH
+    elif in_backward or in_keep_scope or offloaded >= 2**29:
+        assert decision is Decision.KEEP
+    else:
+        assert decision is Decision.OFFLOAD
+
+
+# ----------------------------------------------------------------- endurance
+@given(
+    st.floats(min_value=1e6, max_value=1e13),
+    st.floats(min_value=0.1, max_value=1000.0),
+    st.integers(min_value=1, max_value=16),
+)
+def test_lifespan_scales_linearly_with_ssd_count(act_bytes, step_time, n):
+    model = SSDEnduranceModel()
+    one = model.lifespan_years(SAMSUNG_980_PRO_1TB, act_bytes, step_time, 1)
+    many = model.lifespan_years(SAMSUNG_980_PRO_1TB, act_bytes, step_time, n)
+    assert many == pytest.approx(n * one, rel=1e-6)
+
+
+# ------------------------------------------------------------------ timeline
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.integers(1, 10**6)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_timeline_peak_matches_reference_sweep(allocs):
+    tl = Timeline()
+    deltas = []
+    for t, size in allocs:
+        tl.alloc(t, size)
+        deltas.append((t, size))
+        tl.free(t + 1.0, size)
+        deltas.append((t + 1.0, -size))
+    # Reference: sort, frees first at ties.
+    current = peak = 0
+    for _, d in sorted(deltas, key=lambda e: (e[0], e[1])):
+        current += d
+        peak = max(peak, current)
+    assert tl.memory_peak() == peak
+
+
+# ------------------------------------------------------------------ pipeline
+@settings(deadline=None)
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=12),
+    st.sampled_from(list(ScheduleKind)),
+)
+def test_pipeline_invariants(stages, microbatches, kind):
+    sched = simulate_pipeline(stages, microbatches, 1.0, 2.0, kind)
+    # Every (stage, microbatch) runs F and B exactly once.
+    f_tasks = [(t.stage, t.microbatch) for t in sched.tasks if t.kind == "F"]
+    b_tasks = [(t.stage, t.microbatch) for t in sched.tasks if t.kind == "B"]
+    expected = {(s, m) for s in range(stages) for m in range(microbatches)}
+    assert set(f_tasks) == expected and len(f_tasks) == len(expected)
+    assert set(b_tasks) == expected and len(b_tasks) == len(expected)
+    # Step time is at least the per-stage busy time and at most the serial time.
+    busy = microbatches * 3.0
+    assert sched.step_time >= busy - 1e-9
+    assert sched.step_time <= stages * busy + 1e-9
+    # Both schedules achieve the ideal bubble with uniform stages.
+    assert sched.bubble_fraction == pytest.approx(
+        ideal_bubble_fraction(stages, microbatches), abs=1e-9
+    )
+
+
+# ------------------------------------------------------------------ autograd
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_matmul_grad_matches_reference(m, k, n, seed):
+    rng = np.random.default_rng(seed)
+    a_data = rng.standard_normal((m, k)).astype(np.float32)
+    b_data = rng.standard_normal((k, n)).astype(np.float32)
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+    ones = np.ones((m, n), dtype=np.float32)
+    assert np.allclose(a.grad.data, ones @ b_data.T, atol=1e-4)
+    assert np.allclose(b.grad.data, a_data.T @ ones, atol=1e-4)
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_softmax_rows_sum_to_one(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.standard_normal((rows, cols)).astype(np.float32))
+    out = ops.softmax(x)
+    assert np.allclose(out.data.sum(axis=-1), 1.0, atol=1e-5)
+    assert (out.data >= 0).all()
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**31 - 1))
+def test_layernorm_output_statistics(width, seed):
+    rng = np.random.default_rng(seed)
+    x = Tensor((rng.standard_normal((4, width)) * 5 + 3).astype(np.float32))
+    gamma = Tensor(np.ones(width, dtype=np.float32))
+    beta = Tensor(np.zeros(width, dtype=np.float32))
+    out = ops.layernorm(x, gamma, beta).data
+    assert np.abs(out.mean(-1)).max() < 1e-3
+    # eps in the denominator can only *shrink* the variance (rows whose
+    # raw variance is comparable to eps land well below 1, never above).
+    variances = out.var(-1)
+    assert variances.max() < 1.05
+    assert (variances >= -1e-6).all()

@@ -1,0 +1,255 @@
+"""Gradient checks for every differentiable op against central differences."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+from tests.conftest import numeric_grad
+
+
+def _check_unary(op, fn, shape=(3, 4), tol=2e-2, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    x_data = rng.standard_normal(shape).astype(np.float32)
+    x = Tensor(x_data.copy(), requires_grad=True)
+    op(x).sum().backward()
+    num = numeric_grad(lambda xv: fn(xv).sum(), x_data.astype(np.float64))
+    assert np.abs(x.grad.data - num).max() < tol
+
+
+def test_gelu_grad():
+    c = math.sqrt(2 / math.pi)
+    _check_unary(
+        ops.gelu, lambda x: 0.5 * x * (1 + np.tanh(c * (x + 0.044715 * x**3)))
+    )
+
+
+def test_relu_grad():
+    _check_unary(ops.relu, lambda x: np.maximum(x, 0), rng_seed=3)
+
+
+def test_tanh_grad():
+    _check_unary(ops.tanh, np.tanh)
+
+
+def test_softmax_grad():
+    def ref(x):
+        e = np.exp(x - x.max(axis=-1, keepdims=True))
+        p = e / e.sum(axis=-1, keepdims=True)
+        return (p * np.arange(x.shape[-1])).sum()
+
+    rng = np.random.default_rng(0)
+    x_data = rng.standard_normal((2, 5)).astype(np.float32)
+    x = Tensor(x_data.copy(), requires_grad=True)
+    weights = Tensor(np.arange(5, dtype=np.float32))
+    (ops.softmax(x) * weights).sum().backward()
+    num = numeric_grad(ref, x_data.astype(np.float64))
+    assert np.abs(x.grad.data - num).max() < 2e-2
+
+
+def test_matmul_grads_both_inputs():
+    rng = np.random.default_rng(0)
+    a_data = rng.standard_normal((3, 4)).astype(np.float32)
+    b_data = rng.standard_normal((4, 2)).astype(np.float32)
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    (a @ b).sum().backward()
+    num_a = numeric_grad(lambda av: (av @ b_data).sum(), a_data.astype(np.float64))
+    num_b = numeric_grad(lambda bv: (a_data @ bv).sum(), b_data.astype(np.float64))
+    assert np.abs(a.grad.data - num_a).max() < 2e-2
+    assert np.abs(b.grad.data - num_b).max() < 2e-2
+
+
+def test_batched_matmul_grad_shapes():
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.standard_normal((2, 3, 4, 5)).astype(np.float32), requires_grad=True)
+    b = Tensor(rng.standard_normal((2, 3, 5, 6)).astype(np.float32), requires_grad=True)
+    (a @ b).sum().backward()
+    assert a.grad.shape == (2, 3, 4, 5)
+    assert b.grad.shape == (2, 3, 5, 6)
+
+
+def test_add_broadcast_grad():
+    a = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+    bias = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    (a + bias).sum().backward()
+    assert a.grad.shape == (3, 4)
+    assert bias.grad.shape == (4,)
+    assert np.all(bias.grad.data == 3.0)  # summed over broadcast rows
+
+
+def test_mul_div_grads():
+    rng = np.random.default_rng(0)
+    a_data = rng.standard_normal((3, 3)).astype(np.float32)
+    b_data = (rng.standard_normal((3, 3)) + 3.0).astype(np.float32)
+    a = Tensor(a_data.copy(), requires_grad=True)
+    b = Tensor(b_data.copy(), requires_grad=True)
+    ops.div(ops.mul(a, b), b).sum().backward()
+    # d/da (a*b/b) = 1
+    assert np.abs(a.grad.data - 1.0).max() < 1e-3
+
+
+def test_scale_and_neg():
+    a = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    (-(a * 3.0)).sum().backward()
+    assert np.all(a.grad.data == -3.0)
+
+
+def test_layernorm_grad():
+    rng = np.random.default_rng(0)
+    x_data = rng.standard_normal((4, 6)).astype(np.float32)
+    g_data = rng.standard_normal(6).astype(np.float32)
+    b_data = rng.standard_normal(6).astype(np.float32)
+    x = Tensor(x_data.copy(), requires_grad=True)
+    gamma = Tensor(g_data.copy(), requires_grad=True)
+    beta = Tensor(b_data.copy(), requires_grad=True)
+    ops.layernorm(x, gamma, beta).sum().backward()
+
+    def ref(xv):
+        m = xv.mean(-1, keepdims=True)
+        v = xv.var(-1, keepdims=True)
+        return (((xv - m) / np.sqrt(v + 1e-5)) * g_data + b_data).sum()
+
+    num = numeric_grad(ref, x_data.astype(np.float64))
+    assert np.abs(x.grad.data - num).max() < 2e-2
+    assert gamma.grad.shape == (6,)
+    assert beta.grad.shape == (6,)
+    assert np.abs(beta.grad.data - 4.0).max() < 1e-4
+
+
+def test_flash_attention_matches_unfused():
+    """Fused attention must equal softmax(QK^T/sqrt(d))V and its grads."""
+    rng = np.random.default_rng(0)
+    q_data = rng.standard_normal((1, 2, 5, 4)).astype(np.float32)
+    k_data = rng.standard_normal((1, 2, 5, 4)).astype(np.float32)
+    v_data = rng.standard_normal((1, 2, 5, 4)).astype(np.float32)
+
+    def run(fused: bool, causal: bool):
+        q = Tensor(q_data.copy(), requires_grad=True)
+        k = Tensor(k_data.copy(), requires_grad=True)
+        v = Tensor(v_data.copy(), requires_grad=True)
+        if fused:
+            out = ops.flash_attention(q, k, v, causal=causal)
+        else:
+            scale = 1.0 / math.sqrt(4)
+            scores = ops.scale(q @ ops.transpose(k, 2, 3), scale)
+            if causal:
+                mask = np.triu(np.full((5, 5), -1e9, dtype=np.float32), k=1)
+                scores = scores + Tensor(mask)
+            out = ops.softmax(scores) @ v
+        out.sum().backward()
+        return out.data, q.grad.data, k.grad.data, v.grad.data
+
+    for causal in (False, True):
+        fused = run(True, causal)
+        ref = run(False, causal)
+        for f, r in zip(fused, ref):
+            assert np.abs(f - r).max() < 1e-3, f"causal={causal}"
+
+
+def test_cross_entropy_grad():
+    rng = np.random.default_rng(0)
+    logits_data = rng.standard_normal((2, 3, 7)).astype(np.float32)
+    targets = Tensor(rng.integers(0, 7, (2, 3)).astype(np.int64))
+    logits = Tensor(logits_data.copy(), requires_grad=True)
+    loss = ops.cross_entropy(logits, targets)
+    loss.backward()
+
+    def ref(lv):
+        e = np.exp(lv - lv.max(-1, keepdims=True))
+        p = e / e.sum(-1, keepdims=True)
+        flat = p.reshape(-1, 7)
+        idx = targets.data.reshape(-1)
+        return -np.log(flat[np.arange(6), idx]).mean()
+
+    num = numeric_grad(ref, logits_data.astype(np.float64))
+    assert np.abs(logits.grad.data - num).max() < 2e-2
+
+
+def test_embedding_grad_scatter():
+    weight = Tensor(np.zeros((5, 3), dtype=np.float32), requires_grad=True)
+    ids = Tensor(np.array([[0, 1, 1]], dtype=np.int64))
+    ops.embedding(weight, ids).sum().backward()
+    # Row 1 used twice, row 0 once, rest never.
+    assert np.all(weight.grad.data[0] == 1.0)
+    assert np.all(weight.grad.data[1] == 2.0)
+    assert np.all(weight.grad.data[2:] == 0.0)
+
+
+def test_narrow_grad_zero_pads():
+    x = Tensor(np.ones((2, 6), dtype=np.float32), requires_grad=True)
+    ops.narrow(x, 1, 2, 3).sum().backward()
+    expected = np.zeros((2, 6), dtype=np.float32)
+    expected[:, 2:5] = 1.0
+    assert np.array_equal(x.grad.data, expected)
+
+
+def test_concat_grad_splits():
+    a = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+    b = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+    (ops.concat(a, b, 1) * 2.0).sum().backward()
+    assert np.all(a.grad.data == 2.0)
+    assert b.grad.shape == (2, 3)
+
+
+def test_sum_mean_grads():
+    x = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+    x.sum(axis=1).sum().backward()
+    assert np.all(x.grad.data == 1.0)
+    y = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+    y.mean().backward()
+    assert np.abs(y.grad.data - 1 / 12).max() < 1e-7
+
+
+def test_dropout_mask_consistent_between_fwd_bwd():
+    x = Tensor(np.ones((64,), dtype=np.float32), requires_grad=True)
+    out = ops.dropout(x, 0.5, seed=7)
+    out.sum().backward()
+    # grad must be exactly the mask applied in forward
+    assert np.array_equal(x.grad.data, out.data)
+
+
+def test_fanin_accumulation():
+    """A tensor consumed by two ops accumulates both gradients."""
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    y = x * 2.0 + x * 3.0
+    y.sum().backward()
+    assert np.all(x.grad.data == 5.0)
+
+
+def test_grad_accumulates_across_backwards():
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    (x * 2.0).sum().backward()
+    (x * 3.0).sum().backward()
+    assert np.all(x.grad.data == 5.0)
+
+
+def test_no_grad_builds_no_graph():
+    from repro.tensor import no_grad
+
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    with no_grad():
+        y = x * 2.0
+    assert y.grad_fn is None
+    assert not y.requires_grad
+
+
+def test_backward_on_non_scalar_requires_seed():
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    y = x * 2.0
+    with pytest.raises(RuntimeError):
+        y.backward()
+    y.backward(Tensor(np.ones(4, dtype=np.float32)))
+    assert np.all(x.grad.data == 2.0)
+
+
+def test_saved_tensors_freed_after_backward():
+    """retain_graph is unsupported: second backward must fail."""
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    y = (ops.gelu(x)).sum()
+    y.backward()
+    with pytest.raises(RuntimeError):
+        y.backward()

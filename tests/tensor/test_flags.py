@@ -1,0 +1,65 @@
+"""Tests for the thread-local execution flags."""
+
+import threading
+
+from repro.tensor import flags
+
+
+def test_defaults():
+    assert flags.grad_enabled()
+    assert not flags.in_backward()
+    assert not flags.recompute_mode()
+
+
+def test_no_grad_scopes():
+    with flags.no_grad():
+        assert not flags.grad_enabled()
+        with flags.no_grad():
+            assert not flags.grad_enabled()
+    assert flags.grad_enabled()
+
+
+def test_backward_running_scope():
+    with flags.backward_running():
+        assert flags.in_backward()
+    assert not flags.in_backward()
+
+
+def test_recompute_region_scope():
+    with flags.recompute_region():
+        assert flags.recompute_mode()
+    assert not flags.recompute_mode()
+
+
+def test_flags_restore_on_exception():
+    try:
+        with flags.no_grad():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert flags.grad_enabled()
+
+
+def test_flags_are_thread_local():
+    """Offloading threads must never observe the training thread's flags."""
+    seen = {}
+
+    def worker():
+        seen["grad"] = flags.grad_enabled()
+        seen["backward"] = flags.in_backward()
+
+    with flags.no_grad():
+        with flags.backward_running():
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+    assert seen == {"grad": True, "backward": False}
+
+
+def test_nested_mixed_flags():
+    with flags.backward_running():
+        with flags.recompute_region():
+            assert flags.in_backward() and flags.recompute_mode()
+            with flags.set_flag("grad_enabled", True):
+                assert flags.grad_enabled()
+        assert flags.in_backward() and not flags.recompute_mode()

@@ -1,0 +1,137 @@
+"""Tests for the module system and its four hook kinds (Sec. III-B)."""
+
+import numpy as np
+import pytest
+
+from repro.nn.linear import Linear
+from repro.tensor import no_grad
+from repro.tensor.module import Module, ModuleList
+from repro.tensor.tensor import Parameter, Tensor
+
+
+class TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 8, rng=np.random.default_rng(0))
+        self.fc2 = Linear(8, 2, rng=np.random.default_rng(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x))
+
+
+def _x():
+    return Tensor(np.ones((2, 4), dtype=np.float32), requires_grad=True)
+
+
+def test_parameter_registration():
+    m = TwoLayer()
+    names = dict(m.named_parameters())
+    assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+    assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+def test_modules_iteration():
+    m = TwoLayer()
+    mods = list(m.modules())
+    assert m in mods and m.fc1 in mods and m.fc2 in mods
+
+
+def test_forward_hook_pair_order():
+    m = TwoLayer()
+    events = []
+    for name, sub in (("root", m), ("fc1", m.fc1), ("fc2", m.fc2)):
+        sub.register_forward_pre_hook(lambda mod, inp, n=name: events.append(f"pre:{n}"))
+        sub.register_forward_hook(lambda mod, inp, out, n=name: events.append(f"post:{n}"))
+    m(_x())
+    assert events == ["pre:root", "pre:fc1", "post:fc1", "pre:fc2", "post:fc2", "post:root"]
+
+
+def test_backward_hooks_fire_in_reverse_module_order():
+    m = TwoLayer()
+    events = []
+    for name, sub in (("fc1", m.fc1), ("fc2", m.fc2)):
+        sub.register_full_backward_pre_hook(lambda mod, g, n=name: events.append(f"enter:{n}"))
+        sub.register_full_backward_hook(lambda mod, g, n=name: events.append(f"exit:{n}"))
+    m(_x()).sum().backward()
+    assert events == ["enter:fc2", "exit:fc2", "enter:fc1", "exit:fc1"]
+
+
+def test_backward_hooks_fire_once_per_call():
+    m = Linear(4, 4, rng=np.random.default_rng(0))
+    count = [0]
+    m.register_full_backward_hook(lambda mod, g: count.__setitem__(0, count[0] + 1))
+    m(_x()).sum().backward()
+    assert count[0] == 1
+
+
+def test_hook_removal():
+    m = Linear(4, 4, rng=np.random.default_rng(0))
+    fired = []
+    handle = m.register_forward_pre_hook(lambda mod, inp: fired.append(1))
+    m(_x())
+    handle.remove()
+    m(_x())
+    assert len(fired) == 1
+
+
+def test_no_boundary_nodes_under_no_grad():
+    m = Linear(4, 4, rng=np.random.default_rng(0))
+    m.register_full_backward_pre_hook(lambda mod, g: None)
+    with no_grad():
+        out = m(_x())
+    assert out.grad_fn is None
+
+
+def test_boundary_preserves_values_and_grads():
+    """Backward hooks must not perturb results."""
+    rng = np.random.default_rng(0)
+    x_data = rng.standard_normal((2, 4)).astype(np.float32)
+
+    def run(with_hooks):
+        m = TwoLayer()
+        if with_hooks:
+            for sub in m.modules():
+                sub.register_full_backward_pre_hook(lambda mod, g: None)
+                sub.register_full_backward_hook(lambda mod, g: None)
+        x = Tensor(x_data.copy(), requires_grad=True)
+        out = m(x)
+        out.sum().backward()
+        return out.data.copy(), x.grad.data.copy()
+
+    out_plain, grad_plain = run(False)
+    out_hooked, grad_hooked = run(True)
+    assert np.array_equal(out_plain, out_hooked)
+    assert np.array_equal(grad_plain, grad_hooked)
+
+
+def test_train_eval_propagates():
+    m = TwoLayer()
+    m.eval()
+    assert not m.fc1.training
+    m.train()
+    assert m.fc2.training
+
+
+def test_zero_grad():
+    m = TwoLayer()
+    m(_x()).sum().backward()
+    assert any(p.grad is not None for p in m.parameters())
+    m.zero_grad()
+    assert all(p.grad is None for p in m.parameters())
+
+
+def test_to_device_moves_parameters(gpu):
+    m = TwoLayer().to(gpu)
+    assert all(not p.is_cpu for p in m.parameters())
+    out = m(Tensor(np.ones((1, 4), dtype=np.float32), device=gpu))
+    assert not out.is_cpu
+
+
+def test_module_list():
+    layers = ModuleList(Linear(4, 4, rng=np.random.default_rng(i)) for i in range(3))
+    assert len(layers) == 3
+    assert layers[1] is list(layers)[1]
+    # Parameters visible through the list.
+    parent = Module()
+    parent.layers = layers
+    assert len(list(parent.parameters())) == 6

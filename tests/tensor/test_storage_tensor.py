@@ -1,0 +1,137 @@
+"""Tests for storages, views, device accounting, and tensor basics."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.device import GPU, MemoryTag
+from repro.tensor import ops
+from repro.tensor.storage import UntypedStorage, cpu
+from repro.tensor.tensor import Parameter, Tensor, randn, tensor, zeros
+
+
+def test_storage_charges_ledger(gpu):
+    t = Tensor(np.zeros((10, 10), dtype=np.float32), device=gpu)
+    assert gpu.ledger.current(MemoryTag.ACTIVATIONS) == 400
+
+
+def test_storage_released_by_refcount(gpu):
+    t = Tensor(np.zeros((10, 10), dtype=np.float32), device=gpu)
+    del t
+    gc.collect()
+    assert gpu.ledger.current(MemoryTag.ACTIVATIONS) == 0
+
+
+def test_release_idempotent(gpu):
+    storage = UntypedStorage(np.zeros(10, dtype=np.float32), device=gpu)
+    storage.release()
+    storage.release()
+    assert gpu.ledger.current(MemoryTag.ACTIVATIONS) == 0
+
+
+def test_cpu_storage_not_tracked(gpu):
+    Tensor(np.zeros(10, dtype=np.float32))  # cpu
+    assert gpu.ledger.current() == 0
+
+
+def test_parameter_uses_weights_tag(gpu):
+    Parameter(np.zeros((4, 4), dtype=np.float32), device=gpu)
+    gc.collect()
+    # Parameter was dropped, so nothing live — but the peak registered.
+    assert gpu.ledger.peak(MemoryTag.WEIGHTS) == 64
+
+
+def test_transpose_shares_storage():
+    w = Parameter(np.zeros((3, 5), dtype=np.float32))
+    assert w.T.storage is w.storage
+    assert w.T.shape == (5, 3)
+
+
+def test_reshape_of_contiguous_shares_storage():
+    x = Tensor(np.zeros((4, 6), dtype=np.float32), requires_grad=True)
+    y = x.reshape(2, 12)
+    assert y.storage is x.storage
+
+
+def test_view_of_view_shares_root_storage():
+    x = Tensor(np.zeros((2, 3, 4), dtype=np.float32), requires_grad=True)
+    y = x.reshape(6, 4).transpose(0, 1)
+    assert y.storage is x.storage
+
+
+def test_detach_shares_storage_without_graph():
+    x = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+    y = x * 2.0
+    d = y.detach()
+    assert d.storage is y.storage
+    assert d.grad_fn is None
+
+
+def test_metadata_dict_per_storage():
+    x = Tensor(np.zeros(4, dtype=np.float32))
+    x.untyped_storage().metadata["k"] = 42
+    assert x.reshape(2, 2).untyped_storage().metadata["k"] == 42
+
+
+def test_size_and_numel():
+    x = Tensor(np.zeros((3, 5), dtype=np.float32))
+    assert x.size() == (3, 5)
+    assert x.numel == 15
+    assert x.nbytes == 60
+
+
+def test_is_cpu_flag(gpu):
+    assert Tensor(np.zeros(2, dtype=np.float32)).is_cpu
+    assert not Tensor(np.zeros(2, dtype=np.float32), device=gpu).is_cpu
+
+
+def test_to_device_copies(gpu):
+    x = Tensor(np.arange(4, dtype=np.float32))
+    y = x.to(gpu)
+    assert not y.is_cpu
+    y.data[0] = 99
+    assert x.data[0] == 0  # independent copy
+    assert x.to(cpu) is x  # same-device is a no-op
+
+
+def test_float64_downcast():
+    x = Tensor(np.zeros(3))  # float64 in
+    assert x.dtype == np.float32
+
+
+def test_item_and_errors():
+    assert tensor([3.0]).item() == 3.0
+    with pytest.raises(ValueError):
+        tensor([1.0, 2.0]).item()
+
+
+def test_factories(gpu):
+    assert np.all(zeros((2, 2)).data == 0)
+    r = randn((3, 3), device=gpu, rng=np.random.default_rng(0))
+    assert r.shape == (3, 3) and not r.is_cpu
+
+
+def test_op_rejects_cross_device(gpu):
+    a = Tensor(np.zeros(3, dtype=np.float32), device=gpu)
+    b = Tensor(np.zeros(3, dtype=np.float32))
+    with pytest.raises(RuntimeError):
+        ops.add(a, b)
+
+
+def test_fp16_tensors_supported(gpu):
+    x = Tensor(np.zeros((4, 4), dtype=np.float16), device=gpu)
+    assert x.nbytes == 32  # 2 bytes per element
+    y = x + x
+    assert y.dtype == np.float16
+
+
+def test_arithmetic_sugar():
+    a = tensor([1.0, 2.0])
+    b = tensor([3.0, 4.0])
+    assert np.allclose((a + b).data, [4, 6])
+    assert np.allclose((b - a).data, [2, 2])
+    assert np.allclose((a * b).data, [3, 8])
+    assert np.allclose((b / 2).data, [1.5, 2])
+    assert np.allclose((2.0 * a).data, [2, 4])
+    assert np.allclose((1.0 - a).data, [0, -1])

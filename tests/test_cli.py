@@ -1,0 +1,69 @@
+"""Tests for the artifact-regeneration CLI."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in COMMANDS:
+        assert name in out
+
+
+def test_no_command_lists(capsys):
+    assert main([]) == 0
+    assert "fig6" in capsys.readouterr().out
+
+
+def test_fig1_runs(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu_flops" in out and "growth" in out
+
+
+def test_fig5_runs(capsys):
+    assert main(["fig5"]) == 0
+    out = capsys.readouterr().out
+    assert "Megatron 175B" in out and "ZeRO3" in out
+
+
+def test_fig7_respects_hidden_flag(capsys):
+    assert main(["fig7", "--hidden", "8192"]) == 0
+    out = capsys.readouterr().out
+    assert "offload" in out and "recompute" in out
+
+
+def test_fig8a_runs(capsys):
+    assert main(["fig8a"]) == 0
+    assert "update" in capsys.readouterr().out
+
+
+def test_fig8b_runs(capsys):
+    assert main(["fig8b"]) == 0
+    assert "reference" in capsys.readouterr().out
+
+
+def test_table3_runs(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "offloaded" in out and "estimate" in out
+
+
+def test_memory_zero_stages(capsys):
+    assert main(["memory", "--zero", "3", "--layers", "4", "--hidden", "1024"]) == 0
+    out = capsys.readouterr().out
+    assert "optimizer" in out and "activations" in out
+
+
+def test_fig2_renders_timeline(capsys):
+    assert main(["fig2", "--hidden", "8192"]) == 0
+    out = capsys.readouterr().out
+    assert "gpu" in out and "store" in out
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["not-a-figure"])

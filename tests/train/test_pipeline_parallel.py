@@ -1,0 +1,144 @@
+"""Tests for pipeline schedules and parallelism cost models."""
+
+import pytest
+
+from repro.train.parallel import ParallelismConfig, ZeroStage
+from repro.train.pipeline import (
+    ScheduleKind,
+    ideal_bubble_fraction,
+    max_resident_microbatches,
+    simulate_pipeline,
+)
+
+
+# -------------------------------------------------------------------- pipeline
+def test_single_stage_has_no_bubble():
+    sched = simulate_pipeline(1, 4, 1.0, 2.0)
+    assert sched.bubble_time == pytest.approx(0.0, abs=1e-9)
+    assert sched.step_time == pytest.approx(12.0)
+
+
+def test_gpipe_matches_closed_form():
+    p, m, tf, tb = 4, 8, 1.0, 2.0
+    sched = simulate_pipeline(p, m, tf, tb, ScheduleKind.GPIPE)
+    # T = (m + p - 1) * (tf + tb)
+    assert sched.step_time == pytest.approx((m + p - 1) * (tf + tb))
+    assert sched.bubble_fraction == pytest.approx(ideal_bubble_fraction(p, m))
+
+
+def test_1f1b_matches_closed_form():
+    p, m, tf, tb = 4, 8, 1.0, 2.0
+    sched = simulate_pipeline(p, m, tf, tb, ScheduleKind.ONE_F_ONE_B)
+    assert sched.step_time == pytest.approx((m + p - 1) * (tf + tb))
+
+
+def test_bubble_shrinks_with_more_microbatches():
+    fracs = [
+        simulate_pipeline(4, m, 1.0, 2.0, ScheduleKind.ONE_F_ONE_B).bubble_fraction
+        for m in (1, 2, 4, 8, 16)
+    ]
+    assert all(a > b for a, b in zip(fracs, fracs[1:]))
+
+
+def test_paper_bloom_bubble_example():
+    """Sec. IV-D: BLOOM-style setup — mini-batch of 32 per DP rank; with
+    micro-batch size >= 4 (i.e. <= 8 micro-batches), the ideal bubble is
+    >= 11.5% for the BLOOM pipeline depth (12 stages)."""
+    assert ideal_bubble_fraction(12, 8) >= 0.115
+
+
+def test_1f1b_bounds_resident_microbatches():
+    """The reason 1F1B is preferred: stage 0 of GPipe holds all m
+    micro-batches' activations, 1F1B at most p."""
+    assert max_resident_microbatches(ScheduleKind.GPIPE, 4, 16) == 16
+    assert max_resident_microbatches(ScheduleKind.ONE_F_ONE_B, 4, 16) == 4
+    assert max_resident_microbatches(ScheduleKind.ONE_F_ONE_B, 4, 2) == 2
+
+
+def test_pipeline_task_dependencies_hold():
+    sched = simulate_pipeline(3, 4, 1.0, 2.0, ScheduleKind.ONE_F_ONE_B)
+    f_end = {}
+    b_end = {}
+    for t in sched.tasks:
+        if t.kind == "F":
+            f_end[(t.stage, t.microbatch)] = t.end
+        else:
+            b_end[(t.stage, t.microbatch)] = t.end
+    for (s, m), end in f_end.items():
+        if s > 0:
+            assert f_end[(s - 1, m)] <= end - 1.0 + 1e-9  # F dep
+    for (s, m), end in b_end.items():
+        assert f_end[(s, m)] <= end - 2.0 + 1e-9
+        if s < 2:
+            assert b_end[(s + 1, m)] <= end - 2.0 + 1e-9
+
+
+def test_pipeline_no_stage_overlap():
+    sched = simulate_pipeline(3, 5, 1.0, 2.0, ScheduleKind.ONE_F_ONE_B)
+    by_stage = {}
+    for t in sched.tasks:
+        by_stage.setdefault(t.stage, []).append((t.start, t.end))
+    for intervals in by_stage.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert e1 <= s2 + 1e-9
+
+
+def test_pipeline_validation():
+    with pytest.raises(ValueError):
+        simulate_pipeline(0, 1, 1.0, 1.0)
+    with pytest.raises(ValueError):
+        simulate_pipeline(1, 1, 0.0, 1.0)
+    with pytest.raises(ValueError):
+        ideal_bubble_fraction(0, 1)
+
+
+# ------------------------------------------------------------------- parallel
+def test_num_gpus():
+    par = ParallelismConfig(tp=8, pp=12, dp=4)
+    assert par.num_gpus == 384  # the Megatron 175B config
+
+
+def test_params_sharding():
+    par = ParallelismConfig(tp=8, pp=12, dp=4)
+    assert par.params_per_gpu(96e9) == pytest.approx(1e9)
+    zero3 = ParallelismConfig(tp=8, dp=48, zero_stage=ZeroStage.WEIGHTS)
+    assert zero3.params_per_gpu(384e9) == pytest.approx(1e9)
+
+
+def test_layers_per_stage_ceil():
+    assert ParallelismConfig(pp=4).layers_per_gpu(10) == 3
+
+
+def test_tp_comm_zero_without_tp():
+    par = ParallelismConfig(tp=1)
+    assert par.tp_comm_time_per_layer(8, 1024, 4096) == 0.0
+
+
+def test_tp_comm_positive_and_scales_with_payload():
+    par = ParallelismConfig(tp=4)
+    small = par.tp_comm_time_per_layer(1, 1024, 4096)
+    big = par.tp_comm_time_per_layer(8, 1024, 4096)
+    assert 0 < small < big
+
+
+def test_zero_comm_requires_stage3_and_dp():
+    no_zero = ParallelismConfig(dp=8)
+    assert no_zero.zero_comm_time_per_layer(1e9) == 0.0
+    zero3_dp1 = ParallelismConfig(dp=1, zero_stage=ZeroStage.WEIGHTS)
+    assert zero3_dp1.zero_comm_time_per_layer(1e9) == 0.0
+    zero3 = ParallelismConfig(dp=8, zero_stage=ZeroStage.WEIGHTS)
+    assert zero3.zero_comm_time_per_layer(1e9) > 0
+
+
+def test_optimizer_state_sharding():
+    assert ParallelismConfig(dp=4).optimizer_state_factor() == 1.0
+    assert (
+        ParallelismConfig(dp=4, zero_stage=ZeroStage.OPTIMIZER).optimizer_state_factor()
+        == 0.25
+    )
+
+
+def test_parallel_validation():
+    with pytest.raises(ValueError):
+        ParallelismConfig(tp=0)

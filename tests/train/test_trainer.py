@@ -1,0 +1,157 @@
+"""Tests for the trainer and the three placement strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadPolicy, PolicyConfig, SSDOffloader, TensorCache
+from repro.data import SyntheticCorpus, TokenBatchLoader
+from repro.models import GPT, ModelConfig
+from repro.optim import SGD
+from repro.train import PlacementStrategy, Trainer
+
+
+def _trainer(gpu, config, strategy, tmp_path=None, num_microbatches=1):
+    model = GPT(config, rng=np.random.default_rng(0)).to(gpu)
+    opt = SGD(model.parameters(), lr=1e-3)
+    cache = None
+    if strategy is PlacementStrategy.OFFLOAD:
+        cache = TensorCache(
+            SSDOffloader(tmp_path / "trainer"),
+            policy=OffloadPolicy(PolicyConfig(min_offload_numel=64)),
+        )
+    return Trainer(
+        model, opt, gpu, strategy=strategy, cache=cache, num_microbatches=num_microbatches
+    )
+
+
+def _batches(gpu, config, n, seed=0):
+    loader = TokenBatchLoader(
+        SyntheticCorpus(vocab_size=config.vocab_size, seed=seed),
+        batch_size=2,
+        seq_len=config.seq_len,
+        device=gpu,
+    )
+    return [loader.next_batch() for _ in range(n)]
+
+
+def test_keep_strategy_step(gpu, tiny_gpt_config):
+    trainer = _trainer(gpu, tiny_gpt_config, PlacementStrategy.KEEP)
+    result = trainer.train_step(_batches(gpu, tiny_gpt_config, 1))
+    assert np.isfinite(result.loss)
+    assert result.step_time_s > 0
+    assert result.activation_peak_bytes > 0
+    assert result.algorithmic_flops > 0
+    assert result.offloaded_bytes == 0
+
+
+def test_offload_strategy_step(gpu, tiny_gpt_config, tmp_path):
+    trainer = _trainer(gpu, tiny_gpt_config, PlacementStrategy.OFFLOAD, tmp_path)
+    try:
+        result = trainer.train_step(_batches(gpu, tiny_gpt_config, 1))
+        assert result.offloaded_bytes > 0
+        assert np.isfinite(result.loss)
+    finally:
+        trainer.close()
+
+
+def test_recompute_strategy_executes_more_flops(gpu, tiny_gpt_config):
+    keep = _trainer(gpu, tiny_gpt_config, PlacementStrategy.KEEP)
+    r_keep = keep.train_step(_batches(gpu, tiny_gpt_config, 1))
+    rec_cfg = tiny_gpt_config.scaled(recompute=True)
+    rec = _trainer(gpu, rec_cfg, PlacementStrategy.RECOMPUTE)
+    r_rec = rec.train_step(_batches(gpu, rec_cfg, 1))
+    assert r_rec.executed_flops > 1.2 * r_keep.executed_flops
+    assert r_rec.algorithmic_flops == pytest.approx(r_keep.algorithmic_flops, rel=1e-6)
+
+
+def test_all_strategies_same_loss(gpu, tiny_gpt_config, tmp_path):
+    batches = _batches(gpu, tiny_gpt_config, 1)
+    losses = {}
+    for strategy in PlacementStrategy:
+        config = tiny_gpt_config.scaled(
+            recompute=strategy is PlacementStrategy.RECOMPUTE
+        )
+        trainer = _trainer(gpu, config, strategy, tmp_path)
+        try:
+            losses[strategy] = trainer.train_step(batches).loss
+        finally:
+            trainer.close()
+    vals = list(losses.values())
+    assert all(v == pytest.approx(vals[0], abs=1e-5) for v in vals)
+
+
+def test_gradient_accumulation_equivalence(gpu, tiny_gpt_config):
+    """2 micro-batches with loss/2 each must equal averaging the losses."""
+    batches = _batches(gpu, tiny_gpt_config, 2)
+
+    # Accumulated run.
+    model_a = GPT(tiny_gpt_config, rng=np.random.default_rng(0)).to(gpu)
+    opt_a = SGD(model_a.parameters(), lr=1.0)
+    trainer = Trainer(model_a, opt_a, gpu, num_microbatches=2)
+    result = trainer.train_step(batches)
+
+    # Manual equivalent.
+    model_b = GPT(tiny_gpt_config, rng=np.random.default_rng(0)).to(gpu)
+    for tokens, targets in batches:
+        (model_b(tokens, targets) * 0.5).backward()
+    grads_b = {n: p.grad.data.copy() for n, p in model_b.named_parameters()}
+    # trainer applied opt.step() with lr=1: w_after = w_before - grad
+    model_c = GPT(tiny_gpt_config, rng=np.random.default_rng(0)).to(gpu)
+    for (name_a, p_a), (name_c, p_c) in zip(
+        model_a.named_parameters(), model_c.named_parameters()
+    ):
+        np.testing.assert_allclose(
+            p_a.data, p_c.data - grads_b[name_a], rtol=1e-4, atol=1e-5
+        )
+
+
+def test_trainer_validation(gpu, tiny_gpt_config, tmp_path):
+    model = GPT(tiny_gpt_config).to(gpu)
+    opt = SGD(model.parameters(), lr=1e-3)
+    with pytest.raises(ValueError):
+        Trainer(model, opt, gpu, strategy=PlacementStrategy.OFFLOAD, cache=None)
+    cache = TensorCache(SSDOffloader(tmp_path / "v"))
+    try:
+        with pytest.raises(ValueError):
+            Trainer(model, opt, gpu, strategy=PlacementStrategy.KEEP, cache=cache)
+    finally:
+        cache.shutdown()
+
+
+def test_wrong_microbatch_count_rejected(gpu, tiny_gpt_config):
+    trainer = _trainer(gpu, tiny_gpt_config, PlacementStrategy.KEEP, num_microbatches=2)
+    with pytest.raises(ValueError):
+        trainer.train_step(_batches(gpu, tiny_gpt_config, 1))
+
+
+def test_offload_trainer_multi_step_loss_decreases(gpu, tmp_path):
+    config = ModelConfig(
+        arch="gpt", hidden=64, num_layers=2, vocab_size=61, seq_len=16, head_dim=16
+    )
+    trainer = _trainer(gpu, config, PlacementStrategy.OFFLOAD, tmp_path)
+    try:
+        losses = [
+            trainer.train_step(_batches(gpu, config, 1, seed=s)).loss
+            for s in range(6)
+        ]
+        assert min(losses[3:]) < losses[0]
+    finally:
+        trainer.close()
+
+
+def test_offload_trainer_with_microbatches(gpu, tiny_gpt_config, tmp_path):
+    trainer = _trainer(
+        gpu, tiny_gpt_config, PlacementStrategy.OFFLOAD, tmp_path, num_microbatches=2
+    )
+    try:
+        result = trainer.train_step(_batches(gpu, tiny_gpt_config, 2))
+        assert np.isfinite(result.loss)
+        assert result.offloaded_bytes > 0
+    finally:
+        trainer.close()
+
+
+def test_step_result_throughput(gpu, tiny_gpt_config):
+    trainer = _trainer(gpu, tiny_gpt_config, PlacementStrategy.KEEP)
+    result = trainer.train_step(_batches(gpu, tiny_gpt_config, 1))
+    assert result.model_throughput_tflops() > 0

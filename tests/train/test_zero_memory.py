@@ -1,0 +1,97 @@
+"""Tests for the ZeRO memory breakdown model."""
+
+import pytest
+
+from repro.models.config import ModelConfig
+from repro.train.parallel import ParallelismConfig, ZeroStage
+from repro.train.zero_memory import MemoryBreakdown, max_microbatch_size, zero_memory_breakdown
+
+CFG = ModelConfig(arch="gpt", hidden=12288, num_layers=24, seq_len=1024)
+
+
+def test_breakdown_categories_positive():
+    b = zero_memory_breakdown(CFG, 8)
+    assert b.parameters > 0 and b.gradients > 0 and b.optimizer > 0
+    assert b.activations > 0
+    assert b.total == pytest.approx(b.others + b.activations)
+
+
+def test_zero_stages_shard_progressively():
+    par = lambda stage: ParallelismConfig(dp=8, zero_stage=stage)
+    none = zero_memory_breakdown(CFG, 8, par(ZeroStage.NONE))
+    s1 = zero_memory_breakdown(CFG, 8, par(ZeroStage.OPTIMIZER))
+    s2 = zero_memory_breakdown(CFG, 8, par(ZeroStage.GRADS))
+    s3 = zero_memory_breakdown(CFG, 8, par(ZeroStage.WEIGHTS))
+    # Stage 1 shards optimizer only.
+    assert s1.optimizer == pytest.approx(none.optimizer / 8)
+    assert s1.gradients == none.gradients
+    # Stage 2 adds gradients.
+    assert s2.gradients == pytest.approx(none.gradients / 8)
+    assert s2.parameters == none.parameters
+    # Stage 3 adds parameters.
+    assert s3.parameters == pytest.approx(none.parameters / 8)
+    # Activations are never sharded by ZeRO.
+    assert s3.activations == none.activations
+
+
+def test_zero_without_dp_is_noop():
+    s3 = zero_memory_breakdown(
+        CFG, 8, ParallelismConfig(dp=1, zero_stage=ZeroStage.WEIGHTS)
+    )
+    none = zero_memory_breakdown(CFG, 8)
+    assert s3.parameters == none.parameters
+
+
+def test_tp_pp_shard_everything_resident():
+    none = zero_memory_breakdown(CFG, 8)
+    sharded = zero_memory_breakdown(CFG, 8, ParallelismConfig(tp=2, pp=2))
+    assert sharded.parameters == pytest.approx(none.parameters / 4)
+    assert sharded.activations < none.activations  # layers/TP split
+
+
+def test_activation_dominance_in_recent_llm_configs():
+    """Sec. I: "About 80% of the GPU memory used to train recent LLMs
+    consists of activations" — holds once optimizer state is ZeRO-sharded
+    across the DP group (standard in those systems)."""
+    par = ParallelismConfig(tp=8, dp=8, zero_stage=ZeroStage.OPTIMIZER)
+    b = zero_memory_breakdown(CFG, 32, par)
+    assert b.activation_fraction > 0.7
+
+
+def test_paper_fp16_sgd_recipe_shrinks_others():
+    adam = zero_memory_breakdown(CFG, 8)
+    sgd = zero_memory_breakdown(CFG, 8, optimizer_bytes_per_param=0.0)
+    assert sgd.others < adam.others
+    assert sgd.optimizer == 0.0
+
+
+def test_offload_fraction_scales_activations():
+    full = zero_memory_breakdown(CFG, 8)
+    half = zero_memory_breakdown(CFG, 8, offload_fraction=0.5)
+    assert half.activations == pytest.approx(full.activations / 2)
+    with pytest.raises(ValueError):
+        zero_memory_breakdown(CFG, 8, offload_fraction=1.5)
+
+
+def test_max_microbatch_grows_with_offloading():
+    budget = 40 * 1024**3  # one A100
+    par = ParallelismConfig(tp=8, dp=8, zero_stage=ZeroStage.OPTIMIZER)
+    without = max_microbatch_size(CFG, budget, parallelism=par)
+    with_offload = max_microbatch_size(
+        CFG, budget, parallelism=par, offload_fraction=0.8
+    )
+    assert with_offload > without >= 1
+
+
+def test_max_microbatch_zero_when_weights_dont_fit():
+    tiny_budget = 1024**3  # 1 GiB cannot hold a 24-layer 12288 model
+    assert max_microbatch_size(CFG, tiny_budget) == 0
+    with pytest.raises(ValueError):
+        max_microbatch_size(CFG, 0)
+
+
+def test_as_dict_roundtrip():
+    b = zero_memory_breakdown(CFG, 4)
+    d = b.as_dict()
+    assert set(d) == {"parameters", "gradients", "optimizer", "activations"}
+    assert sum(d.values()) == pytest.approx(b.total)
