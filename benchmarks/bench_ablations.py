@@ -9,9 +9,16 @@ design point sits:
   look-ahead window;
 - **keep-last-module off** — why Fig. 2 keeps the last module;
 - **data forwarding off** — what the store/load race costs without it;
-- **GDS direct vs CPU bounce buffer** — the Sec. II-D motivation.
+- **GDS direct vs CPU bounce buffer** — the Sec. II-D motivation;
+- **CPU-pool-size sweep** — how much pinned host memory buys down the
+  required SSD write bandwidth in the tiered hierarchy;
+- **chunk coalescing** — SSD write-count reduction from packing small
+  activations into fixed-size chunks.
 """
 
+import tempfile
+
+import numpy as np
 import pytest
 
 from repro.analysis.perf_model import model_param_count, weight_update_time
@@ -140,3 +147,68 @@ def test_ablation_gds_vs_bounce_buffer(benchmark):
     # up — it falls back to forwarding (losing memory savings) or stalls.
     assert d.io_stall_time_s == 0.0 and d.forwarded_bytes == 0
     assert b.forwarded_bytes > 0 or b.io_stall_time_s > 0
+
+
+def test_ablation_cpu_pool_sweep(benchmark):
+    """Tiered offload: pinned-pool capacity vs required SSD bandwidth."""
+
+    def sweep():
+        rows = []
+        for pool_gib in (0, 1, 2, 4, 8, 16):
+            rows.append(
+                (pool_gib, _offload(cpu_pool_bytes=pool_gib * 2**30 or None))
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    lines = [f"{'CPU pool':>8} {'to CPU':>8} {'to SSD':>8} {'stall':>8} {'SSD BW req':>11}"]
+    for pool_gib, r in rows:
+        lines.append(
+            f"{pool_gib:>6}GB {r.offloaded_cpu_bytes / 2**30:>6.1f}GB "
+            f"{r.offloaded_ssd_bytes / 2**30:>6.1f}GB "
+            f"{r.io_stall_time_s * 1e3:>6.1f}ms "
+            f"{r.required_ssd_write_bandwidth_gbps():>9.1f}GB/s"
+        )
+    emit("Ablation — pinned-CPU pool size sweep (tiered offload)", lines)
+    # Every row moves the same total; a bigger pool absorbs more of it and
+    # monotonically lowers the bandwidth the SSD array must sustain.
+    totals = {r.offloaded_bytes for _, r in rows}
+    assert len(totals) == 1
+    ssd_bw = [r.required_ssd_write_bandwidth_gbps() for _, r in rows]
+    assert all(a >= b for a, b in zip(ssd_bw, ssd_bw[1:]))
+    assert rows[-1][1].offloaded_ssd_bytes == 0  # 16 GiB swallows this workload
+
+
+def test_ablation_chunk_coalescing(benchmark):
+    """SSD write count: one file per tensor vs fixed-size chunk files."""
+    from repro.core import SSDOffloader
+    from repro.core.ids import TensorID
+
+    rng = np.random.default_rng(0)
+    # A quickstart-step-sized activation stream: many small tensors.
+    tensors = [
+        (TensorID(stamp=i, shape=(4, 64, 32)), rng.standard_normal((4, 64, 32)).astype(np.float32))
+        for i in range(48)
+    ]
+
+    def run():
+        with tempfile.TemporaryDirectory(prefix="abl-per-") as per_dir, \
+                tempfile.TemporaryDirectory(prefix="abl-chunk-") as chunk_dir:
+            per = SSDOffloader(per_dir)
+            chunked = SSDOffloader(chunk_dir, chunk_bytes=2**20)
+            for tid, data in tensors:
+                per.store(tid, data)
+                chunked.store(tid, data)
+            counts = (per.file_store.write_count, chunked.file_store.write_count)
+            per.shutdown()
+            chunked.shutdown()
+        return counts
+
+    per_writes, chunk_writes = benchmark(run)
+    lines = [
+        f"per-tensor files: {per_writes} writes",
+        f"1 MiB chunks:     {chunk_writes} writes "
+        f"({per_writes / max(chunk_writes, 1):.0f}x fewer)",
+    ]
+    emit("Ablation — chunk coalescing (SSD write count)", lines)
+    assert per_writes >= 4 * max(chunk_writes, 1)

@@ -1,9 +1,10 @@
 """Shared constants and helpers for the paper-figure benchmarks.
 
 Every file in this directory regenerates one table or figure of the paper
-(see DESIGN.md's experiment index).  Run with::
+(see the README's benchmark index).  The ``bench_*.py`` names keep these
+out of the default pytest collection, so point pytest at the files::
 
-    pytest benchmarks/ --benchmark-only -s
+    pytest benchmarks/bench_*.py --benchmark-only -s
 
 ``-s`` shows the regenerated rows/series next to the timing output.
 """

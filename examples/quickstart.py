@@ -1,22 +1,32 @@
 """Quickstart: train a small GPT with SSDTrain activation offloading.
 
 Runs the same training twice — activations kept in (simulated) GPU memory
-vs offloaded through the tensor cache to a local directory standing in for
-the NVMe array — and shows that losses match exactly while the activation
-memory peak drops.
+vs offloaded through the tensor cache — and shows that losses match
+exactly while the activation memory peak drops.
+
+The offload target is selectable (the ``--target`` axis of the CLI):
+
+- ``ssd``    — the paper's configuration: one file per tensor on the
+  NVMe stand-in directory (add ``chunk_bytes`` for coalesced chunks);
+- ``cpu``    — host pinned-memory pool only;
+- ``tiered`` — the GPU -> pinned-CPU -> SSD hierarchy with demotion and
+  promotion (:class:`~repro.core.tiered.TieredOffloader`).
 
 Usage::
 
     python examples/quickstart.py
+    python -m repro quickstart --target tiered --cpu-pool-bytes 262144
+    python -m repro quickstart --chunk-bytes 1048576
 """
 
 from __future__ import annotations
 
 import tempfile
+from typing import Optional
 
 import numpy as np
 
-from repro.core import OffloadPolicy, PolicyConfig, SSDOffloader, TensorCache
+from repro.core import OffloadPolicy, PolicyConfig, TensorCache, make_offloader
 from repro.data import SyntheticCorpus, TokenBatchLoader
 from repro.device import GPU
 from repro.models import GPT, ModelConfig
@@ -29,7 +39,12 @@ CONFIG = ModelConfig(
 STEPS = 5
 
 
-def run(offload: bool) -> dict:
+def run(
+    offload: bool,
+    target: str = "ssd",
+    cpu_pool_bytes: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
+) -> dict:
     gpu = GPU()
     model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
     optimizer = SGD(model.parameters(), lr=5e-3)
@@ -37,12 +52,20 @@ def run(offload: bool) -> dict:
     cache = None
     if offload:
         # The "few lines added to the existing script" (paper Sec. III-A):
-        # build a cache over an SSD-backed offloader; the Trainer registers
-        # the weights, attaches the hooks, and wires the scheduler hints.
+        # build a cache over a config-selected offloader; the Trainer
+        # registers the weights, attaches the hooks, and wires the
+        # scheduler hints.
         store_dir = tempfile.mkdtemp(prefix="ssdtrain-quickstart-")
+        policy = OffloadPolicy(PolicyConfig(min_offload_numel=1024))
         cache = TensorCache(
-            SSDOffloader(store_dir),
-            policy=OffloadPolicy(PolicyConfig(min_offload_numel=1024)),
+            make_offloader(
+                target,
+                store_dir=store_dir,
+                cpu_pool_bytes=cpu_pool_bytes,
+                chunk_bytes=chunk_bytes,
+                policy=policy,  # one policy governs decide() and place()
+            ),
+            policy=policy,
         )
 
     trainer = Trainer(
@@ -60,21 +83,41 @@ def run(offload: bool) -> dict:
     )
 
     losses, peaks, offloaded = [], [], 0
+    tier_stats = None
     try:
         for _ in range(STEPS):
             result = trainer.train_step([loader.next_batch()])
             losses.append(result.loss)
             peaks.append(result.activation_peak_bytes)
             offloaded += result.offloaded_bytes
+        if cache is not None:
+            tier_stats = getattr(cache.offloader, "stats", None)
     finally:
         trainer.close()
-    return {"losses": losses, "peak": max(peaks[1:] or peaks), "offloaded": offloaded}
+    return {
+        "losses": losses,
+        "peak": max(peaks[1:] or peaks),
+        "offloaded": offloaded,
+        "tier_stats": tier_stats,
+    }
 
 
-def main() -> None:
-    print(f"Training GPT (H={CONFIG.hidden}, L={CONFIG.num_layers}) for {STEPS} steps\n")
+def main(
+    target: str = "ssd",
+    cpu_pool_bytes: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
+) -> None:
+    print(f"Training GPT (H={CONFIG.hidden}, L={CONFIG.num_layers}) for {STEPS} steps")
+    print(f"offload target: {target}"
+          + (f"  cpu_pool={cpu_pool_bytes}B" if cpu_pool_bytes is not None else "")
+          + (f"  chunk={chunk_bytes}B" if chunk_bytes is not None else "") + "\n")
     baseline = run(offload=False)
-    ssdtrain = run(offload=True)
+    ssdtrain = run(
+        offload=True,
+        target=target,
+        cpu_pool_bytes=cpu_pool_bytes,
+        chunk_bytes=chunk_bytes,
+    )
 
     print(f"{'step':>4} {'loss (keep)':>12} {'loss (SSDTrain)':>16}")
     for i, (a, b) in enumerate(zip(baseline["losses"], ssdtrain["losses"])):
@@ -83,7 +126,13 @@ def main() -> None:
     reduction = 1 - ssdtrain["peak"] / baseline["peak"]
     print(f"\nactivation memory peak: {baseline['peak'] / 1e6:.2f} MB -> "
           f"{ssdtrain['peak'] / 1e6:.2f} MB  ({reduction:.0%} reduction)")
-    print(f"bytes offloaded to 'SSD': {ssdtrain['offloaded'] / 1e6:.2f} MB")
+    print(f"bytes offloaded to '{target}': {ssdtrain['offloaded'] / 1e6:.2f} MB")
+    stats = ssdtrain["tier_stats"]
+    if stats is not None:
+        print(f"tier traffic: cpu={stats.cpu_stored_bytes / 1e6:.2f} MB "
+              f"ssd={stats.ssd_stored_bytes / 1e6:.2f} MB "
+              f"demoted={stats.demoted_bytes / 1e6:.2f} MB "
+              f"promoted={stats.promoted_bytes / 1e6:.2f} MB")
     assert all(
         abs(a - b) < 1e-4 for a, b in zip(baseline["losses"], ssdtrain["losses"])
     ), "offloaded training must match the baseline exactly"

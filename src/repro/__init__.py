@@ -2,9 +2,9 @@
 
 Reproduces "SSDTrain: An Activation Offloading Framework to SSDs for
 Faster Large Language Model Training" (DAC 2025, arXiv:2408.10013) as a
-self-contained Python library.  See README.md for the architecture tour,
-DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-paper-vs-reproduction numbers.
+self-contained Python library.  See README.md for the quickstart and
+architecture overview, and docs/architecture.md for the internals tour
+(activation state machine, data-forwarding rule, tier/chunk design).
 
 Top-level convenience re-exports cover the common entry points::
 
@@ -19,6 +19,9 @@ from repro.core import (
     SSDOffloader,
     TensorCache,
     TensorIDRegistry,
+    Tier,
+    TieredOffloader,
+    make_offloader,
 )
 from repro.device import GPU, MemoryTag
 from repro.models import BERT, GPT, ModelConfig, T5
@@ -31,6 +34,9 @@ __all__ = [
     "TensorCache",
     "SSDOffloader",
     "CPUOffloader",
+    "TieredOffloader",
+    "Tier",
+    "make_offloader",
     "OffloadPolicy",
     "PolicyConfig",
     "TensorIDRegistry",

@@ -16,6 +16,7 @@ This package reimplements the modeling layer of the paper:
 from repro.analysis.perf_model import (
     LayerPerf,
     StepPerf,
+    TierTransferModel,
     layer_activation_inventory,
     model_step_perf,
     transformer_layer_perf,
@@ -32,6 +33,7 @@ from repro.analysis.scaling import TrendPoint, fit_growth_rate, fig1_series
 __all__ = [
     "LayerPerf",
     "StepPerf",
+    "TierTransferModel",
     "layer_activation_inventory",
     "transformer_layer_perf",
     "model_step_perf",

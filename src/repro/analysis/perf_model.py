@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.device.gpu import GPUSpec, KernelTimingModel, A100_PCIE_40GB
+from repro.device.pcie import GPU_LINK_GEN4_X16
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig
 from repro.train.pipeline import ScheduleKind, ideal_bubble_fraction
@@ -335,6 +336,57 @@ def model_step_perf(
         algorithmic_flops=flops * num_microbatches,
         params_per_gpu=params_per_gpu,
     )
+
+
+@dataclass(frozen=True)
+class TierTransferModel:
+    """Per-step transfer projection for tiered (GPU -> CPU -> SSD) offload.
+
+    The bounded pinned pool absorbs the first ``cpu_pool_bytes`` of each
+    step's offload traffic at PCIe speed; only the spill beyond it pays
+    SSD bandwidth.  The two channels run concurrently (separate store
+    pools in the functional engine, separate lanes in the simulator), so
+    the transfer completes when the slower channel finishes.  This is the
+    analytic core behind the ``--cpu-pool-bytes`` sweeps: it answers how
+    much pool shrinks the *required SSD write bandwidth* of Table III.
+
+    Attributes:
+        cpu_pool_bytes: CPU-tier capacity available to one step.
+        ssd_bandwidth: SSD channel bandwidth (bytes/s).
+        cpu_bandwidth: CPU channel bandwidth; defaults to the PCIe 4.0
+            x16 GPU link, the ceiling for host-pinned transfers.
+    """
+
+    cpu_pool_bytes: int
+    ssd_bandwidth: float
+    cpu_bandwidth: float = GPU_LINK_GEN4_X16.bandwidth
+
+    def __post_init__(self) -> None:
+        if self.cpu_pool_bytes < 0:
+            raise ValueError(f"cpu_pool_bytes must be >= 0: {self.cpu_pool_bytes}")
+        if self.ssd_bandwidth <= 0 or self.cpu_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    def split(self, total_bytes: int) -> Tuple[int, int]:
+        """(cpu_bytes, ssd_bytes) for one step's offload traffic."""
+        cpu_bytes = min(total_bytes, self.cpu_pool_bytes)
+        return cpu_bytes, total_bytes - cpu_bytes
+
+    def transfer_time(self, total_bytes: int) -> float:
+        """Time for the concurrent two-channel transfer to complete."""
+        cpu_bytes, ssd_bytes = self.split(total_bytes)
+        return max(cpu_bytes / self.cpu_bandwidth, ssd_bytes / self.ssd_bandwidth)
+
+    def effective_bandwidth(self, total_bytes: int) -> float:
+        """Aggregate offload bandwidth the hierarchy delivers."""
+        time_s = self.transfer_time(total_bytes)
+        return total_bytes / time_s if time_s > 0 else float("inf")
+
+    def required_ssd_write_bandwidth(self, total_bytes: int, step_time_s: float) -> float:
+        """Table III's requirement, reduced by the pool's absorption: the
+        SSD must only sustain the spilled bytes over half the step."""
+        _, ssd_bytes = self.split(total_bytes)
+        return ssd_bytes / (step_time_s / 2.0)
 
 
 def model_param_count(config: ModelConfig) -> float:

@@ -13,6 +13,11 @@ Usage::
     python -m repro table3               # offload amount vs estimate
     python -m repro memory [--zero N]    # ZeRO memory breakdown (extension)
     python -m repro quickstart           # functional offloaded training demo
+    python -m repro tiers                # CPU-pool-size sweep (tiered offload)
+
+The functional quickstart drives any backend: ``--target ssd|cpu|tiered``
+plus ``--cpu-pool-bytes`` (CPU-tier capacity) and ``--chunk-bytes``
+(SSD chunk coalescing) select the three-tier configuration.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
+from repro.core.offloader import OFFLOAD_TARGETS
 from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig, ZeroStage
@@ -168,7 +174,47 @@ def cmd_memory(args: argparse.Namespace) -> None:
 def cmd_quickstart(args: argparse.Namespace) -> None:
     from examples.quickstart import main as quickstart_main
 
-    quickstart_main()
+    cpu_pool_bytes = args.cpu_pool_bytes
+    if cpu_pool_bytes is None and args.target == "tiered":
+        cpu_pool_bytes = 1 << 20  # 1 MiB pool suits the quickstart model
+    quickstart_main(
+        target=args.target,
+        cpu_pool_bytes=cpu_pool_bytes,
+        chunk_bytes=args.chunk_bytes,
+    )
+
+
+def cmd_tiers(args: argparse.Namespace) -> None:
+    """Sweep the pinned-CPU pool size through the tiered step simulator,
+    with the analytic :class:`TierTransferModel` prediction alongside."""
+    from repro.analysis.perf_model import TierTransferModel
+    from repro.sim import simulate_strategy
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    keep = simulate_strategy(
+        config, args.batch, PlacementStrategy.KEEP, SSD_WRITE_BW, SSD_READ_BW,
+        parallelism=EVAL_PAR,
+    )
+    if args.cpu_pool_bytes is not None:
+        pools = [args.cpu_pool_bytes]
+    else:
+        pools = [0, 2 * 2**30, 4 * 2**30, 8 * 2**30, 16 * 2**30]
+    print(f"{'CPU pool':>9} {'to CPU':>8} {'to SSD':>8} {'overhead':>9} "
+          f"{'stall':>8} {'SSD BW req':>11} {'analytic':>9}")
+    for pool in pools:
+        r = simulate_strategy(
+            config, args.batch, PlacementStrategy.OFFLOAD, SSD_WRITE_BW, SSD_READ_BW,
+            parallelism=EVAL_PAR, cpu_pool_bytes=pool or None,
+        )
+        analytic = TierTransferModel(
+            cpu_pool_bytes=pool, ssd_bandwidth=SSD_WRITE_BW
+        ).required_ssd_write_bandwidth(r.offloaded_bytes, r.step_time_s)
+        print(f"{pool / 2**30:>7.0f}GB {r.offloaded_cpu_bytes / 2**30:>6.1f}GB "
+              f"{r.offloaded_ssd_bytes / 2**30:>6.1f}GB "
+              f"{r.step_time_s / keep.step_time_s - 1:>8.2%} "
+              f"{r.io_stall_time_s * 1e3:>6.1f}ms "
+              f"{r.required_ssd_write_bandwidth_gbps():>9.1f}GB/s "
+              f"{analytic / 1e9:>7.1f}GB/s")
 
 
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
@@ -182,6 +228,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table3": cmd_table3,
     "memory": cmd_memory,
     "quickstart": cmd_quickstart,
+    "tiers": cmd_tiers,
 }
 
 
@@ -200,6 +247,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--tp", type=int, default=2)
             p.add_argument("--dp", type=int, default=4)
             p.add_argument("--zero", type=int, default=0, choices=[0, 1, 2, 3])
+        if name == "quickstart":
+            p.add_argument(
+                "--target", choices=OFFLOAD_TARGETS, default="ssd",
+                help="offload backend: per-tensor SSD files, pinned-CPU pool, "
+                     "or the GPU->CPU->SSD tier hierarchy",
+            )
+        if name in ("quickstart", "tiers"):
+            p.add_argument(
+                "--cpu-pool-bytes", type=int, default=None,
+                help="pinned-CPU tier capacity in bytes",
+            )
+        if name == "quickstart":
+            p.add_argument(
+                "--chunk-bytes", type=int, default=None,
+                help="coalesce SSD writes into chunks of this size",
+            )
     return parser
 
 

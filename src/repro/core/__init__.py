@@ -5,9 +5,12 @@ Public surface:
 - :class:`~repro.core.tensor_cache.TensorCache` — the tensor cache that
   offloads activations during forward and prefetches them during backward.
 - :class:`~repro.core.offloader.SSDOffloader` /
-  :class:`~repro.core.offloader.CPUOffloader` — transfer backends.
+  :class:`~repro.core.offloader.CPUOffloader` /
+  :class:`~repro.core.tiered.TieredOffloader` — transfer backends
+  (:func:`~repro.core.offloader.make_offloader` builds one from a config
+  target string).
 - :class:`~repro.core.policy.OffloadPolicy` / ``PolicyConfig`` — Alg. 1
-  decisions and knobs.
+  decisions, knobs, and the :class:`~repro.core.policy.Tier` placement.
 - :class:`~repro.core.ids.TensorIDRegistry` — ``get_id()`` deduplication
   and weight exclusion.
 - :mod:`~repro.core.adaptive` — offload budget sizing from model/hardware.
@@ -16,8 +19,23 @@ Public surface:
 """
 
 from repro.core.ids import TensorID, TensorIDRegistry
-from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
-from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
+from repro.core.policy import (
+    Decision,
+    KeepReason,
+    OffloadPolicy,
+    PolicyConfig,
+    StepAccounting,
+    Tier,
+)
+from repro.core.offloader import (
+    CPUOffloader,
+    OFFLOAD_TARGETS,
+    Offloader,
+    PinnedMemoryPool,
+    SSDOffloader,
+    make_offloader,
+)
+from repro.core.tiered import TieredOffloader, TierStats
 from repro.core.tensor_cache import ActivationRecord, CacheStats, RecordState, TensorCache
 from repro.core.adaptive import WorkloadProfile, choose_offload_budget, configure_policy
 from repro.core.hints import SchedulerHints, Stage, patch_schedule
@@ -33,7 +51,12 @@ __all__ = [
     "Offloader",
     "SSDOffloader",
     "CPUOffloader",
+    "TieredOffloader",
+    "TierStats",
+    "Tier",
     "PinnedMemoryPool",
+    "OFFLOAD_TARGETS",
+    "make_offloader",
     "TensorCache",
     "ActivationRecord",
     "CacheStats",

@@ -11,21 +11,28 @@ from a target":
 - :class:`CPUOffloader` — host-memory target backed by a pre-allocated
   pinned pool whose size is fixed after profiling the first training step
   (Sec. III-A; the paper keeps it for future work on remote storage).
+- :class:`~repro.core.tiered.TieredOffloader` — composes both into a
+  capacity-aware GPU -> pinned-CPU -> SSD hierarchy (see
+  :mod:`repro.core.tiered`).
 
-Both expose the same API: an async ``store`` returning an
-:class:`~repro.io.aio.IOJob` and a synchronous ``load`` executed on the
-load pool by the cache.
+All expose the same API: an async ``store`` returning an
+:class:`~repro.io.aio.IOJob`, a synchronous ``load`` executed on the
+load pool by the cache, and a ``release`` that reclaims the backing
+space once the cache drops the record.  :func:`make_offloader` builds
+any of them from a config/CLI-style target string.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.ids import TensorID
+from repro.core.policy import Tier
 from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.chunkstore import ChunkedTensorStore
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import GDSRegistry
 from repro.tensor.tensor import Tensor
@@ -33,6 +40,14 @@ from repro.tensor.tensor import Tensor
 
 class Offloader:
     """Abstract transfer backend."""
+
+    #: Tier reported for stored tensors; single-target backends are static,
+    #: the tiered offloader overrides :meth:`tier_of` per tensor.
+    default_tier: Tier = Tier.SSD
+
+    def tier_of(self, tid: TensorID) -> Tier:
+        """Which tier holds ``tid`` after a completed store."""
+        return self.default_tier
 
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         """Synchronously persist ``data`` under ``tid`` (runs on a pool)."""
@@ -46,6 +61,20 @@ class Offloader:
         """Human-readable location (the record's "file path" column, Fig. 4)."""
         raise NotImplementedError
 
+    def release(self, tid: TensorID) -> None:
+        """Reclaim the backing space of one tensor (idempotent).
+
+        The default covers backends that expose a ``file_store`` (delete
+        the file / decrement the chunk refcount) or an ``evict`` method
+        (drop the host buffer), so legacy backends work unchanged.
+        """
+        file_store = getattr(self, "file_store", None)
+        if file_store is not None:
+            file_store.delete(tid.filename())
+        evict = getattr(self, "evict", None)
+        if evict is not None:
+            evict(tid)
+
     def shutdown(self) -> None:
         """Release backend resources (idempotent)."""
 
@@ -58,6 +87,10 @@ class SSDOffloader(Offloader):
         throttle_bytes_per_s: optional bandwidth cap for tests.
         array: SSD wear-model to charge with traffic.
         gds: registry emulating the CUDA-malloc-hook GDS registration.
+        chunk_bytes: if set, back the offloader with a
+            :class:`~repro.io.chunkstore.ChunkedTensorStore` of this chunk
+            size — small activations coalesce into one sequential write
+            per chunk instead of one file per tensor.
     """
 
     def __init__(
@@ -66,10 +99,20 @@ class SSDOffloader(Offloader):
         throttle_bytes_per_s: Optional[float] = None,
         array=None,
         gds: Optional[GDSRegistry] = None,
+        chunk_bytes: Optional[int] = None,
     ) -> None:
-        self.file_store = TensorFileStore(
-            store_dir, throttle_bytes_per_s=throttle_bytes_per_s, array=array
-        )
+        self.file_store: Union[TensorFileStore, ChunkedTensorStore]
+        if chunk_bytes is not None:
+            self.file_store = ChunkedTensorStore(
+                store_dir,
+                chunk_bytes=chunk_bytes,
+                throttle_bytes_per_s=throttle_bytes_per_s,
+                array=array,
+            )
+        else:
+            self.file_store = TensorFileStore(
+                store_dir, throttle_bytes_per_s=throttle_bytes_per_s, array=array
+            )
         self.gds = gds if gds is not None else GDSRegistry()
 
     def register_tensor(self, tensor: Tensor) -> None:
@@ -139,6 +182,8 @@ class PinnedMemoryPool:
 class CPUOffloader(Offloader):
     """Host-memory offloader backed by the pinned pool."""
 
+    default_tier = Tier.CPU
+
     def __init__(self, pool: Optional[PinnedMemoryPool] = None) -> None:
         self.pool = pool if pool is not None else PinnedMemoryPool()
         self._lock = threading.Lock()
@@ -160,6 +205,12 @@ class CPUOffloader(Offloader):
             raise KeyError(f"tensor {tid} not in host pool")
         return buf.reshape(shape).astype(dtype, copy=True)
 
+    def peek(self, tid: TensorID) -> Optional[np.ndarray]:
+        """The stored buffer itself (no copy) — used by tier demotion,
+        which hands the bytes straight to the SSD store."""
+        with self._lock:
+            return self._buffers.get(tid)
+
     def evict(self, tid: TensorID) -> None:
         with self._lock:
             buf = self._buffers.pop(tid, None)
@@ -169,9 +220,78 @@ class CPUOffloader(Offloader):
     def location(self, tid: TensorID) -> str:
         return f"pinned://{tid.filename()}"
 
+    def contains(self, tid: TensorID) -> bool:
+        with self._lock:
+            return tid in self._buffers
+
     def shutdown(self) -> None:
         with self._lock:
             buffers = list(self._buffers.values())
             self._buffers.clear()
         for buf in buffers:
             self.pool.free(buf.nbytes)
+
+
+#: Target names accepted by :func:`make_offloader` (the CLI/config axis).
+OFFLOAD_TARGETS = ("ssd", "cpu", "tiered")
+
+
+def make_offloader(
+    target: str,
+    store_dir=None,
+    cpu_pool_bytes: Optional[int] = None,
+    chunk_bytes: Optional[int] = None,
+    throttle_bytes_per_s: Optional[float] = None,
+    array=None,
+    policy=None,
+) -> Offloader:
+    """Build a transfer backend from a config/CLI target string.
+
+    Args:
+        target: ``"ssd"`` (per-tensor or chunked files), ``"cpu"``
+            (pinned host pool), or ``"tiered"`` (GPU -> CPU -> SSD
+            hierarchy, see :class:`~repro.core.tiered.TieredOffloader`).
+        store_dir: backing directory; required for ``ssd``/``tiered``.
+        cpu_pool_bytes: pinned-pool capacity (``cpu``/``tiered``);
+            ``None`` means unbounded for ``cpu`` and is rejected for
+            ``tiered`` (a tier needs a boundary to spill over).
+        chunk_bytes: enable chunk coalescing on the SSD path.
+        policy: the :class:`~repro.core.policy.OffloadPolicy` governing
+            tier placement (``tiered`` only).  Pass the same policy you
+            hand to :class:`~repro.core.tensor_cache.TensorCache` so
+            knobs like ``cpu_tier_max_tensor_bytes`` take effect.
+    """
+    from repro.core.tiered import TieredOffloader  # circular-import guard
+
+    # Reject knobs that would be silently inert for the chosen target —
+    # an experiment flag that does nothing is worse than an error.
+    if target == "cpu" and chunk_bytes is not None:
+        raise ValueError("chunk_bytes applies to the ssd/tiered targets, not cpu")
+    if target == "ssd" and cpu_pool_bytes is not None:
+        raise ValueError("cpu_pool_bytes applies to the cpu/tiered targets, not ssd")
+
+    if target == "ssd":
+        if store_dir is None:
+            raise ValueError("ssd target requires store_dir")
+        return SSDOffloader(
+            store_dir,
+            throttle_bytes_per_s=throttle_bytes_per_s,
+            array=array,
+            chunk_bytes=chunk_bytes,
+        )
+    if target == "cpu":
+        return CPUOffloader(PinnedMemoryPool(cpu_pool_bytes))
+    if target == "tiered":
+        if store_dir is None:
+            raise ValueError("tiered target requires store_dir")
+        if cpu_pool_bytes is None:
+            raise ValueError("tiered target requires cpu_pool_bytes")
+        return TieredOffloader(
+            store_dir,
+            cpu_pool_bytes=cpu_pool_bytes,
+            chunk_bytes=chunk_bytes,
+            throttle_bytes_per_s=throttle_bytes_per_s,
+            array=array,
+            policy=policy,
+        )
+    raise ValueError(f"unknown offload target {target!r}; expected one of {OFFLOAD_TARGETS}")

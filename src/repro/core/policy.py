@@ -28,6 +28,14 @@ class Decision(enum.Enum):
     OFFLOAD = "offload"            # managed, stored to the offload target
 
 
+class Tier(enum.Enum):
+    """Placement tiers of the offload hierarchy (hot -> cold)."""
+
+    GPU = "gpu"    # resident (KEEP decisions / not yet stored)
+    CPU = "cpu"    # bounded pinned host pool
+    SSD = "ssd"    # NVMe file / chunk store
+
+
 class KeepReason(enum.Enum):
     BUDGET_REACHED = "budget_reached"
     IN_BACKWARD = "in_backward"
@@ -47,11 +55,17 @@ class PolicyConfig:
             (Fig. 3 "Set: offload size").
         keep_last_module: keep activations packed inside the final
             top-level module, whose backward begins immediately.
+        cpu_tier_max_tensor_bytes: tiered runs only — tensors larger than
+            this bypass the pinned-CPU pool and go straight to SSD (large
+            sequential writes are exactly what the SSD is good at, while
+            the scarce pinned pool is reserved for the small/warm
+            tensors).  ``None`` lets any tensor that fits use the pool.
     """
 
     min_offload_numel: int = 2**20
     offload_budget_bytes: Optional[int] = None
     keep_last_module: bool = True
+    cpu_tier_max_tensor_bytes: Optional[int] = None
 
 
 @dataclass
@@ -105,6 +119,29 @@ class OffloadPolicy:
         if self.budget_reached(accounting) or in_backward or in_keep_scope:
             return Decision.KEEP
         return Decision.OFFLOAD
+
+    def place(self, *, nbytes: int, cpu_free_bytes: Optional[int]) -> Tier:
+        """Tier placement for one OFFLOAD-decided tensor.
+
+        Args:
+            nbytes: tensor size.
+            cpu_free_bytes: free capacity of the pinned pool right now;
+                ``None`` means no CPU tier is configured.
+
+        The warm pinned pool takes any tensor that fits (unless it exceeds
+        ``cpu_tier_max_tensor_bytes``); everything else spills to SSD.
+        Demotion of colder pool residents to make room is the tiered
+        offloader's job — the policy only answers "where does this tensor
+        go *now*".
+        """
+        if cpu_free_bytes is None:
+            return Tier.SSD
+        limit = self.config.cpu_tier_max_tensor_bytes
+        if limit is not None and nbytes > limit:
+            return Tier.SSD
+        if nbytes <= cpu_free_bytes:
+            return Tier.CPU
+        return Tier.SSD
 
     def keep_reason(
         self,

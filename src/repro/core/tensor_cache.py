@@ -32,7 +32,14 @@ import numpy as np
 
 from repro.core.ids import TensorID, TensorIDRegistry
 from repro.core.offloader import Offloader
-from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.core.policy import (
+    Decision,
+    KeepReason,
+    OffloadPolicy,
+    PolicyConfig,
+    StepAccounting,
+    Tier,
+)
 from repro.io.aio import AsyncIOPool, IOJob
 from repro.tensor import flags
 from repro.tensor.module import Module, RemovableHandle
@@ -75,6 +82,7 @@ class ActivationRecord:
         "error",
         "lock",
         "location",
+        "tier",
     )
 
     def __init__(self, tid: TensorID, tensor: Tensor) -> None:
@@ -93,6 +101,9 @@ class ActivationRecord:
         self.error: Optional[BaseException] = None
         self.lock = threading.Lock()
         self.location = "gpu"
+        #: Which tier holds the backing copy (GPU until a store completes;
+        #: a tiered offloader reports CPU or SSD via ``tier_of``).
+        self.tier = Tier.GPU
 
 
 @dataclass
@@ -175,6 +186,20 @@ class TensorCache:
         self._segment_order: List[int] = []
         self._last_segment_id: Optional[int] = None
         self._shutdown = False
+        # A tiered backend moves tensors between tiers behind the cache's
+        # back (demotion on pool pressure, promotion on load); subscribe
+        # so each record's tier/location column stays truthful.
+        set_listener = getattr(offloader, "set_tier_listener", None)
+        if set_listener is not None:
+            set_listener(self._on_tier_change)
+
+    def _on_tier_change(self, tid: TensorID, tier: Tier) -> None:
+        rec = self._find_record(tid)
+        if rec is None:
+            return
+        with rec.lock:
+            rec.tier = tier
+            rec.location = self.offloader.location(tid)
 
     # ------------------------------------------------------------- plumbing
     @property
@@ -294,9 +319,14 @@ class TensorCache:
         self.accounting.reset()
 
     def _delete_backing(self, tid: TensorID) -> None:
-        delete = getattr(self.offloader, "file_store", None)
-        if delete is not None:
-            delete.delete(tid.filename())
+        release = getattr(self.offloader, "release", None)
+        if release is not None:
+            release(tid)
+            return
+        # Legacy duck-typed backends without the Offloader.release API.
+        store = getattr(self.offloader, "file_store", None)
+        if store is not None:
+            store.delete(tid.filename())
         evict = getattr(self.offloader, "evict", None)
         if evict is not None:
             evict(tid)
@@ -435,6 +465,7 @@ class TensorCache:
                 rec.error = job.error
                 rec.loaded_event.set()
                 return
+            self._refresh_placement_locked(rec)
             if rec.forwarded:
                 # A consumer already adopted the in-memory reference; the
                 # record stays resident (data forwarding, Sec. III-C2).
@@ -443,6 +474,17 @@ class TensorCache:
             else:
                 rec.tensor = None  # release GPU memory via refcount
                 rec.state = RecordState.OFFLOADED
+
+    def _refresh_placement_locked(self, rec: ActivationRecord) -> None:
+        """Re-read where the offloader put the record; caller holds rec.lock.
+
+        A tiered backend only knows the landing tier once the store (or a
+        promotion/demotion) has actually happened, so the record's Fig. 4
+        "file path" column and tier are refreshed after each transfer.
+        """
+        rec.location = self.offloader.location(rec.tid)
+        tier_of = getattr(self.offloader, "tier_of", None)
+        rec.tier = tier_of(rec.tid) if tier_of is not None else Tier.SSD
 
     def unpack_hook(self, obj: Any) -> Any:
         """Alg. 1 ``unpack_hook``: wait for availability, return the tensor."""
@@ -532,6 +574,9 @@ class TensorCache:
             with record.lock:
                 record.tensor = tensor
                 record.state = RecordState.LOADED
+                # A tiered backend may have promoted the backing copy
+                # (SSD -> CPU) as part of this load; re-read placement.
+                self._refresh_placement_locked(record)
                 record.loaded_event.set()
             self.stats.loaded_tensors += 1
             self.stats.loaded_bytes += record.nbytes

@@ -1,0 +1,281 @@
+"""Tiered offloading: GPU -> pinned CPU pool -> SSD (chunked or per-file).
+
+The paper's tensor cache drives exactly one transfer target.  This module
+composes the existing backends into a capacity-aware hierarchy in the
+PatrickStar / ColossalAI ``StatefulTensor`` tradition:
+
+- **GPU** — hot: KEEP-decided records never reach the offloader;
+- **CPU** — warm: a bounded :class:`~repro.core.offloader.PinnedMemoryPool`
+  absorbs stores at PCIe speed.  When the pool fills, the **least
+  recently used** residents are *demoted* to SSD to make room (write-back,
+  not write-through: a tensor lives in exactly one tier);
+- **SSD** — cold: the file/chunk store; with ``chunk_bytes`` set, small
+  demotions coalesce into one sequential chunk write
+  (:class:`~repro.io.chunkstore.ChunkedTensorStore`).
+
+Loads *promote*: reading an SSD-resident tensor copies it back into the
+pool when there is room, so a re-read (recomputation replays, multi-scope
+saves, repeated prefetch) hits host memory instead of the SSD.
+
+Placement is a policy decision
+(:meth:`~repro.core.policy.OffloadPolicy.place`): the pool takes any
+tensor under ``cpu_tier_max_tensor_bytes`` that the pool *could* hold;
+making room by demotion is this module's job.
+
+The class implements the full :class:`~repro.core.offloader.Offloader`
+API, so an unchanged :class:`~repro.core.tensor_cache.TensorCache` can
+drive all three tiers; the cache additionally records each record's tier
+(:attr:`ActivationRecord.tier`) by calling :meth:`tier_of` when a store
+completes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.ids import TensorID
+from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
+from repro.core.policy import OffloadPolicy, Tier
+from repro.io.gds import GDSRegistry
+from repro.tensor.tensor import Tensor
+
+
+@dataclass
+class TierStats:
+    """Cumulative tier-traffic counters (benchmark / test surface)."""
+
+    cpu_stored_tensors: int = 0
+    cpu_stored_bytes: int = 0
+    ssd_stored_tensors: int = 0     # direct-to-SSD stores (policy bypass)
+    ssd_stored_bytes: int = 0
+    demotions: int = 0              # CPU -> SSD spills on pool pressure
+    demoted_bytes: int = 0
+    promotions: int = 0             # SSD -> CPU copies on load
+    promoted_bytes: int = 0
+    cpu_hits: int = 0               # loads served from the pinned pool
+    cpu_hit_bytes: int = 0
+    ssd_loads: int = 0
+    ssd_loaded_bytes: int = 0
+
+
+class TieredOffloader(Offloader):
+    """Capacity-aware multi-backend offloader.
+
+    Args:
+        store_dir: directory for the SSD tier's files.
+        cpu_pool_bytes: pinned pool capacity — the CPU tier's size.
+        chunk_bytes: if set, the SSD tier coalesces tensors into chunks
+            of this size (one physical write per chunk).
+        policy: supplies the tier-placement rule; defaults to a fresh
+            :class:`OffloadPolicy` (pool-first placement).
+        promote_on_load: copy SSD-resident tensors back into the pool on
+            load when there is free room (no demotion is triggered for a
+            promotion — promotions must never thrash the warm set).
+        throttle_bytes_per_s / array / gds: forwarded to the SSD tier.
+    """
+
+    def __init__(
+        self,
+        store_dir,
+        cpu_pool_bytes: int,
+        chunk_bytes: Optional[int] = None,
+        policy: Optional[OffloadPolicy] = None,
+        promote_on_load: bool = True,
+        throttle_bytes_per_s: Optional[float] = None,
+        array=None,
+        gds: Optional[GDSRegistry] = None,
+    ) -> None:
+        if cpu_pool_bytes < 0:
+            raise ValueError(f"cpu_pool_bytes must be >= 0: {cpu_pool_bytes}")
+        self.cpu = CPUOffloader(PinnedMemoryPool(cpu_pool_bytes))
+        self.ssd = SSDOffloader(
+            store_dir,
+            throttle_bytes_per_s=throttle_bytes_per_s,
+            array=array,
+            gds=gds,
+            chunk_bytes=chunk_bytes,
+        )
+        self.policy = policy if policy is not None else OffloadPolicy()
+        self.promote_on_load = promote_on_load
+        self.stats = TierStats()
+        # Coarse lock over placement metadata and tier moves.  I/O on the
+        # cache's store/load pools serializes through it; the functional
+        # engine models mechanism, not device parallelism, so correctness
+        # of the demote/promote/forward dance wins over overlap here.
+        self._lock = threading.RLock()
+        self._tier: Dict[TensorID, Tier] = {}
+        #: CPU-resident tids in LRU order (oldest first = first demoted).
+        self._lru: "OrderedDict[TensorID, int]" = OrderedDict()
+        #: Observer for demotions/promotions (the cache keeps its Fig. 4
+        #: records' tier column truthful through it).
+        self._tier_listener: Optional[Callable[[TensorID, Tier], None]] = None
+
+    def set_tier_listener(self, listener: Callable[[TensorID, Tier], None]) -> None:
+        """Register a callback fired after a tensor moves tier (demotion
+        or promotion).  Called with no offloader lock held."""
+        self._tier_listener = listener
+
+    def _fire(self, events: List[Tuple[TensorID, Tier]]) -> None:
+        listener = self._tier_listener
+        if listener is None:
+            return
+        for tid, tier in events:
+            listener(tid, tier)
+
+    # -------------------------------------------------------------- plumbing
+    @property
+    def file_store(self):
+        """The SSD tier's store (tests/trace tooling read its counters)."""
+        return self.ssd.file_store
+
+    @property
+    def pool(self) -> PinnedMemoryPool:
+        return self.cpu.pool
+
+    @property
+    def cpu_capacity_bytes(self) -> int:
+        return self.pool.capacity_bytes or 0
+
+    def cpu_free_bytes(self) -> int:
+        return max(0, self.cpu_capacity_bytes - self.pool.used)
+
+    def register_tensor(self, tensor: Tensor) -> None:
+        """GDS registration for the direct-to-SSD path."""
+        self.ssd.register_tensor(tensor)
+
+    def tier_of(self, tid: TensorID) -> Tier:
+        """Which tier currently holds ``tid`` (GPU if never stored)."""
+        with self._lock:
+            return self._tier.get(tid, Tier.GPU)
+
+    # ------------------------------------------------------------------ store
+    def store(self, tid: TensorID, data: np.ndarray) -> None:
+        events: List[Tuple[TensorID, Tier]] = []
+        nbytes = int(np.asarray(data).nbytes)
+        with self._lock:
+            # The policy sees the capacity the pool *could* free: every
+            # resident is demotable, so the whole pool is reclaimable.
+            placement = self.policy.place(
+                nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
+            )
+            # Re-store: drop the old backing copy first.  A cross-tier
+            # move would otherwise leak it (orphaned SSD file / pinned
+            # chunk refcount), and a CPU-tier overwrite must free its old
+            # bytes *before* _make_room or it demotes an innocent victim.
+            old = self._tier.get(tid)
+            if old is Tier.CPU:
+                self.cpu.evict(tid)
+                self._lru.pop(tid, None)
+            elif old is Tier.SSD and placement is not Tier.SSD:
+                self.ssd.release(tid)
+            if placement is Tier.CPU:
+                self._make_room(nbytes, events)
+                self.cpu.store(tid, data)
+                self._tier[tid] = Tier.CPU
+                self._lru[tid] = nbytes
+                self._lru.move_to_end(tid)
+                self.stats.cpu_stored_tensors += 1
+                self.stats.cpu_stored_bytes += nbytes
+            else:
+                self.ssd.store(tid, data)
+                self._tier[tid] = Tier.SSD
+                self.stats.ssd_stored_tensors += 1
+                self.stats.ssd_stored_bytes += nbytes
+        self._fire(events)
+
+    def _make_room(self, nbytes: int, events: List[Tuple[TensorID, Tier]]) -> None:
+        """Demote LRU pool residents until ``nbytes`` fits; holds the lock."""
+        while self._lru and self.cpu_free_bytes() < nbytes:
+            victim, victim_bytes = next(iter(self._lru.items()))
+            self._demote_locked(victim, victim_bytes, events)
+
+    def _demote_locked(
+        self, tid: TensorID, nbytes: int, events: List[Tuple[TensorID, Tier]]
+    ) -> None:
+        buf = self.cpu.peek(tid)
+        if buf is None:  # raced with a release
+            self._lru.pop(tid, None)
+            self._tier.pop(tid, None)
+            return
+        self.ssd.store(tid, buf)
+        self.cpu.evict(tid)
+        self._lru.pop(tid, None)
+        self._tier[tid] = Tier.SSD
+        self.stats.demotions += 1
+        self.stats.demoted_bytes += nbytes
+        events.append((tid, Tier.SSD))
+
+    def demote(self, tid: TensorID) -> bool:
+        """Explicitly spill one CPU-resident tensor to SSD (True if moved)."""
+        events: List[Tuple[TensorID, Tier]] = []
+        with self._lock:
+            nbytes = self._lru.get(tid)
+            if nbytes is None:
+                return False
+            self._demote_locked(tid, nbytes, events)
+        self._fire(events)
+        return True
+
+    # ------------------------------------------------------------------- load
+    def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        events: List[Tuple[TensorID, Tier]] = []
+        with self._lock:
+            tier = self._tier.get(tid)
+            if tier is Tier.CPU:
+                data = self.cpu.load(tid, shape, dtype)
+                self._lru.move_to_end(tid)
+                self.stats.cpu_hits += 1
+                self.stats.cpu_hit_bytes += data.nbytes
+                return data
+            if tier is None:
+                raise KeyError(f"tensor {tid} was never stored in any tier")
+            data = self.ssd.load(tid, shape, dtype)
+            self.stats.ssd_loads += 1
+            self.stats.ssd_loaded_bytes += data.nbytes
+            if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
+                self.cpu.store(tid, data)
+                self.ssd.release(tid)
+                self._tier[tid] = Tier.CPU
+                self._lru[tid] = data.nbytes
+                self.stats.promotions += 1
+                self.stats.promoted_bytes += data.nbytes
+                events.append((tid, Tier.CPU))
+        self._fire(events)
+        return data
+
+    # ---------------------------------------------------------------- reclaim
+    def release(self, tid: TensorID) -> None:
+        with self._lock:
+            tier = self._tier.pop(tid, None)
+            self._lru.pop(tid, None)
+            if tier is Tier.CPU:
+                self.cpu.evict(tid)
+            elif tier is Tier.SSD:
+                self.ssd.release(tid)
+
+    def location(self, tid: TensorID) -> str:
+        with self._lock:
+            tier = self._tier.get(tid)
+        if tier is Tier.CPU:
+            return f"tier:cpu:{self.cpu.location(tid)}"
+        if tier is Tier.SSD:
+            return f"tier:ssd:{self.ssd.location(tid)}"
+        return f"tier:gpu:{tid.filename()}"
+
+    def flush(self) -> None:
+        """Flush a partially-filled SSD chunk, if the SSD tier is chunked."""
+        flush = getattr(self.ssd.file_store, "flush", None)
+        if flush is not None:
+            flush()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._tier.clear()
+            self._lru.clear()
+        self.cpu.shutdown()
+        self.ssd.shutdown()

@@ -4,12 +4,16 @@
   cache runs one pool for stores and one for loads, Sec. III-C2).
 - :class:`~repro.io.filestore.TensorFileStore` — real file-backed tensor
   persistence with optional bandwidth throttling and SSD wear accounting.
+- :class:`~repro.io.chunkstore.ChunkedTensorStore` — chunk-coalescing
+  variant: many small tensors per fixed-size chunk file, one sequential
+  write per chunk, refcounted space reclaim.
 - :mod:`~repro.io.gds` — GPUDirect Storage path model: direct GPU<->SSD
   transfers vs. a CPU bounce buffer, plus the CUDA-malloc-hook registration
   emulation (Sec. III-A).
 """
 
 from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.chunkstore import ChunkedTensorStore, DEFAULT_CHUNK_BYTES
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import BounceBufferPath, DirectGDSPath, GDSRegistry
 
@@ -17,6 +21,8 @@ __all__ = [
     "AsyncIOPool",
     "IOJob",
     "TensorFileStore",
+    "ChunkedTensorStore",
+    "DEFAULT_CHUNK_BYTES",
     "GDSRegistry",
     "DirectGDSPath",
     "BounceBufferPath",

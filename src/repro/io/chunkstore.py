@@ -1,0 +1,324 @@
+"""Chunk-coalescing tensor persistence: batched SSD I/O.
+
+The per-tensor :class:`~repro.io.filestore.TensorFileStore` issues one
+file write per activation.  At quickstart scale that is dozens of tiny
+writes per step; on a real NVMe array the small-write penalty (FTL
+write-amplification, per-request latency) dominates long before the
+sequential bandwidth ceiling is reached.  PatrickStar-style chunk-based
+memory managers solve this by packing tensors into fixed-size chunks and
+moving whole chunks between tiers.
+
+:class:`ChunkedTensorStore` applies the same idea to the SSD path:
+
+- ``write`` appends the tensor's bytes to the current *open chunk* (an
+  in-memory buffer); nothing touches the filesystem until the chunk
+  reaches ``chunk_bytes``, at which point the whole chunk is flushed as
+  **one** sequential file write;
+- ``read`` serves tensors still in the open chunk straight from memory
+  (the chunk-level analogue of data forwarding) and otherwise does one
+  ranged read (seek + read) into the flushed chunk file;
+- every chunk keeps a **refcount** of the live tensors inside it;
+  ``delete`` decrements it, and when a chunk's refcount hits zero its
+  file is unlinked — space is reclaimed at chunk granularity, like the
+  paper's per-step file deletion but amortized.
+
+The store intentionally mirrors the :class:`TensorFileStore` API
+(``write`` / ``read`` / ``delete`` / ``clear`` / ``path_for`` + stats)
+so :class:`~repro.core.offloader.SSDOffloader` can swap it in behind an
+unchanged :class:`~repro.core.tensor_cache.TensorCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.device.ssd import RAID0Array, SSD
+
+#: Default chunk size: 4 MiB — large enough that a P5800X-class SSD sees
+#: near-sequential bandwidth, small enough to bound the open-chunk buffer.
+DEFAULT_CHUNK_BYTES = 4 * 2**20
+
+
+@dataclass
+class _ChunkMeta:
+    """Bookkeeping for one flushed chunk file."""
+
+    chunk_id: int
+    total_bytes: int
+    refcount: int
+    live_bytes: int
+
+
+@dataclass
+class _TensorLoc:
+    """Where one tensor's bytes live: (chunk, byte offset, length)."""
+
+    chunk_id: int
+    offset: int
+    nbytes: int
+
+
+class ChunkedTensorStore:
+    """Packs tensors into fixed-size chunk files written in one I/O each.
+
+    Args:
+        root: directory for chunk files (created if missing).
+        chunk_bytes: flush threshold for the open chunk.  A tensor larger
+            than this triggers an immediate flush: the open chunk —
+            including that tensor and any smaller ones buffered before
+            it — is written as one oversized file in a single I/O.
+        throttle_bytes_per_s: optional bandwidth cap, matching
+            :class:`TensorFileStore` semantics (applied to chunk flushes
+            and ranged reads).
+        array: optional SSD/RAID0 wear model charged with the traffic.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        throttle_bytes_per_s: Optional[float] = None,
+        array: Optional[Union[SSD, RAID0Array]] = None,
+    ) -> None:
+        if chunk_bytes <= 0:
+            raise ValueError(f"chunk_bytes must be positive: {chunk_bytes}")
+        if throttle_bytes_per_s is not None and throttle_bytes_per_s <= 0:
+            raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.chunk_bytes = chunk_bytes
+        self.throttle_bytes_per_s = throttle_bytes_per_s
+        self.array = array
+
+        self._lock = threading.Lock()
+        self._open_id = 0
+        self._open_buf = bytearray()
+        self._open_entries: Dict[str, _TensorLoc] = {}
+        self._chunks: Dict[int, _ChunkMeta] = {}
+        self._index: Dict[str, _TensorLoc] = {}
+
+        self._bytes_written = 0
+        self._bytes_read = 0
+        self._write_count = 0
+        self._read_count = 0
+        self._reclaimed_bytes = 0
+        self._open_dead_bytes = 0
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def bytes_written(self) -> int:
+        with self._lock:
+            return self._bytes_written
+
+    @property
+    def bytes_read(self) -> int:
+        with self._lock:
+            return self._bytes_read
+
+    @property
+    def write_count(self) -> int:
+        """Physical chunk-file writes — the number tests compare against
+        the per-tensor store's one-write-per-tensor count."""
+        with self._lock:
+            return self._write_count
+
+    @property
+    def read_count(self) -> int:
+        with self._lock:
+            return self._read_count
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        """Bytes of chunk files unlinked after their refcount hit zero."""
+        with self._lock:
+            return self._reclaimed_bytes
+
+    @property
+    def dead_bytes(self) -> int:
+        """Bytes still occupying storage whose tensors were deleted —
+        holes inside live chunk files plus holes in the open buffer.
+        Chunk-granularity reclaim trades this garbage for the write
+        batching; a whole chunk's worth is recovered at refcount zero."""
+        with self._lock:
+            flushed_holes = sum(
+                meta.total_bytes - meta.live_bytes for meta in self._chunks.values()
+            )
+            return flushed_holes + self._open_dead_bytes
+
+    @property
+    def num_chunks(self) -> int:
+        """Flushed chunks currently on disk."""
+        with self._lock:
+            return len(self._chunks)
+
+    @property
+    def open_chunk_bytes(self) -> int:
+        with self._lock:
+            return len(self._open_buf)
+
+    def refcount(self, chunk_id: int) -> int:
+        """Live-tensor refcount of a flushed chunk (0 if reclaimed)."""
+        with self._lock:
+            meta = self._chunks.get(chunk_id)
+            return meta.refcount if meta is not None else 0
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            self._bytes_written = 0
+            self._bytes_read = 0
+            self._write_count = 0
+            self._read_count = 0
+            self._reclaimed_bytes = 0
+
+    # ------------------------------------------------------------------- I/O
+    def _chunk_path(self, chunk_id: int) -> Path:
+        return self.root / f"chunk{chunk_id}.bin"
+
+    def path_for(self, tensor_id: str) -> Path:
+        """Chunk file holding (or destined to hold) ``tensor_id``."""
+        with self._lock:
+            loc = self._index.get(tensor_id) or self._open_entries.get(tensor_id)
+            chunk_id = loc.chunk_id if loc is not None else self._open_id
+        return self._chunk_path(chunk_id)
+
+    def _throttle(self, nbytes: int, start: float) -> None:
+        if self.throttle_bytes_per_s is None:
+            return
+        required = nbytes / self.throttle_bytes_per_s
+        elapsed = time.monotonic() - start
+        if elapsed < required:
+            time.sleep(required - elapsed)
+
+    def _flush_locked(self) -> None:
+        """Write the open chunk as one file; caller holds the lock."""
+        if not self._open_entries:
+            self._open_buf = bytearray()
+            return
+        chunk_id = self._open_id
+        payload = bytes(self._open_buf)
+        start = time.monotonic()
+        with open(self._chunk_path(chunk_id), "wb") as f:
+            f.write(payload)
+        self._chunks[chunk_id] = _ChunkMeta(
+            chunk_id=chunk_id,
+            total_bytes=len(payload),
+            refcount=len(self._open_entries),
+            live_bytes=sum(loc.nbytes for loc in self._open_entries.values()),
+        )
+        self._index.update(self._open_entries)
+        self._open_entries = {}
+        self._open_buf = bytearray()
+        self._open_dead_bytes = 0  # holes now accounted via chunk metadata
+        self._open_id += 1
+        self._bytes_written += len(payload)
+        self._write_count += 1
+        if self.array is not None:
+            self.array.record_write(len(payload))
+        self._throttle(len(payload), start)
+
+    def write(self, tensor_id: str, data: np.ndarray) -> Path:
+        """Append ``data`` to the open chunk; flush it when full.
+
+        Returns the path of the chunk the tensor lands in.
+        """
+        contiguous = np.ascontiguousarray(data)
+        raw = contiguous.tobytes()
+        with self._lock:
+            self._delete_locked(tensor_id)  # overwrite drops the old copy
+            loc = _TensorLoc(
+                chunk_id=self._open_id, offset=len(self._open_buf), nbytes=len(raw)
+            )
+            self._open_buf.extend(raw)
+            self._open_entries[tensor_id] = loc
+            path = self._chunk_path(loc.chunk_id)
+            if len(self._open_buf) >= self.chunk_bytes:
+                self._flush_locked()
+        return path
+
+    def flush(self) -> None:
+        """Force the partially-filled open chunk to disk (one write)."""
+        with self._lock:
+            self._flush_locked()
+
+    def read(self, tensor_id: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        """Read a tensor back as a fresh array of ``shape``/``dtype``.
+
+        Tensors still in the open chunk are served from memory without any
+        file I/O; flushed tensors cost one ranged read.
+        """
+        start = time.monotonic()
+        with self._lock:
+            open_loc = self._open_entries.get(tensor_id)
+            if open_loc is not None:
+                raw = bytes(
+                    self._open_buf[open_loc.offset : open_loc.offset + open_loc.nbytes]
+                )
+                return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+            loc = self._index.get(tensor_id)
+            if loc is None:
+                raise FileNotFoundError(f"no offloaded tensor {tensor_id!r} in chunk store")
+            path = self._chunk_path(loc.chunk_id)
+        with open(path, "rb") as f:
+            f.seek(loc.offset)
+            raw = f.read(loc.nbytes)
+        data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        self._throttle(loc.nbytes, start)
+        with self._lock:
+            self._bytes_read += loc.nbytes
+            self._read_count += 1
+        if self.array is not None:
+            self.array.record_read(loc.nbytes)
+        return data
+
+    # --------------------------------------------------------------- reclaim
+    def _delete_locked(self, tensor_id: str) -> None:
+        open_loc = self._open_entries.pop(tensor_id, None)
+        if open_loc is not None:
+            self._open_dead_bytes += open_loc.nbytes
+            if not self._open_entries:
+                # Every tensor in the open chunk died before the flush:
+                # drop the buffer, no write ever happens.
+                self._open_buf = bytearray()
+                self._open_dead_bytes = 0
+            return
+        loc = self._index.pop(tensor_id, None)
+        if loc is None:
+            return
+        meta = self._chunks.get(loc.chunk_id)
+        if meta is None:
+            return
+        meta.refcount -= 1
+        meta.live_bytes -= loc.nbytes
+        if meta.refcount <= 0:
+            try:
+                self._chunk_path(meta.chunk_id).unlink()
+            except FileNotFoundError:
+                pass
+            self._reclaimed_bytes += meta.total_bytes
+            del self._chunks[meta.chunk_id]
+
+    def delete(self, tensor_id: str) -> None:
+        """Drop one tensor; unlink its chunk once no live tensor remains."""
+        with self._lock:
+            self._delete_locked(tensor_id)
+
+    def clear(self) -> None:
+        """Remove every chunk file and reset the in-memory state."""
+        with self._lock:
+            self._open_buf = bytearray()
+            self._open_entries = {}
+            self._open_dead_bytes = 0
+            self._index = {}
+            chunk_ids = list(self._chunks)
+            self._chunks = {}
+        for chunk_id in chunk_ids:
+            try:
+                self._chunk_path(chunk_id).unlink()
+            except FileNotFoundError:
+                pass

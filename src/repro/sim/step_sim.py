@@ -17,7 +17,13 @@ Sec. III-C2) — making offload decisions with the *same*
   needed, the in-memory reference is adopted — no load, memory never
   released in between;
 - recompute: only segment inputs are kept; backward replays the forward
-  (executed FLOPs grow, algorithmic FLOPs do not).
+  (executed FLOPs grow, algorithmic FLOPs do not);
+- tiered offload: with ``cpu_pool_bytes`` set, a bounded pinned-CPU pool
+  absorbs offloads on dedicated ``cpu_store``/``cpu_load`` lanes at PCIe
+  bandwidth and only the spill beyond the pool pays SSD bandwidth —
+  the simulator analogue of
+  :class:`~repro.core.tiered.TieredOffloader` (placement only; demotion
+  traffic is a functional-engine concern).
 """
 
 from __future__ import annotations
@@ -35,8 +41,9 @@ from repro.analysis.perf_model import (
     transformer_layer_perf,
     weight_update_time,
 )
-from repro.core.policy import Decision, OffloadPolicy, PolicyConfig, StepAccounting
+from repro.core.policy import Decision, OffloadPolicy, PolicyConfig, StepAccounting, Tier
 from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
+from repro.device.pcie import GPU_LINK_GEN4_X16
 from repro.models.config import ModelConfig
 from repro.sim.timeline import Timeline
 from repro.train.parallel import ParallelismConfig
@@ -77,6 +84,11 @@ class SimResult:
     algorithmic_flops: float
     executed_flops: float
     timeline: Timeline = field(repr=False, default_factory=Timeline)
+    #: Tiered runs: bytes absorbed by the pinned-CPU pool vs spilled to SSD
+    #: (``offloaded_bytes`` is their sum), and the pool's occupancy peak.
+    offloaded_cpu_bytes: int = 0
+    offloaded_ssd_bytes: int = 0
+    cpu_pool_peak_bytes: int = 0
 
     def model_throughput_tflops(self) -> float:
         return self.algorithmic_flops / self.step_time_s / 1e12
@@ -84,6 +96,12 @@ class SimResult:
     def required_write_bandwidth_gbps(self) -> float:
         """Table III row 3: offloaded bytes over half the step time."""
         return self.offloaded_bytes / (self.step_time_s / 2.0) / 1e9
+
+    def required_ssd_write_bandwidth_gbps(self) -> float:
+        """Tiered variant of Table III row 3: only the bytes that actually
+        spill past the CPU pool demand SSD write bandwidth (with no CPU
+        tier configured every offloaded byte is an SSD byte)."""
+        return self.offloaded_ssd_bytes / (self.step_time_s / 2.0) / 1e9
 
 
 def build_segments(
@@ -177,6 +195,9 @@ class StepSimulator:
         recompute_workspace_factor: float = 2.0,
         io_latency_s: float = 20e-6,
         dtype_bytes: int = 2,
+        cpu_pool_bytes: Optional[int] = None,
+        cpu_write_bandwidth: Optional[float] = None,
+        cpu_read_bandwidth: Optional[float] = None,
     ) -> None:
         if write_bandwidth <= 0 or read_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
@@ -207,6 +228,19 @@ class StepSimulator:
         self.prefetch_budget_bytes = prefetch_budget_bytes
         self.io_latency_s = io_latency_s
         self.dtype_bytes = dtype_bytes
+        # Tiered offloading: a bounded pinned-CPU pool absorbs offloads at
+        # PCIe speed; only the spill beyond it pays SSD bandwidth.  The
+        # pool occupies host (not GPU) memory, so its residents do not
+        # count toward the activation peak.  ``None`` disables the tier
+        # (every offload targets the SSD, the paper's configuration).
+        self.cpu_pool_bytes = cpu_pool_bytes
+        link_bw = GPU_LINK_GEN4_X16.bandwidth
+        self.cpu_write_bw = cpu_write_bandwidth if cpu_write_bandwidth is not None else link_bw
+        self.cpu_read_bw = cpu_read_bandwidth if cpu_read_bandwidth is not None else link_bw
+        if self.cpu_pool_bytes is not None and (
+            self.cpu_write_bw <= 0 or self.cpu_read_bw <= 0
+        ):
+            raise ValueError("CPU-tier bandwidths must be positive")
 
     def run(self, weight_update_s: float = 0.0) -> SimResult:
         timeline = Timeline()
@@ -214,8 +248,13 @@ class StepSimulator:
         gpu_t = 0.0
         store_t = 0.0
         load_t = 0.0
+        cpu_store_t = 0.0
+        cpu_load_t = 0.0
         io_stall = 0.0
         offloaded = loaded = forwarded = 0
+        off_cpu = off_ssd = 0
+        cpu_used = 0
+        cpu_peak = 0
         alg_flops = exec_flops = 0.0
         fwd_total = bwd_total = 0.0
 
@@ -227,6 +266,8 @@ class StepSimulator:
             # (None = kept resident).
             store_end: List[List[Optional[float]]] = []
             freed_at_store: List[List[bool]] = []
+            # Landing tier of each offloaded activation (None = kept).
+            store_tier: List[List[Optional[Tier]]] = []
             for si, seg in enumerate(self.segments):
                 seg_start = gpu_t
                 gpu_t += seg.forward_time_s
@@ -236,6 +277,7 @@ class StepSimulator:
                 timeline.record("gpu", f"F{si}", seg_start, gpu_t)
                 ends: List[Optional[float]] = []
                 freed: List[bool] = []
+                tiers: List[Optional[Tier]] = []
                 in_keep_scope = (
                     keep_last
                     and si >= len(self.segments) - self.keep_last_segments
@@ -247,6 +289,7 @@ class StepSimulator:
                     timeline.alloc(seg_start, seg.input_bytes)
                     store_end.append([None] * len(seg.activations))
                     freed_at_store.append([False] * len(seg.activations))
+                    store_tier.append([None] * len(seg.activations))
                     continue
 
                 count = len(seg.activations)
@@ -259,6 +302,7 @@ class StepSimulator:
                     if self.strategy is not PlacementStrategy.OFFLOAD:
                         ends.append(None)
                         freed.append(False)
+                        tiers.append(None)
                         continue
                     decision = self.policy.decide(
                         is_weight=False,
@@ -270,21 +314,48 @@ class StepSimulator:
                         accounting=accounting,
                     )
                     if decision is Decision.OFFLOAD:
-                        start = max(store_t, produced)
-                        done = start + self.io_latency_s + act.nbytes / self.write_bw
-                        store_t = done
-                        timeline.record("store", f"s{si}", start, done)
+                        cpu_free = (
+                            self.cpu_pool_bytes - cpu_used
+                            if self.cpu_pool_bytes is not None
+                            else None
+                        )
+                        tier = self.policy.place(
+                            nbytes=act.nbytes, cpu_free_bytes=cpu_free
+                        )
+                        if tier is Tier.CPU:
+                            start = max(cpu_store_t, produced)
+                            done = (
+                                start
+                                + self.io_latency_s
+                                + act.nbytes / self.cpu_write_bw
+                            )
+                            cpu_store_t = done
+                            timeline.record("cpu_store", f"c{si}", start, done)
+                            cpu_used += act.nbytes
+                            cpu_peak = max(cpu_peak, cpu_used)
+                            off_cpu += act.nbytes
+                        else:
+                            start = max(store_t, produced)
+                            done = (
+                                start + self.io_latency_s + act.nbytes / self.write_bw
+                            )
+                            store_t = done
+                            timeline.record("store", f"s{si}", start, done)
+                            off_ssd += act.nbytes
                         accounting.offloaded_bytes += act.nbytes
                         offloaded += act.nbytes
                         ends.append(done)
                         freed.append(True)
+                        tiers.append(tier)
                         timeline.free(done, act.nbytes)
                     else:
                         accounting.kept_bytes += act.nbytes
                         ends.append(None)
                         freed.append(False)
+                        tiers.append(None)
                 store_end.append(ends)
                 freed_at_store.append(freed)
+                store_tier.append(tiers)
 
             # ----------------------------------------------------- backward
             n = len(self.segments)
@@ -306,7 +377,7 @@ class StepSimulator:
                 the current segment (at ``consumption_rate`` bytes/s) has
                 earned them credit.
                 """
-                nonlocal load_t, loaded, forwarded, io_stall
+                nonlocal load_t, cpu_load_t, cpu_used, loaded, forwarded, io_stall
                 seg = self.segments[si]
                 for aj in range(len(seg.activations) - 1, -1, -1):
                     # Consumption is last-produced-first, so load in
@@ -314,6 +385,8 @@ class StepSimulator:
                     act = seg.activations[aj]
                     if (si, aj) in load_end:
                         continue
+                    tier = store_tier[si][aj]
+                    read_bw = self.cpu_read_bw if tier is Tier.CPU else self.read_bw
                     paced_trigger = trigger
                     if credit_state is not None:
                         overdraft = credit_state[0] + act.nbytes - self.prefetch_budget_bytes
@@ -323,13 +396,17 @@ class StepSimulator:
                         # Never let the budget push a load past its need
                         # time: it must complete before the consuming
                         # segment's backward begins (deadline - duration).
-                        load_duration = self.io_latency_s + act.nbytes / self.read_bw
+                        load_duration = self.io_latency_s + act.nbytes / read_bw
                         deadline_start = trigger + deadline_window_s - 1.2 * load_duration
                         paced_trigger = max(trigger, min(paced_trigger, deadline_start))
                     end = store_end[si][aj]
                     if end is None:
                         load_end[(si, aj)] = trigger  # resident (kept)
                         continue
+                    # The backing copy is dropped once the tensor is back
+                    # on the GPU; pool residents return their bytes then.
+                    if tier is Tier.CPU:
+                        cpu_used -= act.nbytes
                     if end > paced_trigger and not freed_at_store[si][aj]:
                         load_end[(si, aj)] = end
                         continue
@@ -341,10 +418,16 @@ class StepSimulator:
                         timeline.alloc(end, act.nbytes)  # undo the free
                         load_end[(si, aj)] = paced_trigger
                         continue
-                    start = max(load_t, end, paced_trigger)
-                    done = start + self.io_latency_s + act.nbytes / self.read_bw
-                    load_t = done
-                    timeline.record("load", f"l{si}", start, done)
+                    if tier is Tier.CPU:
+                        start = max(cpu_load_t, end, paced_trigger)
+                        done = start + self.io_latency_s + act.nbytes / read_bw
+                        cpu_load_t = done
+                        timeline.record("cpu_load", f"cl{si}", start, done)
+                    else:
+                        start = max(load_t, end, paced_trigger)
+                        done = start + self.io_latency_s + act.nbytes / read_bw
+                        load_t = done
+                        timeline.record("load", f"l{si}", start, done)
                     timeline.alloc(start, act.nbytes)
                     loaded += act.nbytes
                     load_end[(si, aj)] = done
@@ -421,6 +504,9 @@ class StepSimulator:
             algorithmic_flops=alg_flops,
             executed_flops=exec_flops,
             timeline=timeline,
+            offloaded_cpu_bytes=off_cpu,
+            offloaded_ssd_bytes=off_ssd,
+            cpu_pool_peak_bytes=cpu_peak,
         )
 
 
@@ -435,6 +521,9 @@ def simulate_strategy(
     policy: Optional[OffloadPolicy] = None,
     num_microbatches: int = 1,
     timing: Optional[KernelTimingModel] = None,
+    cpu_pool_bytes: Optional[int] = None,
+    cpu_write_bandwidth: Optional[float] = None,
+    cpu_read_bandwidth: Optional[float] = None,
 ) -> SimResult:
     """Convenience wrapper: build segments, add weight-update time, run."""
     par = parallelism if parallelism is not None else ParallelismConfig()
@@ -449,5 +538,8 @@ def simulate_strategy(
         policy=policy,
         num_microbatches=num_microbatches,
         dtype_bytes=config.dtype_bytes,
+        cpu_pool_bytes=cpu_pool_bytes,
+        cpu_write_bandwidth=cpu_write_bandwidth,
+        cpu_read_bandwidth=cpu_read_bandwidth,
     )
     return sim.run(weight_update_s=update)

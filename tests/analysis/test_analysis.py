@@ -5,6 +5,7 @@ import pytest
 from repro.analysis.configs import FIG5_CONFIGS, MEGATRON_175B, MEGATRON_350B
 from repro.analysis.microbatch import microbatch_breakdown, upscaling_write_bandwidth
 from repro.analysis.perf_model import (
+    TierTransferModel,
     layer_activation_inventory,
     layer_param_count,
     model_param_count,
@@ -217,3 +218,47 @@ def test_fig8b_pp_reduces_bandwidth():
     tp8.sort(key=lambda p: p.pp)
     bws = [p.write_bandwidth_gbps for p in tp8]
     assert all(a >= b for a, b in zip(bws, bws[1:]))
+
+
+# --------------------------------------------------------- TierTransferModel
+def test_tier_transfer_split():
+    model = TierTransferModel(cpu_pool_bytes=4 * 10**9, ssd_bandwidth=10e9)
+    assert model.split(6 * 10**9) == (4 * 10**9, 2 * 10**9)
+    assert model.split(3 * 10**9) == (3 * 10**9, 0)
+    assert TierTransferModel(cpu_pool_bytes=0, ssd_bandwidth=10e9).split(5) == (0, 5)
+
+
+def test_tier_transfer_time_is_slower_channel():
+    model = TierTransferModel(
+        cpu_pool_bytes=4 * 10**9, ssd_bandwidth=10e9, cpu_bandwidth=20e9
+    )
+    # 4 GB over CPU at 20 GB/s = 0.2 s; 6 GB over SSD at 10 GB/s = 0.6 s.
+    assert model.transfer_time(10 * 10**9) == pytest.approx(0.6)
+    # Everything fits the pool: pure CPU-channel time.
+    assert model.transfer_time(2 * 10**9) == pytest.approx(0.1)
+
+
+def test_tier_transfer_effective_bandwidth_exceeds_ssd_alone():
+    model = TierTransferModel(cpu_pool_bytes=4 * 10**9, ssd_bandwidth=10e9)
+    total = 10 * 10**9
+    assert model.effective_bandwidth(total) > model.ssd_bandwidth
+    assert model.effective_bandwidth(0) == float("inf")
+
+
+def test_tier_transfer_required_ssd_bandwidth_shrinks_with_pool():
+    total, step = 8 * 10**9, 1.0
+    requirements = [
+        TierTransferModel(cpu_pool_bytes=pool, ssd_bandwidth=10e9)
+        .required_ssd_write_bandwidth(total, step)
+        for pool in (0, 2 * 10**9, 8 * 10**9)
+    ]
+    assert requirements[0] == pytest.approx(16e9)  # Table III definition
+    assert all(a > b for a, b in zip(requirements, requirements[1:]))
+    assert requirements[-1] == 0.0
+
+
+def test_tier_transfer_validation():
+    with pytest.raises(ValueError):
+        TierTransferModel(cpu_pool_bytes=-1, ssd_bandwidth=1e9)
+    with pytest.raises(ValueError):
+        TierTransferModel(cpu_pool_bytes=0, ssd_bandwidth=0)

@@ -8,7 +8,14 @@ import pytest
 
 from repro.device.pcie import GPU_LINK_GEN4_X16
 from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB, RAID0Array
-from repro.io import AsyncIOPool, BounceBufferPath, DirectGDSPath, GDSRegistry, TensorFileStore
+from repro.io import (
+    AsyncIOPool,
+    BounceBufferPath,
+    ChunkedTensorStore,
+    DirectGDSPath,
+    GDSRegistry,
+    TensorFileStore,
+)
 from repro.io.aio import JobState
 from repro.tensor.tensor import Tensor
 
@@ -157,6 +164,124 @@ def test_filestore_delete_and_clear(tmp_path):
     assert not store.path_for("a").exists()
     store.clear()
     assert not store.path_for("b").exists()
+
+
+# ----------------------------------------------------------- ChunkedTensorStore
+def test_chunkstore_roundtrip(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=256)
+    data = np.random.default_rng(0).standard_normal((4, 5)).astype(np.float32)
+    store.write("t1", data)
+    assert np.array_equal(store.read("t1", (4, 5), np.float32), data)
+
+
+def test_chunkstore_serves_open_chunk_from_memory(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=1 << 20)
+    data = np.arange(8, dtype=np.float16)
+    store.write("t1", data)
+    # Nothing flushed yet: zero physical writes, read still succeeds.
+    assert store.write_count == 0
+    assert store.num_chunks == 0
+    back = store.read("t1", (8,), np.float16)
+    assert back.dtype == np.float16 and np.array_equal(back, data)
+
+
+def test_chunkstore_coalesces_many_small_writes(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=1024)
+    data = np.zeros(64, dtype=np.float32)  # 256 B each, 4 per chunk
+    for i in range(16):
+        store.write(f"t{i}", data)
+    assert store.write_count == 4  # 16 tensors -> 4 chunk files
+    assert store.bytes_written == 16 * 256
+    for i in range(16):
+        assert np.array_equal(store.read(f"t{i}", (64,), np.float32), data)
+
+
+def test_chunkstore_oversized_tensor_flushes_immediately(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=128)
+    big = np.arange(256, dtype=np.float32)  # 1 KiB > chunk_bytes
+    store.write("big", big)
+    assert store.write_count == 1
+    assert np.array_equal(store.read("big", (256,), np.float32), big)
+
+
+def test_chunkstore_refcount_reclaims_chunk(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=512)
+    data = np.zeros(64, dtype=np.float32)  # 256 B: two tensors fill a chunk
+    store.write("a", data)
+    store.write("b", data)
+    assert store.num_chunks == 1
+    chunk_path = store.path_for("a")
+    assert chunk_path.exists()
+    store.delete("a")
+    assert chunk_path.exists()  # "b" still pins the chunk
+    assert store.reclaimed_bytes == 0
+    store.delete("b")
+    assert not chunk_path.exists()  # refcount hit zero -> space reclaimed
+    assert store.reclaimed_bytes == 512
+    assert store.num_chunks == 0
+    store.delete("b")  # idempotent
+
+
+def test_chunkstore_delete_open_entry_never_writes(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=1 << 20)
+    store.write("a", np.zeros(4, dtype=np.float32))
+    store.delete("a")
+    store.flush()
+    assert store.write_count == 0
+    assert list(tmp_path.glob("*.bin")) == []
+
+
+def test_chunkstore_dead_bytes_accounting(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=512)
+    data = np.zeros(64, dtype=np.float32)  # 256 B
+    store.write("a", data)
+    store.write("b", data)  # flushes a 512 B chunk
+    store.write("c", data)  # open chunk
+    assert store.dead_bytes == 0
+    store.delete("a")  # hole inside the live flushed chunk
+    assert store.dead_bytes == 256
+    store.delete("c")  # open-chunk hole -> buffer dropped entirely
+    assert store.dead_bytes == 256
+    store.delete("b")  # chunk refcount 0 -> file reclaimed, hole gone
+    assert store.dead_bytes == 0
+    assert store.reclaimed_bytes == 512
+
+
+def test_chunkstore_overwrite_replaces_bytes(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=256)
+    store.write("a", np.zeros(64, dtype=np.float32))
+    store.write("a", np.ones(64, dtype=np.float32))
+    assert store.read("a", (64,), np.float32)[0] == 1.0
+
+
+def test_chunkstore_missing_tensor(tmp_path):
+    store = ChunkedTensorStore(tmp_path)
+    with pytest.raises(FileNotFoundError):
+        store.read("nope", (1,), np.float32)
+
+
+def test_chunkstore_charges_ssd_array(tmp_path):
+    array = RAID0Array(INTEL_OPTANE_P5800X_1600GB, num_ssds=2)
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=256, array=array)
+    store.write("w", np.zeros(100, dtype=np.float32))  # 400 B -> flushes
+    assert array.host_bytes_written == 400
+
+
+def test_chunkstore_clear_removes_chunks(tmp_path):
+    store = ChunkedTensorStore(tmp_path, chunk_bytes=128)
+    for i in range(4):
+        store.write(f"t{i}", np.zeros(64, dtype=np.float32))
+    assert store.num_chunks > 0
+    store.clear()
+    assert store.num_chunks == 0
+    assert list(tmp_path.glob("*.bin")) == []
+
+
+def test_chunkstore_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ChunkedTensorStore(tmp_path, chunk_bytes=0)
+    with pytest.raises(ValueError):
+        ChunkedTensorStore(tmp_path, throttle_bytes_per_s=0)
 
 
 # ------------------------------------------------------------------------- GDS

@@ -218,3 +218,48 @@ def test_timeline_records_all_lanes():
     result = _sim()
     lanes = {e.lane for e in result.timeline.events}
     assert lanes == {"gpu", "store", "load"}
+
+
+# ------------------------------------------------------------------- CPU tier
+def test_cpu_tier_absorbs_whole_workload_when_big_enough():
+    r = _sim(cpu_pool_bytes=64 * 2**30)
+    assert r.offloaded_cpu_bytes == r.offloaded_bytes
+    assert r.offloaded_ssd_bytes == 0
+    assert r.required_ssd_write_bandwidth_gbps() == 0.0
+    lanes = {e.lane for e in r.timeline.events}
+    assert "cpu_store" in lanes and "store" not in lanes
+
+
+def test_cpu_tier_spills_beyond_capacity_to_ssd():
+    pool = 2 * 2**30
+    r = _sim(cpu_pool_bytes=pool)
+    assert r.offloaded_cpu_bytes > 0 and r.offloaded_ssd_bytes > 0
+    assert r.offloaded_cpu_bytes + r.offloaded_ssd_bytes == r.offloaded_bytes
+    assert r.cpu_pool_peak_bytes <= pool
+    lanes = {e.lane for e in r.timeline.events}
+    assert "cpu_store" in lanes and "store" in lanes
+
+
+def test_cpu_tier_reduces_required_ssd_bandwidth_monotonically():
+    pools = [None, 2 * 2**30, 4 * 2**30, 8 * 2**30]
+    bws = [
+        _sim(cpu_pool_bytes=p).required_ssd_write_bandwidth_gbps() for p in pools
+    ]
+    assert all(a >= b for a, b in zip(bws, bws[1:]))
+    assert bws[0] > bws[-1]
+
+
+def test_cpu_tier_disabled_matches_legacy_behaviour():
+    legacy = _sim()
+    tiered_off = _sim(cpu_pool_bytes=None)
+    assert tiered_off.step_time_s == pytest.approx(legacy.step_time_s)
+    assert tiered_off.offloaded_bytes == legacy.offloaded_bytes
+    assert tiered_off.offloaded_cpu_bytes == 0
+
+
+def test_cpu_tier_placement_respects_max_tensor_bytes():
+    policy = OffloadPolicy(PolicyConfig(cpu_tier_max_tensor_bytes=1))
+    r = _sim(cpu_pool_bytes=64 * 2**30, policy=policy)
+    # Every activation is larger than 1 B, so the pool stays cold.
+    assert r.offloaded_cpu_bytes == 0
+    assert r.offloaded_ssd_bytes == r.offloaded_bytes

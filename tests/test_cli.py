@@ -67,3 +67,43 @@ def test_parser_rejects_unknown_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["not-a-figure"])
+
+
+def test_tiers_sweeps_cpu_pool(capsys):
+    assert main(["tiers", "--hidden", "8192"]) == 0
+    out = capsys.readouterr().out
+    assert "CPU pool" in out and "SSD BW req" in out
+
+
+def test_tiers_single_pool_row(capsys):
+    assert main(["tiers", "--hidden", "8192", "--cpu-pool-bytes", str(4 * 2**30)]) == 0
+    assert out_has_one_data_row(capsys.readouterr().out)
+
+
+def out_has_one_data_row(out: str) -> bool:
+    rows = [l for l in out.splitlines() if l.strip().endswith("GB/s")]
+    return len(rows) == 1
+
+
+def test_parser_accepts_offload_target_axes():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["quickstart", "--target", "tiered",
+         "--cpu-pool-bytes", "262144", "--chunk-bytes", "65536"]
+    )
+    assert args.target == "tiered"
+    assert args.cpu_pool_bytes == 262144
+    assert args.chunk_bytes == 65536
+    with pytest.raises(SystemExit):
+        parser.parse_args(["quickstart", "--target", "tape"])
+
+
+def test_quickstart_three_tier_run(capsys):
+    """Acceptance: a GPU/CPU/SSD run is drivable straight from the CLI."""
+    assert main(
+        ["quickstart", "--target", "tiered",
+         "--cpu-pool-bytes", "262144", "--chunk-bytes", "65536"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "tier traffic" in out
+    assert "losses identical" in out
