@@ -7,7 +7,6 @@ last module's activations are kept (its backward follows immediately).
 
 from repro.models.config import ModelConfig
 from repro.sim import StepSimulator, build_segments
-from repro.train.parallel import ParallelismConfig
 from repro.train.trainer import PlacementStrategy
 
 from benchmarks.conftest import EVAL_PARALLELISM, SSD_READ_BW, SSD_WRITE_BW, emit

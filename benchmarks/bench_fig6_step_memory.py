@@ -8,8 +8,6 @@ Shape targets: step-time overhead < 1% in every configuration (the paper's
 pattern: deeper/narrower models save more than shallow/wide ones).
 """
 
-import pytest
-
 from repro.models.config import ModelConfig
 from repro.sim import simulate_strategy
 from repro.train.trainer import PlacementStrategy

@@ -8,10 +8,7 @@ inventory — the memory that limits micro-batch size in PP training
 (Sec. IV-D).
 """
 
-import pytest
-
 from repro.sim import StageWorkload, simulate_pipeline_offload
-from repro.train.pipeline import ScheduleKind
 
 from benchmarks.conftest import SSD_READ_BW, SSD_WRITE_BW, emit
 

@@ -15,7 +15,7 @@ Usage::
 
 from __future__ import annotations
 
-from repro.analysis.perf_model import model_step_perf, transformer_layer_perf
+from repro.analysis.perf_model import model_step_perf
 from repro.device.gpu import A100_PCIE_40GB
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig

@@ -12,11 +12,17 @@ The offload target is selectable (the ``--target`` axis of the CLI):
 - ``tiered`` — the GPU -> pinned-CPU -> SSD hierarchy with demotion and
   promotion (:class:`~repro.core.tiered.TieredOffloader`).
 
+Stores run through the priority-aware I/O scheduler by default
+(``--fifo-io`` restores the paper's FIFO pools for comparison); the run
+prints the scheduler's cancellation/promotion counters and an I/O trace
+timeline where ``x`` marks a store cancelled before it hit the SSD.
+
 Usage::
 
     python examples/quickstart.py
     python -m repro quickstart --target tiered --cpu-pool-bytes 262144
     python -m repro quickstart --chunk-bytes 1048576
+    python -m repro quickstart --fifo-io
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import numpy as np
 from repro.core import OffloadPolicy, PolicyConfig, TensorCache, make_offloader
 from repro.data import SyntheticCorpus, TokenBatchLoader
 from repro.device import GPU
+from repro.io.trace import attach_tracer
 from repro.models import GPT, ModelConfig
 from repro.optim import SGD
 from repro.train import PlacementStrategy, Trainer
@@ -38,18 +45,25 @@ CONFIG = ModelConfig(
 )
 STEPS = 5
 
+#: Model a realistically-paced store device instead of an instant local
+#: file write, so the trace shows real overlap — and the scheduler has a
+#: backlog to work on (forwarding, cancellation, promotion).
+STORE_THROTTLE_BYTES_PER_S = 150e6
+
 
 def run(
     offload: bool,
     target: str = "ssd",
     cpu_pool_bytes: Optional[int] = None,
     chunk_bytes: Optional[int] = None,
+    fifo_io: bool = False,
 ) -> dict:
     gpu = GPU()
     model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
     optimizer = SGD(model.parameters(), lr=5e-3)
 
     cache = None
+    tracer = None
     if offload:
         # The "few lines added to the existing script" (paper Sec. III-A):
         # build a cache over a config-selected offloader; the Trainer
@@ -63,10 +77,13 @@ def run(
                 store_dir=store_dir,
                 cpu_pool_bytes=cpu_pool_bytes,
                 chunk_bytes=chunk_bytes,
+                throttle_bytes_per_s=STORE_THROTTLE_BYTES_PER_S,
                 policy=policy,  # one policy governs decide() and place()
             ),
             policy=policy,
+            fifo_io=fifo_io,
         )
+        tracer = attach_tracer(cache)
 
     trainer = Trainer(
         model,
@@ -84,6 +101,8 @@ def run(
 
     losses, peaks, offloaded = [], [], 0
     tier_stats = None
+    sched_stats = None
+    cache_stats = None
     try:
         for _ in range(STEPS):
             result = trainer.train_step([loader.next_batch()])
@@ -92,6 +111,8 @@ def run(
             offloaded += result.offloaded_bytes
         if cache is not None:
             tier_stats = getattr(cache.offloader, "stats", None)
+            sched_stats = cache.scheduler.stats
+            cache_stats = cache.stats
     finally:
         trainer.close()
     return {
@@ -99,6 +120,9 @@ def run(
         "peak": max(peaks[1:] or peaks),
         "offloaded": offloaded,
         "tier_stats": tier_stats,
+        "sched_stats": sched_stats,
+        "cache_stats": cache_stats,
+        "tracer": tracer,
     }
 
 
@@ -106,17 +130,20 @@ def main(
     target: str = "ssd",
     cpu_pool_bytes: Optional[int] = None,
     chunk_bytes: Optional[int] = None,
+    fifo_io: bool = False,
 ) -> None:
     print(f"Training GPT (H={CONFIG.hidden}, L={CONFIG.num_layers}) for {STEPS} steps")
     print(f"offload target: {target}"
           + (f"  cpu_pool={cpu_pool_bytes}B" if cpu_pool_bytes is not None else "")
-          + (f"  chunk={chunk_bytes}B" if chunk_bytes is not None else "") + "\n")
+          + (f"  chunk={chunk_bytes}B" if chunk_bytes is not None else "")
+          + ("  io=fifo" if fifo_io else "  io=priority") + "\n")
     baseline = run(offload=False)
     ssdtrain = run(
         offload=True,
         target=target,
         cpu_pool_bytes=cpu_pool_bytes,
         chunk_bytes=chunk_bytes,
+        fifo_io=fifo_io,
     )
 
     print(f"{'step':>4} {'loss (keep)':>12} {'loss (SSDTrain)':>16}")
@@ -133,9 +160,26 @@ def main(
               f"ssd={stats.ssd_stored_bytes / 1e6:.2f} MB "
               f"demoted={stats.demoted_bytes / 1e6:.2f} MB "
               f"promoted={stats.promoted_bytes / 1e6:.2f} MB")
+    sched = ssdtrain["sched_stats"]
+    if sched is not None:
+        print(f"I/O scheduler: {sched.submitted} requests "
+              f"({sched.cancelled} cancelled, {sched.promotions} promoted, "
+              f"{sched.coalesced_requests} coalesced)")
+    tracer = ssdtrain["tracer"]
+    if tracer is not None:
+        overlap = tracer.stats()
+        print(f"trace: store busy {overlap.store_busy_s * 1e3:.0f} ms, "
+              f"load busy {overlap.load_busy_s * 1e3:.0f} ms, "
+              f"{overlap.cancelled_stores} stores cancelled before the SSD, "
+              f"{overlap.promoted_loads} loads promoted")
+        print(tracer.render_ascii(width=72))
     assert all(
         abs(a - b) < 1e-4 for a, b in zip(baseline["losses"], ssdtrain["losses"])
     ), "offloaded training must match the baseline exactly"
+    if sched is not None and not fifo_io:
+        # The scheduler must visibly work on this workload: obsolete
+        # stores are cancelled before they hit the SSD (trace 'x' marks).
+        assert sched.cancelled >= 1, "expected >=1 cancelled store per quickstart run"
     print("losses identical: offloading is transparent to training. ✓")
 
 

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Fail CI when a benchmark hot path regresses against the committed baseline.
+
+Compares a fresh pytest-benchmark JSON (``--current``, produced by the
+bench-smoke job) against the committed baseline (``--baseline``, e.g.
+``BENCH_PR2.json``).  Benchmarks are matched by ``fullname``; only names
+matching ``--pattern`` — by default the scheduler/offload hot paths —
+are guarded.  A guarded benchmark whose ``--stat`` (default ``min``,
+the least noise-sensitive estimator for wall-clock benches) slows down
+by more than ``--threshold`` (default 20%) fails the check.
+
+Two escape hatches keep the gate honest rather than flaky:
+
+- benchmarks present on only one side are reported but never fail
+  (new benchmarks have no baseline yet, retired ones no current run);
+- when the baseline was recorded on different hardware or Python
+  (``machine_info`` mismatch), regressions are reported as warnings and
+  the check passes, with an instruction to refresh the baseline —
+  wall-clock ratios across machines are not evidence of a code
+  regression.  ``--strict`` disables this downgrade.
+
+Refresh the baseline deliberately with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ablations.py \
+        benchmarks/bench_fig2_timeline.py -q --benchmark-json=BENCH_PR2.json
+
+Exit codes: 0 ok, 1 regression detected, 2 bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from typing import Dict, List, Tuple
+
+#: Hot paths this repo promises not to regress: the I/O scheduler, the
+#: offload simulator paths, and the Fig. 2 timeline pipeline.  The
+#: chunk-coalescing ablation is deliberately NOT wall-clock-guarded: it
+#: is bound by real disk writes whose latency swings far beyond 20%
+#: between identical runs — its invariant (the >= 4x write-count
+#: reduction) is asserted deterministically inside the benchmark itself.
+DEFAULT_PATTERN = r"scheduler|offload|timeline|cpu_pool|prefetch"
+
+#: machine_info keys that must match for cross-run ratios to mean anything.
+MACHINE_KEYS = ("machine", "processor", "python_version", "system")
+
+
+def load_payload(path: str) -> dict:
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read benchmark JSON {path!r}: {exc}")
+
+
+def extract_stats(payload: dict, path: str, stat: str) -> Dict[str, float]:
+    """Map benchmark fullname -> the chosen statistic, in seconds."""
+    values = {}
+    for bench in payload.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        value = stats.get(stat)
+        if value is None:
+            continue
+        values[bench.get("fullname", bench.get("name", "?"))] = float(value)
+    if not values:
+        raise SystemExit(f"error: no benchmarks with stats[{stat!r}] in {path!r}")
+    return values
+
+
+def _normalise(key: str, value) -> object:
+    if key == "python_version" and isinstance(value, str):
+        # Patch releases don't shift benchmark timings meaningfully; the
+        # CI job pins major.minor, not the exact patch of the recording
+        # interpreter.
+        return ".".join(value.split(".")[:2])
+    return value
+
+
+def machines_comparable(baseline: dict, current: dict) -> Tuple[bool, List[str]]:
+    base_info = baseline.get("machine_info", {}) or {}
+    cur_info = current.get("machine_info", {}) or {}
+    diffs = [
+        f"{key}: {base_info.get(key)!r} != {cur_info.get(key)!r}"
+        for key in MACHINE_KEYS
+        if _normalise(key, base_info.get(key)) != _normalise(key, cur_info.get(key))
+    ]
+    return not diffs, diffs
+
+
+def compare(
+    baseline: Dict[str, float],
+    current: Dict[str, float],
+    threshold: float,
+    pattern: str,
+) -> Tuple[List[str], List[str]]:
+    """Returns (report lines, regression lines)."""
+    guard = re.compile(pattern, re.IGNORECASE)
+    report: List[str] = []
+    regressions: List[str] = []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        cur = current.get(name)
+        guarded = bool(guard.search(name))
+        tag = "guarded" if guarded else "info   "
+        if base is None:
+            report.append(f"[{tag}] NEW      {name}: {cur * 1e3:.2f} ms (no baseline)")
+            continue
+        if cur is None:
+            report.append(f"[{tag}] RETIRED  {name}: baseline {base * 1e3:.2f} ms")
+            continue
+        ratio = cur / base if base > 0 else float("inf")
+        line = (
+            f"[{tag}] {name}: {base * 1e3:.2f} ms -> {cur * 1e3:.2f} ms "
+            f"({ratio - 1.0:+.1%})"
+        )
+        if guarded and ratio > 1.0 + threshold:
+            regressions.append(line)
+            report.append(line + f"  REGRESSION (> {threshold:.0%})")
+        else:
+            report.append(line)
+    return report, regressions
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed baseline JSON")
+    parser.add_argument("--current", required=True, help="fresh bench-smoke JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown of guarded benchmarks (default 0.20)",
+    )
+    parser.add_argument(
+        "--pattern",
+        default=DEFAULT_PATTERN,
+        help="regex selecting the guarded hot-path benchmarks",
+    )
+    parser.add_argument(
+        "--stat",
+        default="min",
+        choices=("min", "median", "mean"),
+        help="pytest-benchmark statistic to compare (default: min)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on regressions even when machine_info differs",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        print("error: --threshold must be positive", file=sys.stderr)
+        return 2
+
+    base_payload = load_payload(args.baseline)
+    cur_payload = load_payload(args.current)
+    baseline = extract_stats(base_payload, args.baseline, args.stat)
+    current = extract_stats(cur_payload, args.current, args.stat)
+    comparable, diffs = machines_comparable(base_payload, cur_payload)
+
+    report, regressions = compare(baseline, current, args.threshold, args.pattern)
+    print(f"bench regression check: {args.current} vs baseline {args.baseline}")
+    print(f"stat: {args.stat}, guard pattern: {args.pattern!r}, "
+          f"threshold {args.threshold:.0%}\n")
+    for line in report:
+        print(f"  {line}")
+
+    if regressions and not comparable and not args.strict:
+        print("\nWARNING: regressions detected, but the baseline was recorded "
+              "on a different machine/Python:")
+        for diff in diffs:
+            print(f"  {diff}")
+        print("Cross-machine wall-clock ratios are not evidence of a code "
+              "regression; passing.  Refresh the baseline on this hardware "
+              "(see --help) or rerun with --strict to enforce anyway.")
+        return 0
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} hot-path regression(s) beyond "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nOK: no guarded hot path regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.perf_model import StepPerf, model_step_perf
+from repro.analysis.perf_model import model_step_perf
 from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig

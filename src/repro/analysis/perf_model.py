@@ -30,14 +30,14 @@ of Table III.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.device.gpu import GPUSpec, KernelTimingModel, A100_PCIE_40GB
 from repro.device.pcie import GPU_LINK_GEN4_X16
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig
-from repro.train.pipeline import ScheduleKind, ideal_bubble_fraction
+from repro.train.pipeline import ideal_bubble_fraction
 
 
 @dataclass(frozen=True)

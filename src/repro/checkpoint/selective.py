@@ -19,8 +19,6 @@ This module provides both pieces so the claim is checkable:
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.checkpoint.checkpoint import checkpoint
 from repro.nn.attention import MultiHeadAttention
 from repro.tensor import ops

@@ -14,10 +14,12 @@ Usage::
     python -m repro memory [--zero N]    # ZeRO memory breakdown (extension)
     python -m repro quickstart           # functional offloaded training demo
     python -m repro tiers                # CPU-pool-size sweep (tiered offload)
+    python -m repro sched                # FIFO vs priority I/O scheduling A/B
 
 The functional quickstart drives any backend: ``--target ssd|cpu|tiered``
 plus ``--cpu-pool-bytes`` (CPU-tier capacity) and ``--chunk-bytes``
-(SSD chunk coalescing) select the three-tier configuration.
+(SSD chunk coalescing) select the three-tier configuration; ``--fifo-io``
+swaps the priority-aware I/O scheduler back to the paper's FIFO dequeue.
 """
 
 from __future__ import annotations
@@ -181,6 +183,7 @@ def cmd_quickstart(args: argparse.Namespace) -> None:
         target=args.target,
         cpu_pool_bytes=cpu_pool_bytes,
         chunk_bytes=args.chunk_bytes,
+        fifo_io=args.fifo_io,
     )
 
 
@@ -217,6 +220,34 @@ def cmd_tiers(args: argparse.Namespace) -> None:
               f"{analytic / 1e9:>7.1f}GB/s")
 
 
+def cmd_sched(args: argparse.Namespace) -> None:
+    """A/B the SSD-channel scheduling modes at equal bandwidth: the
+    paper's independent pools (duplex), one shared FIFO queue, and the
+    shared queue with blocking-load-first priority dequeue."""
+    from repro.sim import simulate_strategy
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    # Default to a single SSD: the paper's 4-SSD RAID0 has enough headroom
+    # that no store backlog ever forms and all three modes coincide — the
+    # scheduler matters exactly when the channel is contended.
+    write_bw = args.write_bw if args.write_bw is not None else INTEL_OPTANE_P5800X_1600GB.write_bw
+    read_bw = args.read_bw if args.read_bw is not None else INTEL_OPTANE_P5800X_1600GB.read_bw
+    print(f"{'io mode':>9} {'step':>9} {'blocking-load stall':>20} {'forwarded':>10}")
+    results = {}
+    for mode in ("duplex", "fifo", "priority"):
+        r = simulate_strategy(
+            config, args.batch, PlacementStrategy.OFFLOAD, write_bw, read_bw,
+            parallelism=EVAL_PAR, io_mode=mode,
+        )
+        results[mode] = r
+        print(f"{mode:>9} {r.step_time_s * 1e3:>7.0f}ms "
+              f"{r.io_stall_time_s * 1e3:>18.1f}ms "
+              f"{r.forwarded_bytes / 2**30:>8.2f}GB")
+    saved = results["fifo"].io_stall_time_s - results["priority"].io_stall_time_s
+    print(f"\npriority dequeue removes {saved * 1e3:.1f} ms of backward-blocking "
+          f"stall per step versus FIFO at equal bandwidth")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -229,6 +260,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "memory": cmd_memory,
     "quickstart": cmd_quickstart,
     "tiers": cmd_tiers,
+    "sched": cmd_sched,
 }
 
 
@@ -262,6 +294,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--chunk-bytes", type=int, default=None,
                 help="coalesce SSD writes into chunks of this size",
+            )
+            p.add_argument(
+                "--fifo-io", action="store_true",
+                help="use the paper's FIFO dequeue instead of the "
+                     "priority-aware I/O scheduler",
+            )
+        if name == "sched":
+            p.add_argument(
+                "--write-bw", type=float, default=None,
+                help="SSD write bandwidth in B/s (default: one P5800X)",
+            )
+            p.add_argument(
+                "--read-bw", type=float, default=None,
+                help="SSD read bandwidth in B/s (default: one P5800X)",
             )
     return parser
 

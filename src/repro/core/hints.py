@@ -13,9 +13,8 @@ integration script patches Megatron/DeepSpeed.
 from __future__ import annotations
 
 import enum
-import functools
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, List, Optional
 
 from repro.core.tensor_cache import TensorCache
 

@@ -15,23 +15,25 @@ from a target":
   capacity-aware GPU -> pinned-CPU -> SSD hierarchy (see
   :mod:`repro.core.tiered`).
 
-All expose the same API: an async ``store`` returning an
-:class:`~repro.io.aio.IOJob`, a synchronous ``load`` executed on the
-load pool by the cache, and a ``release`` that reclaims the backing
-space once the cache drops the record.  :func:`make_offloader` builds
-any of them from a config/CLI-style target string.
+All expose the same API: synchronous ``store``/``load`` primitives that
+the cache wraps in typed :class:`~repro.io.scheduler.IORequest`\\ s and
+runs on the :class:`~repro.io.scheduler.IOScheduler`'s per-tier lanes
+(``store_lane``/``load_lane`` pick the lane), and a ``release`` that
+reclaims the backing space once the cache drops the record.
+:func:`make_offloader` builds any of them from a config/CLI-style
+target string.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.ids import TensorID
 from repro.core.policy import Tier
-from repro.io.aio import AsyncIOPool, IOJob
 from repro.io.chunkstore import ChunkedTensorStore
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import GDSRegistry
@@ -48,6 +50,21 @@ class Offloader:
     def tier_of(self, tid: TensorID) -> Tier:
         """Which tier holds ``tid`` after a completed store."""
         return self.default_tier
+
+    def store_lane(self, tid: TensorID, nbytes: int) -> str:
+        """Scheduler lane a store of ``nbytes`` should queue on.
+
+        The cache builds typed :class:`~repro.io.scheduler.IORequest`\\ s
+        and asks the backend which tier's lane will absorb the traffic;
+        single-target backends answer with their static tier, the tiered
+        offloader predicts placement from the policy.
+        """
+        return "cpu" if self.default_tier is Tier.CPU else "ssd"
+
+    def load_lane(self, tid: TensorID) -> str:
+        """Scheduler lane a load of ``tid`` should queue on (by the tier
+        currently holding the tensor)."""
+        return "cpu" if self.tier_of(tid) is Tier.CPU else "ssd"
 
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         """Synchronously persist ``data`` under ``tid`` (runs on a pool)."""
@@ -180,16 +197,40 @@ class PinnedMemoryPool:
 
 
 class CPUOffloader(Offloader):
-    """Host-memory offloader backed by the pinned pool."""
+    """Host-memory offloader backed by the pinned pool.
+
+    Args:
+        pool: pinned-pool capacity accounting.
+        throttle_bytes_per_s: optional pacing of transfers, modelling the
+            PCIe link to host memory the way the file store's throttle
+            models SSD bandwidth (a local memcpy is otherwise instant,
+            which no real GPU->host copy is).
+    """
 
     default_tier = Tier.CPU
 
-    def __init__(self, pool: Optional[PinnedMemoryPool] = None) -> None:
+    def __init__(
+        self,
+        pool: Optional[PinnedMemoryPool] = None,
+        throttle_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        if throttle_bytes_per_s is not None and throttle_bytes_per_s <= 0:
+            raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
         self.pool = pool if pool is not None else PinnedMemoryPool()
+        self.throttle_bytes_per_s = throttle_bytes_per_s
         self._lock = threading.Lock()
         self._buffers: Dict[TensorID, np.ndarray] = {}
 
+    def _throttle(self, nbytes: int, start: float) -> None:
+        if self.throttle_bytes_per_s is None:
+            return
+        required = nbytes / self.throttle_bytes_per_s
+        elapsed = time.monotonic() - start
+        if required > elapsed:
+            time.sleep(required - elapsed)
+
     def store(self, tid: TensorID, data: np.ndarray) -> None:
+        start = time.monotonic()
         copy = np.array(data, copy=True)
         self.pool.alloc(copy.nbytes)
         with self._lock:
@@ -197,13 +238,17 @@ class CPUOffloader(Offloader):
             self._buffers[tid] = copy
         if old is not None:
             self.pool.free(old.nbytes)
+        self._throttle(copy.nbytes, start)
 
     def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        start = time.monotonic()
         with self._lock:
             buf = self._buffers.get(tid)
         if buf is None:
             raise KeyError(f"tensor {tid} not in host pool")
-        return buf.reshape(shape).astype(dtype, copy=True)
+        data = buf.reshape(shape).astype(dtype, copy=True)
+        self._throttle(data.nbytes, start)
+        return data
 
     def peek(self, tid: TensorID) -> Optional[np.ndarray]:
         """The stored buffer itself (no copy) — used by tier demotion,
@@ -280,7 +325,9 @@ def make_offloader(
             chunk_bytes=chunk_bytes,
         )
     if target == "cpu":
-        return CPUOffloader(PinnedMemoryPool(cpu_pool_bytes))
+        return CPUOffloader(
+            PinnedMemoryPool(cpu_pool_bytes), throttle_bytes_per_s=throttle_bytes_per_s
+        )
     if target == "tiered":
         if store_dir is None:
             raise ValueError("tiered target requires store_dir")

@@ -16,7 +16,7 @@ Decision order for a tensor hitting the pack hook:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 

@@ -18,6 +18,11 @@ through four mechanisms:
 
 Data forwarding (Sec. III-C2): a load that races an in-flight store simply
 adopts the reference the store job still holds — no SSD read happens.
+Beyond the paper, the two FIFO pools are replaced by one priority-aware
+:class:`~repro.io.scheduler.IOScheduler`: stores whose tensor was consumed
+via forwarding while still queued are *cancelled* (no SSD write either),
+and a pending prefetch is *promoted* to the blocking class the moment its
+segment's backward arrives.
 """
 
 from __future__ import annotations
@@ -28,19 +33,11 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.ids import TensorID, TensorIDRegistry
 from repro.core.offloader import Offloader
-from repro.core.policy import (
-    Decision,
-    KeepReason,
-    OffloadPolicy,
-    PolicyConfig,
-    StepAccounting,
-    Tier,
-)
-from repro.io.aio import AsyncIOPool, IOJob
+from repro.core.policy import Decision, KeepReason, OffloadPolicy, StepAccounting, Tier
+from repro.io.aio import IOJob, JobState
+from repro.io.scheduler import IORequest, IOScheduler, Priority
 from repro.tensor import flags
 from repro.tensor.module import Module, RemovableHandle
 from repro.tensor.saved_tensors import saved_tensors_hooks
@@ -132,6 +129,14 @@ class CacheStats:
     passed_tensors: int = 0
     prefetch_issued: int = 0
     unpack_waits: int = 0
+    #: Stores cancelled while still queued because forwarding consumed the
+    #: tensor first (``stored_*`` count submissions; subtract these for
+    #: the traffic that actually hit the backend).
+    cancelled_stores: int = 0
+    cancelled_store_bytes: int = 0
+    #: Pending prefetch loads re-queued as blocking when their consumer
+    #: arrived (scheduler deadline promotion).
+    promoted_loads: int = 0
 
 
 class TensorCache:
@@ -160,12 +165,23 @@ class TensorCache:
         num_store_workers: int = 2,
         num_load_workers: int = 2,
         prefetch_window: int = 8,
+        scheduler: Optional[IOScheduler] = None,
+        fifo_io: bool = False,
     ) -> None:
         self.offloader = offloader
         self.policy = policy if policy is not None else OffloadPolicy()
         self.registry = registry if registry is not None else TensorIDRegistry()
-        self.store_pool = AsyncIOPool(num_store_workers, name="ssdtrain-store")
-        self.load_pool = AsyncIOPool(num_load_workers, name="ssdtrain-load")
+        # One priority-aware scheduler replaces the paper's two FIFO
+        # pools; ``fifo_io=True`` restores FIFO dequeue for A/B runs.
+        self.scheduler = (
+            scheduler
+            if scheduler is not None
+            else IOScheduler(
+                num_store_workers=num_store_workers,
+                num_load_workers=num_load_workers,
+                fifo=fifo_io,
+            )
+        )
         self.prefetch_window = prefetch_window
         self.stats = CacheStats()
         self.accounting = StepAccounting()
@@ -192,6 +208,12 @@ class TensorCache:
         set_listener = getattr(offloader, "set_tier_listener", None)
         if set_listener is not None:
             set_listener(self._on_tier_change)
+        # A tiered backend routes its demotion writes through the same
+        # scheduler (DEMOTION class on the SSD lane) so spills queue
+        # behind loads and stay cancellable.
+        set_scheduler = getattr(offloader, "set_scheduler", None)
+        if set_scheduler is not None:
+            set_scheduler(self.scheduler)
 
     def _on_tier_change(self, tid: TensorID, tier: Tier) -> None:
         rec = self._find_record(tid)
@@ -205,6 +227,17 @@ class TensorCache:
     @property
     def current(self) -> MicrobatchRecords:
         return self._microbatches[self._current_mb]
+
+    @property
+    def store_pool(self) -> IOScheduler:
+        """Legacy alias from the two-FIFO-pool era; both channels now
+        live on the scheduler (``drain``/``pending`` keep working)."""
+        return self.scheduler
+
+    @property
+    def load_pool(self) -> IOScheduler:
+        """Legacy alias; see :attr:`store_pool`."""
+        return self.scheduler
 
     def register_weights(self, module: Module) -> int:
         """Record all parameters (and transposes) in the exclusion set."""
@@ -241,8 +274,7 @@ class TensorCache:
         if self._shutdown:
             return
         self._shutdown = True
-        self.store_pool.shutdown()
-        self.load_pool.shutdown()
+        self.scheduler.shutdown()
         with self._lock:
             tables = list(self._microbatches.values())
             self._microbatches = {0: MicrobatchRecords()}
@@ -292,8 +324,7 @@ class TensorCache:
     def on_step_end(self) -> None:
         """Step boundary: wait for in-flight stores, release records, and
         finalize first-step profiling."""
-        self.store_pool.drain()
-        self.load_pool.drain()
+        self.scheduler.drain()
         with self._lock:
             tables = list(self._microbatches.items())
             self._microbatches = {self._current_mb: MicrobatchRecords()}
@@ -355,8 +386,18 @@ class TensorCache:
 
     # ----------------------------------------------------------- bwd hooks
     def _backward_pre_hook(self, module: Module, grad_output: Any) -> None:
-        """Backward enters a module: prefetch upcoming activations."""
-        self._prefetch_ahead(self.current)
+        """Backward enters a module: its own saved tensors are now on the
+        critical path (deadline promotion of any pending prefetches),
+        and the look-ahead window advances."""
+        table = self.current
+        with self._lock:
+            tids = list(table.tids_by_scope.get(id(module), []))
+        for tid in tids:
+            rec = table.records.get(tid)
+            if rec is None:
+                continue
+            self._ensure_available(rec, blocking=True)
+        self._prefetch_ahead(table)
 
     def _backward_hook(self, module: Module, grad_input: Any) -> None:
         """Backward exits a module: shrink scope lists, release free records."""
@@ -449,7 +490,16 @@ class TensorCache:
         def do_store(tensor: Tensor = t, record: ActivationRecord = rec) -> None:
             self.offloader.store(record.tid, tensor.data)
 
-        job = self.store_pool.submit(do_store, label=str(tid))
+        job = self.scheduler.submit(
+            IORequest(
+                do_store,
+                kind="store",
+                priority=Priority.STORE,
+                tensor_id=str(tid),
+                nbytes=t.nbytes,
+                lane=self.offloader.store_lane(tid, t.nbytes),
+            )
+        )
         rec.store_job = job
         job.add_done_callback(lambda j, record=rec: self._on_store_done(record, j))
         return tid
@@ -460,6 +510,11 @@ class TensorCache:
             table.tids_by_scope.setdefault(sid, []).append(rec.tid)
 
     def _on_store_done(self, rec: ActivationRecord, job: IOJob) -> None:
+        if job.state is JobState.CANCELLED:
+            # The cancelling thread (forwarding in _ensure_available)
+            # already published LOADED under rec.lock — which it may
+            # still hold, so do not take it here.
+            return
         with rec.lock:
             if job.error is not None:
                 rec.error = job.error
@@ -496,7 +551,9 @@ class TensorCache:
         if rec is None:
             raise KeyError(f"tensor cache has no record for {obj}")
         self._advance_cursor(obj)
-        self._ensure_available(rec)
+        # Unpack is the definition of backward-blocking: submit (or
+        # deadline-promote) the load at the head of its lane.
+        self._ensure_available(rec, blocking=True)
         if not rec.loaded_event.is_set():
             self.stats.unpack_waits += 1
         rec.loaded_event.wait()
@@ -531,40 +588,62 @@ class TensorCache:
         self._prefetch_ahead(table)
 
     # -------------------------------------------------------------- prefetch
-    def _ensure_available(self, rec: ActivationRecord) -> None:
-        """Move a record toward LOADED (forwarding, load, or no-op)."""
+    def _ensure_available(self, rec: ActivationRecord, blocking: bool = False) -> None:
+        """Move a record toward LOADED (forwarding, load, or no-op).
+
+        ``blocking`` marks the request as sitting on the backward
+        critical path: a fresh load is submitted at BLOCKING_LOAD
+        priority, and an already-pending prefetch is deadline-promoted.
+        """
         with rec.lock:
-            if rec.state in (
-                RecordState.KEPT,
-                RecordState.LOADED,
-                RecordState.LOADING,
-            ):
+            if rec.state in (RecordState.KEPT, RecordState.LOADED):
+                return
+            if rec.state is RecordState.LOADING:
+                if blocking and self.scheduler.promote(rec.load_job):
+                    self.stats.promoted_loads += 1
                 return
             if rec.state is RecordState.OFFLOADING:
                 # Data forwarding: adopt the reference the store job holds.
                 rec.forwarded = True
                 self.stats.forwarded_tensors += 1
                 self.accounting.forwarding_hits += 1
-                # Store-done callback will publish LOADED; if the store
-                # already finished between our state read and now, the
-                # callback ran with forwarded=False — handle below.
-                if rec.store_job is not None and rec.store_job.done_event.is_set():
+                job = rec.store_job
+                if (
+                    job is not None
+                    and rec.tensor is not None
+                    and self.scheduler.cancel(job)
+                ):
+                    # The store never left the queue: the consumer owns
+                    # the only copy, the queue slot and the SSD write are
+                    # reclaimed, and the record never leaves the GPU.
+                    self.stats.cancelled_stores += 1
+                    self.stats.cancelled_store_bytes += rec.nbytes
+                    rec.state = RecordState.LOADED
+                    rec.location = "gpu"
+                    rec.tier = Tier.GPU
+                    rec.loaded_event.set()
+                    return
+                # Store already running/finished: its done callback will
+                # publish LOADED; if it finished between our state read
+                # and now, the callback ran with forwarded=False —
+                # handle below.
+                if job is not None and job.done_event.is_set():
                     if rec.tensor is not None:
                         rec.state = RecordState.LOADED
                         rec.loaded_event.set()
                     else:
                         rec.state = RecordState.OFFLOADED
                         rec.forwarded = False
-                        self._submit_load_locked(rec)
+                        self._submit_load_locked(rec, blocking=blocking)
                 return
             if rec.state is RecordState.OFFLOADED:
-                self._submit_load_locked(rec)
+                self._submit_load_locked(rec, blocking=blocking)
                 return
             if rec.state is RecordState.CONSUMED:
                 raise RuntimeError(f"record {rec.tid} already consumed")
 
-    def _submit_load_locked(self, rec: ActivationRecord) -> None:
-        """Submit the SSD read for ``rec``; caller holds ``rec.lock``."""
+    def _submit_load_locked(self, rec: ActivationRecord, blocking: bool = False) -> None:
+        """Submit the tier read for ``rec``; caller holds ``rec.lock``."""
         rec.state = RecordState.LOADING
         self.stats.prefetch_issued += 1
 
@@ -587,7 +666,16 @@ class TensorCache:
                     record.error = job.error
                     record.loaded_event.set()
 
-        job = self.load_pool.submit(do_load, label=str(rec.tid))
+        job = self.scheduler.submit(
+            IORequest(
+                do_load,
+                kind="load",
+                priority=Priority.BLOCKING_LOAD if blocking else Priority.PREFETCH_LOAD,
+                tensor_id=str(rec.tid),
+                nbytes=rec.nbytes,
+                lane=self.offloader.load_lane(rec.tid),
+            )
+        )
         rec.load_job = job
         job.add_done_callback(on_done)
 

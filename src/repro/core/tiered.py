@@ -42,6 +42,7 @@ from repro.core.ids import TensorID
 from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
 from repro.core.policy import OffloadPolicy, Tier
 from repro.io.gds import GDSRegistry
+from repro.io.scheduler import IORequest, IOScheduler, Priority
 from repro.tensor.tensor import Tensor
 
 
@@ -61,6 +62,9 @@ class TierStats:
     cpu_hit_bytes: int = 0
     ssd_loads: int = 0
     ssd_loaded_bytes: int = 0
+    cancelled_demotions: int = 0    # SSD writes avoided: victim released
+    cancelled_demotion_bytes: int = 0
+    demotion_forward_hits: int = 0  # loads served from an in-flight demotion
 
 
 class TieredOffloader(Offloader):
@@ -114,11 +118,33 @@ class TieredOffloader(Offloader):
         #: Observer for demotions/promotions (the cache keeps its Fig. 4
         #: records' tier column truthful through it).
         self._tier_listener: Optional[Callable[[TensorID, Tier], None]] = None
+        #: With a scheduler attached, demotions run as DEMOTION-priority
+        #: requests on the SSD store lane instead of inline: the pool
+        #: bytes are reclaimed immediately, the SSD write happens when
+        #: the lane gets to it, and releasing (or re-loading) the victim
+        #: first *cancels* the write.  The buffers park here meanwhile.
+        self._scheduler: Optional[IOScheduler] = None
+        self._pending_demotions: Dict[TensorID, "np.ndarray"] = {}
+        self._demotion_reqs: Dict[TensorID, IORequest] = {}
+        #: Demotions whose SSD write is in flight *outside* the tier lock
+        #: (so a slow/throttled write never blocks loads on other tids).
+        #: Readers serve the parked buffer; writers to the same tid wait
+        #: on the event before touching the SSD copy.
+        self._writing_demotions: Dict[TensorID, "np.ndarray"] = {}
+        self._writing_events: Dict[TensorID, threading.Event] = {}
 
     def set_tier_listener(self, listener: Callable[[TensorID, Tier], None]) -> None:
         """Register a callback fired after a tensor moves tier (demotion
         or promotion).  Called with no offloader lock held."""
         self._tier_listener = listener
+
+    def set_scheduler(self, scheduler: Optional[IOScheduler]) -> None:
+        """Route demotion writes through a priority-aware scheduler.
+
+        The cache wires its own scheduler in; ``None`` (the default)
+        keeps demotions synchronous, which standalone users rely on.
+        """
+        self._scheduler = scheduler
 
     def _fire(self, events: List[Tuple[TensorID, Tier]]) -> None:
         listener = self._tier_listener
@@ -157,6 +183,10 @@ class TieredOffloader(Offloader):
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         events: List[Tuple[TensorID, Tier]] = []
         nbytes = int(np.asarray(data).nbytes)
+        # Never race the background spill writer on the same tid: the
+        # re-store logic below assumes the SSD copy is either absent or
+        # fully landed.
+        self._await_inflight_write(tid)
         with self._lock:
             # The policy sees the capacity the pool *could* free: every
             # resident is demotable, so the whole pool is reclaimable.
@@ -167,12 +197,17 @@ class TieredOffloader(Offloader):
             # move would otherwise leak it (orphaned SSD file / pinned
             # chunk refcount), and a CPU-tier overwrite must free its old
             # bytes *before* _make_room or it demotes an innocent victim.
+            # An in-flight demotion of the same tid is obsolete either
+            # way: cancel it so the stale bytes never reach the SSD.
             old = self._tier.get(tid)
             if old is Tier.CPU:
                 self.cpu.evict(tid)
                 self._lru.pop(tid, None)
-            elif old is Tier.SSD and placement is not Tier.SSD:
-                self.ssd.release(tid)
+            elif old is Tier.SSD:
+                if self._cancel_pending_demotion_locked(tid) is None and (
+                    placement is not Tier.SSD
+                ):
+                    self.ssd.release(tid)
             if placement is Tier.CPU:
                 self._make_room(nbytes, events)
                 self.cpu.store(tid, data)
@@ -202,13 +237,87 @@ class TieredOffloader(Offloader):
             self._lru.pop(tid, None)
             self._tier.pop(tid, None)
             return
-        self.ssd.store(tid, buf)
+        if self._scheduler is None:
+            self.ssd.store(tid, buf)
+        else:
+            # Asynchronous spill: reclaim the pool accounting now (the
+            # in-flight buffer plays the staging role), queue the SSD
+            # write at DEMOTION priority — behind every load, ahead of
+            # fresh stores — and keep it cancellable until it runs.
+            self._pending_demotions[tid] = buf
+            request = IORequest(
+                lambda t=tid: self._run_demotion(t),
+                kind="demote",
+                priority=Priority.DEMOTION,
+                tensor_id=str(tid),
+                nbytes=nbytes,
+                lane="ssd",
+            )
+            self._demotion_reqs[tid] = request
+            self._scheduler.submit(request)
         self.cpu.evict(tid)
         self._lru.pop(tid, None)
         self._tier[tid] = Tier.SSD
         self.stats.demotions += 1
         self.stats.demoted_bytes += nbytes
-        events.append((tid, Tier.SSD))
+        if self._scheduler is None:
+            # Async demotions fire the tier event when the write lands
+            # (:meth:`_run_demotion`), not when the spill is queued.
+            events.append((tid, Tier.SSD))
+
+    def _run_demotion(self, tid: TensorID) -> None:
+        """Scheduler-side half of a demotion: the actual SSD write.
+
+        The write runs with the tier lock released — a throttled spill
+        must not stall unrelated loads — with the buffer parked in
+        ``_writing_demotions`` so concurrent readers of this tid are
+        still served, and mutators wait on the per-tid event.
+        """
+        with self._lock:
+            buf = self._pending_demotions.pop(tid, None)
+            self._demotion_reqs.pop(tid, None)
+            if buf is None:
+                return  # released, reloaded or re-stored before the write
+            self._writing_demotions[tid] = buf
+            self._writing_events[tid] = threading.Event()
+        try:
+            self.ssd.store(tid, buf)
+        finally:
+            with self._lock:
+                self._writing_demotions.pop(tid, None)
+                event = self._writing_events.pop(tid, None)
+            if event is not None:
+                event.set()
+        self._fire([(tid, Tier.SSD)])
+
+    def _await_inflight_write(self, tid: TensorID) -> None:
+        """Block (lock-free) until an in-flight spill write of ``tid``
+        lands, so store/release never race the background writer."""
+        while True:
+            with self._lock:
+                event = self._writing_events.get(tid)
+            if event is None:
+                return
+            event.wait()
+
+    def _cancel_pending_demotion_locked(self, tid: TensorID) -> Optional["np.ndarray"]:
+        """Pull ``tid`` out of the demotion queue; returns its buffer.
+
+        Whoever pops the parked buffer first — this canceller or the
+        lane worker's :meth:`_run_demotion` — wins the race under the
+        tier lock; a successful pop here means the SSD write never
+        happens, and the queued request is cancelled (or no-ops if the
+        worker already claimed it).
+        """
+        buf = self._pending_demotions.pop(tid, None)
+        if buf is None:
+            return None
+        request = self._demotion_reqs.pop(tid, None)
+        if request is not None and self._scheduler is not None:
+            self._scheduler.cancel(request)
+        self.stats.cancelled_demotions += 1
+        self.stats.cancelled_demotion_bytes += buf.nbytes
+        return buf
 
     def demote(self, tid: TensorID) -> bool:
         """Explicitly spill one CPU-resident tensor to SSD (True if moved)."""
@@ -234,37 +343,71 @@ class TieredOffloader(Offloader):
                 return data
             if tier is None:
                 raise KeyError(f"tensor {tid} was never stored in any tier")
-            data = self.ssd.load(tid, shape, dtype)
-            self.stats.ssd_loads += 1
-            self.stats.ssd_loaded_bytes += data.nbytes
-            if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
-                self.cpu.store(tid, data)
-                self.ssd.release(tid)
-                self._tier[tid] = Tier.CPU
-                self._lru[tid] = data.nbytes
-                self.stats.promotions += 1
-                self.stats.promoted_bytes += data.nbytes
-                events.append((tid, Tier.CPU))
+            writing = self._writing_demotions.get(tid)
+            if writing is not None:
+                # The spill write is mid-flight on a lane worker: the
+                # parked buffer is authoritative — serve it without
+                # waiting for (or blocking) the write.
+                self.stats.demotion_forward_hits += 1
+                return writing.reshape(shape).astype(dtype, copy=True)
+            pending = self._pending_demotions.get(tid)
+            if pending is not None:
+                # Demotion forwarding: the victim is being re-read while
+                # its spill is still queued — serve the in-flight buffer.
+                # When the pool has room again, cancel the now-pointless
+                # SSD write and reinstate the tensor (a promotion that
+                # never touched the SSD); otherwise the spill proceeds,
+                # since the queued buffer is the only backing copy.
+                data = pending.reshape(shape).astype(dtype, copy=True)
+                self.stats.demotion_forward_hits += 1
+                if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
+                    self._cancel_pending_demotion_locked(tid)
+                    self.cpu.store(tid, data)
+                    self._tier[tid] = Tier.CPU
+                    self._lru[tid] = data.nbytes
+                    self.stats.promotions += 1
+                    self.stats.promoted_bytes += data.nbytes
+                    events.append((tid, Tier.CPU))
+            else:
+                data = self.ssd.load(tid, shape, dtype)
+                self.stats.ssd_loads += 1
+                self.stats.ssd_loaded_bytes += data.nbytes
+                if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
+                    self.cpu.store(tid, data)
+                    self.ssd.release(tid)
+                    self._tier[tid] = Tier.CPU
+                    self._lru[tid] = data.nbytes
+                    self.stats.promotions += 1
+                    self.stats.promoted_bytes += data.nbytes
+                    events.append((tid, Tier.CPU))
         self._fire(events)
         return data
 
     # ---------------------------------------------------------------- reclaim
     def release(self, tid: TensorID) -> None:
+        # A spill write in flight lands before its file is deleted (the
+        # writer owns the bytes until then).
+        self._await_inflight_write(tid)
         with self._lock:
             tier = self._tier.pop(tid, None)
             self._lru.pop(tid, None)
             if tier is Tier.CPU:
                 self.cpu.evict(tid)
             elif tier is Tier.SSD:
-                self.ssd.release(tid)
+                # A queued demotion of a released tensor is an SSD write
+                # for data nobody will read again: cancel it outright.
+                if self._cancel_pending_demotion_locked(tid) is None:
+                    self.ssd.release(tid)
 
     def location(self, tid: TensorID) -> str:
         with self._lock:
             tier = self._tier.get(tid)
+            demoting = tid in self._pending_demotions
         if tier is Tier.CPU:
             return f"tier:cpu:{self.cpu.location(tid)}"
         if tier is Tier.SSD:
-            return f"tier:ssd:{self.ssd.location(tid)}"
+            suffix = "!queued" if demoting else ""
+            return f"tier:ssd{suffix}:{self.ssd.location(tid)}"
         return f"tier:gpu:{tid.filename()}"
 
     def flush(self) -> None:
@@ -273,8 +416,28 @@ class TieredOffloader(Offloader):
         if flush is not None:
             flush()
 
+    def store_lane(self, tid: TensorID, nbytes: int) -> str:
+        """Predict the lane from the policy's placement rule.
+
+        The actual landing tier is decided inside :meth:`store` (the pool
+        may have filled meanwhile); the prediction only routes the queue
+        slot, and the pool-capacity input mirrors :meth:`store`'s ("every
+        resident is demotable").
+        """
+        placement = self.policy.place(
+            nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
+        )
+        return "cpu" if placement is Tier.CPU else "ssd"
+
     def shutdown(self) -> None:
         with self._lock:
+            # Queued spill writes are pointless now; drop them without
+            # touching the cancellation counters (nothing was saved,
+            # the whole store is going away).
+            for request in self._demotion_reqs.values():
+                request.cancel()
+            self._pending_demotions.clear()
+            self._demotion_reqs.clear()
             self._tier.clear()
             self._lru.clear()
         self.cpu.shutdown()

@@ -7,7 +7,7 @@ shape for the examples without shipping a corpus.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 import numpy as np
 

@@ -8,7 +8,7 @@ hash-bucketed open vocabulary plus byte-level fallback for round-tripping.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List
+from typing import List
 
 
 class ToyTokenizer:

@@ -15,7 +15,7 @@ A :class:`GPU` bundles together the three things the reproduction needs from
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.device.memory import MemoryLedger

@@ -1,7 +1,11 @@
 """Asynchronous I/O substrate for activation offloading.
 
+- :class:`~repro.io.scheduler.IOScheduler` — priority-aware scheduler with
+  per-tier lanes, deadline promotion, store cancellation and write
+  coalescing; the cache's I/O spine.
 - :class:`~repro.io.aio.AsyncIOPool` — FIFO worker pool (the paper's tensor
-  cache runs one pool for stores and one for loads, Sec. III-C2).
+  cache runs one pool for stores and one for loads, Sec. III-C2; kept as
+  the baseline the scheduler is measured against).
 - :class:`~repro.io.filestore.TensorFileStore` — real file-backed tensor
   persistence with optional bandwidth throttling and SSD wear accounting.
 - :class:`~repro.io.chunkstore.ChunkedTensorStore` — chunk-coalescing
@@ -16,10 +20,15 @@ from repro.io.aio import AsyncIOPool, IOJob
 from repro.io.chunkstore import ChunkedTensorStore, DEFAULT_CHUNK_BYTES
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import BounceBufferPath, DirectGDSPath, GDSRegistry
+from repro.io.scheduler import IORequest, IOScheduler, Priority, SchedulerStats
 
 __all__ = [
     "AsyncIOPool",
     "IOJob",
+    "IORequest",
+    "IOScheduler",
+    "Priority",
+    "SchedulerStats",
     "TensorFileStore",
     "ChunkedTensorStore",
     "DEFAULT_CHUNK_BYTES",

@@ -1,10 +1,14 @@
-"""FIFO worker pools for tensor stores and loads.
+"""FIFO worker pools and the IOJob state machine.
 
-The tensor cache owns two pools — "one for storing tensors and the other
-for loading tensors.  Submitted jobs are executed in first-in-first-out
-(FIFO) order." (Sec. III-C2.)  A thin wrapper around a queue + worker
-threads keeps job states observable (pending/running/done) so tests can
-assert overlap and forwarding behaviour.
+The paper's tensor cache owns two pools — "one for storing tensors and
+the other for loading tensors.  Submitted jobs are executed in
+first-in-first-out (FIFO) order." (Sec. III-C2.)  The cache now runs on
+the priority-aware :class:`~repro.io.scheduler.IOScheduler` instead;
+:class:`AsyncIOPool` remains as the paper-faithful baseline and for
+standalone use.  :class:`IOJob` is the shared unit of work: observable
+state (pending/running/done/failed/cancelled), a completion event, done
+callbacks, and a ``cancel``/``run`` handshake that lets exactly one side
+win the PENDING race.
 """
 
 from __future__ import annotations
@@ -50,6 +54,28 @@ class IOJob:
     def wait(self, timeout: Optional[float] = None) -> bool:
         return self.done_event.wait(timeout)
 
+    def cancel(self) -> bool:
+        """Cancel the job if (and only if) it has not started running.
+
+        The PENDING -> CANCELLED and PENDING -> RUNNING transitions take
+        the same lock, so exactly one of ``cancel()`` and ``run()`` wins:
+        a job observed CANCELLED never touched the backing store, and a
+        job that is already RUNNING (or finished) cannot be cancelled.
+        Returns True when this call performed the cancellation.  Done
+        callbacks fire for cancelled jobs too (with ``state`` CANCELLED).
+        """
+        with self._lock:
+            if self.state is not JobState.PENDING:
+                return False
+            self.state = JobState.CANCELLED
+            self.fn = None  # drop closure refs, as a completed run would
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self.done_event.set()
+        for cb in callbacks:
+            cb(self)
+        return True
+
     def _finish(self, state: JobState) -> None:
         with self._lock:
             self.state = state
@@ -59,8 +85,22 @@ class IOJob:
         for cb in callbacks:
             cb(self)
 
-    def run(self) -> None:
-        self.state = JobState.RUNNING
+    def claim(self) -> bool:
+        """Atomically take the PENDING -> RUNNING transition.
+
+        Exactly one caller wins against :meth:`cancel` and against other
+        claimers (a promoted request briefly has two queue entries, so
+        two workers can race to execute it).  The loser must not run the
+        job — nor report start/done events for it.
+        """
+        with self._lock:
+            if self.state is not JobState.PENDING:
+                return False
+            self.state = JobState.RUNNING
+            return True
+
+    def execute(self) -> None:
+        """Run the claimed job body; caller must have won :meth:`claim`."""
         try:
             self.result = self.fn()
         except BaseException as exc:  # surfaced via .error, re-raised on wait
@@ -70,6 +110,10 @@ class IOJob:
             return
         self.fn = None  # drop closure refs so GPU buffers can be reclaimed
         self._finish(JobState.DONE)
+
+    def run(self) -> None:
+        if self.claim():
+            self.execute()
 
 
 class AsyncIOPool:

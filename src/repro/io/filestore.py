@@ -10,7 +10,6 @@ accounting.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from pathlib import Path

@@ -22,7 +22,7 @@ from __future__ import annotations
 import threading
 import weakref
 from dataclasses import dataclass
-from typing import Optional, Set, Union
+from typing import Union
 
 from repro.device.pcie import PCIeLink
 from repro.device.ssd import RAID0Array, SSD

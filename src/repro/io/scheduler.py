@@ -1,0 +1,411 @@
+"""Priority-aware I/O scheduler: the successor of the two FIFO pools.
+
+The paper's tensor cache drives all traffic through two strictly FIFO
+worker pools (Sec. III-C2, :class:`~repro.io.aio.AsyncIOPool`).  Under
+load that design inverts priorities: a backlog of low-urgency stores can
+starve the loads sitting on the backward critical path.  This module
+replaces the pools with one :class:`IOScheduler` that understands *what*
+each request is for:
+
+- **per-tier lanes** — every storage tier (``"ssd"``, ``"cpu"``) gets its
+  own worker group and request queue, modelling that PCIe traffic to host
+  memory and NVMe queue depth are independent resources.  Store and load
+  channels of a tier share its lane, the way reads and writes share one
+  NVMe submission stream;
+- **priority classes** — lanes dequeue by :class:`Priority`:
+  backward-blocking loads > prefetch loads > tier demotions > stores.
+  A blocking load submitted behind N queued stores runs next, not last;
+- **deadline promotion** — a pending prefetch load is re-queued as
+  BLOCKING_LOAD when its segment's backward arrives
+  (:meth:`IOScheduler.promote`), so urgency follows the training
+  schedule instead of submission order;
+- **store cancellation** — a store whose tensor was already consumed via
+  data forwarding is cancelled while still PENDING
+  (:meth:`~repro.io.aio.IOJob.cancel`), reclaiming its queue slot and
+  the SSD write it would have issued;
+- **write coalescing** — a worker that dequeues a small store drains the
+  adjacent small stores queued behind it and runs them back-to-back as
+  one batch, so a :class:`~repro.io.chunkstore.ChunkedTensorStore`
+  backend fills one chunk with one uninterrupted submission instead of
+  interleaving chunk fragments with higher-priority work.
+
+``fifo=True`` collapses every class into submission order — the paper's
+original behaviour — which keeps an apples-to-apples baseline for the
+priority-vs-FIFO comparison in benchmarks and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.io.aio import IOJob, JobState
+
+#: Default cap on the total bytes of one coalesced store batch.
+DEFAULT_COALESCE_BYTES = 1 << 20
+
+
+class Priority(enum.IntEnum):
+    """Dequeue classes, most urgent first (lower value wins)."""
+
+    BLOCKING_LOAD = 0   # backward is waiting on this tensor right now
+    PREFETCH_LOAD = 1   # look-ahead load; needed soon, not yet
+    DEMOTION = 2        # CPU -> SSD spill; pool space already reclaimed
+    STORE = 3           # forward-pass offload; deadline is the step end
+
+
+#: Request kinds (the channel of the paper's two pools, plus demotions).
+REQUEST_KINDS = ("store", "load", "demote")
+
+
+class IORequest(IOJob):
+    """A typed unit of I/O work: what, how big, which lane, how urgent.
+
+    Extends :class:`~repro.io.aio.IOJob` (state machine, completion event,
+    done callbacks, cancellation) with the scheduling metadata the lanes
+    dequeue by.  ``priority`` is mutated only by
+    :meth:`IOScheduler.promote` while the request is PENDING.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[], object],
+        *,
+        kind: str,
+        priority: Priority,
+        tensor_id: str = "",
+        nbytes: int = 0,
+        lane: str = "ssd",
+        label: str = "",
+    ) -> None:
+        if kind not in REQUEST_KINDS:
+            raise ValueError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
+        super().__init__(fn, label=label or f"{kind}:{tensor_id}")
+        self.kind = kind
+        self.priority = Priority(priority)
+        self.tensor_id = tensor_id
+        self.nbytes = int(nbytes)
+        self.lane = lane
+        #: True when this request ran as a trailing member of a coalesced
+        #: store batch (not the batch head).
+        self.coalesced = False
+
+
+@dataclass
+class SchedulerStats:
+    """Cumulative counters (the benchmark / test / trace surface)."""
+
+    submitted: int = 0
+    executed: int = 0
+    #: Requests submitted per priority class name.
+    submitted_by_class: Dict[str, int] = field(default_factory=dict)
+    cancelled: int = 0
+    cancelled_stores: int = 0
+    cancelled_bytes: int = 0
+    promotions: int = 0
+    #: Coalesced store batches with >= 2 members, and the members beyond
+    #: each batch head (the stores that avoided a standalone submission).
+    coalesced_batches: int = 0
+    coalesced_requests: int = 0
+    coalesced_bytes: int = 0
+
+
+class _Lane:
+    """One tier's queue + bookkeeping (workers live on the scheduler)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        #: Heap of (priority value, seq, entry priority snapshot, request).
+        self.heap: List[Tuple[int, int, int, IORequest]] = []
+        self.seq = 0
+        self.pending = 0  # submitted, not yet finished or cancelled
+        self.idle = threading.Event()
+        self.idle.set()
+
+
+class IOScheduler:
+    """Single scheduler owning per-tier lanes with priority dequeue.
+
+    Args:
+        num_store_workers / num_load_workers: kept for drop-in
+            compatibility with the two FIFO pools; their sum is each
+            lane's worker count (total channel concurrency per tier is
+            unchanged, but any worker may serve any class — that is what
+            lets a blocking load overtake the store backlog).
+        lanes: tier names to create lanes for.
+        fifo: ignore priority classes and dequeue in submission order
+            (the paper's baseline behaviour; promotion becomes a no-op).
+        coalesce_bytes: cap on one coalesced store batch; ``0`` disables
+            coalescing.  A store larger than the cap always runs alone.
+        name: thread-name prefix.
+    """
+
+    def __init__(
+        self,
+        num_store_workers: int = 2,
+        num_load_workers: int = 2,
+        lanes: Tuple[str, ...] = ("ssd", "cpu"),
+        fifo: bool = False,
+        coalesce_bytes: int = DEFAULT_COALESCE_BYTES,
+        name: str = "ssdtrain-io",
+    ) -> None:
+        if num_store_workers < 1 or num_load_workers < 1:
+            raise ValueError("each channel needs at least one worker")
+        if not lanes:
+            raise ValueError("need at least one lane")
+        if coalesce_bytes < 0:
+            raise ValueError(f"coalesce_bytes must be >= 0: {coalesce_bytes}")
+        self.name = name
+        self.fifo = fifo
+        self.coalesce_bytes = coalesce_bytes
+        self.stats = SchedulerStats()
+        self._stats_lock = threading.Lock()
+        self._shutdown = False
+        self._listeners: List[Callable[[str, IORequest], None]] = []
+        self._lanes: Dict[str, _Lane] = {lane: _Lane(lane) for lane in lanes}
+        workers_per_lane = num_store_workers + num_load_workers
+        self._workers: List[threading.Thread] = []
+        for lane in self._lanes.values():
+            for i in range(workers_per_lane):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    args=(lane,),
+                    name=f"{name}-{lane.name}-{i}",
+                    daemon=True,
+                )
+                self._workers.append(worker)
+                worker.start()
+
+    # --------------------------------------------------------------- listeners
+    def add_listener(self, listener: Callable[[str, IORequest], None]) -> None:
+        """Subscribe to scheduler events.
+
+        ``listener(event, request)`` fires for ``"submit"``, ``"start"``,
+        ``"done"``, ``"cancel"`` and ``"promote"`` (after the fact, with
+        no scheduler lock held).  The I/O tracer uses this to surface
+        cancellations and promotions in overlap reports.
+        """
+        self._listeners.append(listener)
+
+    def _notify(self, event: str, request: IORequest) -> None:
+        for listener in self._listeners:
+            listener(event, request)
+
+    # ------------------------------------------------------------------ submit
+    def _lane_of(self, request: IORequest) -> _Lane:
+        lane = self._lanes.get(request.lane)
+        if lane is None:
+            raise ValueError(
+                f"unknown lane {request.lane!r}; scheduler has {tuple(self._lanes)}"
+            )
+        return lane
+
+    def _sort_key(self, request: IORequest) -> int:
+        return 0 if self.fifo else int(request.priority)
+
+    def submit(self, request: IORequest) -> IORequest:
+        """Enqueue a typed request on its tier lane; returns the request."""
+        lane = self._lane_of(request)
+        with lane.cond:
+            if self._shutdown:
+                raise RuntimeError(f"scheduler {self.name} is shut down")
+            lane.pending += 1
+            lane.idle.clear()
+            heapq.heappush(
+                lane.heap,
+                (self._sort_key(request), lane.seq, int(request.priority), request),
+            )
+            lane.seq += 1
+            lane.cond.notify()
+        # Finishing — by execution or by cancellation — is bookkept in one
+        # place so the pending count never double-decrements on the
+        # cancel-vs-dequeue race.
+        request.add_done_callback(lambda req, ln=lane: self._on_request_done(ln, req))
+        with self._stats_lock:
+            self.stats.submitted += 1
+            cls = request.priority.name
+            self.stats.submitted_by_class[cls] = (
+                self.stats.submitted_by_class.get(cls, 0) + 1
+            )
+        self._notify("submit", request)
+        return request
+
+    def _on_request_done(self, lane: _Lane, request: IORequest) -> None:
+        cancelled = request.state is JobState.CANCELLED
+        with lane.cond:
+            lane.pending -= 1
+            if lane.pending == 0:
+                lane.idle.set()
+        with self._stats_lock:
+            if cancelled:
+                self.stats.cancelled += 1
+                self.stats.cancelled_bytes += request.nbytes
+                if request.kind in ("store", "demote"):
+                    self.stats.cancelled_stores += 1
+            else:
+                self.stats.executed += 1
+
+    # ------------------------------------------------------ cancel / promote
+    def cancel(self, request: IORequest) -> bool:
+        """Cancel a PENDING request (False if it already started).
+
+        The request's done event fires either way once it reaches a
+        terminal state; a successful cancel reaches it without touching
+        the backing store.
+        """
+        if request.cancel():
+            self._notify("cancel", request)
+            return True
+        return False
+
+    def promote(self, request: Optional[IORequest], priority: Priority = Priority.BLOCKING_LOAD) -> bool:
+        """Raise a PENDING request's urgency (deadline promotion).
+
+        Re-pushes the request with the new class; the stale heap entry is
+        skipped at dequeue time (its priority snapshot no longer matches).
+        No-op in FIFO mode, for requests already at least that urgent,
+        and for requests that left the queue.
+        """
+        if request is None or self.fifo:
+            return False
+        lane = self._lane_of(request)
+        with lane.cond:
+            if request.state is not JobState.PENDING:
+                return False
+            if int(priority) >= int(request.priority):
+                return False
+            request.priority = Priority(priority)
+            heapq.heappush(
+                lane.heap,
+                (self._sort_key(request), lane.seq, int(request.priority), request),
+            )
+            lane.seq += 1
+            lane.cond.notify()
+        with self._stats_lock:
+            self.stats.promotions += 1
+        self._notify("promote", request)
+        return True
+
+    # ----------------------------------------------------------------- workers
+    def _pop_valid_locked(self, lane: _Lane) -> Optional[IORequest]:
+        """Pop the most urgent live entry; drops stale/cancelled ones."""
+        while lane.heap:
+            _, _, entry_priority, request = heapq.heappop(lane.heap)
+            if request.state is not JobState.PENDING:
+                continue  # cancelled while queued (or stale duplicate)
+            if entry_priority != int(request.priority):
+                continue  # stale entry left behind by a promotion
+            return request
+        return None
+
+    def _pop_batch_locked(self, lane: _Lane) -> List[IORequest]:
+        """Pop one request, plus — for small stores — the adjacent small
+        stores queued behind it, to run back-to-back as one batch.
+
+        Stores are the lowest class, so when a store is at the front the
+        whole heap is stores: draining from the top preserves priority
+        order while guaranteeing the batch is adjacent in queue order.
+
+        Members claimed into a batch ride behind its head even if another
+        worker goes idle — adjacency is the point (one chunk submission).
+        Within the store class that can reorder a later store ahead of a
+        claimed one, which is fine: stores carry no ordering guarantee,
+        only a step-end deadline, and claimed members stay cancellable
+        until the worker reaches them.
+        """
+        head = self._pop_valid_locked(lane)
+        if head is None:
+            return []
+        batch = [head]
+        if (
+            self.coalesce_bytes <= 0
+            or head.kind not in ("store", "demote")
+            or head.nbytes >= self.coalesce_bytes
+        ):
+            return batch
+        total = head.nbytes
+        while lane.heap:
+            _, _, entry_priority, nxt = lane.heap[0]
+            if nxt.state is not JobState.PENDING or entry_priority != int(nxt.priority):
+                heapq.heappop(lane.heap)  # stale: drop and keep scanning
+                continue
+            if nxt.kind not in ("store", "demote"):
+                break
+            if total + nxt.nbytes > self.coalesce_bytes:
+                break
+            heapq.heappop(lane.heap)
+            nxt.coalesced = True
+            batch.append(nxt)
+            total += nxt.nbytes
+        return batch
+
+    def _worker_loop(self, lane: _Lane) -> None:
+        while True:
+            with lane.cond:
+                while not lane.heap and not self._shutdown:
+                    lane.cond.wait()
+                if not lane.heap and self._shutdown:
+                    return
+                batch = self._pop_batch_locked(lane)
+            if len(batch) > 1:
+                with self._stats_lock:
+                    self.stats.coalesced_batches += 1
+                    self.stats.coalesced_requests += len(batch) - 1
+                    self.stats.coalesced_bytes += sum(r.nbytes for r in batch[1:])
+            for request in batch:
+                # claim() loses against a cancel — and against another
+                # worker holding a duplicate entry left by a promotion;
+                # the loser must stay silent (no start/done events).
+                if not request.claim():
+                    continue
+                self._notify("start", request)
+                request.execute()
+                self._notify("done", request)
+
+    # ------------------------------------------------------------------- drain
+    def pending(self, lane: Optional[str] = None) -> int:
+        """Requests submitted but not yet finished (one lane or all)."""
+        lanes = [self._lanes[lane]] if lane is not None else list(self._lanes.values())
+        total = 0
+        for ln in lanes:
+            with ln.lock:
+                total += ln.pending
+        return total
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every lane is simultaneously empty and idle.
+
+        A single pass is not enough: work finishing on a later-checked
+        lane may submit onto an earlier-checked one (a cpu-lane store
+        triggering a tiered demotion queues an ssd-lane write), so loop
+        until one pass observes every lane idle at once.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            for lane in self._lanes.values():
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                if not lane.idle.wait(remaining):
+                    return False
+            if all(lane.idle.is_set() for lane in self._lanes.values()):
+                return True
+
+    def shutdown(self) -> None:
+        """Finish queued work and stop the workers (idempotent)."""
+        with self._stats_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        self.drain()
+        for lane in self._lanes.values():
+            with lane.cond:
+                lane.cond.notify_all()
+        for worker in self._workers:
+            worker.join(timeout=5)

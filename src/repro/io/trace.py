@@ -7,26 +7,36 @@ overlap — the functional-mode counterpart of the simulator's
 
 Attach a tracer to a cache via :func:`attach_tracer`; it wraps the
 offloader's ``store``/``load`` methods (they execute on the cache's
-thread pools, so events carry the actual concurrency).
+scheduler lanes, so events carry the actual concurrency) and subscribes
+to the cache's :class:`~repro.io.scheduler.IOScheduler`, so the trace
+also shows the scheduler *working*: ``cancel`` point-events mark stores
+reclaimed before they hit the SSD, ``promote`` point-events mark
+prefetch loads re-queued as blocking, and each carries the request's
+priority class.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
+
+#: Interval kinds (real I/O) and point kinds (scheduler decisions).
+_INTERVAL_KINDS = ("store", "load")
+_POINT_KINDS = ("cancel", "promote")
 
 
 @dataclass(frozen=True)
 class IOTraceEvent:
-    """One completed I/O operation."""
+    """One completed I/O operation or scheduler decision."""
 
-    kind: str          # "store" | "load"
+    kind: str          # "store" | "load" | "cancel" | "promote"
     tensor_id: str
     nbytes: int
     start_s: float     # relative to the tracer epoch
-    end_s: float
+    end_s: float       # == start_s for point events
+    priority: Optional[str] = None  # scheduler class name, when known
 
     @property
     def duration_s(self) -> float:
@@ -42,6 +52,10 @@ class OverlapStats:
     load_busy_s: float
     store_bytes: int
     load_bytes: int
+    #: Scheduler decisions observed in the window.
+    cancelled_stores: int = 0
+    cancelled_bytes: int = 0
+    promoted_loads: int = 0
 
     @property
     def store_bandwidth(self) -> float:
@@ -63,11 +77,26 @@ class IOTracer:
     def now(self) -> float:
         return time.monotonic() - self._epoch
 
-    def record(self, kind: str, tensor_id: str, nbytes: int, start_s: float, end_s: float) -> None:
-        if kind not in ("store", "load"):
+    def record(
+        self,
+        kind: str,
+        tensor_id: str,
+        nbytes: int,
+        start_s: float,
+        end_s: float,
+        priority: Optional[str] = None,
+    ) -> None:
+        if kind not in _INTERVAL_KINDS + _POINT_KINDS:
             raise ValueError(f"unknown I/O kind: {kind}")
         with self._lock:
-            self.events.append(IOTraceEvent(kind, tensor_id, nbytes, start_s, end_s))
+            self.events.append(
+                IOTraceEvent(kind, tensor_id, nbytes, start_s, end_s, priority)
+            )
+
+    def mark(self, kind: str, tensor_id: str, nbytes: int, priority: Optional[str] = None) -> None:
+        """Record a point event (cancellation / promotion) at ``now``."""
+        t = self.now()
+        self.record(kind, tensor_id, nbytes, t, t, priority)
 
     def reset(self) -> None:
         with self._lock:
@@ -103,15 +132,20 @@ class IOTracer:
             load_busy_s=self._busy_time("load"),
             store_bytes=sum(e.nbytes for e in events if e.kind == "store"),
             load_bytes=sum(e.nbytes for e in events if e.kind == "load"),
+            cancelled_stores=sum(1 for e in events if e.kind == "cancel"),
+            cancelled_bytes=sum(e.nbytes for e in events if e.kind == "cancel"),
+            promoted_loads=sum(1 for e in events if e.kind == "promote"),
         )
 
     def render_ascii(self, width: int = 80) -> str:
-        """A two-lane (store/load) timeline of the traced run."""
+        """A timeline of the traced run: store/load busy lanes, plus an
+        ``sched`` lane marking cancellations (``x``) and promotions
+        (``^``) when the scheduler produced any."""
         with self._lock:
             events = list(self.events)
         if not events:
             return "(no I/O events traced)"
-        total = max(e.end_s for e in events)
+        total = max(e.end_s for e in events) or 1e-9
         rows = []
         for kind, mark in (("store", "s"), ("load", "l")):
             row = [" "] * width
@@ -123,11 +157,19 @@ class IOTracer:
                 for i in range(lo, hi):
                     row[i] = mark
             rows.append(f"{kind:>6} |{''.join(row)}|")
+        points = [e for e in events if e.kind in _POINT_KINDS]
+        if points:
+            row = [" "] * width
+            for e in points:
+                i = min(width - 1, int(e.start_s / total * width))
+                row[i] = "x" if e.kind == "cancel" else "^"
+            rows.append(f"{'sched':>6} |{''.join(row)}|")
         return "\n".join(rows)
 
 
 def attach_tracer(cache: Any, tracer: Optional[IOTracer] = None) -> IOTracer:
-    """Wrap ``cache.offloader``'s store/load with trace recording.
+    """Wrap ``cache.offloader``'s store/load with trace recording and
+    subscribe to the cache's scheduler events (when it has a scheduler).
 
     Returns the tracer (a fresh one when not supplied).  Wrapping is
     idempotent per offloader instance.
@@ -155,4 +197,15 @@ def attach_tracer(cache: Any, tracer: Optional[IOTracer] = None) -> IOTracer:
     offloader.store = traced_store
     offloader.load = traced_load
     offloader._ssdtrain_tracer = tracer
+
+    scheduler = getattr(cache, "scheduler", None)
+    if scheduler is not None:
+
+        def on_scheduler_event(event: str, request: Any) -> None:
+            if event in _POINT_KINDS:
+                tracer.mark(
+                    event, request.tensor_id, request.nbytes, request.priority.name
+                )
+
+        scheduler.add_listener(on_scheduler_event)
     return tracer

@@ -8,10 +8,9 @@ sequence length 1024, FP16, batch size 16 unless stated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
-import numpy as np
 
 #: Attention head dimension used throughout the evaluation.
 HEAD_DIM = 128
@@ -79,7 +78,7 @@ class ModelConfig:
 
     def scaled(self, **overrides) -> "ModelConfig":
         """A copy with some fields overridden (used to shrink for tests)."""
-        from dataclasses import asdict, replace
+        from dataclasses import replace
 
         return replace(self, **overrides)
 

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
 from repro.device.memory import MemoryTag
-from repro.tensor.storage import is_gpu
 from repro.tensor.tensor import Parameter, Tensor
 
 

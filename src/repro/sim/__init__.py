@@ -8,6 +8,7 @@ and I/O stall time for the Fig. 6 / Fig. 7 / Fig. 8 / Table III benches.
 """
 
 from repro.sim.step_sim import (
+    IO_MODES,
     SegmentSpec,
     SimResult,
     StepSimulator,
@@ -22,6 +23,7 @@ from repro.sim.pipeline_offload import (
 from repro.sim.timeline import Timeline, TimelineEvent
 
 __all__ = [
+    "IO_MODES",
     "SegmentSpec",
     "SimResult",
     "StepSimulator",

@@ -23,31 +23,47 @@ Sec. III-C2) — making offload decisions with the *same*
   bandwidth and only the spill beyond the pool pays SSD bandwidth —
   the simulator analogue of
   :class:`~repro.core.tiered.TieredOffloader` (placement only; demotion
-  traffic is a functional-engine concern).
+  traffic is a functional-engine concern);
+- I/O scheduling: ``io_mode`` picks the SSD-channel contention model
+  (see :data:`IO_MODES`) — ``"fifo"`` vs ``"priority"`` quantifies what
+  the functional :class:`~repro.io.scheduler.IOScheduler`'s
+  blocking-load-first dequeue buys at equal bandwidth.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.perf_model import (
     ActivationTensor,
     embedding_activation_bytes,
-    layer_forward_flops,
     logits_activation_bytes,
     model_param_count,
     transformer_layer_perf,
     weight_update_time,
 )
-from repro.core.policy import Decision, OffloadPolicy, PolicyConfig, StepAccounting, Tier
+from repro.core.policy import Decision, OffloadPolicy, StepAccounting, Tier
 from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
 from repro.device.pcie import GPU_LINK_GEN4_X16
 from repro.models.config import ModelConfig
 from repro.sim.timeline import Timeline
 from repro.train.parallel import ParallelismConfig
 from repro.train.trainer import PlacementStrategy
+
+
+#: SSD-channel contention models (the functional counterpart is the
+#: :class:`~repro.io.scheduler.IOScheduler`'s ``fifo`` flag):
+#:
+#: - ``"duplex"``  — the paper's two independent pools: stores and loads
+#:   never contend (an idealisation of deep NVMe queues);
+#: - ``"fifo"``    — one shared serial channel, strict submission order:
+#:   a backward load queues behind the whole store backlog (the
+#:   priority-inversion failure mode);
+#: - ``"priority"``— the same shared channel, but loads overtake queued
+#:   stores (blocking-load-first dequeue).  Deferred stores finish in
+#:   the gaps; their recorded completion times are lower bounds.
+IO_MODES = ("duplex", "fifo", "priority")
 
 
 @dataclass(frozen=True)
@@ -198,11 +214,14 @@ class StepSimulator:
         cpu_pool_bytes: Optional[int] = None,
         cpu_write_bandwidth: Optional[float] = None,
         cpu_read_bandwidth: Optional[float] = None,
+        io_mode: str = "duplex",
     ) -> None:
         if write_bandwidth <= 0 or read_bandwidth <= 0:
             raise ValueError("bandwidths must be positive")
         if num_microbatches < 1:
             raise ValueError("num_microbatches must be >= 1")
+        if io_mode not in IO_MODES:
+            raise ValueError(f"unknown io_mode {io_mode!r}; expected one of {IO_MODES}")
         self.segments = segments
         self.strategy = strategy
         self.write_bw = write_bandwidth
@@ -234,6 +253,7 @@ class StepSimulator:
         # count toward the activation peak.  ``None`` disables the tier
         # (every offload targets the SSD, the paper's configuration).
         self.cpu_pool_bytes = cpu_pool_bytes
+        self.io_mode = io_mode
         link_bw = GPU_LINK_GEN4_X16.bandwidth
         self.cpu_write_bw = cpu_write_bandwidth if cpu_write_bandwidth is not None else link_bw
         self.cpu_read_bw = cpu_read_bandwidth if cpu_read_bandwidth is not None else link_bw
@@ -336,6 +356,10 @@ class StepSimulator:
                             off_cpu += act.nbytes
                         else:
                             start = max(store_t, produced)
+                            if self.io_mode != "duplex":
+                                # Shared SSD channel: a store cannot start
+                                # while a load occupies it.
+                                start = max(start, load_t)
                             done = (
                                 start + self.io_latency_s + act.nbytes / self.write_bw
                             )
@@ -377,7 +401,7 @@ class StepSimulator:
                 the current segment (at ``consumption_rate`` bytes/s) has
                 earned them credit.
                 """
-                nonlocal load_t, cpu_load_t, cpu_used, loaded, forwarded, io_stall
+                nonlocal load_t, store_t, cpu_load_t, cpu_used, loaded, forwarded, io_stall
                 seg = self.segments[si]
                 for aj in range(len(seg.activations) - 1, -1, -1):
                     # Consumption is last-produced-first, so load in
@@ -425,8 +449,17 @@ class StepSimulator:
                         timeline.record("cpu_load", f"cl{si}", start, done)
                     else:
                         start = max(load_t, end, paced_trigger)
+                        if self.io_mode == "fifo":
+                            # FIFO shared channel: the load waits for the
+                            # whole store backlog submitted ahead of it.
+                            start = max(start, store_t)
                         done = start + self.io_latency_s + act.nbytes / read_bw
                         load_t = done
+                        if self.io_mode != "duplex":
+                            # The shared channel was busy with this load;
+                            # under "priority" that is the load overtaking
+                            # queued stores, which resume afterwards.
+                            store_t = max(store_t, done)
                         timeline.record("load", f"l{si}", start, done)
                     timeline.alloc(start, act.nbytes)
                     loaded += act.nbytes
@@ -524,6 +557,7 @@ def simulate_strategy(
     cpu_pool_bytes: Optional[int] = None,
     cpu_write_bandwidth: Optional[float] = None,
     cpu_read_bandwidth: Optional[float] = None,
+    io_mode: str = "duplex",
 ) -> SimResult:
     """Convenience wrapper: build segments, add weight-update time, run."""
     par = parallelism if parallelism is not None else ParallelismConfig()
@@ -541,5 +575,6 @@ def simulate_strategy(
         cpu_pool_bytes=cpu_pool_bytes,
         cpu_write_bandwidth=cpu_write_bandwidth,
         cpu_read_bandwidth=cpu_read_bandwidth,
+        io_mode=io_mode,
     )
     return sim.run(weight_update_s=update)

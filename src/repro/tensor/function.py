@@ -14,7 +14,6 @@ activations are likewise freed as backward sweeps through the layers.
 
 from __future__ import annotations
 
-import weakref
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

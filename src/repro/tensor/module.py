@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.tensor import flags
 from repro.tensor.function import Function, FunctionContext
-from repro.tensor.storage import Device, cpu
+from repro.tensor.storage import Device
 from repro.tensor.tensor import Parameter, Tensor
 
 _hook_ids = itertools.count()

@@ -15,7 +15,7 @@ remains (Sec. III-B).
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 

@@ -10,7 +10,7 @@ of each command".
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List
 
 
 class MicrobatchSchedule:

@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.hints import SchedulerHints, Stage, patch_schedule
+from repro.core.hints import SchedulerHints, patch_schedule
 from repro.core.tensor_cache import CacheStats, TensorCache
 from repro.device.gpu import GPU
 from repro.device.memory import MemoryTag

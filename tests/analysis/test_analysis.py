@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.configs import FIG5_CONFIGS, MEGATRON_175B, MEGATRON_350B
+from repro.analysis.configs import FIG5_CONFIGS, MEGATRON_175B
 from repro.analysis.microbatch import microbatch_breakdown, upscaling_write_bandwidth
 from repro.analysis.perf_model import (
     TierTransferModel,

@@ -1,7 +1,5 @@
 """Tests for the Alg. 1 offload policy."""
 
-import pytest
-
 from repro.core.policy import Decision, KeepReason, OffloadPolicy, PolicyConfig, StepAccounting
 
 

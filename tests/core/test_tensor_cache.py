@@ -7,7 +7,6 @@ and failure injection.
 """
 
 import gc
-import time
 
 import numpy as np
 import pytest
@@ -16,12 +15,11 @@ from repro.core import (
     CPUOffloader,
     OffloadPolicy,
     PolicyConfig,
-    RecordState,
     SSDOffloader,
     TensorCache,
 )
-from repro.device import GPU, MemoryTag
-from repro.models import GPT, ModelConfig
+from repro.device import MemoryTag
+from repro.models import GPT
 from repro.nn.linear import Linear
 from repro.tensor import ops
 from repro.tensor.tensor import Tensor

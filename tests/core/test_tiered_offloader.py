@@ -21,7 +21,6 @@ from repro.core import (
     make_offloader,
 )
 from repro.core.ids import TensorID
-from repro.models import GPT
 
 from tests.core.test_tensor_cache import _fresh_model, _run_model_step
 
@@ -330,12 +329,15 @@ def test_chunked_ssd_writes_at_least_4x_fewer_files(gpu, tiny_gpt_config, tmp_pa
             cache.register_weights(model)
             cache.attach(model)
             _run_model_step(model, gpu, cache)
-            return cache.stats.stored_tensors, offloader.file_store.write_count
+            executed = cache.stats.stored_tensors - cache.stats.cancelled_stores
+            return executed, offloader.file_store.write_count
         finally:
             cache.shutdown()
 
     stored, per_tensor_writes = run_step(SSDOffloader(tmp_path / "per-tensor"))
-    assert per_tensor_writes == stored  # one file per offloaded tensor
+    # One file per store that actually ran (forwarding may have cancelled
+    # a queued store or two before it hit the SSD).
+    assert per_tensor_writes == stored
 
     _, chunk_writes = run_step(
         SSDOffloader(tmp_path / "chunked", chunk_bytes=64 * 1024)

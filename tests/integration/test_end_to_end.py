@@ -14,7 +14,7 @@ from repro.core import (
     configure_policy,
 )
 from repro.data import SyntheticCorpus, TokenBatchLoader
-from repro.device import GPU, MemoryTag
+from repro.device import MemoryTag
 from repro.models import BERT, GPT, ModelConfig, T5
 from repro.optim import SGD
 from repro.train import PlacementStrategy, Trainer

@@ -1,0 +1,326 @@
+"""Tests for the priority-aware I/O scheduler.
+
+Covers the three tentpole behaviours end to end at the scheduler level:
+priority inversion (a blocking load queued behind N stores completes
+first), the store-cancellation race (PENDING cancels, RUNNING does not),
+and coalesced-store accounting (adjacent small stores run as one batch
+and land in one chunk).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.io import ChunkedTensorStore, IORequest, IOScheduler, Priority
+from repro.io.aio import JobState
+
+
+def _req(fn, kind="store", priority=Priority.STORE, nbytes=0, tid="t", lane="ssd"):
+    return IORequest(
+        fn, kind=kind, priority=priority, tensor_id=tid, nbytes=nbytes, lane=lane
+    )
+
+
+def _block_workers(sched, gate, n=2, lane="ssd"):
+    """Park ``n`` workers on ``gate`` so later submissions stay queued.
+
+    The gate jobs are blocking loads: they dequeue first and — unlike
+    zero-byte stores — can never be coalesced into a batch with the
+    requests under test.
+    """
+    for _ in range(n):
+        sched.submit(
+            _req(gate.wait, kind="load", priority=Priority.BLOCKING_LOAD, lane=lane)
+        )
+    time.sleep(0.05)  # let the workers claim the gates
+
+
+def make_scheduler(**kwargs):
+    kwargs.setdefault("num_store_workers", 1)
+    kwargs.setdefault("num_load_workers", 1)
+    return IOScheduler(**kwargs)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        IOScheduler(num_store_workers=0)
+    with pytest.raises(ValueError):
+        IOScheduler(lanes=())
+    with pytest.raises(ValueError):
+        IOScheduler(coalesce_bytes=-1)
+    with pytest.raises(ValueError):
+        _req(lambda: None, kind="compact")
+    sched = make_scheduler()
+    with pytest.raises(ValueError):
+        sched.submit(_req(lambda: None, lane="tape"))
+    sched.shutdown()
+
+
+def test_executes_and_drains():
+    sched = make_scheduler()
+    done = []
+    for i in range(8):
+        sched.submit(_req(lambda i=i: done.append(i)))
+    assert sched.drain(5)
+    assert sorted(done) == list(range(8))
+    assert sched.pending() == 0
+    assert sched.stats.executed == 8
+    sched.shutdown()
+    with pytest.raises(RuntimeError):
+        sched.submit(_req(lambda: None))
+
+
+# ------------------------------------------------------------------- priority
+def test_priority_inversion_blocking_load_overtakes_stores():
+    order = []
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    # Occupy both workers so subsequent submissions stay queued.
+    _block_workers(sched, gate)
+    for i in range(6):
+        sched.submit(_req(lambda i=i: order.append(f"s{i}"), nbytes=64, tid=f"s{i}"))
+    load = sched.submit(
+        _req(
+            lambda: order.append("load"),
+            kind="load",
+            priority=Priority.BLOCKING_LOAD,
+            tid="hot",
+        )
+    )
+    gate.set()
+    assert sched.drain(5)
+    # The blocking load was submitted last but ran before every queued
+    # store (priority dequeue), instead of after all of them (FIFO).
+    assert order[0] == "load"
+    assert load.state is JobState.DONE
+    sched.shutdown()
+
+
+def test_fifo_mode_preserves_submission_order():
+    order = []
+    gate = threading.Event()
+    sched = IOScheduler(
+        num_store_workers=1, num_load_workers=1, lanes=("ssd",), fifo=True
+    )
+    _block_workers(sched, gate)
+    for i in range(6):
+        sched.submit(_req(lambda i=i: order.append(f"s{i}"), tid=f"s{i}"))
+    sched.submit(
+        _req(lambda: order.append("load"), kind="load", priority=Priority.BLOCKING_LOAD)
+    )
+    gate.set()
+    assert sched.drain(5)
+    assert order[-1] == "load"  # FIFO: the load waits out the backlog
+    sched.shutdown()
+
+
+def test_priority_scheduler_cuts_blocking_load_latency_vs_fifo():
+    """The acceptance metric at the scheduler level: same bandwidth
+    (same per-op sleep), same backlog — strictly lower load latency."""
+
+    def run(fifo):
+        gate = threading.Event()
+        # coalesce_bytes=0 isolates the variable under test: with
+        # batching on, one worker drains the whole store backlog as a
+        # batch and frees the other for the load even in FIFO mode.
+        sched = IOScheduler(
+            num_store_workers=1,
+            num_load_workers=1,
+            lanes=("ssd",),
+            fifo=fifo,
+            coalesce_bytes=0,
+        )
+        _block_workers(sched, gate)
+        for i in range(6):
+            sched.submit(_req(lambda: time.sleep(0.02), tid=f"s{i}"))
+        t0 = time.monotonic()
+        load = sched.submit(
+            _req(lambda: None, kind="load", priority=Priority.BLOCKING_LOAD)
+        )
+        gate.set()
+        assert load.wait(5)
+        latency = time.monotonic() - t0
+        sched.shutdown()
+        return latency
+
+    fifo_latency = run(fifo=True)     # waits behind 6 x 20 ms of stores
+    priority_latency = run(fifo=False)  # overtakes the whole backlog
+    assert priority_latency < fifo_latency
+    assert fifo_latency >= 0.05  # sanity: the backlog was real
+
+
+# --------------------------------------------------------------- cancellation
+def test_cancel_pending_store_never_runs():
+    ran = []
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    victim = sched.submit(_req(lambda: ran.append("victim"), nbytes=128, tid="v"))
+    assert sched.cancel(victim)
+    assert victim.state is JobState.CANCELLED
+    assert victim.done_event.is_set()
+    gate.set()
+    assert sched.drain(5)
+    assert ran == []  # the cancelled store never touched the backend
+    assert sched.stats.cancelled == 1
+    assert sched.stats.cancelled_stores == 1
+    assert sched.stats.cancelled_bytes == 128
+    sched.shutdown()
+
+
+def test_cancel_running_store_fails():
+    started = threading.Event()
+    release = threading.Event()
+    sched = make_scheduler()
+
+    def slow_store():
+        started.set()
+        release.wait(5)
+
+    job = sched.submit(_req(slow_store))
+    assert started.wait(5)
+    assert not sched.cancel(job)  # RUNNING: the write is already in flight
+    release.set()
+    assert job.wait(5)
+    assert job.state is JobState.DONE
+    assert sched.stats.cancelled == 0
+    sched.shutdown()
+
+
+def test_cancelled_request_fires_done_callback():
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    seen = []
+    job = sched.submit(_req(lambda: None))
+    job.add_done_callback(lambda j: seen.append(j.state))
+    sched.cancel(job)
+    gate.set()
+    sched.drain(5)
+    assert seen == [JobState.CANCELLED]
+    sched.shutdown()
+
+
+# ------------------------------------------------------------------ promotion
+def test_promote_pending_prefetch_overtakes_stores():
+    order = []
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    # Demotions sit between loads and stores: a pending prefetch behind a
+    # demotion overtakes it once promoted to the blocking class.
+    sched.submit(_req(lambda: order.append("demote"), kind="demote", priority=Priority.DEMOTION))
+    prefetch = sched.submit(
+        _req(lambda: order.append("load"), kind="load", priority=Priority.PREFETCH_LOAD)
+    )
+    assert sched.promote(prefetch)
+    assert prefetch.priority is Priority.BLOCKING_LOAD
+    assert sched.stats.promotions == 1
+    gate.set()
+    assert sched.drain(5)
+    assert order == ["load", "demote"]
+    sched.shutdown()
+
+
+def test_promote_noops():
+    sched = make_scheduler()
+    assert not sched.promote(None)
+    job = sched.submit(_req(lambda: None, kind="load", priority=Priority.PREFETCH_LOAD))
+    job.wait(5)
+    assert not sched.promote(job)  # already finished
+    blocking = _req(lambda: None, kind="load", priority=Priority.BLOCKING_LOAD)
+    assert not sched.promote(blocking)  # already at the top class
+    sched.shutdown()
+    fifo = IOScheduler(num_store_workers=1, num_load_workers=1, fifo=True)
+    pending = _req(lambda: None, kind="load", priority=Priority.PREFETCH_LOAD)
+    assert not fifo.promote(pending)  # FIFO mode ignores priority
+    fifo.shutdown()
+
+
+# ----------------------------------------------------------------- coalescing
+def test_small_stores_coalesce_into_one_chunk(tmp_path):
+    """Adjacent small stores drain as one batch; with a chunked backend
+    they land in one chunk file instead of one write each."""
+    store = ChunkedTensorStore(tmp_path / "chunks", chunk_bytes=1 << 20)
+    gate = threading.Event()
+    sched = IOScheduler(
+        num_store_workers=1,
+        num_load_workers=1,
+        lanes=("ssd",),
+        coalesce_bytes=1 << 20,
+    )
+    _block_workers(sched, gate)
+    data = np.ones((256,), dtype=np.float32)  # 1 KiB each
+    for i in range(16):
+        sched.submit(
+            _req(
+                lambda i=i: store.write(f"t{i}", data),
+                nbytes=data.nbytes,
+                tid=f"t{i}",
+            )
+        )
+    gate.set()
+    assert sched.drain(5)
+    store.flush()
+    assert sched.stats.coalesced_batches >= 1
+    assert sched.stats.coalesced_requests >= 8
+    # 16 tensors, one open chunk: a single physical write on flush.
+    assert store.write_count == 1
+    sched.shutdown()
+    store.clear()
+
+
+def test_oversized_store_runs_alone(tmp_path):
+    gate = threading.Event()
+    sched = IOScheduler(
+        num_store_workers=1, num_load_workers=1, lanes=("ssd",), coalesce_bytes=1024
+    )
+    _block_workers(sched, gate)
+    sched.submit(_req(lambda: None, nbytes=4096))  # > coalesce_bytes
+    sched.submit(_req(lambda: None, nbytes=4096))
+    gate.set()
+    assert sched.drain(5)
+    assert sched.stats.coalesced_batches == 0
+    sched.shutdown()
+
+
+def test_coalescing_disabled():
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, coalesce_bytes=0)
+    for i in range(8):
+        sched.submit(_req(lambda: None, nbytes=16, tid=f"t{i}"))
+    sched.drain(5)
+    assert sched.stats.coalesced_batches == 0
+    sched.shutdown()
+
+
+# -------------------------------------------------------------------- lanes
+def test_lanes_are_independent():
+    """A store backlog on the SSD lane never delays the CPU lane."""
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1)
+    _block_workers(sched, gate)
+    cpu_done = threading.Event()
+    sched.submit(_req(cpu_done.set, lane="cpu"))
+    assert cpu_done.wait(2)  # ran while the SSD lane was still gated
+    assert sched.pending("cpu") == 0
+    assert sched.pending("ssd") == 2
+    gate.set()
+    assert sched.drain(5)
+    sched.shutdown()
+
+
+def test_submitted_by_class_accounting():
+    sched = make_scheduler()
+    sched.submit(_req(lambda: None, kind="store", priority=Priority.STORE))
+    sched.submit(_req(lambda: None, kind="load", priority=Priority.PREFETCH_LOAD))
+    sched.submit(_req(lambda: None, kind="load", priority=Priority.BLOCKING_LOAD))
+    sched.drain(5)
+    assert sched.stats.submitted == 3
+    assert sched.stats.submitted_by_class == {
+        "STORE": 1,
+        "PREFETCH_LOAD": 1,
+        "BLOCKING_LOAD": 1,
+    }
+    sched.shutdown()

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.nn import Dropout, Embedding, GELU, LayerNorm, Linear, MLP, MultiHeadAttention, TransformerLayer
-from repro.tensor import no_grad
 from repro.tensor.tensor import Tensor
 
 

@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.perf_model import ActivationTensor
-from repro.core.policy import OffloadPolicy, PolicyConfig
 from repro.sim.pipeline_offload import StageWorkload, simulate_pipeline_offload
 from repro.sim.step_sim import SegmentSpec, StepSimulator
 from repro.train.pipeline import ScheduleKind

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.sim.pipeline_offload import (
-    PipelineOffloadResult,
-    StageWorkload,
-    simulate_pipeline_offload,
-)
+from repro.sim.pipeline_offload import StageWorkload, simulate_pipeline_offload
 from repro.train.pipeline import ScheduleKind
 
 #: A layer-stack stage sized like one Fig. 6 layer (3.75 GB, ~1 s F+B)

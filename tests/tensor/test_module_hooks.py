@@ -1,12 +1,11 @@
 """Tests for the module system and its four hook kinds (Sec. III-B)."""
 
 import numpy as np
-import pytest
 
 from repro.nn.linear import Linear
 from repro.tensor import no_grad
 from repro.tensor.module import Module, ModuleList
-from repro.tensor.tensor import Parameter, Tensor
+from repro.tensor.tensor import Tensor
 
 
 class TwoLayer(Module):

@@ -5,7 +5,7 @@ import gc
 import numpy as np
 import pytest
 
-from repro.device import GPU, MemoryTag
+from repro.device import MemoryTag
 from repro.tensor import ops
 from repro.tensor.storage import UntypedStorage, cpu
 from repro.tensor.tensor import Parameter, Tensor, randn, tensor, zeros

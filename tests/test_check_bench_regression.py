@@ -1,0 +1,137 @@
+"""Tests for the CI bench-regression guard (scripts/check_bench_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).parent.parent / "scripts" / "check_bench_regression.py"
+spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+guard = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(guard)
+
+_MACHINE = {
+    "machine": "x86_64",
+    "processor": "x86_64",
+    "python_version": "3.11.7",
+    "system": "Linux",
+}
+
+
+def _payload(stats, machine=_MACHINE):
+    return {
+        "machine_info": machine,
+        "benchmarks": [
+            {"fullname": name, "stats": {"min": value, "median": value * 1.1}}
+            for name, value in stats.items()
+        ],
+    }
+
+
+def _write(tmp_path, name, stats, machine=_MACHINE):
+    path = tmp_path / name
+    path.write_text(json.dumps(_payload(stats, machine)))
+    return str(path)
+
+
+def test_identical_runs_pass(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_offload_sweep": 0.01})
+    assert guard.main(["--baseline", base, "--current", base]) == 0
+
+
+def test_hot_path_regression_fails(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.013})
+    assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_slowdown_within_threshold_passes(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.0115})
+    assert guard.main(["--baseline", base, "--current", cur]) == 0
+
+
+def test_unguarded_benchmark_may_regress(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_tokenizer_misc": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_tokenizer_misc": 0.100})
+    assert guard.main(["--baseline", base, "--current", cur]) == 0
+
+
+def test_custom_pattern_overrides_default(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_tokenizer_misc": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_tokenizer_misc": 0.100})
+    assert (
+        guard.main(
+            ["--baseline", base, "--current", cur, "--pattern", "tokenizer"]
+        )
+        == 1
+    )
+
+
+def test_new_and_retired_benchmarks_never_fail(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_offload_old": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_offload_new": 0.010})
+    assert guard.main(["--baseline", base, "--current", cur]) == 0
+
+
+def test_speedup_passes(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.001})
+    assert guard.main(["--baseline", base, "--current", cur]) == 0
+
+
+def test_stat_selection(tmp_path):
+    """--stat median compares medians (here 10% above min, so a min-level
+    regression hides while a median-level one is caught)."""
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010})
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.013})
+    assert (
+        guard.main(
+            ["--baseline", base, "--current", cur, "--stat", "median"]
+        )
+        == 1
+    )
+
+
+def test_python_patch_version_does_not_break_comparability(tmp_path):
+    """3.11.7 vs 3.11.9 are the same interpreter line: still enforced."""
+    patched = dict(_MACHINE, python_version="3.11.9")
+    base = _write(
+        tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010}, patched
+    )
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.100})
+    assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_cross_machine_regression_downgrades_to_warning(tmp_path):
+    """A baseline recorded on other hardware must not hard-fail CI."""
+    other = dict(_MACHINE, processor="arm64", machine="arm64")
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.010}, other)
+    cur = _write(tmp_path, "cur.json", {"bench_x::test_scheduler_hot": 0.100})
+    assert guard.main(["--baseline", base, "--current", cur]) == 0
+    # --strict enforces regardless of hardware drift.
+    assert guard.main(["--baseline", base, "--current", cur, "--strict"]) == 1
+
+
+def test_bad_inputs(tmp_path):
+    base = _write(tmp_path, "base.json", {"bench_x::test_scheduler_hot": 0.01})
+    with pytest.raises(SystemExit):
+        guard.main(["--baseline", str(tmp_path / "missing.json"), "--current", base])
+    empty = tmp_path / "empty.json"
+    empty.write_text(json.dumps({"benchmarks": []}))
+    with pytest.raises(SystemExit):
+        guard.main(["--baseline", str(empty), "--current", base])
+    assert (
+        guard.main(["--baseline", base, "--current", base, "--threshold", "-1"]) == 2
+    )
+
+
+def test_committed_baseline_is_loadable():
+    """The repo's own baseline must stay parseable and cover hot paths."""
+    baseline = Path(__file__).parent.parent / "BENCH_PR2.json"
+    payload = guard.load_payload(str(baseline))
+    stats = guard.extract_stats(payload, str(baseline), "min")
+    assert any("scheduler" in name for name in stats)
+    assert all(value > 0 for value in stats.values())
+    assert payload.get("machine_info")  # needed for the comparability check

@@ -4,7 +4,7 @@ import pytest
 
 from repro.models.config import ModelConfig
 from repro.train.parallel import ParallelismConfig, ZeroStage
-from repro.train.zero_memory import MemoryBreakdown, max_microbatch_size, zero_memory_breakdown
+from repro.train.zero_memory import max_microbatch_size, zero_memory_breakdown
 
 CFG = ModelConfig(arch="gpt", hidden=12288, num_layers=24, seq_len=1024)
 
