@@ -36,12 +36,14 @@ import sys
 from typing import Dict, List, Tuple
 
 #: Hot paths this repo promises not to regress: the I/O scheduler, the
-#: offload simulator paths, and the Fig. 2 timeline pipeline.  The
+#: offload simulator paths, the Fig. 2 timeline pipeline, and the
+#: adaptive controller's per-step observe/retune cycle (it runs inside
+#: the training loop, so a slowdown is paid on every step).  The
 #: chunk-coalescing ablation is deliberately NOT wall-clock-guarded: it
 #: is bound by real disk writes whose latency swings far beyond 20%
 #: between identical runs — its invariant (the >= 4x write-count
 #: reduction) is asserted deterministically inside the benchmark itself.
-DEFAULT_PATTERN = r"scheduler|offload|timeline|cpu_pool|prefetch"
+DEFAULT_PATTERN = r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller"
 
 #: machine_info keys that must match for cross-run ratios to mean anything.
 MACHINE_KEYS = ("machine", "processor", "python_version", "system")

@@ -13,6 +13,8 @@ Top-level convenience re-exports cover the common entry points::
 """
 
 from repro.core import (
+    AutotuneController,
+    ControllerConfig,
     CPUOffloader,
     OffloadPolicy,
     PolicyConfig,
@@ -40,6 +42,8 @@ __all__ = [
     "OffloadPolicy",
     "PolicyConfig",
     "TensorIDRegistry",
+    "AutotuneController",
+    "ControllerConfig",
     "GPU",
     "MemoryTag",
     "GPT",

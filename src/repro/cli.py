@@ -15,6 +15,7 @@ Usage::
     python -m repro quickstart           # functional offloaded training demo
     python -m repro tiers                # CPU-pool-size sweep (tiered offload)
     python -m repro sched                # FIFO vs priority I/O scheduling A/B
+    python -m repro autotune             # static vs adaptive budget under drift
 
 The functional quickstart drives any backend: ``--target ssd|cpu|tiered``
 plus ``--cpu-pool-bytes`` (CPU-tier capacity) and ``--chunk-bytes``
@@ -248,6 +249,91 @@ def cmd_sched(args: argparse.Namespace) -> None:
           f"stall per step versus FIFO at equal bandwidth")
 
 
+def cmd_autotune(args: argparse.Namespace) -> None:
+    """A/B the paper's one-shot offload budget against the online
+    adaptive controller under a bandwidth/workload drift scenario: the
+    budget is profiled once at full bandwidth, then the scenario pulls
+    the hardware out from under it and the controller re-sizes live."""
+    from repro.core.adaptive import WorkloadProfile, choose_offload_budget
+    from repro.core.autotune import AutotuneController
+    from repro.core.policy import OffloadPolicy, PolicyConfig
+    from repro.sim import DriftScenario, StepSimulator, build_segments, simulate_adaptive_run
+
+    config = ModelConfig(arch="bert", hidden=args.hidden, num_layers=3, seq_len=1024)
+    segments = build_segments(config, args.batch, parallelism=EVAL_PAR)
+    # Single SSD, shared channel: the regime where a stale budget hurts.
+    write_bw = args.write_bw if args.write_bw is not None else INTEL_OPTANE_P5800X_1600GB.write_bw
+    read_bw = args.read_bw if args.read_bw is not None else INTEL_OPTANE_P5800X_1600GB.read_bw
+
+    if args.scenario == "step":
+        scenario = DriftScenario.step_drop(
+            write_bw, read_bw, steps=args.steps, drift_step=args.drift_step,
+            write_factor=args.factor,
+        )
+    elif args.scenario == "ramp":
+        scenario = DriftScenario.ramp(
+            write_bw, read_bw, steps=args.steps, drift_step=args.drift_step,
+            ramp_steps=max(1, (args.steps - args.drift_step) // 2),
+            write_factor=args.factor,
+        )
+    else:  # microbatch
+        scenario = DriftScenario.microbatch_resize(
+            write_bw, read_bw, steps=args.steps, drift_step=args.drift_step,
+            before=2, after=1,
+        )
+
+    # The paper's Fig. 3 one-shot: profile a step, size the budget once.
+    probe = StepSimulator(
+        segments, PlacementStrategy.OFFLOAD, write_bw, read_bw,
+        num_microbatches=scenario.microbatches_at(0), io_mode="fifo",
+    ).run()
+    budget = choose_offload_budget(
+        WorkloadProfile(
+            activation_bytes_per_step=probe.offloaded_bytes + probe.kept_bytes,
+            forward_time_s=probe.forward_time_s,
+            backward_time_s=probe.backward_time_s,
+        ),
+        write_bw, read_bw, safety_factor=0.9,
+    )
+
+    static = simulate_adaptive_run(
+        segments, scenario,
+        policy=OffloadPolicy(PolicyConfig(offload_budget_bytes=budget)),
+    )
+    controller = AutotuneController()
+    adaptive = simulate_adaptive_run(
+        segments, scenario,
+        policy=OffloadPolicy(PolicyConfig(offload_budget_bytes=budget)),
+        controller=controller,
+    )
+
+    print(f"scenario: {args.scenario}  drift at step {scenario.drift_step}  "
+          f"one-shot budget {budget / 2**30:.2f} GiB "
+          f"(write {write_bw / 1e9:.1f} GB/s)\n")
+    print(f"{'step':>4} {'write BW':>9} {'mb':>3} {'static stall':>13} "
+          f"{'adaptive stall':>15} {'budget':>9} {'bw est':>8}")
+    for step in range(scenario.steps):
+        s = static.results[step]
+        a = adaptive.results[step]
+        in_force = adaptive.budgets[step]
+        decision = adaptive.decisions[step]
+        est = decision.write_bandwidth_bytes_per_s
+        print(f"{step:>4} {scenario.write_bandwidth_at(step) / 1e9:>7.1f}G/s "
+              f"{scenario.microbatches_at(step):>3} "
+              f"{s.io_stall_time_s * 1e3:>11.1f}ms "
+              f"{a.io_stall_time_s * 1e3:>13.1f}ms "
+              f"{(in_force or 0) / 2**30:>7.2f}G "
+              f"{(est or 0) / 1e9:>6.1f}G"
+              + ("  <- retuned" if decision.retuned else ""))
+    drift = scenario.drift_step
+    ratio = adaptive.stall_time_s(drift) / max(static.stall_time_s(drift), 1e-12)
+    print(f"\npost-drift backward stall: static {static.stall_time_s(drift) * 1e3:.0f} ms, "
+          f"adaptive {adaptive.stall_time_s(drift) * 1e3:.0f} ms ({ratio:.0%} of static)")
+    print(f"post-drift offloaded: static "
+          f"{sum(r.offloaded_bytes for r in static.results[drift:]) / 2**30:.1f} GiB, "
+          f"adaptive {sum(r.offloaded_bytes for r in adaptive.results[drift:]) / 2**30:.1f} GiB")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -261,6 +347,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "quickstart": cmd_quickstart,
     "tiers": cmd_tiers,
     "sched": cmd_sched,
+    "autotune": cmd_autotune,
 }
 
 
@@ -300,7 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                 help="use the paper's FIFO dequeue instead of the "
                      "priority-aware I/O scheduler",
             )
-        if name == "sched":
+        if name in ("sched", "autotune"):
             p.add_argument(
                 "--write-bw", type=float, default=None,
                 help="SSD write bandwidth in B/s (default: one P5800X)",
@@ -308,6 +395,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--read-bw", type=float, default=None,
                 help="SSD read bandwidth in B/s (default: one P5800X)",
+            )
+        if name == "autotune":
+            p.add_argument(
+                "--scenario", choices=("step", "ramp", "microbatch"), default="step",
+                help="drift shape: step-function bandwidth drop, linear "
+                     "ramp, or a mid-run micro-batch resize",
+            )
+            p.add_argument(
+                "--factor", type=float, default=0.5,
+                help="terminal write-bandwidth multiplier (default 0.5 = "
+                     "the 2x drop)",
+            )
+            p.add_argument("--steps", type=int, default=16, help="steps to simulate")
+            p.add_argument(
+                "--drift-step", type=int, default=8,
+                help="first step affected by the drift",
             )
     return parser
 

@@ -38,6 +38,12 @@ from repro.core.offloader import (
 from repro.core.tiered import TieredOffloader, TierStats
 from repro.core.tensor_cache import ActivationRecord, CacheStats, RecordState, TensorCache
 from repro.core.adaptive import WorkloadProfile, choose_offload_budget, configure_policy
+from repro.core.autotune import (
+    AutotuneController,
+    ControllerConfig,
+    ControllerDecision,
+    StepObservation,
+)
 from repro.core.hints import SchedulerHints, Stage, patch_schedule
 
 __all__ = [
@@ -64,6 +70,10 @@ __all__ = [
     "WorkloadProfile",
     "choose_offload_budget",
     "configure_policy",
+    "AutotuneController",
+    "ControllerConfig",
+    "ControllerDecision",
+    "StepObservation",
     "SchedulerHints",
     "Stage",
     "patch_schedule",

@@ -98,6 +98,26 @@ class OffloadPolicy:
         budget = self.config.offload_budget_bytes
         return budget is not None and accounting.offloaded_bytes >= budget
 
+    def install_budget(self, budget_bytes: Optional[int]) -> Optional[int]:
+        """Mutate the per-step offload budget in place; returns the old one.
+
+        This is the live re-sizing entry point of the adaptive controller
+        (:mod:`repro.core.autotune`): the paper sets the budget once from
+        a first profiled step, the controller re-runs the same formula
+        with *observed* bandwidth and installs the result here between
+        steps.  ``None`` removes the cap (offload everything eligible).
+        Takes effect at the next ``decide()`` call — i.e. the next
+        forward pass — since the budget is only consulted against the
+        per-step accounting.
+        """
+        if budget_bytes is not None:
+            budget_bytes = int(budget_bytes)
+            if budget_bytes < 0:
+                raise ValueError(f"offload budget must be >= 0: {budget_bytes}")
+        previous = self.config.offload_budget_bytes
+        self.config.offload_budget_bytes = budget_bytes
+        return previous
+
     def decide(
         self,
         *,

@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -129,6 +130,9 @@ class CacheStats:
     passed_tensors: int = 0
     prefetch_issued: int = 0
     unpack_waits: int = 0
+    #: Seconds backward spent blocked in unpack waiting for a load — the
+    #: engine's observed I/O stall (the adaptive controller's trim signal).
+    unpack_wait_s: float = 0.0
     #: Stores cancelled while still queued because forwarding consumed the
     #: tensor first (``stored_*`` count submissions; subtract these for
     #: the traffic that actually hit the backend).
@@ -137,6 +141,36 @@ class CacheStats:
     #: Pending prefetch loads re-queued as blocking when their consumer
     #: arrived (scheduler deadline promotion).
     promoted_loads: int = 0
+
+
+@dataclass
+class StepCacheStats:
+    """One step's deltas of :class:`CacheStats`, plus the tiered pool's
+    traffic/capacity — the per-step feed the adaptive controller
+    (:mod:`repro.core.autotune`) consumes via
+    :meth:`TensorCache.consume_step_stats`."""
+
+    stored_tensors: int = 0
+    stored_bytes: int = 0
+    kept_tensors: int = 0
+    kept_bytes: int = 0
+    loaded_tensors: int = 0
+    loaded_bytes: int = 0
+    forwarded_tensors: int = 0
+    cancelled_stores: int = 0
+    #: Seconds backward spent blocked in unpack this step (observed stall).
+    unpack_wait_s: float = 0.0
+    #: Tiered backends only: bytes the pinned pool absorbed this step and
+    #: its capacity (0 when the offloader has no CPU tier).
+    cpu_stored_bytes: int = 0
+    cpu_pool_capacity_bytes: int = 0
+
+    @property
+    def activation_bytes(self) -> int:
+        """Eligible activation volume produced this step (offloaded +
+        kept) — the ``activation_bytes_per_step`` input of the paper's
+        budget formula."""
+        return self.stored_bytes + self.kept_bytes
 
 
 class TensorCache:
@@ -185,6 +219,9 @@ class TensorCache:
         self.prefetch_window = prefetch_window
         self.stats = CacheStats()
         self.accounting = StepAccounting()
+        #: Snapshot of cumulative counters at the last consume_step_stats
+        #: call (the adaptive controller's per-step delta basis).
+        self._step_stats_snapshot: Dict[str, float] = {}
 
         self._lock = threading.Lock()
         self._microbatches: Dict[int, MicrobatchRecords] = {0: MicrobatchRecords()}
@@ -348,6 +385,54 @@ class TensorCache:
         self._step_index += 1
         self._keep_all_hint = False
         self.accounting.reset()
+
+    # ----------------------------------------------------------- autotuning
+    def consume_step_stats(self) -> StepCacheStats:
+        """Return the deltas of the cumulative counters since the last
+        call (the adaptive controller's per-step observation feed)."""
+        cumulative = {
+            "stored_tensors": self.stats.stored_tensors,
+            "stored_bytes": self.stats.stored_bytes,
+            "kept_tensors": self.stats.kept_tensors,
+            "kept_bytes": self.stats.kept_bytes,
+            "loaded_tensors": self.stats.loaded_tensors,
+            "loaded_bytes": self.stats.loaded_bytes,
+            "forwarded_tensors": self.stats.forwarded_tensors,
+            "cancelled_stores": self.stats.cancelled_stores,
+            "unpack_wait_s": self.stats.unpack_wait_s,
+        }
+        tier_stats = getattr(self.offloader, "stats", None)
+        if tier_stats is not None and hasattr(tier_stats, "cpu_stored_bytes"):
+            cumulative["cpu_stored_bytes"] = tier_stats.cpu_stored_bytes
+        previous = self._step_stats_snapshot
+        delta = StepCacheStats(
+            **{key: value - previous.get(key, 0) for key, value in cumulative.items()}
+        )
+        delta.cpu_pool_capacity_bytes = getattr(self.offloader, "cpu_capacity_bytes", 0)
+        self._step_stats_snapshot = cumulative
+        return delta
+
+    def apply_autotune(self, decision: Any) -> None:
+        """Install a controller decision's knobs live, between steps.
+
+        ``decision`` duck-types :class:`repro.core.autotune.ControllerDecision`:
+        ``offload_budget_bytes`` lands in the policy (only when the
+        decision says it re-tuned — a ``None`` budget would otherwise
+        remove the cap), ``prefetch_window`` replaces the cache's
+        look-ahead depth, and ``cpu_free_watermark_bytes`` re-targets a
+        tiered backend's free headroom (demoting LRU residents now, while
+        the lanes are idle, instead of inside the next forward burst).
+        """
+        if getattr(decision, "retuned", False):
+            self.policy.install_budget(decision.offload_budget_bytes)
+        window = getattr(decision, "prefetch_window", None)
+        if window is not None:
+            self.prefetch_window = max(1, int(window))
+        watermark = getattr(decision, "cpu_free_watermark_bytes", None)
+        set_watermark = getattr(self.offloader, "set_free_watermark", None)
+        if watermark is not None and set_watermark is not None:
+            set_watermark(watermark)
+            self.offloader.apply_watermark()
 
     def _delete_backing(self, tid: TensorID) -> None:
         release = getattr(self.offloader, "release", None)
@@ -555,8 +640,13 @@ class TensorCache:
         # deadline-promote) the load at the head of its lane.
         self._ensure_available(rec, blocking=True)
         if not rec.loaded_event.is_set():
+            # Backward is stalled on I/O: count it and time it — the
+            # adaptive controller reads the accumulated wait as the
+            # step's stall signal and trims the budget accordingly.
             self.stats.unpack_waits += 1
-        rec.loaded_event.wait()
+            begin = time.monotonic()
+            rec.loaded_event.wait()
+            self.stats.unpack_wait_s += time.monotonic() - begin
         if rec.error is not None:
             raise RuntimeError(f"offload I/O failed for {obj}") from rec.error
         tensor = rec.tensor
@@ -603,10 +693,13 @@ class TensorCache:
                     self.stats.promoted_loads += 1
                 return
             if rec.state is RecordState.OFFLOADING:
-                # Data forwarding: adopt the reference the store job holds.
-                rec.forwarded = True
-                self.stats.forwarded_tensors += 1
-                self.accounting.forwarding_hits += 1
+                # Data forwarding: adopt the reference the store job
+                # holds.  The forwarding counters are booked only on the
+                # paths where forwarding actually happens — the fallback
+                # reload below is a cache miss, and counting it as a
+                # forwarding hit would overstate both the stats surface
+                # and the per-step accounting the adaptive controller
+                # feeds on.
                 job = rec.store_job
                 if (
                     job is not None
@@ -616,6 +709,7 @@ class TensorCache:
                     # The store never left the queue: the consumer owns
                     # the only copy, the queue slot and the SSD write are
                     # reclaimed, and the record never leaves the GPU.
+                    self._book_forwarding_locked(rec)
                     self.stats.cancelled_stores += 1
                     self.stats.cancelled_store_bytes += rec.nbytes
                     rec.state = RecordState.LOADED
@@ -623,24 +717,38 @@ class TensorCache:
                     rec.tier = Tier.GPU
                     rec.loaded_event.set()
                     return
-                # Store already running/finished: its done callback will
-                # publish LOADED; if it finished between our state read
-                # and now, the callback ran with forwarded=False —
-                # handle below.
                 if job is not None and job.done_event.is_set():
+                    # Store already finished; its done callback ran (or
+                    # will run) with forwarded=False.
                     if rec.tensor is not None:
+                        self._book_forwarding_locked(rec)
                         rec.state = RecordState.LOADED
                         rec.loaded_event.set()
                     else:
+                        # The reference is gone: this is a reload, not a
+                        # forwarding hit — no counters.
                         rec.state = RecordState.OFFLOADED
                         rec.forwarded = False
                         self._submit_load_locked(rec, blocking=blocking)
+                    return
+                # Store still queued-but-claimed or running: flag the
+                # record so the store-done callback publishes LOADED with
+                # the reference retained (the paper's original rule).
+                self._book_forwarding_locked(rec)
                 return
             if rec.state is RecordState.OFFLOADED:
                 self._submit_load_locked(rec, blocking=blocking)
                 return
             if rec.state is RecordState.CONSUMED:
                 raise RuntimeError(f"record {rec.tid} already consumed")
+
+    def _book_forwarding_locked(self, rec: ActivationRecord) -> None:
+        """Record one forwarding hit; caller holds ``rec.lock`` and has
+        established that forwarding genuinely happens (the lost-race
+        reload path must never book one)."""
+        rec.forwarded = True
+        self.stats.forwarded_tensors += 1
+        self.accounting.forwarding_hits += 1
 
     def _submit_load_locked(self, rec: ActivationRecord, blocking: bool = False) -> None:
         """Submit the tier read for ``rec``; caller holds ``rec.lock``."""

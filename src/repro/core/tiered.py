@@ -132,6 +132,10 @@ class TieredOffloader(Offloader):
         #: on the event before touching the SSD copy.
         self._writing_demotions: Dict[TensorID, "np.ndarray"] = {}
         self._writing_events: Dict[TensorID, threading.Event] = {}
+        #: Target free headroom the pool keeps between steps (bytes);
+        #: installed by the adaptive controller, enforced on demand by
+        #: :meth:`apply_watermark`.  0 = no proactive demotion.
+        self._free_watermark_bytes = 0
 
     def set_tier_listener(self, listener: Callable[[TensorID, Tier], None]) -> None:
         """Register a callback fired after a tensor moves tier (demotion
@@ -318,6 +322,42 @@ class TieredOffloader(Offloader):
         self.stats.cancelled_demotions += 1
         self.stats.cancelled_demotion_bytes += buf.nbytes
         return buf
+
+    @property
+    def free_watermark_bytes(self) -> int:
+        return self._free_watermark_bytes
+
+    def set_free_watermark(self, nbytes: int) -> None:
+        """Set the free-headroom target the pool maintains between steps.
+
+        The adaptive controller raises the watermark when the next step's
+        forward burst would outrun the SSD drain rate — proactively
+        demoting cold residents while the lanes are idle is cheaper than
+        demoting them inside the burst, on the store critical path.  The
+        value is clamped to the pool capacity; it takes effect at the
+        next :meth:`apply_watermark` call.
+        """
+        if nbytes < 0:
+            raise ValueError(f"watermark must be >= 0: {nbytes}")
+        self._free_watermark_bytes = min(int(nbytes), self.cpu_capacity_bytes)
+
+    def apply_watermark(self) -> int:
+        """Demote LRU residents until free headroom meets the watermark.
+
+        Returns the number of tensors demoted.  With a scheduler attached
+        the SSD writes queue at DEMOTION priority (behind every load), so
+        applying the watermark between steps costs idle-lane time only —
+        and each spill stays cancellable until it runs.
+        """
+        events: List[Tuple[TensorID, Tier]] = []
+        demoted = 0
+        with self._lock:
+            while self._lru and self.cpu_free_bytes() < self._free_watermark_bytes:
+                victim, victim_bytes = next(iter(self._lru.items()))
+                self._demote_locked(victim, victim_bytes, events)
+                demoted += 1
+        self._fire(events)
+        return demoted
 
     def demote(self, tid: TensorID) -> bool:
         """Explicitly spill one CPU-resident tensor to SSD (True if moved)."""

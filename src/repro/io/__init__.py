@@ -20,7 +20,13 @@ from repro.io.aio import AsyncIOPool, IOJob
 from repro.io.chunkstore import ChunkedTensorStore, DEFAULT_CHUNK_BYTES
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import BounceBufferPath, DirectGDSPath, GDSRegistry
-from repro.io.scheduler import IORequest, IOScheduler, Priority, SchedulerStats
+from repro.io.scheduler import (
+    ChannelWindow,
+    IORequest,
+    IOScheduler,
+    Priority,
+    SchedulerStats,
+)
 
 __all__ = [
     "AsyncIOPool",
@@ -29,6 +35,7 @@ __all__ = [
     "IOScheduler",
     "Priority",
     "SchedulerStats",
+    "ChannelWindow",
     "TensorFileStore",
     "ChunkedTensorStore",
     "DEFAULT_CHUNK_BYTES",

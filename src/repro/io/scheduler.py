@@ -27,7 +27,13 @@ each request is for:
   adjacent small stores queued behind it and runs them back-to-back as
   one batch, so a :class:`~repro.io.chunkstore.ChunkedTensorStore`
   backend fills one chunk with one uninterrupted submission instead of
-  interleaving chunk fragments with higher-priority work.
+  interleaving chunk fragments with higher-priority work;
+- **completion telemetry** — every executed request is timed, and the
+  per-(lane, channel) aggregates (bytes moved, channel busy seconds,
+  queue wait) are exported through
+  :meth:`IOScheduler.consume_completion_stats`.  This is the feedback
+  signal the online adaptive controller
+  (:mod:`repro.core.autotune`) turns into live bandwidth estimates.
 
 ``fifo=True`` collapses every class into submission order — the paper's
 original behaviour — which keeps an apples-to-apples baseline for the
@@ -91,8 +97,15 @@ class IORequest(IOJob):
         self.nbytes = int(nbytes)
         self.lane = lane
         #: True when this request ran as a trailing member of a coalesced
-        #: store batch (not the batch head).
+        #: store batch (not the batch head).  Set only once the member has
+        #: actually won ``claim()`` — a batch member cancelled before the
+        #: worker reached it never coalesced anything.
         self.coalesced = False
+        #: Completion telemetry, stamped by the worker loop (monotonic
+        #: seconds).  ``submitted_at`` is set by :meth:`IOScheduler.submit`.
+        self.submitted_at: float = 0.0
+        self.started_at: float = 0.0
+        self.finished_at: float = 0.0
 
 
 @dataclass
@@ -107,11 +120,56 @@ class SchedulerStats:
     cancelled_stores: int = 0
     cancelled_bytes: int = 0
     promotions: int = 0
-    #: Coalesced store batches with >= 2 members, and the members beyond
-    #: each batch head (the stores that avoided a standalone submission).
+    #: Coalesced store batches with >= 2 *executed* members, and the
+    #: executed members beyond each batch head (the stores that avoided a
+    #: standalone submission).  Members cancelled after being claimed into
+    #: a batch but before the worker reached them are not counted — they
+    #: never ran, so they are cancellation wins, not coalescing wins.
     coalesced_batches: int = 0
     coalesced_requests: int = 0
     coalesced_bytes: int = 0
+
+
+#: Channel names completion telemetry is aggregated under: stores and
+#: demotions both consume a lane's write stream; loads its read stream.
+CHANNELS = ("write", "read")
+
+
+def _channel_of(kind: str) -> str:
+    return "read" if kind == "load" else "write"
+
+
+@dataclass
+class ChannelWindow:
+    """Executed-request aggregates for one (lane, channel) pair since the
+    last :meth:`IOScheduler.consume_completion_stats` call.
+
+    ``busy_s`` is the *union* of the channel's execution intervals —
+    the wall time at least one worker was executing on the channel —
+    not the per-request sum, so ``nbytes / busy_s`` stays an honest
+    observed bandwidth even when several workers drain one lane
+    concurrently (a sum would overcount the overlap and understate the
+    bandwidth by up to the concurrency factor).  ``queued_s`` is the
+    total submit-to-start wait, a direct read on how contended the lane
+    was.
+    """
+
+    nbytes: int = 0
+    busy_s: float = 0.0
+    queued_s: float = 0.0
+    count: int = 0
+
+    def merge(self, other: "ChannelWindow") -> None:
+        self.nbytes += other.nbytes
+        self.busy_s += other.busy_s
+        self.queued_s += other.queued_s
+        self.count += other.count
+
+    def bandwidth_bytes_per_s(self) -> Optional[float]:
+        """Observed throughput, or ``None`` when the window saw no work."""
+        if self.busy_s <= 0.0:
+            return None
+        return self.nbytes / self.busy_s
 
 
 class _Lane:
@@ -166,7 +224,21 @@ class IOScheduler:
         self.coalesce_bytes = coalesce_bytes
         self.stats = SchedulerStats()
         self._stats_lock = threading.Lock()
-        self._shutdown = False
+        # An Event, not a lock-guarded bool: worker loops read the flag
+        # under their lane's condition while shutdown() runs under the
+        # stats lock — a plain bool written under one lock and read under
+        # another has no consistent guard, so a lane mid-wait could miss
+        # it.  The Event's own lock makes every read/write coherent and
+        # the check-then-wait under ``lane.cond`` stays race-free against
+        # the post-set ``notify_all`` (which also takes ``lane.cond``).
+        self._shutdown = threading.Event()
+        #: Per-(lane, channel) completion aggregates since the last
+        #: consume_completion_stats() call; guarded by _stats_lock.
+        self._windows: Dict[Tuple[str, str], ChannelWindow] = {}
+        #: Per-(lane, channel) [active_count, interval_open_time]:
+        #: tracks the union of execution intervals across the lane's
+        #: workers so busy_s never double-counts overlap.
+        self._channel_usage: Dict[Tuple[str, str], List[float]] = {}
         self._listeners: List[Callable[[str, IORequest], None]] = []
         self._lanes: Dict[str, _Lane] = {lane: _Lane(lane) for lane in lanes}
         workers_per_lane = num_store_workers + num_load_workers
@@ -212,8 +284,9 @@ class IOScheduler:
     def submit(self, request: IORequest) -> IORequest:
         """Enqueue a typed request on its tier lane; returns the request."""
         lane = self._lane_of(request)
+        request.submitted_at = time.monotonic()
         with lane.cond:
-            if self._shutdown:
+            if self._shutdown.is_set():
                 raise RuntimeError(f"scheduler {self.name} is shut down")
             lane.pending += 1
             lane.idle.clear()
@@ -340,33 +413,92 @@ class IOScheduler:
             if total + nxt.nbytes > self.coalesce_bytes:
                 break
             heapq.heappop(lane.heap)
-            nxt.coalesced = True
             batch.append(nxt)
             total += nxt.nbytes
         return batch
 
+    def _channel_started(self, request: IORequest) -> None:
+        key = (request.lane, _channel_of(request.kind))
+        with self._stats_lock:
+            usage = self._channel_usage.setdefault(key, [0, 0.0])
+            if usage[0] == 0:
+                usage[1] = request.started_at  # a new busy interval opens
+            usage[0] += 1
+
+    def _record_completion(self, request: IORequest) -> None:
+        key = (request.lane, _channel_of(request.kind))
+        with self._stats_lock:
+            window = self._windows.setdefault(key, ChannelWindow())
+            window.nbytes += request.nbytes
+            window.queued_s += max(0.0, request.started_at - request.submitted_at)
+            window.count += 1
+            usage = self._channel_usage[key]
+            usage[0] -= 1
+            if usage[0] == 0:
+                # Last concurrent request on the channel: the busy
+                # interval closes, credited once for all of them.
+                window.busy_s += max(0.0, request.finished_at - usage[1])
+
+    def consume_completion_stats(self) -> Dict[str, Dict[str, ChannelWindow]]:
+        """Drain the per-lane completion windows accumulated since the
+        last call: ``{lane: {"write" | "read": ChannelWindow}}``.
+
+        Cancelled requests never appear (they moved no bytes).  The
+        adaptive controller calls this once per training step and feeds
+        each window's observed bandwidth into its EWMA estimators.
+        """
+        now = time.monotonic()
+        with self._stats_lock:
+            # Close any still-open busy interval at the window boundary
+            # so in-flight work's elapsed time lands in this window and
+            # the next interval starts fresh.
+            for key, usage in self._channel_usage.items():
+                if usage[0] > 0:
+                    window = self._windows.setdefault(key, ChannelWindow())
+                    window.busy_s += max(0.0, now - usage[1])
+                    usage[1] = now
+            windows, self._windows = self._windows, {}
+        out: Dict[str, Dict[str, ChannelWindow]] = {}
+        for (lane, channel), window in windows.items():
+            out.setdefault(lane, {})[channel] = window
+        return out
+
     def _worker_loop(self, lane: _Lane) -> None:
         while True:
             with lane.cond:
-                while not lane.heap and not self._shutdown:
+                while not lane.heap and not self._shutdown.is_set():
                     lane.cond.wait()
-                if not lane.heap and self._shutdown:
+                if not lane.heap and self._shutdown.is_set():
                     return
                 batch = self._pop_batch_locked(lane)
-            if len(batch) > 1:
-                with self._stats_lock:
-                    self.stats.coalesced_batches += 1
-                    self.stats.coalesced_requests += len(batch) - 1
-                    self.stats.coalesced_bytes += sum(r.nbytes for r in batch[1:])
+            executed = 0
+            trailing_bytes = 0
             for request in batch:
                 # claim() loses against a cancel — and against another
                 # worker holding a duplicate entry left by a promotion;
                 # the loser must stay silent (no start/done events).
+                # Coalescing is booked per *claimed* member, after the
+                # race is resolved: a batch member cancelled between the
+                # pop and this claim never ran, so it must count as a
+                # cancellation win, not as coalesced work.
                 if not request.claim():
                     continue
+                executed += 1
+                if executed > 1:
+                    request.coalesced = True
+                    trailing_bytes += request.nbytes
+                request.started_at = time.monotonic()
+                self._channel_started(request)
                 self._notify("start", request)
                 request.execute()
+                request.finished_at = time.monotonic()
+                self._record_completion(request)
                 self._notify("done", request)
+            if executed > 1:
+                with self._stats_lock:
+                    self.stats.coalesced_batches += 1
+                    self.stats.coalesced_requests += executed - 1
+                    self.stats.coalesced_bytes += trailing_bytes
 
     # ------------------------------------------------------------------- drain
     def pending(self, lane: Optional[str] = None) -> int:
@@ -399,10 +531,10 @@ class IOScheduler:
 
     def shutdown(self) -> None:
         """Finish queued work and stop the workers (idempotent)."""
-        with self._stats_lock:
-            if self._shutdown:
+        with self._stats_lock:  # idempotency only; readers use the Event
+            if self._shutdown.is_set():
                 return
-            self._shutdown = True
+            self._shutdown.set()
         self.drain()
         for lane in self._lanes.values():
             with lane.cond:

@@ -8,11 +8,15 @@ and I/O stall time for the Fig. 6 / Fig. 7 / Fig. 8 / Table III benches.
 """
 
 from repro.sim.step_sim import (
+    DRIFT_KINDS,
     IO_MODES,
+    AdaptiveRunResult,
+    DriftScenario,
     SegmentSpec,
     SimResult,
     StepSimulator,
     build_segments,
+    simulate_adaptive_run,
     simulate_strategy,
 )
 from repro.sim.pipeline_offload import (
@@ -24,10 +28,14 @@ from repro.sim.timeline import Timeline, TimelineEvent
 
 __all__ = [
     "IO_MODES",
+    "DRIFT_KINDS",
+    "AdaptiveRunResult",
+    "DriftScenario",
     "SegmentSpec",
     "SimResult",
     "StepSimulator",
     "build_segments",
+    "simulate_adaptive_run",
     "simulate_strategy",
     "PipelineOffloadResult",
     "StageWorkload",

@@ -43,6 +43,7 @@ from repro.analysis.perf_model import (
     transformer_layer_perf,
     weight_update_time,
 )
+from repro.core.autotune import AutotuneController, ControllerDecision, StepObservation
 from repro.core.policy import Decision, OffloadPolicy, StepAccounting, Tier
 from repro.device.gpu import A100_PCIE_40GB, GPUSpec, KernelTimingModel
 from repro.device.pcie import GPU_LINK_GEN4_X16
@@ -105,6 +106,10 @@ class SimResult:
     offloaded_cpu_bytes: int = 0
     offloaded_ssd_bytes: int = 0
     cpu_pool_peak_bytes: int = 0
+    #: Eligible activation bytes the policy KEPT resident (budget reached,
+    #: keep-last scope); ``offloaded_bytes + kept_bytes`` is the step's
+    #: eligible activation volume — the budget formula's input.
+    kept_bytes: int = 0
 
     def model_throughput_tflops(self) -> float:
         return self.algorithmic_flops / self.step_time_s / 1e12
@@ -540,6 +545,7 @@ class StepSimulator:
             offloaded_cpu_bytes=off_cpu,
             offloaded_ssd_bytes=off_ssd,
             cpu_pool_peak_bytes=cpu_peak,
+            kept_bytes=accounting.kept_bytes,
         )
 
 
@@ -578,3 +584,229 @@ def simulate_strategy(
         io_mode=io_mode,
     )
     return sim.run(weight_update_s=update)
+
+
+#: Bandwidth/workload drift shapes for multi-step adaptive runs:
+#:
+#: - ``"static"``     — nothing changes (the control arm);
+#: - ``"step"``       — bandwidth drops by ``write_factor``/``read_factor``
+#:   at ``drift_step`` and stays there (a co-tenant job lands on the
+#:   array, a RAID member dies);
+#: - ``"ramp"``       — the same drop applied linearly over ``ramp_steps``
+#:   (thermal throttling, an SLC cache filling up);
+#: - ``"microbatch"`` — bandwidth holds but the micro-batch count changes
+#:   at ``drift_step`` (a data-pipeline resize mid-run), shifting the
+#:   activation volume and the forward/backward windows instead.
+DRIFT_KINDS = ("static", "step", "ramp", "microbatch")
+
+
+@dataclass(frozen=True)
+class DriftScenario:
+    """A per-step schedule of bandwidths and micro-batch counts.
+
+    The step simulator models one step at fixed bandwidth; a scenario
+    strings ``steps`` of them together and answers "what does the
+    hardware look like during step ``i``" — the moving target the online
+    adaptive controller has to track and a static budget cannot.
+    """
+
+    steps: int
+    write_bandwidth: float
+    read_bandwidth: float
+    kind: str = "static"
+    drift_step: int = 0
+    write_factor: float = 1.0
+    read_factor: float = 1.0
+    ramp_steps: int = 1
+    num_microbatches: int = 1
+    drift_microbatches: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in DRIFT_KINDS:
+            raise ValueError(f"unknown drift kind {self.kind!r}; expected one of {DRIFT_KINDS}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1: {self.steps}")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.write_factor <= 0 or self.read_factor <= 0:
+            raise ValueError("drift factors must be positive")
+        if self.ramp_steps < 1:
+            raise ValueError(f"ramp_steps must be >= 1: {self.ramp_steps}")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def static(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+               num_microbatches: int = 1) -> "DriftScenario":
+        return cls(steps, write_bandwidth, read_bandwidth,
+                   num_microbatches=num_microbatches)
+
+    @classmethod
+    def step_drop(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+                  drift_step: int, write_factor: float = 0.5,
+                  read_factor: float = 1.0, num_microbatches: int = 1) -> "DriftScenario":
+        """Step-function degradation: bandwidth falls off a cliff at
+        ``drift_step`` (``write_factor=0.5`` is the 2x write drop of the
+        acceptance scenario)."""
+        return cls(steps, write_bandwidth, read_bandwidth, kind="step",
+                   drift_step=drift_step, write_factor=write_factor,
+                   read_factor=read_factor, num_microbatches=num_microbatches)
+
+    @classmethod
+    def ramp(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+             drift_step: int, ramp_steps: int, write_factor: float = 0.5,
+             read_factor: float = 1.0, num_microbatches: int = 1) -> "DriftScenario":
+        """Linear degradation starting at ``drift_step`` (the first
+        affected step, carrying ``1/ramp_steps`` of the drop) and
+        reaching the terminal factors at ``drift_step + ramp_steps - 1``."""
+        return cls(steps, write_bandwidth, read_bandwidth, kind="ramp",
+                   drift_step=drift_step, write_factor=write_factor,
+                   read_factor=read_factor, ramp_steps=ramp_steps,
+                   num_microbatches=num_microbatches)
+
+    @classmethod
+    def microbatch_resize(cls, write_bandwidth: float, read_bandwidth: float,
+                          steps: int, drift_step: int, before: int = 1,
+                          after: int = 2) -> "DriftScenario":
+        """Mid-run micro-batch resize: the activation volume and windows
+        change while the hardware stays put."""
+        return cls(steps, write_bandwidth, read_bandwidth, kind="microbatch",
+                   drift_step=drift_step, num_microbatches=before,
+                   drift_microbatches=after)
+
+    # ----------------------------------------------------------------- queries
+    def _progress(self, step: int) -> float:
+        """Fraction of the drift applied at ``step`` (0 before, 1 after)."""
+        if self.kind in ("static", "microbatch") or step < self.drift_step:
+            return 0.0
+        if self.kind == "step":
+            return 1.0
+        return min(1.0, (step - self.drift_step + 1) / self.ramp_steps)
+
+    def write_bandwidth_at(self, step: int) -> float:
+        p = self._progress(step)
+        return self.write_bandwidth * (1.0 + p * (self.write_factor - 1.0))
+
+    def read_bandwidth_at(self, step: int) -> float:
+        p = self._progress(step)
+        return self.read_bandwidth * (1.0 + p * (self.read_factor - 1.0))
+
+    def microbatches_at(self, step: int) -> int:
+        if (
+            self.kind == "microbatch"
+            and self.drift_microbatches is not None
+            and step >= self.drift_step
+        ):
+            return self.drift_microbatches
+        return self.num_microbatches
+
+
+@dataclass
+class AdaptiveRunResult:
+    """Outputs of a multi-step (static or adaptive) simulated run."""
+
+    scenario: DriftScenario
+    results: List[SimResult]
+    #: The offload budget in force *during* each step (None = uncapped).
+    budgets: List[Optional[int]]
+    #: Controller decisions taken *after* each step (empty without one).
+    decisions: List[ControllerDecision]
+
+    def stall_time_s(self, start: int = 0, stop: Optional[int] = None) -> float:
+        """Total backward stall over the step range ``[start, stop)``."""
+        return sum(r.io_stall_time_s for r in self.results[start:stop])
+
+    @property
+    def total_stall_s(self) -> float:
+        return self.stall_time_s()
+
+    @property
+    def total_offloaded_bytes(self) -> int:
+        return sum(r.offloaded_bytes for r in self.results)
+
+
+def _observation_from_sim(result: SimResult) -> StepObservation:
+    """Translate one simulated step into the controller's feed.
+
+    Bandwidth is *observed* the same way the engine observes it —
+    bytes moved over channel-busy seconds off the timeline — so the
+    controller sees the per-op latency tax, not the configured constant.
+    CPU-tier lanes are merged in when present (the controller's budget
+    then reflects the blended drain rate the workload actually gets).
+    """
+    timeline = result.timeline
+    write_busy = timeline.lane_busy_time("store") + timeline.lane_busy_time("cpu_store")
+    read_busy = timeline.lane_busy_time("load") + timeline.lane_busy_time("cpu_load")
+    stored_tensors = sum(
+        1 for e in timeline.events if e.lane in ("store", "cpu_store")
+    )
+    read_count = sum(1 for e in timeline.events if e.lane in ("load", "cpu_load"))
+    return StepObservation(
+        forward_time_s=result.forward_time_s,
+        backward_time_s=result.backward_time_s,
+        activation_bytes=result.offloaded_bytes + result.kept_bytes,
+        write_bytes=result.offloaded_bytes,
+        write_busy_s=write_busy,
+        read_bytes=result.loaded_bytes,
+        read_busy_s=read_busy,
+        read_count=read_count,
+        stored_tensors=stored_tensors,
+        stored_bytes=result.offloaded_bytes,
+        stall_time_s=result.io_stall_time_s,
+    )
+
+
+def simulate_adaptive_run(
+    segments: List[SegmentSpec],
+    scenario: DriftScenario,
+    policy: Optional[OffloadPolicy] = None,
+    controller: Optional[AutotuneController] = None,
+    io_mode: str = "fifo",
+    keep_last_segments: int = 2,
+    prefetch_segments: int = 2,
+    weight_update_s: float = 0.0,
+    dtype_bytes: int = 2,
+    cpu_pool_bytes: Optional[int] = None,
+) -> AdaptiveRunResult:
+    """Play ``scenario.steps`` training steps, optionally closing the loop.
+
+    Without a controller this is the static arm: whatever budget the
+    policy carries stays in force for the whole run (the paper's one-shot
+    sizing).  With a controller, each step's timeline is folded into the
+    EWMA estimators and a re-tuned budget is installed into the (shared,
+    mutable) policy before the next step — the same
+    ``observe -> choose_offload_budget -> install`` loop the functional
+    engine runs, minus the engine.
+
+    ``io_mode`` defaults to ``"fifo"`` (one shared, contended SSD
+    channel): that is where a stale budget hurts — the over-committed
+    store backlog lands in front of backward's loads.
+    """
+    policy = policy if policy is not None else OffloadPolicy()
+    results: List[SimResult] = []
+    budgets: List[Optional[int]] = []
+    decisions: List[ControllerDecision] = []
+    for step in range(scenario.steps):
+        sim = StepSimulator(
+            segments,
+            PlacementStrategy.OFFLOAD,
+            write_bandwidth=scenario.write_bandwidth_at(step),
+            read_bandwidth=scenario.read_bandwidth_at(step),
+            policy=policy,
+            num_microbatches=scenario.microbatches_at(step),
+            prefetch_segments=prefetch_segments,
+            keep_last_segments=keep_last_segments,
+            dtype_bytes=dtype_bytes,
+            cpu_pool_bytes=cpu_pool_bytes,
+            io_mode=io_mode,
+        )
+        budgets.append(policy.config.offload_budget_bytes)
+        result = sim.run(weight_update_s=weight_update_s)
+        results.append(result)
+        if controller is not None:
+            decision = controller.observe(_observation_from_sim(result))
+            decisions.append(decision)
+            if decision.retuned:
+                policy.install_budget(decision.offload_budget_bytes)
+    return AdaptiveRunResult(
+        scenario=scenario, results=results, budgets=budgets, decisions=decisions
+    )

@@ -404,3 +404,37 @@ def test_drain_covers_cross_lane_resubmission(tmp_path):
     finally:
         sched.shutdown()
         tiered.shutdown()
+
+
+def test_lost_forwarding_race_reload_keeps_counters_exact(gpu, tmp_path):
+    """Regression: when the store finished just before forwarding could
+    adopt the reference (tensor already dropped), the record falls back
+    to a plain reload — the forwarding counters must NOT count that as a
+    hit.  The pre-fix code incremented them before resolving the race
+    and never rolled them back."""
+    offloader = SSDOffloader(tmp_path / "s")
+    cache = TensorCache(offloader, policy=_policy())
+    try:
+        with cache:
+            t1 = _tensor(gpu, seed=3)
+            tid1 = cache.pack_hook(t1)
+            cache.scheduler.drain(5)  # store landed: OFFLOADED, tensor dropped
+            rec = cache._find_record(tid1)
+            assert rec.state is RecordState.CONSUMED or rec.tensor is None
+            # Reconstruct the losing side of the race: the consumer read
+            # OFFLOADING before the store-done callback published
+            # OFFLOADED, but by the time it acts the job is done and the
+            # reference is gone.
+            rec.state = RecordState.OFFLOADING
+            assert rec.store_job.done_event.is_set()
+            assert rec.tensor is None
+
+            out = cache.unpack_hook(tid1)  # must reload, not "forward"
+            assert np.array_equal(out.data, t1.data)
+            assert cache.stats.forwarded_tensors == 0
+            assert cache.accounting.forwarding_hits == 0
+            assert cache.stats.loaded_tensors == 1
+            assert rec.forwarded is False
+            assert rec.state is RecordState.LOADED
+    finally:
+        cache.shutdown()

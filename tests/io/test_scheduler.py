@@ -324,3 +324,261 @@ def test_submitted_by_class_accounting():
         "BLOCKING_LOAD": 1,
     }
     sched.shutdown()
+
+
+# ------------------------------------------------ coalescing x cancellation
+def test_cancelled_batch_member_not_counted_as_coalesced():
+    """Regression: a store claimed into a coalesced batch can still lose
+    claim() to a concurrent cancel before the worker reaches it.  Booking
+    the batch at pop time counted that member as coalesced work that
+    never ran; accounting must follow claim()."""
+    head_started = threading.Event()
+    head_gate = threading.Event()
+    gate = threading.Event()
+    ran = []
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+
+    def head_fn():
+        head_started.set()
+        head_gate.wait(5)
+        ran.append("head")
+
+    head = sched.submit(_req(head_fn, nbytes=64, tid="head"))
+    victim = sched.submit(_req(lambda: ran.append("victim"), nbytes=128, tid="victim"))
+    tail = sched.submit(_req(lambda: ran.append("tail"), nbytes=32, tid="tail"))
+    gate.set()  # one worker pops the whole batch, blocks inside the head
+    assert head_started.wait(5)
+    # The batch is popped; the victim is claimed into it but not yet
+    # claim()ed — the cancel must win and un-count it.
+    assert sched.cancel(victim)
+    head_gate.set()
+    assert sched.drain(5)
+    assert sorted(ran) == ["head", "tail"]
+    assert victim.state is JobState.CANCELLED
+    assert sched.stats.coalesced_batches == 1
+    assert sched.stats.coalesced_requests == 1  # only the tail ran behind the head
+    assert sched.stats.coalesced_bytes == 32
+    assert sched.stats.cancelled_stores == 1
+    assert head.state is JobState.DONE and tail.state is JobState.DONE
+    sched.shutdown()
+
+
+def test_batch_of_one_survivor_counts_no_coalescing():
+    """If every trailing member is cancelled before the worker reaches
+    it, the batch degenerates to a single store — zero coalescing."""
+    head_started = threading.Event()
+    head_gate = threading.Event()
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+
+    def head_fn():
+        head_started.set()
+        head_gate.wait(5)
+
+    sched.submit(_req(head_fn, nbytes=64, tid="head"))
+    trailing = [sched.submit(_req(lambda: None, nbytes=16, tid=f"t{i}")) for i in range(3)]
+    gate.set()
+    assert head_started.wait(5)
+    for req in trailing:
+        assert sched.cancel(req)
+    head_gate.set()
+    assert sched.drain(5)
+    assert sched.stats.coalesced_batches == 0
+    assert sched.stats.coalesced_requests == 0
+    assert sched.stats.coalesced_bytes == 0
+    assert sched.stats.cancelled == 3
+    sched.shutdown()
+
+
+# --------------------------------------------------------------- stale entries
+def test_promoted_request_stale_heap_entry_runs_once():
+    """Promotion re-pushes the request, leaving a stale heap entry; the
+    dequeue must skip the duplicate so the request executes exactly once."""
+    gate = threading.Event()
+    ran = []
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    prefetch = sched.submit(
+        _req(lambda: ran.append("load"), kind="load", priority=Priority.PREFETCH_LOAD)
+    )
+    sched.submit(_req(lambda: ran.append("store"), nbytes=64))
+    assert sched.promote(prefetch)
+    gate.set()
+    assert sched.drain(5)
+    assert sorted(ran) == ["load", "store"]  # no double execution
+    assert sched.stats.executed == 4  # 2 gates + load + store, stale skipped
+    assert sched.stats.submitted == 4
+    sched.shutdown()
+
+
+def test_stale_entry_skipped_inside_batch_scan():
+    """A promoted store's stale entry sits at the heap top while the
+    (still PENDING) request was already popped as the batch head: the
+    batch scan must drop the stale duplicate and keep coalescing."""
+    gate = threading.Event()
+    ran = []
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    head = sched.submit(_req(lambda: ran.append("head"), nbytes=64, tid="head"))
+    sched.submit(_req(lambda: ran.append("b"), nbytes=16, tid="b"))
+    sched.submit(_req(lambda: ran.append("c"), nbytes=16, tid="c"))
+    # Raise the head one class (store -> demotion): its new entry pops
+    # first and its stale STORE-priority entry is next at the heap top
+    # during the batch scan, while the request is still PENDING.
+    assert sched.promote(head, Priority.DEMOTION)
+    gate.set()
+    assert sched.drain(5)
+    assert sorted(ran) == ["b", "c", "head"]
+    assert ran[0] == "head"  # promoted: ran before the plain stores
+    assert sched.stats.coalesced_batches == 1
+    assert sched.stats.coalesced_requests == 2
+    assert sched.stats.promotions == 1
+    sched.shutdown()
+
+
+# ------------------------------------------------------------------- drain
+def test_drain_timeout_expires_with_work_in_flight():
+    gate = threading.Event()
+    sched = make_scheduler()
+    sched.submit(_req(gate.wait, nbytes=8))
+    t0 = time.monotonic()
+    assert not sched.drain(timeout=0.2)
+    assert time.monotonic() - t0 >= 0.2
+    assert sched.pending() == 1
+    gate.set()
+    assert sched.drain(5)
+    assert sched.pending() == 0
+    sched.shutdown()
+
+
+def test_drain_zero_timeout_on_busy_scheduler():
+    gate = threading.Event()
+    sched = make_scheduler()
+    sched.submit(_req(gate.wait))
+    assert not sched.drain(timeout=0)
+    gate.set()
+    assert sched.drain(5)
+    sched.shutdown()
+
+
+# ---------------------------------------------------------------- shutdown
+def test_shutdown_under_load_stress():
+    """Shutdown racing a storm of submitters from several threads: every
+    accepted request reaches a terminal state, the workers exit, and
+    late submitters get a clean RuntimeError instead of a hang."""
+    sched = IOScheduler(num_store_workers=2, num_load_workers=2)
+    accepted = []
+    accepted_lock = threading.Lock()
+    rejections = []
+
+    def submitter(lane):
+        for i in range(100):
+            try:
+                req = sched.submit(
+                    _req(lambda: time.sleep(0.0005), nbytes=16, tid=f"{lane}{i}", lane=lane)
+                )
+            except RuntimeError:
+                rejections.append(1)
+                return
+            with accepted_lock:
+                accepted.append(req)
+
+    threads = [
+        threading.Thread(target=submitter, args=(lane,))
+        for lane in ("ssd", "cpu", "ssd", "cpu")
+    ]
+    for t in threads:
+        t.start()
+    time.sleep(0.02)  # let a backlog build while submitters keep racing
+    sched.shutdown()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive()
+    for worker in sched._workers:
+        assert not worker.is_alive()
+    assert all(req.done_event.is_set() for req in accepted)
+    assert sched.pending() == 0
+    with pytest.raises(RuntimeError):
+        sched.submit(_req(lambda: None))
+    sched.shutdown()  # idempotent
+
+
+def test_concurrent_shutdown_calls_are_idempotent():
+    sched = make_scheduler()
+    for i in range(16):
+        sched.submit(_req(lambda: time.sleep(0.001), tid=f"t{i}"))
+    threads = [threading.Thread(target=sched.shutdown) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=5)
+        assert not t.is_alive()
+    assert sched.stats.executed == 16
+
+
+# ------------------------------------------------------ completion telemetry
+def test_consume_completion_stats_windows():
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1)
+    sched.submit(_req(lambda: time.sleep(0.002), nbytes=1024, tid="w"))
+    sched.submit(
+        _req(lambda: time.sleep(0.002), kind="load", priority=Priority.BLOCKING_LOAD,
+             nbytes=2048, tid="r")
+    )
+    sched.submit(_req(lambda: None, kind="demote", priority=Priority.DEMOTION,
+                      nbytes=256, tid="d"))
+    sched.submit(_req(lambda: None, nbytes=512, tid="c", lane="cpu"))
+    assert sched.drain(5)
+    lanes = sched.consume_completion_stats()
+    ssd_write = lanes["ssd"]["write"]
+    assert ssd_write.nbytes == 1024 + 256  # stores and demotions share the channel
+    assert ssd_write.count == 2
+    assert ssd_write.busy_s > 0
+    assert ssd_write.bandwidth_bytes_per_s() > 0
+    ssd_read = lanes["ssd"]["read"]
+    assert ssd_read.nbytes == 2048 and ssd_read.count == 1
+    assert lanes["cpu"]["write"].nbytes == 512
+    # The windows reset on consume.
+    assert sched.consume_completion_stats() == {}
+    sched.shutdown()
+
+
+def test_cancelled_requests_never_reach_completion_stats():
+    gate = threading.Event()
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, lanes=("ssd",))
+    _block_workers(sched, gate)
+    victim = sched.submit(_req(lambda: None, nbytes=4096, tid="v"))
+    assert sched.cancel(victim)
+    gate.set()
+    assert sched.drain(5)
+    lanes = sched.consume_completion_stats()
+    assert "write" not in lanes.get("ssd", {})
+    sched.shutdown()
+
+
+def test_channel_window_bandwidth_none_when_idle():
+    from repro.io import ChannelWindow
+
+    assert ChannelWindow().bandwidth_bytes_per_s() is None
+
+
+def test_busy_time_is_interval_union_not_per_request_sum():
+    """Regression: with several workers draining one lane concurrently,
+    busy_s must be the union of execution intervals — summing each
+    request's wall duration would overcount the overlap and understate
+    the observed bandwidth by up to the concurrency factor."""
+    # coalesce_bytes=0: coalescing would drain all four on one worker
+    # sequentially, which is exactly the non-overlapping case.
+    sched = IOScheduler(
+        num_store_workers=2, num_load_workers=2, lanes=("ssd",), coalesce_bytes=0
+    )
+    for i in range(4):  # 4 workers run these ~concurrently
+        sched.submit(_req(lambda: time.sleep(0.05), nbytes=1024, tid=f"t{i}"))
+    assert sched.drain(5)
+    window = sched.consume_completion_stats()["ssd"]["write"]
+    assert window.count == 4 and window.nbytes == 4096
+    # Union of 4 overlapping ~50 ms intervals: well under the 200 ms a
+    # per-request sum would record, and at least one interval long.
+    assert 0.045 <= window.busy_s < 0.15
+    sched.shutdown()

@@ -135,3 +135,16 @@ def test_committed_baseline_is_loadable():
     assert any("scheduler" in name for name in stats)
     assert all(value > 0 for value in stats.values())
     assert payload.get("machine_info")  # needed for the comparability check
+
+
+def test_autotune_controller_hot_path_is_guarded(tmp_path):
+    """The adaptive controller's per-step cycle is a guarded hot path."""
+    base = _write(
+        tmp_path, "base.json",
+        {"bench_autotune.py::test_autotune_controller_hot_path": 0.010},
+    )
+    cur = _write(
+        tmp_path, "cur.json",
+        {"bench_autotune.py::test_autotune_controller_hot_path": 0.013},
+    )
+    assert guard.main(["--baseline", base, "--current", cur]) == 1

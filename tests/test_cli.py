@@ -107,3 +107,24 @@ def test_quickstart_three_tier_run(capsys):
     out = capsys.readouterr().out
     assert "tier traffic" in out
     assert "losses identical" in out
+
+
+def test_autotune_step_drop_ab(capsys):
+    """The controller A/B is drivable from the CLI and visibly beats the
+    static budget after the drift."""
+    assert main(["autotune", "--hidden", "8192", "--steps", "10", "--drift-step", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "one-shot budget" in out
+    assert "retuned" in out
+    assert "post-drift backward stall" in out
+
+
+def test_autotune_scenario_axes(capsys):
+    parser = build_parser()
+    args = parser.parse_args(["autotune", "--scenario", "ramp", "--factor", "0.4"])
+    assert args.scenario == "ramp" and args.factor == 0.4
+    with pytest.raises(SystemExit):
+        parser.parse_args(["autotune", "--scenario", "spike"])
+    assert main(["autotune", "--hidden", "8192", "--scenario", "microbatch",
+                 "--steps", "8", "--drift-step", "4"]) == 0
+    assert "scenario: microbatch" in capsys.readouterr().out
