@@ -109,6 +109,13 @@ class StepObservation:
     #: Tiered runs: pinned-pool influx and capacity (watermark sizing).
     cpu_stored_bytes: int = 0
     cpu_pool_capacity_bytes: int = 0
+    #: Failure-recovery telemetry (scheduler lane health): terminal I/O
+    #: failures observed this step, and lanes declared dead.  Failures
+    #: trim the budget the way stall does — a flaky device earns less
+    #: traffic; a dead write lane floors the backoff outright (the
+    #: surviving tiers should not be sized as if the SSD still drained).
+    io_failures: int = 0
+    dead_lanes: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -261,10 +268,19 @@ class AutotuneController:
 
     # ------------------------------------------------------------------ knobs
     def _update_backoff(self, obs: StepObservation) -> None:
-        """AIMD trim under observed stall; slow probe upward when clean."""
+        """AIMD trim under observed stall or I/O failures; slow probe
+        upward when clean."""
         cfg = self.config
+        if obs.dead_lanes:
+            # A dead lane is not noise to average over: floor the
+            # backoff until the device comes back (it will probe up
+            # through the recovery path if the lane is revived).
+            self._backoff = cfg.min_backoff
+            self._clean_steps = 0
+            return
         compute = obs.forward_time_s + obs.backward_time_s
-        if compute > 0 and obs.stall_time_s > cfg.stall_tolerance * compute:
+        stalled = compute > 0 and obs.stall_time_s > cfg.stall_tolerance * compute
+        if stalled or obs.io_failures > 0:
             self._backoff = max(cfg.min_backoff, self._backoff * (1 - cfg.stall_trim))
             self._clean_steps = 0
             return
@@ -367,6 +383,12 @@ class AutotuneController:
         write = _merge_channel(lanes, "write")
         read = _merge_channel(lanes, "read")
         stall_s = min(step.unpack_wait_s, backward_time_s)
+        io_failures = 0
+        dead_lanes: Tuple[str, ...] = ()
+        health = getattr(cache.scheduler, "health", None)
+        if health is not None:
+            io_failures = sum(health.consume_failure_window().values())
+            dead_lanes = health.dead_lanes()
         obs = StepObservation(
             forward_time_s=forward_time_s,
             backward_time_s=backward_time_s - stall_s,
@@ -381,6 +403,8 @@ class AutotuneController:
             stall_time_s=stall_s,
             cpu_stored_bytes=step.cpu_stored_bytes,
             cpu_pool_capacity_bytes=step.cpu_pool_capacity_bytes,
+            io_failures=io_failures,
+            dead_lanes=dead_lanes,
         )
         decision = self.observe(obs)
         cache.apply_autotune(decision)

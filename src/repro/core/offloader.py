@@ -159,6 +159,12 @@ class PinnedMemoryPool:
 
     def __init__(self, capacity_bytes: Optional[int] = None) -> None:
         self.capacity_bytes = capacity_bytes
+        #: Degraded-mode escape hatch: with the SSD tier dead, refusing a
+        #: pool allocation would fail the training step to protect a
+        #: capacity model whose spill target no longer exists.  The
+        #: tiered offloader flips this during failover — correctness over
+        #: the capacity model — and ``overflow_bytes`` records the debt.
+        self.overflow_allowed = False
         self._lock = threading.Lock()
         self._used = 0
         self._high_watermark = 0
@@ -166,12 +172,24 @@ class PinnedMemoryPool:
     def alloc(self, nbytes: int) -> None:
         with self._lock:
             new_used = self._used + nbytes
-            if self.capacity_bytes is not None and new_used > self.capacity_bytes:
+            if (
+                self.capacity_bytes is not None
+                and new_used > self.capacity_bytes
+                and not self.overflow_allowed
+            ):
                 raise MemoryError(
                     f"pinned pool exhausted: {new_used} > {self.capacity_bytes} bytes"
                 )
             self._used = new_used
             self._high_watermark = max(self._high_watermark, new_used)
+
+    @property
+    def overflow_bytes(self) -> int:
+        """Bytes currently allocated beyond capacity (degraded mode only)."""
+        with self._lock:
+            if self.capacity_bytes is None:
+                return 0
+            return max(0, self._used - self.capacity_bytes)
 
     def free(self, nbytes: int) -> None:
         with self._lock:

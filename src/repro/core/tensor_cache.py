@@ -141,6 +141,13 @@ class CacheStats:
     #: Pending prefetch loads re-queued as blocking when their consumer
     #: arrived (scheduler deadline promotion).
     promoted_loads: int = 0
+    #: Stores that failed terminally (retry budget exhausted) but whose
+    #: tensor was still in hand — recovered by keeping it GPU-resident:
+    #: the offload is lost, the training step is not.
+    store_failures: int = 0
+    #: Loads that failed terminally; the error surfaces to the blocking
+    #: unpack as a RuntimeError instead of a hang.
+    load_failures: int = 0
 
 
 @dataclass
@@ -224,6 +231,12 @@ class TensorCache:
         self._step_stats_snapshot: Dict[str, float] = {}
 
         self._lock = threading.Lock()
+        # Guards the stored/kept counter pairs (stats + step accounting)
+        # that are written from both the training thread (pack_hook) and
+        # scheduler workers (store-failure recovery reverses them).  The
+        # offload budget is decided off accounting.offloaded_bytes, so a
+        # lost update is a policy error, not just a stats blemish.
+        self._counter_lock = threading.Lock()
         self._microbatches: Dict[int, MicrobatchRecords] = {0: MicrobatchRecords()}
         self._current_mb = 0
         self._scope_stack: List[Module] = []
@@ -556,18 +569,20 @@ class TensorCache:
                 accounting=self.accounting,
             )
             rec.loaded_event.set()
-            self.stats.kept_tensors += 1
-            self.stats.kept_bytes += t.nbytes
-            self.accounting.kept_bytes += t.nbytes
+            with self._counter_lock:
+                self.stats.kept_tensors += 1
+                self.stats.kept_bytes += t.nbytes
+                self.accounting.kept_bytes += t.nbytes
             return tid
 
         # Decision.OFFLOAD: async store; the job holds the only strong
         # reference after this function returns, and drops it on completion.
         rec.state = RecordState.OFFLOADING
         rec.location = self.offloader.location(tid)
-        self.accounting.offloaded_bytes += t.nbytes
-        self.stats.stored_tensors += 1
-        self.stats.stored_bytes += t.nbytes
+        with self._counter_lock:
+            self.accounting.offloaded_bytes += t.nbytes
+            self.stats.stored_tensors += 1
+            self.stats.stored_bytes += t.nbytes
         register = getattr(self.offloader, "register_tensor", None)
         if register is not None:
             register(t)
@@ -602,6 +617,36 @@ class TensorCache:
             return
         with rec.lock:
             if job.error is not None:
+                if rec.tensor is not None:
+                    # Store-failure recovery: the write never landed (the
+                    # request's bounded retries included), but the pack
+                    # closure's reference is still alive — keep the
+                    # tensor GPU-resident and let backward consume it
+                    # directly.  The offload's memory saving is lost for
+                    # this tensor; the step's numerics are not, and the
+                    # failure still shows up in the stats/health surface.
+                    # The pack-time offload accounting is reversed to
+                    # kept: the bytes moved nothing, so they must not
+                    # consume offload budget or feed the controller as
+                    # store traffic that never happened.
+                    with self._counter_lock:
+                        self.stats.store_failures += 1
+                        self.stats.stored_tensors -= 1
+                        self.stats.stored_bytes -= rec.nbytes
+                        self.stats.kept_tensors += 1
+                        self.stats.kept_bytes += rec.nbytes
+                        self.accounting.offloaded_bytes -= rec.nbytes
+                        self.accounting.kept_bytes += rec.nbytes
+                    logger.warning(
+                        "store failed for %s (%s); keeping tensor resident",
+                        rec.tid,
+                        job.error,
+                    )
+                    rec.state = RecordState.LOADED
+                    rec.location = "gpu"
+                    rec.tier = Tier.GPU
+                    rec.loaded_event.set()
+                    return
                 rec.error = job.error
                 rec.loaded_event.set()
                 return
@@ -770,6 +815,7 @@ class TensorCache:
 
         def on_done(job: IOJob, record: ActivationRecord = rec) -> None:
             if job.error is not None:
+                self.stats.load_failures += 1
                 with record.lock:
                     record.error = job.error
                     record.loaded_event.set()

@@ -31,6 +31,7 @@ completes.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -41,9 +42,12 @@ import numpy as np
 from repro.core.ids import TensorID
 from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
 from repro.core.policy import OffloadPolicy, Tier
+from repro.io.errors import PermanentIOError, retry_call
 from repro.io.gds import GDSRegistry
 from repro.io.scheduler import IORequest, IOScheduler, Priority
 from repro.tensor.tensor import Tensor
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -65,6 +69,11 @@ class TierStats:
     cancelled_demotions: int = 0    # SSD writes avoided: victim released
     cancelled_demotion_bytes: int = 0
     demotion_forward_hits: int = 0  # loads served from an in-flight demotion
+    #: Stores/demotions re-routed to the CPU tier because the SSD store
+    #: is dead (permanent I/O failure) or its write exhausted the retry
+    #: budget — the failure-recovery path, not normal placement.
+    failovers: int = 0
+    failover_bytes: int = 0
 
 
 class TieredOffloader(Offloader):
@@ -136,6 +145,36 @@ class TieredOffloader(Offloader):
         #: installed by the adaptive controller, enforced on demand by
         #: :meth:`apply_watermark`.  0 = no proactive demotion.
         self._free_watermark_bytes = 0
+        #: SSD-tier death latch: set on the first PermanentIOError from
+        #: the SSD store (or when the scheduler's lane health declares
+        #: the ssd lane dead).  From then on every placement targets the
+        #: CPU tier — correctness over capacity — and the pinned pool is
+        #: allowed to overflow its cap rather than fail the step.
+        self._ssd_dead = False
+
+    # ---------------------------------------------------------------- failover
+    @property
+    def ssd_dead(self) -> bool:
+        """True once the SSD tier has been written off (sticky)."""
+        return self._ssd_dead
+
+    def _ssd_unhealthy(self) -> bool:
+        if self._ssd_dead:
+            return True
+        scheduler = self._scheduler
+        return scheduler is not None and scheduler.health.is_dead("ssd")
+
+    def _mark_ssd_dead(self) -> None:
+        """Latch degraded mode; callers hold (or are about to release)
+        ``self._lock``."""
+        if not self._ssd_dead:
+            logger.warning(
+                "SSD tier marked dead; failing all placements over to the CPU tier"
+            )
+        self._ssd_dead = True
+        self.pool.overflow_allowed = True
+        if self._scheduler is not None:
+            self._scheduler.health.mark_dead("ssd")
 
     def set_tier_listener(self, listener: Callable[[TensorID, Tier], None]) -> None:
         """Register a callback fired after a tensor moves tier (demotion
@@ -192,11 +231,18 @@ class TieredOffloader(Offloader):
         # fully landed.
         self._await_inflight_write(tid)
         with self._lock:
-            # The policy sees the capacity the pool *could* free: every
-            # resident is demotable, so the whole pool is reclaimable.
-            placement = self.policy.place(
-                nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
-            )
+            # With a dead SSD tier there is exactly one viable placement;
+            # otherwise the policy sees the capacity the pool *could*
+            # free: every resident is demotable, so the whole pool is
+            # reclaimable.
+            ssd_down = self._ssd_unhealthy()
+            if ssd_down:
+                self._mark_ssd_dead()  # sync the latch + pool overflow
+                placement = Tier.CPU
+            else:
+                placement = self.policy.place(
+                    nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
+                )
             # Re-store: drop the old backing copy first.  A cross-tier
             # move would otherwise leak it (orphaned SSD file / pinned
             # chunk refcount), and a CPU-tier overwrite must free its old
@@ -212,24 +258,51 @@ class TieredOffloader(Offloader):
                     placement is not Tier.SSD
                 ):
                     self.ssd.release(tid)
+            if placement is Tier.SSD:
+                try:
+                    if self._scheduler is None:
+                        # Standalone (scheduler-less) mode has no job-level
+                        # retry above it; apply the stack's retry rule here,
+                        # matching the sync demotion path.
+                        retry_call(lambda: self.ssd.store(tid, data))
+                    else:
+                        self.ssd.store(tid, data)
+                except PermanentIOError as exc:
+                    # Tier failover: the device is gone, the bytes are in
+                    # hand — land them in the pinned pool (overflow
+                    # allowed) instead of failing the step.  Transient
+                    # errors propagate: the request's bounded retry
+                    # re-enters this method with the books consistent.
+                    logger.warning("SSD store failed for %s (%s); failing over", tid, exc)
+                    self._mark_ssd_dead()
+                    placement = Tier.CPU
+                    self.stats.failovers += 1
+                    self.stats.failover_bytes += nbytes
+                else:
+                    self._tier[tid] = Tier.SSD
+                    self.stats.ssd_stored_tensors += 1
+                    self.stats.ssd_stored_bytes += nbytes
             if placement is Tier.CPU:
-                self._make_room(nbytes, events)
+                if not self._ssd_unhealthy():
+                    self._make_room(nbytes, events)
                 self.cpu.store(tid, data)
                 self._tier[tid] = Tier.CPU
                 self._lru[tid] = nbytes
                 self._lru.move_to_end(tid)
                 self.stats.cpu_stored_tensors += 1
                 self.stats.cpu_stored_bytes += nbytes
-            else:
-                self.ssd.store(tid, data)
-                self._tier[tid] = Tier.SSD
-                self.stats.ssd_stored_tensors += 1
-                self.stats.ssd_stored_bytes += nbytes
         self._fire(events)
 
     def _make_room(self, nbytes: int, events: List[Tuple[TensorID, Tier]]) -> None:
-        """Demote LRU pool residents until ``nbytes`` fits; holds the lock."""
+        """Demote LRU pool residents until ``nbytes`` fits; holds the lock.
+
+        With the SSD tier dead there is nowhere to demote *to*: stop
+        making room and let the pool overflow instead (degraded mode).
+        """
         while self._lru and self.cpu_free_bytes() < nbytes:
+            if self._ssd_unhealthy():
+                self._mark_ssd_dead()
+                return
             victim, victim_bytes = next(iter(self._lru.items()))
             self._demote_locked(victim, victim_bytes, events)
 
@@ -242,13 +315,26 @@ class TieredOffloader(Offloader):
             self._tier.pop(tid, None)
             return
         if self._scheduler is None:
-            self.ssd.store(tid, buf)
+            try:
+                retry_call(lambda: self.ssd.store(tid, buf))
+            except Exception as exc:
+                # The victim stays CPU-resident (nothing was evicted
+                # yet): no data moved, no data lost.  A dead device
+                # flips degraded mode so the caller stops demoting.
+                if isinstance(exc, PermanentIOError):
+                    logger.warning("demotion of %s hit a dead SSD (%s)", tid, exc)
+                    self._mark_ssd_dead()
+                    return
+                raise
         else:
             # Asynchronous spill: reclaim the pool accounting now (the
             # in-flight buffer plays the staging role), queue the SSD
             # write at DEMOTION priority — behind every load, ahead of
             # fresh stores — and keep it cancellable until it runs.
             self._pending_demotions[tid] = buf
+            # max_retries=0: _run_demotion is stateful (it pops the
+            # parked buffer), so job-level re-execution would find it
+            # gone; the SSD write retries *inside* the body instead.
             request = IORequest(
                 lambda t=tid: self._run_demotion(t),
                 kind="demote",
@@ -256,6 +342,7 @@ class TieredOffloader(Offloader):
                 tensor_id=str(tid),
                 nbytes=nbytes,
                 lane="ssd",
+                max_retries=0,
             )
             self._demotion_reqs[tid] = request
             self._scheduler.submit(request)
@@ -279,20 +366,54 @@ class TieredOffloader(Offloader):
         """
         with self._lock:
             buf = self._pending_demotions.pop(tid, None)
-            self._demotion_reqs.pop(tid, None)
+            request = self._demotion_reqs.pop(tid, None)
             if buf is None:
                 return  # released, reloaded or re-stored before the write
             self._writing_demotions[tid] = buf
             self._writing_events[tid] = threading.Event()
+        landed_tier = Tier.SSD
         try:
-            self.ssd.store(tid, buf)
+            try:
+                retry_call(lambda: self.ssd.store(tid, buf))
+            except Exception as exc:
+                # The parked buffer is the only copy of this tensor: a
+                # failed spill must never lose it.  Reinstate it in the
+                # pinned pool (overflow allowed — reinstatement cannot be
+                # refused), and write the SSD off on permanent death.
+                logger.warning(
+                    "demotion write for %s failed (%s); reinstating in the CPU tier",
+                    tid,
+                    exc,
+                )
+                if request is not None:
+                    # The request will complete DONE (the data is safe),
+                    # but the SSD lane must still learn about the write
+                    # it failed — an SSD that flakes every demotion has
+                    # to accumulate toward the death verdict.
+                    request.health_error = exc
+                with self._lock:
+                    if isinstance(exc, PermanentIOError):
+                        self._mark_ssd_dead()
+                    previous_overflow = self.pool.overflow_allowed
+                    self.pool.overflow_allowed = True
+                    try:
+                        self.cpu.store(tid, buf)
+                    finally:
+                        if not self._ssd_dead:
+                            self.pool.overflow_allowed = previous_overflow
+                    self._tier[tid] = Tier.CPU
+                    self._lru[tid] = buf.nbytes
+                    self._lru.move_to_end(tid)
+                    self.stats.failovers += 1
+                    self.stats.failover_bytes += buf.nbytes
+                landed_tier = Tier.CPU
         finally:
             with self._lock:
                 self._writing_demotions.pop(tid, None)
                 event = self._writing_events.pop(tid, None)
             if event is not None:
                 event.set()
-        self._fire([(tid, Tier.SSD)])
+        self._fire([(tid, landed_tier)])
 
     def _await_inflight_write(self, tid: TensorID) -> None:
         """Block (lock-free) until an in-flight spill write of ``tid``
@@ -409,7 +530,12 @@ class TieredOffloader(Offloader):
                     self.stats.promoted_bytes += data.nbytes
                     events.append((tid, Tier.CPU))
             else:
-                data = self.ssd.load(tid, shape, dtype)
+                if self._scheduler is None:
+                    # Standalone mode: apply the retry rule here (with a
+                    # scheduler, the surrounding load request retries).
+                    data = retry_call(lambda: self.ssd.load(tid, shape, dtype))
+                else:
+                    data = self.ssd.load(tid, shape, dtype)
                 self.stats.ssd_loads += 1
                 self.stats.ssd_loaded_bytes += data.nbytes
                 if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
@@ -464,6 +590,8 @@ class TieredOffloader(Offloader):
         slot, and the pool-capacity input mirrors :meth:`store`'s ("every
         resident is demotable").
         """
+        if self._ssd_unhealthy():
+            return "cpu"  # dead SSD: every placement fails over
         placement = self.policy.place(
             nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
         )

@@ -14,16 +14,30 @@
 - :mod:`~repro.io.gds` — GPUDirect Storage path model: direct GPU<->SSD
   transfers vs. a CPU bounce buffer, plus the CUDA-malloc-hook registration
   emulation (Sec. III-A).
+- :mod:`~repro.io.errors` — the typed I/O failure taxonomy
+  (transient / permanent / integrity) and the retry classification rule.
+- :mod:`~repro.io.faults` — seeded deterministic fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`): the chaos harness that
+  proves the retry, checksum, and tier-failover recovery paths.
 """
 
 from repro.io.aio import AsyncIOPool, IOJob
 from repro.io.chunkstore import ChunkedTensorStore, DEFAULT_CHUNK_BYTES
+from repro.io.errors import (
+    IntegrityError,
+    PermanentIOError,
+    TransientIOError,
+    is_retryable,
+    retry_call,
+)
+from repro.io.faults import FaultInjector, FaultPlan, inject_faults
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import BounceBufferPath, DirectGDSPath, GDSRegistry
 from repro.io.scheduler import (
     ChannelWindow,
     IORequest,
     IOScheduler,
+    LaneHealthTracker,
     Priority,
     SchedulerStats,
 )
@@ -33,6 +47,7 @@ __all__ = [
     "IOJob",
     "IORequest",
     "IOScheduler",
+    "LaneHealthTracker",
     "Priority",
     "SchedulerStats",
     "ChannelWindow",
@@ -42,4 +57,12 @@ __all__ = [
     "GDSRegistry",
     "DirectGDSPath",
     "BounceBufferPath",
+    "TransientIOError",
+    "PermanentIOError",
+    "IntegrityError",
+    "is_retryable",
+    "retry_call",
+    "FaultPlan",
+    "FaultInjector",
+    "inject_faults",
 ]

@@ -14,9 +14,14 @@ win the PENDING race.
 from __future__ import annotations
 
 import enum
+import logging
 import queue
 import threading
 from typing import Any, Callable, List, Optional
+
+from repro.io.errors import retry_call
+
+logger = logging.getLogger(__name__)
 
 
 class JobState(enum.Enum):
@@ -28,14 +33,34 @@ class JobState(enum.Enum):
 
 
 class IOJob:
-    """A unit of I/O work with an observable state and completion event."""
+    """A unit of I/O work with an observable state and completion event.
 
-    def __init__(self, fn: Callable[[], Any], label: str = "") -> None:
+    ``max_retries``/``retry_backoff_s`` give the job a bounded
+    retry-with-backoff budget: a body raising a *retryable* error
+    (:func:`~repro.io.errors.is_retryable` — transient device errors,
+    checksum mismatches) is re-run up to ``max_retries`` more times with
+    exponential backoff before the job goes FAILED.  Non-retryable
+    errors (permanent lane death, missing files) fail fast.  The default
+    budget is 0 — plain jobs keep the original one-shot semantics; the
+    scheduler stamps its default onto typed requests at submit time.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[], Any],
+        label: str = "",
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.0,
+    ) -> None:
         self.fn = fn
         self.label = label
         self.state = JobState.PENDING
         self.result: Any = None
         self.error: Optional[BaseException] = None
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        #: Re-attempts actually performed (0 = first try succeeded/failed).
+        self.attempts = 0
         self.done_event = threading.Event()
         self._callbacks: List[Callable[["IOJob"], None]] = []
         self._lock = threading.Lock()
@@ -72,9 +97,21 @@ class IOJob:
             callbacks = list(self._callbacks)
             self._callbacks.clear()
             self.done_event.set()
-        for cb in callbacks:
-            cb(self)
+        self._dispatch(callbacks)
         return True
+
+    def _dispatch(self, callbacks: List[Callable[["IOJob"], None]]) -> None:
+        """Run completion callbacks, containing per-callback failures.
+
+        One raising callback must never starve the ones behind it — the
+        scheduler's pending/stats accounting rides on this list, and a
+        skipped decrement turns into a drain() hang.
+        """
+        for cb in callbacks:
+            try:
+                cb(self)
+            except Exception:
+                logger.exception("done callback for job %s raised", self.label)
 
     def _finish(self, state: JobState) -> None:
         with self._lock:
@@ -82,8 +119,7 @@ class IOJob:
             callbacks = list(self._callbacks)
             self._callbacks.clear()
             self.done_event.set()
-        for cb in callbacks:
-            cb(self)
+        self._dispatch(callbacks)
 
     def claim(self) -> bool:
         """Atomically take the PENDING -> RUNNING transition.
@@ -99,11 +135,26 @@ class IOJob:
             self.state = JobState.RUNNING
             return True
 
+    def _count_retry(self, exc: BaseException, attempt: int) -> None:
+        self.attempts = attempt
+
     def execute(self) -> None:
-        """Run the claimed job body; caller must have won :meth:`claim`."""
+        """Run the claimed job body; caller must have won :meth:`claim`.
+
+        Retryable failures are re-attempted within the job's budget via
+        the stack's single retry rule (:func:`~repro.io.errors.retry_call`;
+        the worker holds the job for the backoff sleeps — the budget
+        bounds that occupancy).  The terminal state is DONE, or FAILED
+        with the last error surfaced via ``.error``.
+        """
         try:
-            self.result = self.fn()
-        except BaseException as exc:  # surfaced via .error, re-raised on wait
+            self.result = retry_call(
+                self.fn,
+                max_retries=self.max_retries,
+                backoff_s=self.retry_backoff_s,
+                on_retry=self._count_retry,
+            )
+        except BaseException as exc:  # surfaced via .error for the waiter
             self.error = exc
             self.fn = None  # drop closure refs (e.g. the tensor being stored)
             self._finish(JobState.FAILED)

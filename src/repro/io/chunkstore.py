@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
@@ -39,6 +40,7 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.device.ssd import RAID0Array, SSD
+from repro.io.errors import IntegrityError
 
 #: Default chunk size: 4 MiB — large enough that a P5800X-class SSD sees
 #: near-sequential bandwidth, small enough to bound the open-chunk buffer.
@@ -57,11 +59,17 @@ class _ChunkMeta:
 
 @dataclass
 class _TensorLoc:
-    """Where one tensor's bytes live: (chunk, byte offset, length)."""
+    """Where one tensor's bytes live: (chunk, byte offset, length), plus
+    the crc32 of those bytes at write time.  The checksum lives in the
+    index rather than on disk so ranged reads stay exactly payload-sized
+    (framing every tensor inside a chunk would shift offsets and tax the
+    4-KiB-alignment story); every ``read`` verifies length and crc32
+    before returning and raises :class:`IntegrityError` on mismatch."""
 
     chunk_id: int
     offset: int
     nbytes: int
+    crc32: int = 0
 
 
 class ChunkedTensorStore:
@@ -232,7 +240,10 @@ class ChunkedTensorStore:
         with self._lock:
             self._delete_locked(tensor_id)  # overwrite drops the old copy
             loc = _TensorLoc(
-                chunk_id=self._open_id, offset=len(self._open_buf), nbytes=len(raw)
+                chunk_id=self._open_id,
+                offset=len(self._open_buf),
+                nbytes=len(raw),
+                crc32=zlib.crc32(raw),
             )
             self._open_buf.extend(raw)
             self._open_entries[tensor_id] = loc
@@ -259,6 +270,7 @@ class ChunkedTensorStore:
                 raw = bytes(
                     self._open_buf[open_loc.offset : open_loc.offset + open_loc.nbytes]
                 )
+                self._verify(tensor_id, open_loc, raw)
                 return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
             loc = self._index.get(tensor_id)
             if loc is None:
@@ -267,6 +279,7 @@ class ChunkedTensorStore:
         with open(path, "rb") as f:
             f.seek(loc.offset)
             raw = f.read(loc.nbytes)
+        self._verify(tensor_id, loc, raw)
         data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
         self._throttle(loc.nbytes, start)
         with self._lock:
@@ -275,6 +288,21 @@ class ChunkedTensorStore:
         if self.array is not None:
             self.array.record_read(loc.nbytes)
         return data
+
+    @staticmethod
+    def _verify(tensor_id: str, loc: _TensorLoc, raw: bytes) -> None:
+        """Length + crc32 check of one tensor's bytes against its index
+        entry; raises :class:`IntegrityError` on torn writes / bit-rot."""
+        if len(raw) != loc.nbytes:
+            raise IntegrityError(
+                f"torn write: tensor {tensor_id!r} expected {loc.nbytes} bytes "
+                f"in chunk {loc.chunk_id}, read {len(raw)}"
+            )
+        if zlib.crc32(raw) != loc.crc32:
+            raise IntegrityError(
+                f"checksum mismatch for tensor {tensor_id!r} in chunk "
+                f"{loc.chunk_id}: bit-rot or torn write"
+            )
 
     # --------------------------------------------------------------- reclaim
     def _delete_locked(self, tensor_id: str) -> None:

@@ -1,23 +1,75 @@
 """File-backed tensor persistence (the functional-mode "SSD").
 
-Writes raw tensor bytes to files under a directory (one file per tensor
+Writes tensor bytes to files under a directory (one file per tensor
 identifier, like the paper's ``/mnt/md1/t1.pt`` in Fig. 4) and reads them
 back.  Optional throttling emulates a bandwidth-limited device so tests can
 exercise stalls, backpressure, and forwarding races; writes/reads are also
 recorded against an optional :class:`~repro.device.ssd.RAID0Array` for wear
 accounting.
+
+Every file carries a **checksum frame** so silent corruption surfaces as
+a typed :class:`~repro.io.errors.IntegrityError` instead of wrong
+numerics::
+
+    ┌───────┬────────────┬───────┬───────────────────┐
+    │ magic │ payload len│ crc32 │      payload      │
+    │ 4 B   │ 8 B (LE)   │ 4 B   │ raw tensor bytes  │
+    └───────┴────────────┴───────┴───────────────────┘
+
+``read`` verifies the magic, the length (catches short/torn writes) and
+the crc32 of the payload (catches bit-rot) before any bytes reach the
+caller.  An ``IntegrityError`` is classified retryable
+(:func:`~repro.io.errors.is_retryable`): a transient read-path flip
+heals on re-read; corruption at rest exhausts the retry budget and
+surfaces.  All byte accounting (stats, throttle, wear model) stays on
+the payload — the 16-byte frame is bookkeeping, not traffic.
 """
 
 from __future__ import annotations
 
+import struct
 import threading
 import time
+import zlib
 from pathlib import Path
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.device.ssd import RAID0Array, SSD
+from repro.io.errors import IntegrityError
+
+#: Checksum-frame header: magic, payload length (LE u64), crc32 (LE u32).
+FRAME_MAGIC = b"RPRO"
+_FRAME_HEADER = struct.Struct("<4sQI")
+FRAME_HEADER_BYTES = _FRAME_HEADER.size
+
+
+def frame_payload(payload: bytes) -> bytes:
+    """Prepend the checksum frame to raw tensor bytes."""
+    return _FRAME_HEADER.pack(FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def unframe_payload(raw: bytes, label: str) -> bytes:
+    """Verify and strip the checksum frame; raises :class:`IntegrityError`.
+
+    ``label`` names the tensor/file for the error message.
+    """
+    if len(raw) < FRAME_HEADER_BYTES:
+        raise IntegrityError(
+            f"torn write: {label} holds {len(raw)} bytes, shorter than the frame header"
+        )
+    magic, length, crc = _FRAME_HEADER.unpack_from(raw)
+    if magic != FRAME_MAGIC:
+        raise IntegrityError(f"corrupt frame header for {label}: bad magic {magic!r}")
+    payload = raw[FRAME_HEADER_BYTES:]
+    if len(payload) != length:
+        raise IntegrityError(
+            f"torn write: {label} frames {length} payload bytes, found {len(payload)}"
+        )
+    if zlib.crc32(payload) != crc:
+        raise IntegrityError(f"checksum mismatch for {label}: bit-rot or torn write")
+    return payload
 
 
 class TensorFileStore:
@@ -94,7 +146,7 @@ class TensorFileStore:
         path = self.path_for(tensor_id)
         contiguous = np.ascontiguousarray(data)
         with open(path, "wb") as f:
-            f.write(contiguous.tobytes())
+            f.write(frame_payload(contiguous.tobytes()))
         nbytes = contiguous.nbytes
         self._throttle(nbytes, start)
         with self._lock:
@@ -110,8 +162,8 @@ class TensorFileStore:
         path = self.path_for(tensor_id)
         if not path.exists():
             raise FileNotFoundError(f"no offloaded tensor at {path}")
-        raw = path.read_bytes()
-        data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        payload = unframe_payload(path.read_bytes(), f"tensor {tensor_id!r} at {path}")
+        data = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
         self._throttle(data.nbytes, start)
         with self._lock:
             self._bytes_read += data.nbytes

@@ -38,18 +38,39 @@ each request is for:
 ``fifo=True`` collapses every class into submission order — the paper's
 original behaviour — which keeps an apples-to-apples baseline for the
 priority-vs-FIFO comparison in benchmarks and tests.
+
+**Failure model** (see :mod:`repro.io.errors` for the taxonomy and
+``docs/architecture.md`` §6 for the map): a request whose body raises is
+never allowed to take a lane worker down with it — the worker loop
+survives any job exception (FAILED is a first-class terminal state with
+exact accounting: ``submitted == executed + failed + cancelled`` once
+drained, and the blocking waiter sees the error instead of a hang),
+retryable errors are re-attempted within the request's bounded
+retry-with-backoff budget before failing, and every outcome feeds the
+per-lane :class:`LaneHealthTracker` — the signal the tiered offloader
+uses to fail a dead SSD over to the CPU tier and the adaptive controller
+uses to trim the budget on a degraded lane.
 """
 
 from __future__ import annotations
 
 import enum
 import heapq
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.io.aio import IOJob, JobState
+from repro.io.errors import (
+    DEFAULT_MAX_RETRIES,
+    DEFAULT_RETRY_BACKOFF_S,
+    PermanentIOError,
+    is_device_error,
+)
+
+logger = logging.getLogger(__name__)
 
 #: Default cap on the total bytes of one coalesced store batch.
 DEFAULT_COALESCE_BYTES = 1 << 20
@@ -87,10 +108,21 @@ class IORequest(IOJob):
         nbytes: int = 0,
         lane: str = "ssd",
         label: str = "",
+        max_retries: Optional[int] = None,
+        retry_backoff_s: Optional[float] = None,
     ) -> None:
         if kind not in REQUEST_KINDS:
             raise ValueError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
         super().__init__(fn, label=label or f"{kind}:{tensor_id}")
+        # None = inherit the scheduler's retry policy at submit time; an
+        # explicit value (0 opts out — e.g. stateful demotion bodies that
+        # retry internally) always wins.
+        self._max_retries_override = max_retries
+        self._retry_backoff_override = retry_backoff_s
+        if max_retries is not None:
+            self.max_retries = max_retries
+        if retry_backoff_s is not None:
+            self.retry_backoff_s = retry_backoff_s
         self.kind = kind
         self.priority = Priority(priority)
         self.tensor_id = tensor_id
@@ -101,6 +133,11 @@ class IORequest(IOJob):
         #: actually won ``claim()`` — a batch member cancelled before the
         #: worker reached it never coalesced anything.
         self.coalesced = False
+        #: Set by a body that *recovered* from an I/O failure internally
+        #: (e.g. the tiered demotion writer failing a dead SSD over to
+        #: the CPU tier): the request completes DONE, but the lane must
+        #: still learn about the device failure it papered over.
+        self.health_error: Optional[BaseException] = None
         #: Completion telemetry, stamped by the worker loop (monotonic
         #: seconds).  ``submitted_at`` is set by :meth:`IOScheduler.submit`.
         self.submitted_at: float = 0.0
@@ -119,6 +156,14 @@ class SchedulerStats:
     cancelled: int = 0
     cancelled_stores: int = 0
     cancelled_bytes: int = 0
+    #: Requests whose body failed terminally (retry budget exhausted or a
+    #: non-retryable error).  Once drained the books always reconcile:
+    #: ``submitted == executed + failed + cancelled``.
+    failed: int = 0
+    failed_bytes: int = 0
+    #: Re-attempts performed across all requests (each healed transient
+    #: fault is one retry that kept ``failed`` from growing).
+    retries: int = 0
     promotions: int = 0
     #: Coalesced store batches with >= 2 *executed* members, and the
     #: executed members beyond each batch head (the stores that avoided a
@@ -172,6 +217,104 @@ class ChannelWindow:
         return self.nbytes / self.busy_s
 
 
+@dataclass
+class LaneHealthSnapshot:
+    """Point-in-time health of one lane (read-only copy)."""
+
+    successes: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    dead: bool = False
+
+
+class LaneHealthTracker:
+    """Per-lane failure/success bookkeeping and the dead-lane verdict.
+
+    Fed by the scheduler on every request completion.  A lane is marked
+    **dead** the moment any request fails with a
+    :class:`~repro.io.errors.PermanentIOError`, or after
+    ``death_threshold`` *consecutive* terminal failures (a device that
+    fails everything is dead in all but errno).  Death is sticky —
+    storage does not resurrect itself; :meth:`revive` exists for
+    operator-driven recovery (tests, a replaced device).
+
+    Two consumer surfaces:
+
+    - :meth:`is_dead` / :meth:`dead_lanes` — routing: the tiered
+      offloader steers placements off a dead ``ssd`` lane (CPU failover);
+    - :meth:`consume_failure_window` — per-step failure deltas the
+      adaptive controller folds into its trim signal, the same way it
+      consumes the completion-bandwidth windows.
+    """
+
+    def __init__(self, death_threshold: int = 3) -> None:
+        if death_threshold < 1:
+            raise ValueError(f"death_threshold must be >= 1: {death_threshold}")
+        self.death_threshold = death_threshold
+        self._lock = threading.Lock()
+        self._lanes: Dict[str, LaneHealthSnapshot] = {}
+        #: Failures per lane since the last consume_failure_window().
+        self._window: Dict[str, int] = {}
+
+    def _state(self, lane: str) -> LaneHealthSnapshot:
+        state = self._lanes.get(lane)
+        if state is None:
+            state = self._lanes[lane] = LaneHealthSnapshot()
+        return state
+
+    def record_success(self, lane: str) -> None:
+        with self._lock:
+            state = self._state(lane)
+            state.successes += 1
+            state.consecutive_failures = 0
+
+    def record_failure(self, lane: str, permanent: bool = False) -> None:
+        with self._lock:
+            state = self._state(lane)
+            state.failures += 1
+            state.consecutive_failures += 1
+            self._window[lane] = self._window.get(lane, 0) + 1
+            if permanent or state.consecutive_failures >= self.death_threshold:
+                state.dead = True
+
+    def mark_dead(self, lane: str) -> None:
+        with self._lock:
+            self._state(lane).dead = True
+
+    def revive(self, lane: str) -> None:
+        with self._lock:
+            state = self._state(lane)
+            state.dead = False
+            state.consecutive_failures = 0
+
+    def is_dead(self, lane: str) -> bool:
+        with self._lock:
+            state = self._lanes.get(lane)
+            return state.dead if state is not None else False
+
+    def dead_lanes(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(name for name, s in self._lanes.items() if s.dead))
+
+    def snapshot(self) -> Dict[str, LaneHealthSnapshot]:
+        with self._lock:
+            return {
+                lane: LaneHealthSnapshot(
+                    successes=s.successes,
+                    failures=s.failures,
+                    consecutive_failures=s.consecutive_failures,
+                    dead=s.dead,
+                )
+                for lane, s in self._lanes.items()
+            }
+
+    def consume_failure_window(self) -> Dict[str, int]:
+        """Failures per lane since the last call (the controller's feed)."""
+        with self._lock:
+            window, self._window = self._window, {}
+            return window
+
+
 class _Lane:
     """One tier's queue + bookkeeping (workers live on the scheduler)."""
 
@@ -201,6 +344,11 @@ class IOScheduler:
             (the paper's baseline behaviour; promotion becomes a no-op).
         coalesce_bytes: cap on one coalesced store batch; ``0`` disables
             coalescing.  A store larger than the cap always runs alone.
+        max_retries / retry_backoff_s: default bounded retry budget
+            stamped onto requests that do not carry their own; retryable
+            job errors (transient device faults, checksum mismatches)
+            are re-attempted this many times with exponential backoff
+            before the request goes FAILED.
         name: thread-name prefix.
     """
 
@@ -211,6 +359,8 @@ class IOScheduler:
         lanes: Tuple[str, ...] = ("ssd", "cpu"),
         fifo: bool = False,
         coalesce_bytes: int = DEFAULT_COALESCE_BYTES,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         name: str = "ssdtrain-io",
     ) -> None:
         if num_store_workers < 1 or num_load_workers < 1:
@@ -219,10 +369,19 @@ class IOScheduler:
             raise ValueError("need at least one lane")
         if coalesce_bytes < 0:
             raise ValueError(f"coalesce_bytes must be >= 0: {coalesce_bytes}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(f"retry_backoff_s must be >= 0: {retry_backoff_s}")
         self.name = name
         self.fifo = fifo
         self.coalesce_bytes = coalesce_bytes
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
         self.stats = SchedulerStats()
+        #: Per-lane failure/death bookkeeping fed by request completions;
+        #: the tiered offloader and the adaptive controller both read it.
+        self.health = LaneHealthTracker()
         self._stats_lock = threading.Lock()
         # An Event, not a lock-guarded bool: worker loops read the flag
         # under their lane's condition while shutdown() runs under the
@@ -284,6 +443,13 @@ class IOScheduler:
     def submit(self, request: IORequest) -> IORequest:
         """Enqueue a typed request on its tier lane; returns the request."""
         lane = self._lane_of(request)
+        # Requests without an explicit retry policy inherit the
+        # scheduler's (an explicit 0 opts out — stateful bodies that
+        # handle their own retries must not be blindly re-executed).
+        if request._max_retries_override is None:
+            request.max_retries = self.max_retries
+        if request._retry_backoff_override is None:
+            request.retry_backoff_s = self.retry_backoff_s
         request.submitted_at = time.monotonic()
         with lane.cond:
             if self._shutdown.is_set():
@@ -306,23 +472,44 @@ class IOScheduler:
             self.stats.submitted_by_class[cls] = (
                 self.stats.submitted_by_class.get(cls, 0) + 1
             )
-        self._notify("submit", request)
+        self._safe_notify("submit", request)
         return request
 
     def _on_request_done(self, lane: _Lane, request: IORequest) -> None:
-        cancelled = request.state is JobState.CANCELLED
+        state = request.state
         with lane.cond:
             lane.pending -= 1
             if lane.pending == 0:
                 lane.idle.set()
         with self._stats_lock:
-            if cancelled:
+            self.stats.retries += request.attempts
+            if state is JobState.CANCELLED:
                 self.stats.cancelled += 1
                 self.stats.cancelled_bytes += request.nbytes
                 if request.kind in ("store", "demote"):
                     self.stats.cancelled_stores += 1
+            elif state is JobState.FAILED:
+                self.stats.failed += 1
+                self.stats.failed_bytes += request.nbytes
             else:
                 self.stats.executed += 1
+        # Health is learned only from requests that actually ran, and
+        # only from *device-shaped* errors: a MemoryError (pool capacity
+        # spike), a structural OSError (missing file, permissions), or a
+        # plain bug in a job body says nothing about the device, and
+        # must not brick a lane.  A body that recovered from an I/O
+        # failure internally (tiered demotion failover) reports it via
+        # ``health_error`` so the lane still learns the truth despite
+        # the request completing DONE.
+        if state is JobState.CANCELLED:
+            return
+        error = request.error if state is JobState.FAILED else request.health_error
+        if is_device_error(error):
+            self.health.record_failure(
+                request.lane, permanent=isinstance(error, PermanentIOError)
+            )
+        elif state is JobState.DONE:
+            self.health.record_success(request.lane)
 
     # ------------------------------------------------------ cancel / promote
     def cancel(self, request: IORequest) -> bool:
@@ -333,7 +520,7 @@ class IOScheduler:
         the backing store.
         """
         if request.cancel():
-            self._notify("cancel", request)
+            self._safe_notify("cancel", request)
             return True
         return False
 
@@ -362,7 +549,7 @@ class IOScheduler:
             lane.cond.notify()
         with self._stats_lock:
             self.stats.promotions += 1
-        self._notify("promote", request)
+        self._safe_notify("promote", request)
         return True
 
     # ----------------------------------------------------------------- workers
@@ -429,9 +616,14 @@ class IOScheduler:
         key = (request.lane, _channel_of(request.kind))
         with self._stats_lock:
             window = self._windows.setdefault(key, ChannelWindow())
-            window.nbytes += request.nbytes
-            window.queued_s += max(0.0, request.started_at - request.submitted_at)
-            window.count += 1
+            if request.state is not JobState.FAILED:
+                # A failed request moved no usable bytes; counting them
+                # would inflate the observed bandwidth the adaptive
+                # controller trusts.  Its busy time is still real, so the
+                # interval-union accounting below proceeds either way.
+                window.nbytes += request.nbytes
+                window.queued_s += max(0.0, request.started_at - request.submitted_at)
+                window.count += 1
             usage = self._channel_usage[key]
             usage[0] -= 1
             if usage[0] == 0:
@@ -463,6 +655,36 @@ class IOScheduler:
             out.setdefault(lane, {})[channel] = window
         return out
 
+    def _safe_notify(self, event: str, request: IORequest) -> None:
+        """Listener dispatch that cannot take a worker down: a raising
+        listener is a telemetry bug, not a reason to strand a lane."""
+        try:
+            self._notify(event, request)
+        except Exception:
+            logger.exception(
+                "scheduler listener raised on %r for %s", event, request.label
+            )
+
+    @staticmethod
+    def _force_terminal(request: IORequest) -> None:
+        """Last-resort guarantee that a claimed request reaches a
+        terminal state.  ``execute()`` fails the job on any body
+        exception, but a *done callback* raising mid-dispatch can
+        propagate out with the remaining callbacks unrun; re-finishing
+        is not possible (the state is already terminal), so this only
+        covers the theoretical claimed-but-never-finished hole — a
+        waiter must never block forever on a request a worker touched."""
+        if request.done_event.is_set():
+            return
+        request.error = request.error or RuntimeError(
+            f"request {request.label} left non-terminal by a callback failure"
+        )
+        try:
+            request._finish(JobState.FAILED)
+        except Exception:
+            logger.exception("failing stranded request %s raised", request.label)
+            request.done_event.set()
+
     def _worker_loop(self, lane: _Lane) -> None:
         while True:
             with lane.cond:
@@ -471,34 +693,57 @@ class IOScheduler:
                 if not lane.heap and self._shutdown.is_set():
                     return
                 batch = self._pop_batch_locked(lane)
-            executed = 0
-            trailing_bytes = 0
+            claimed = 0
+            done_members = 0
+            trailing_done_bytes = 0
             for request in batch:
                 # claim() loses against a cancel — and against another
                 # worker holding a duplicate entry left by a promotion;
                 # the loser must stay silent (no start/done events).
-                # Coalescing is booked per *claimed* member, after the
-                # race is resolved: a batch member cancelled between the
-                # pop and this claim never ran, so it must count as a
-                # cancellation win, not as coalesced work.
+                # Coalescing is booked per member only after it both wins
+                # claim() *and* completes: a member cancelled between the
+                # pop and the claim is a cancellation win, and a member
+                # that FAILED stored nothing — counting either as
+                # coalesced work would break the reconciliation invariant
+                # ``coalesced_requests <= executed``.
                 if not request.claim():
                     continue
-                executed += 1
-                if executed > 1:
+                claimed += 1
+                if claimed > 1:
                     request.coalesced = True
-                    trailing_bytes += request.nbytes
                 request.started_at = time.monotonic()
                 self._channel_started(request)
-                self._notify("start", request)
-                request.execute()
-                request.finished_at = time.monotonic()
-                self._record_completion(request)
-                self._notify("done", request)
-            if executed > 1:
+                self._safe_notify("start", request)
+                # The worker must survive anything the job throws at it:
+                # execute() turns body exceptions into the FAILED state
+                # (after the bounded retry budget), and the try/except
+                # contains the residual hazard — exceptions escaping from
+                # the job's *done callbacks* — so one poisoned request
+                # can never kill the lane and hang drain() on the work
+                # queued behind it.
+                try:
+                    request.execute()
+                except Exception:
+                    logger.exception(
+                        "request %s raised outside its body (callback failure); "
+                        "worker %s continues",
+                        request.label,
+                        threading.current_thread().name,
+                    )
+                finally:
+                    request.finished_at = time.monotonic()
+                    self._record_completion(request)
+                    self._force_terminal(request)
+                if request.state is JobState.DONE:
+                    done_members += 1
+                    if done_members > 1:
+                        trailing_done_bytes += request.nbytes
+                self._safe_notify("done", request)
+            if done_members > 1:
                 with self._stats_lock:
                     self.stats.coalesced_batches += 1
-                    self.stats.coalesced_requests += executed - 1
-                    self.stats.coalesced_bytes += trailing_bytes
+                    self.stats.coalesced_requests += done_members - 1
+                    self.stats.coalesced_bytes += trailing_done_bytes
 
     # ------------------------------------------------------------------- drain
     def pending(self, lane: Optional[str] = None) -> int:

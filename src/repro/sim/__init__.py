@@ -9,14 +9,18 @@ and I/O stall time for the Fig. 6 / Fig. 7 / Fig. 8 / Table III benches.
 
 from repro.sim.step_sim import (
     DRIFT_KINDS,
+    FAULT_KINDS,
     IO_MODES,
     AdaptiveRunResult,
     DriftScenario,
+    FaultRunResult,
+    FaultScenario,
     SegmentSpec,
     SimResult,
     StepSimulator,
     build_segments,
     simulate_adaptive_run,
+    simulate_fault_run,
     simulate_strategy,
 )
 from repro.sim.pipeline_offload import (
@@ -29,8 +33,12 @@ from repro.sim.timeline import Timeline, TimelineEvent
 __all__ = [
     "IO_MODES",
     "DRIFT_KINDS",
+    "FAULT_KINDS",
     "AdaptiveRunResult",
     "DriftScenario",
+    "FaultRunResult",
+    "FaultScenario",
+    "simulate_fault_run",
     "SegmentSpec",
     "SimResult",
     "StepSimulator",

@@ -27,11 +27,16 @@ Sec. III-C2) — making offload decisions with the *same*
 - I/O scheduling: ``io_mode`` picks the SSD-channel contention model
   (see :data:`IO_MODES`) — ``"fifo"`` vs ``"priority"`` quantifies what
   the functional :class:`~repro.io.scheduler.IOScheduler`'s
-  blocking-load-first dequeue buys at equal bandwidth.
+  blocking-load-first dequeue buys at equal bandwidth;
+- failures: :class:`FaultScenario` / :func:`simulate_fault_run` play the
+  functional failure model's throughput side — transient-retry tax,
+  latency spikes, and a mid-run SSD death drained via host-memory
+  failover (see :data:`FAULT_KINDS`).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -752,6 +757,220 @@ def _observation_from_sim(result: SimResult) -> StepObservation:
         stored_tensors=stored_tensors,
         stored_bytes=result.offloaded_bytes,
         stall_time_s=result.io_stall_time_s,
+    )
+
+
+#: Failure shapes for multi-step fault runs (the simulator counterpart of
+#: the functional :class:`~repro.io.faults.FaultPlan`):
+#:
+#: - ``"transient"``   — a seeded fraction of transfers fails once and is
+#:   retried: effective bandwidth drops by the replay factor and every op
+#:   pays the expected backoff latency;
+#: - ``"latency_spike"`` — a seeded fraction of transfers stalls an extra
+#:   ``latency_spike_s`` (device hiccups that are slow, not wrong);
+#: - ``"lane_death"``  — at ``death_step`` the SSD lane bricks and every
+#:   offload fails over to host memory at ``failover_bandwidth`` (the
+#:   tiered engine's CPU tier), the analytic view of
+#:   :meth:`~repro.core.tiered.TieredOffloader` failover.
+FAULT_KINDS = ("transient", "latency_spike", "lane_death")
+
+
+@dataclass(frozen=True)
+class FaultScenario:
+    """A seeded per-step schedule of I/O failures.
+
+    The functional chaos harness injects *individual* faults and proves
+    bit-exact recovery; this scenario answers the throughput question —
+    what do retries, latency spikes, and a mid-run device death cost in
+    step time and stall — using an expected-value model: a per-op fault
+    at ``fault_rate`` replays the transfer once (bandwidth derated by
+    ``1 + rate``) and pays the retry backoff, with the rate jittered
+    per-step by the seed so runs have texture but stay reproducible.
+    """
+
+    steps: int
+    write_bandwidth: float
+    read_bandwidth: float
+    kind: str = "transient"
+    seed: int = 0
+    #: Expected fraction of transfers hit per step.
+    fault_rate: float = 0.02
+    #: Backoff paid per faulted transfer before its retry.
+    retry_backoff_s: float = 0.002
+    #: Extra per-op stall of the latency_spike kind.
+    latency_spike_s: float = 0.02
+    #: lane_death: first step the SSD lane is gone (None = alive forever).
+    death_step: Optional[int] = None
+    #: Post-death drain rate (defaults to the PCIe link: host memory).
+    failover_bandwidth: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1: {self.steps}")
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ValueError("bandwidths must be positive")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1]: {self.fault_rate}")
+        if self.retry_backoff_s < 0 or self.latency_spike_s < 0:
+            raise ValueError("fault latencies must be >= 0")
+        if self.kind == "lane_death" and self.death_step is None:
+            raise ValueError("lane_death needs a death_step")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def transient(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+                  fault_rate: float = 0.02, seed: int = 0) -> "FaultScenario":
+        return cls(steps, write_bandwidth, read_bandwidth, kind="transient",
+                   fault_rate=fault_rate, seed=seed)
+
+    @classmethod
+    def latency(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+                fault_rate: float = 0.02, spike_s: float = 0.02,
+                seed: int = 0) -> "FaultScenario":
+        return cls(steps, write_bandwidth, read_bandwidth, kind="latency_spike",
+                   fault_rate=fault_rate, latency_spike_s=spike_s, seed=seed)
+
+    @classmethod
+    def lane_death(cls, write_bandwidth: float, read_bandwidth: float, steps: int,
+                   death_step: int, failover_bandwidth: Optional[float] = None,
+                   seed: int = 0) -> "FaultScenario":
+        return cls(steps, write_bandwidth, read_bandwidth, kind="lane_death",
+                   death_step=death_step, failover_bandwidth=failover_bandwidth,
+                   seed=seed)
+
+    # ----------------------------------------------------------------- queries
+    def ssd_alive_at(self, step: int) -> bool:
+        return not (
+            self.kind == "lane_death"
+            and self.death_step is not None
+            and step >= self.death_step
+        )
+
+    def fault_rate_at(self, step: int) -> float:
+        """Seeded per-step jitter of the fault rate in [0.5x, 1.5x]."""
+        if self.fault_rate <= 0:
+            return 0.0
+        draw = random.Random((self.seed << 16) ^ step).random()
+        return min(1.0, self.fault_rate * (0.5 + draw))
+
+    def _failover_bw(self) -> float:
+        if self.failover_bandwidth is not None:
+            return self.failover_bandwidth
+        return GPU_LINK_GEN4_X16.bandwidth
+
+    def write_bandwidth_at(self, step: int) -> float:
+        if not self.ssd_alive_at(step):
+            return self._failover_bw()
+        if self.kind == "transient":
+            # A faulted transfer replays once: the channel moves the same
+            # bytes twice for rate of the ops.
+            return self.write_bandwidth / (1.0 + self.fault_rate_at(step))
+        return self.write_bandwidth
+
+    def read_bandwidth_at(self, step: int) -> float:
+        if not self.ssd_alive_at(step):
+            return self._failover_bw()
+        if self.kind == "transient":
+            return self.read_bandwidth / (1.0 + self.fault_rate_at(step))
+        return self.read_bandwidth
+
+    def io_latency_at(self, step: int, base_latency_s: float) -> float:
+        """Expected per-op latency including the fault tax."""
+        rate = self.fault_rate_at(step)
+        if self.kind == "transient" and self.ssd_alive_at(step):
+            return base_latency_s + rate * self.retry_backoff_s
+        if self.kind == "latency_spike":
+            return base_latency_s + rate * self.latency_spike_s
+        return base_latency_s
+
+
+@dataclass
+class FaultRunResult:
+    """Outputs of a multi-step fault-scenario run, with its clean twin."""
+
+    scenario: FaultScenario
+    results: List[SimResult]
+    #: The same steps at nominal bandwidth/latency (the A/B baseline).
+    fault_free: List[SimResult]
+    #: First step that ran in failover mode (None = SSD alive throughout).
+    failover_step: Optional[int]
+
+    @property
+    def total_stall_s(self) -> float:
+        return sum(r.io_stall_time_s for r in self.results)
+
+    @property
+    def fault_free_stall_s(self) -> float:
+        return sum(r.io_stall_time_s for r in self.fault_free)
+
+    @property
+    def step_time_overhead(self) -> float:
+        """Relative step-time cost of the faults vs the clean run."""
+        clean = sum(r.step_time_s for r in self.fault_free)
+        if clean <= 0:
+            return 0.0
+        return sum(r.step_time_s for r in self.results) / clean - 1.0
+
+
+def simulate_fault_run(
+    segments: List[SegmentSpec],
+    scenario: FaultScenario,
+    policy: Optional[OffloadPolicy] = None,
+    io_mode: str = "fifo",
+    io_latency_s: float = 20e-6,
+    num_microbatches: int = 1,
+    weight_update_s: float = 0.0,
+    dtype_bytes: int = 2,
+) -> FaultRunResult:
+    """Play ``scenario.steps`` steps under the fault schedule, plus the
+    fault-free twin at nominal conditions for the A/B.
+
+    ``io_mode`` defaults to ``"fifo"`` (shared contended channel): retry
+    replays and latency spikes land on the same channel backward's loads
+    need, which is where the fault tax actually hurts.
+    """
+
+    def run_step(step: int, faulted: bool) -> SimResult:
+        if faulted:
+            write_bw = scenario.write_bandwidth_at(step)
+            read_bw = scenario.read_bandwidth_at(step)
+            latency = scenario.io_latency_at(step, io_latency_s)
+        else:
+            write_bw, read_bw, latency = (
+                scenario.write_bandwidth,
+                scenario.read_bandwidth,
+                io_latency_s,
+            )
+        sim = StepSimulator(
+            segments,
+            PlacementStrategy.OFFLOAD,
+            write_bandwidth=write_bw,
+            read_bandwidth=read_bw,
+            policy=policy if policy is not None else OffloadPolicy(),
+            num_microbatches=num_microbatches,
+            io_latency_s=latency,
+            dtype_bytes=dtype_bytes,
+            io_mode=io_mode,
+        )
+        return sim.run(weight_update_s=weight_update_s)
+
+    results: List[SimResult] = []
+    failover_step: Optional[int] = None
+    # The nominal conditions are constant across steps, so one clean run
+    # stands in for every step of the fault-free twin.
+    clean = run_step(0, faulted=False)
+    fault_free = [clean] * scenario.steps
+    for step in range(scenario.steps):
+        if failover_step is None and not scenario.ssd_alive_at(step):
+            failover_step = step
+        results.append(run_step(step, faulted=True))
+    return FaultRunResult(
+        scenario=scenario,
+        results=results,
+        fault_free=fault_free,
+        failover_step=failover_step,
     )
 
 

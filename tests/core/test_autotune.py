@@ -132,6 +132,51 @@ def test_stall_trims_budget_and_recovery_probes_back():
     assert more < recovered <= clean
 
 
+def test_io_failures_trim_budget_like_stall():
+    cfg = ControllerConfig(recover_patience=1)
+    ctrl = AutotuneController(cfg)
+    clean = ctrl.observe(_obs()).offload_budget_bytes
+    flaky = ctrl.observe(_obs(io_failures=3)).offload_budget_bytes
+    assert flaky < clean  # a flaky device earns a smaller budget
+    ctrl.observe(_obs())
+    ctrl.observe(_obs())
+    recovered = ctrl.observe(_obs()).offload_budget_bytes
+    assert flaky < recovered <= clean
+
+
+def test_dead_lane_floors_backoff():
+    ctrl = AutotuneController()
+    ctrl.observe(_obs())
+    dead = ctrl.observe(_obs(dead_lanes=("ssd",)))
+    assert ctrl._backoff == ctrl.config.min_backoff
+    assert dead.offload_budget_bytes <= int(
+        ctrl.config.min_backoff
+        * choose_offload_budget(
+            WorkloadProfile(8 * GB, 0.5, 1.0), 6e9, 7e9,
+            safety_factor=ctrl.config.safety_factor,
+        )
+    ) + 1
+
+
+def test_adapter_feeds_lane_health_into_observation(gpu, tmp_path):
+    """on_step_end drains the scheduler's failure window and dead-lane
+    set; a dead write lane floors the installed budget."""
+    cache = _cache(tmp_path)
+    try:
+        with cache:
+            for i in range(2):
+                cache.pack_hook(_tensor(gpu, seed=i))
+            cache.scheduler.drain(5)
+        cache.scheduler.health.record_failure("ssd", permanent=True)
+        controller = AutotuneController()
+        controller.on_step_end(cache, forward_time_s=0.2, backward_time_s=0.3)
+        assert controller._backoff == controller.config.min_backoff
+        # The window was consumed: a second step sees no stale failures.
+        assert cache.scheduler.health.consume_failure_window() == {}
+    finally:
+        cache.shutdown()
+
+
 def test_prefetch_window_sizing():
     ctrl = AutotuneController()
     fast = ctrl.observe(_obs()).prefetch_window
@@ -271,13 +316,14 @@ def test_cache_times_unpack_stall_and_adapter_feeds_it(gpu, tmp_path):
     and routed into the AIMD trim (a stall-inflated window would be a
     positive feedback loop: slower SSD -> longer backward -> bigger
     budget)."""
-    import time as _time
+    import threading
 
     offloader = SSDOffloader(tmp_path / "s")
     original_load = offloader.load
+    release = threading.Event()
 
-    def slow_load(tid, shape, dtype):
-        _time.sleep(0.05)
+    def gated_load(tid, shape, dtype):
+        release.wait(5)  # held open until the timer fires (no bare sleep)
         return original_load(tid, shape, dtype)
 
     cache = _cache(tmp_path, offloader=offloader)
@@ -285,8 +331,11 @@ def test_cache_times_unpack_stall_and_adapter_feeds_it(gpu, tmp_path):
         with cache:
             tid = cache.pack_hook(_tensor(gpu))
             cache.scheduler.drain(5)  # OFFLOADED: the unpack must reload
-            offloader.load = slow_load
-            cache.unpack_hook(tid)
+            offloader.load = gated_load
+            timer = threading.Timer(0.05, release.set)
+            timer.start()
+            cache.unpack_hook(tid)  # blocks ~50 ms until the gate opens
+            timer.join()
         wait = cache.stats.unpack_wait_s
         assert wait > 0.03
         assert cache.stats.unpack_waits == 1

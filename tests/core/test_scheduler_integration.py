@@ -6,7 +6,6 @@ demotion cancellation in the tiered offloader, and the trace surface.
 """
 
 import threading
-import time
 
 import numpy as np
 
@@ -32,28 +31,53 @@ def _tensor(gpu, seed=0, shape=(64, 64)):
 
 
 def _gate_store(offloader):
-    """Make every store block on the returned gate (loads unaffected)."""
+    """Make every store block on the returned gate (loads unaffected).
+
+    Also returns a semaphore released as each gated store *starts*, so
+    tests wait for "a worker claimed the store" as an event instead of
+    sleeping and hoping.
+    """
     gate = threading.Event()
+    started = threading.Semaphore(0)
     original = offloader.store
 
     def gated(tid, data):
+        started.release()
         gate.wait(5)
         original(tid, data)
 
     offloader.store = gated
-    return gate
+    return gate, started
 
 
 def _gate_load(offloader):
     gate = threading.Event()
+    started = threading.Semaphore(0)
     original = offloader.load
 
     def gated(tid, shape, dtype):
+        started.release()
         gate.wait(5)
         return original(tid, shape, dtype)
 
     offloader.load = gated
-    return gate
+    return gate, started
+
+
+def _park_ssd_workers(sched, gate, n=2):
+    """Occupy the SSD lane's workers on ``gate``; returns once every
+    worker is provably inside a gate job (barrier, not a sleep)."""
+    barrier = threading.Barrier(n + 1)
+
+    def hold():
+        barrier.wait(5)
+        gate.wait(5)
+
+    for _ in range(n):
+        sched.submit(
+            IORequest(hold, kind="load", priority=Priority.BLOCKING_LOAD, lane="ssd")
+        )
+    barrier.wait(5)
 
 
 # --------------------------------------------------------- cancellation race
@@ -62,7 +86,7 @@ def test_forwarding_cancels_pending_store(gpu, tmp_path):
     forwarding consumes the tensor — it must be cancelled and never
     reach the SSD."""
     offloader = SSDOffloader(tmp_path / "s")
-    gate = _gate_store(offloader)
+    gate, started = _gate_store(offloader)
     # coalesce_bytes=0: with batching on, a worker may claim a queued
     # store behind its gated batch head, making "which store is PENDING"
     # nondeterministic — this test pins it down.
@@ -80,7 +104,8 @@ def test_forwarding_cancels_pending_store(gpu, tmp_path):
             t1, t2, t3 = (_tensor(gpu, seed=i) for i in range(3))
             tid1 = cache.pack_hook(t1)
             tid2 = cache.pack_hook(t2)
-            time.sleep(0.05)  # workers claim the first two stores
+            assert started.acquire(timeout=5)  # workers claim the
+            assert started.acquire(timeout=5)  # first two stores
             tid3 = cache.pack_hook(t3)
 
             out = cache.unpack_hook(tid3)  # forwarding hits a PENDING store
@@ -111,7 +136,7 @@ def test_forwarding_running_store_completes(gpu, tmp_path):
     """RUNNING side of the race: cancel must fail, the write finishes,
     and the store-done callback publishes the forwarded tensor."""
     offloader = SSDOffloader(tmp_path / "s")
-    gate = _gate_store(offloader)
+    gate, started = _gate_store(offloader)
     # coalesce_bytes=0: with batching on, a worker may claim a queued
     # store behind its gated batch head, making "which store is PENDING"
     # nondeterministic — this test pins it down.
@@ -126,7 +151,7 @@ def test_forwarding_running_store_completes(gpu, tmp_path):
         with cache:
             t1 = _tensor(gpu, seed=1)
             tid1 = cache.pack_hook(t1)
-            time.sleep(0.05)  # a worker claims the store: state RUNNING
+            assert started.acquire(timeout=5)  # a worker claims the store: RUNNING
             rec = cache._find_record(tid1)
             assert rec.store_job.state is JobState.RUNNING
 
@@ -161,9 +186,10 @@ def test_backward_arrival_promotes_pending_prefetch(gpu, tmp_path):
             tids = [cache.pack_hook(t) for t in tensors]
             cache.scheduler.drain(5)  # all three are OFFLOADED
 
-            gate = _gate_load(offloader)
+            gate, started = _gate_load(offloader)
             cache.on_backward_begin()  # prefetches tids[2], tids[1], tids[0]
-            time.sleep(0.05)
+            assert started.acquire(timeout=5)  # both lane workers are
+            assert started.acquire(timeout=5)  # inside gated loads
             # Two loads run gated; the oldest is a PENDING prefetch.
             rec0 = cache._find_record(tids[0])
             assert rec0.state is RecordState.LOADING
@@ -197,11 +223,7 @@ def test_released_victim_cancels_queued_demotion(tmp_path):
     tiered = TieredOffloader(tmp_path / "t", cpu_pool_bytes=data.nbytes)
     tiered.set_scheduler(sched)
     gate = threading.Event()
-    for _ in range(2):  # park both SSD-lane workers
-        sched.submit(
-            IORequest(gate.wait, kind="load", priority=Priority.BLOCKING_LOAD, lane="ssd")
-        )
-    time.sleep(0.05)
+    _park_ssd_workers(sched, gate)
     try:
         tiered.store(_tid(1), data)          # fills the pool
         tiered.store(_tid(2), data)          # demotes tid 1 (queued spill)
@@ -232,11 +254,7 @@ def test_load_of_queued_demotion_forwards_and_promotes(tmp_path):
     tiered = TieredOffloader(tmp_path / "t", cpu_pool_bytes=a.nbytes)
     tiered.set_scheduler(sched)
     gate = threading.Event()
-    for _ in range(2):
-        sched.submit(
-            IORequest(gate.wait, kind="load", priority=Priority.BLOCKING_LOAD, lane="ssd")
-        )
-    time.sleep(0.05)
+    _park_ssd_workers(sched, gate)
     try:
         tiered.store(_tid(1), a)
         tiered.store(_tid(2), b)             # demotes tid 1, spill queued
@@ -271,11 +289,7 @@ def test_full_pool_lets_queued_demotion_proceed(tmp_path):
     tiered = TieredOffloader(tmp_path / "t", cpu_pool_bytes=a.nbytes)
     tiered.set_scheduler(sched)
     gate = threading.Event()
-    for _ in range(2):
-        sched.submit(
-            IORequest(gate.wait, kind="load", priority=Priority.BLOCKING_LOAD, lane="ssd")
-        )
-    time.sleep(0.05)
+    _park_ssd_workers(sched, gate)
     try:
         tiered.store(_tid(1), a)
         tiered.store(_tid(2), b)             # pool now holds b; a queued
@@ -297,7 +311,7 @@ def test_full_pool_lets_queued_demotion_proceed(tmp_path):
 # -------------------------------------------------------------------- tracing
 def test_trace_shows_cancellation(gpu, tmp_path):
     offloader = SSDOffloader(tmp_path / "s")
-    gate = _gate_store(offloader)
+    gate, started = _gate_store(offloader)
     # coalesce_bytes=0: with batching on, a worker may claim a queued
     # store behind its gated batch head, making "which store is PENDING"
     # nondeterministic — this test pins it down.
@@ -313,7 +327,8 @@ def test_trace_shows_cancellation(gpu, tmp_path):
         with cache:
             for i in range(3):
                 cache.pack_hook(_tensor(gpu, seed=i))
-            time.sleep(0.05)
+            assert started.acquire(timeout=5)  # two stores claimed; the
+            assert started.acquire(timeout=5)  # third is left PENDING
             tids = list(cache.current.records)
             cache.unpack_hook(tids[2])  # cancels the pending third store
             gate.set()

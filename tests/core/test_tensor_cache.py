@@ -352,3 +352,25 @@ def test_load_failure_surfaces_as_runtime_error(gpu, make_cache):
         cache.on_backward_begin()
         with pytest.raises((RuntimeError, FileNotFoundError)):
             loss.backward()
+
+
+def test_failed_store_recovery_reverses_offload_accounting(gpu, make_cache):
+    """Review regression: a store that failed terminally but was
+    recovered by keeping the tensor resident must not consume offload
+    budget or report store traffic that never moved."""
+    from repro.io.faults import FaultPlan, inject_faults
+
+    cache = make_cache()
+    inject_faults(cache.offloader, FaultPlan.dead(after_ops=0))
+    x = Tensor(np.ones((64, 64), dtype=np.float32), device=gpu, requires_grad=True)
+    with cache:
+        tid = cache.pack_hook(x)
+        cache.scheduler.drain(5)
+        assert cache.unpack_hook(tid) is x  # resident, no error raised
+    assert cache.stats.store_failures == 1
+    assert cache.stats.stored_tensors == 0  # reversed: nothing was stored
+    assert cache.stats.stored_bytes == 0
+    assert cache.stats.kept_tensors == 1    # re-booked as kept
+    assert cache.stats.kept_bytes == x.nbytes
+    assert cache.accounting.offloaded_bytes == 0  # no budget consumed
+    assert cache.accounting.kept_bytes == x.nbytes

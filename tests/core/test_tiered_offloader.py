@@ -357,3 +357,140 @@ def test_tiered_with_chunked_ssd_trains_correctly(gpu, tiny_gpt_config, tmp_path
         assert loss0 == pytest.approx(loss1, abs=1e-6)
     finally:
         cache.shutdown()
+
+
+# ------------------------------------------------------------- tier failover
+def test_direct_ssd_store_fails_over_to_cpu_on_permanent_error(tmp_path):
+    """A policy-bypass (oversized) store hitting a dead SSD lands in the
+    pinned pool instead of failing, and the SSD tier is written off."""
+    from repro.core import OffloadPolicy, PolicyConfig
+    from repro.io.faults import FaultPlan, inject_faults
+
+    data = np.ones((64, 64), dtype=np.float32)
+    off = TieredOffloader(
+        tmp_path / "t",
+        cpu_pool_bytes=4 * data.nbytes,
+        policy=OffloadPolicy(PolicyConfig(cpu_tier_max_tensor_bytes=data.nbytes // 2)),
+    )
+    inject_faults(off, FaultPlan.dead(after_ops=0))
+    try:
+        off.store(_tid(1), data)  # placed SSD (too big for the pool cap)
+        assert off.ssd_dead
+        assert off.stats.failovers == 1
+        assert off.stats.failover_bytes == data.nbytes
+        assert off.tier_of(_tid(1)) is Tier.CPU
+        out = off.load(_tid(1), (64, 64), np.dtype(np.float32))
+        assert np.array_equal(out, data)
+        # Subsequent placements skip the dead tier outright.
+        off.store(_tid(2), data)
+        assert off.tier_of(_tid(2)) is Tier.CPU
+        assert off.store_lane(_tid(3), data.nbytes) == "cpu"
+        assert off.stats.failovers == 1  # no second failover needed
+    finally:
+        off.shutdown()
+
+
+def test_queued_demotion_reinstates_to_cpu_when_ssd_dies(tmp_path):
+    """An async spill whose write hits the dead SSD must not lose the
+    buffer: the victim is reinstated in the pool (overflow allowed) and
+    stays loadable."""
+    from repro.io import IOScheduler
+    from repro.io.faults import FaultPlan, inject_faults
+
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, retry_backoff_s=0)
+    rng = np.random.default_rng(9)
+    a = rng.standard_normal((64, 64)).astype(np.float32)
+    b = rng.standard_normal((64, 64)).astype(np.float32)
+    off = TieredOffloader(tmp_path / "t", cpu_pool_bytes=a.nbytes)
+    off.set_scheduler(sched)
+    inject_faults(off, FaultPlan.dead(after_ops=0))
+    try:
+        off.store(_tid(1), a)
+        off.store(_tid(2), b)  # demotes tid 1; the queued spill will fail
+        assert sched.drain(5)
+        assert off.ssd_dead
+        assert off.stats.failovers == 1
+        assert off.tier_of(_tid(1)) is Tier.CPU
+        assert off.pool.overflow_allowed  # both tensors share a 1-tensor pool
+        assert np.array_equal(off.load(_tid(1), (64, 64), np.dtype(np.float32)), a)
+        assert np.array_equal(off.load(_tid(2), (64, 64), np.dtype(np.float32)), b)
+    finally:
+        sched.shutdown()
+        off.shutdown()
+
+
+def test_sync_demotion_on_dead_ssd_keeps_victim_resident(tmp_path):
+    """Scheduler-less demotions: a dead SSD write leaves the victim in
+    the pool (no data loss) and latches degraded mode."""
+    from repro.io.faults import FaultPlan, inject_faults
+
+    data = np.ones((64, 64), dtype=np.float32)
+    off = TieredOffloader(tmp_path / "t", cpu_pool_bytes=data.nbytes)
+    inject_faults(off, FaultPlan.dead(after_ops=0))
+    try:
+        off.store(_tid(1), data)
+        off.store(_tid(2), data)  # wants to demote tid 1; the SSD is dead
+        assert off.ssd_dead
+        assert off.tier_of(_tid(1)) is Tier.CPU
+        assert off.tier_of(_tid(2)) is Tier.CPU
+        assert off.pool.overflow_bytes == data.nbytes
+        out = off.load(_tid(1), (64, 64), np.dtype(np.float32))
+        assert np.array_equal(out, data)
+    finally:
+        off.shutdown()
+
+
+def test_failed_over_demotion_still_feeds_ssd_lane_health(tmp_path):
+    """Review regression: a demotion whose SSD write exhausted its
+    retries and was reinstated into the CPU tier completes DONE — the
+    ssd lane must still record the failure, so a persistently flaky SSD
+    accumulates toward the death verdict instead of being masked."""
+    from repro.io import IOScheduler
+    from repro.io.faults import FaultPlan, inject_faults
+
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, retry_backoff_s=0)
+    data = np.ones((64, 64), dtype=np.float32)
+    off = TieredOffloader(tmp_path / "t", cpu_pool_bytes=data.nbytes)
+    off.set_scheduler(sched)
+    # Every write op faults more attempts than any retry budget covers.
+    inject_faults(off, FaultPlan(transient_write_rate=1.0, transient_repeats=10))
+    try:
+        off.store(_tid(1), data)
+        off.store(_tid(2), data)  # demotes tid 1; the spill write flakes out
+        assert sched.drain(5)
+        assert off.stats.failovers == 1
+        assert off.tier_of(_tid(1)) is Tier.CPU
+        assert not off.ssd_dead  # transient exhaustion alone is not death...
+        window = sched.health.consume_failure_window()
+        assert window.get("ssd") == 1  # ...but the lane learned about it
+        assert sched.health.snapshot()["ssd"].consecutive_failures == 1
+    finally:
+        sched.shutdown()
+        off.shutdown()
+
+
+def test_sync_direct_ssd_store_retries_transient_faults(tmp_path):
+    """Review regression: the scheduler-less store() path applies the
+    same retry rule as the sync demotion path — a survivable transient
+    plan must not fail a standalone store outright."""
+    from repro.core import OffloadPolicy, PolicyConfig
+    from repro.io.faults import FaultPlan, inject_faults
+
+    data = np.ones((64, 64), dtype=np.float32)
+    off = TieredOffloader(
+        tmp_path / "t",
+        cpu_pool_bytes=4 * data.nbytes,
+        policy=OffloadPolicy(PolicyConfig(cpu_tier_max_tensor_bytes=data.nbytes // 2)),
+    )
+    injector = inject_faults(off, FaultPlan.transient(rate=1.0))
+    try:
+        off.store(_tid(1), data)  # SSD placement; first write attempt faults
+        assert injector.fault_stats.injected_transient >= 1
+        assert off.tier_of(_tid(1)) is Tier.SSD  # healed, landed on SSD
+        assert not off.ssd_dead
+        # The sync load path heals its read fault the same way.
+        out = off.load(_tid(1), (64, 64), np.dtype(np.float32))
+        assert np.array_equal(out, data)
+        assert injector.fault_stats.injected_transient >= 2
+    finally:
+        off.shutdown()

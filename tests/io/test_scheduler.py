@@ -28,13 +28,21 @@ def _block_workers(sched, gate, n=2, lane="ssd"):
 
     The gate jobs are blocking loads: they dequeue first and — unlike
     zero-byte stores — can never be coalesced into a batch with the
-    requests under test.
+    requests under test.  The barrier returns only once every gate job
+    is claimed by a worker (no timing guess; a stuck scheduler trips the
+    barrier timeout loudly instead of flaking).
     """
+    barrier = threading.Barrier(n + 1)
+
+    def hold():
+        barrier.wait(5)
+        gate.wait(5)
+
     for _ in range(n):
         sched.submit(
-            _req(gate.wait, kind="load", priority=Priority.BLOCKING_LOAD, lane=lane)
+            _req(hold, kind="load", priority=Priority.BLOCKING_LOAD, lane=lane)
         )
-    time.sleep(0.05)  # let the workers claim the gates
+    barrier.wait(5)  # every worker is now inside a gate job
 
 
 def make_scheduler(**kwargs):
@@ -473,6 +481,8 @@ def test_shutdown_under_load_stress():
     accepted_lock = threading.Lock()
     rejections = []
 
+    backlog = threading.Event()
+
     def submitter(lane):
         for i in range(100):
             try:
@@ -484,6 +494,8 @@ def test_shutdown_under_load_stress():
                 return
             with accepted_lock:
                 accepted.append(req)
+                if len(accepted) >= 40:
+                    backlog.set()  # a real backlog exists; shutdown may race
 
     threads = [
         threading.Thread(target=submitter, args=(lane,))
@@ -491,7 +503,7 @@ def test_shutdown_under_load_stress():
     ]
     for t in threads:
         t.start()
-    time.sleep(0.02)  # let a backlog build while submitters keep racing
+    assert backlog.wait(5)  # shutdown races live submitters, not an empty queue
     sched.shutdown()
     for t in threads:
         t.join(timeout=5)

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) of the I/O scheduler's accounting
+invariants under random submit / cancel / promote / fail interleavings.
+
+The failure model's acceptance bar is *exact* reconciliation: whatever
+mixture of successes, injected failures, cancellations and promotions a
+run throws at the scheduler, once drained the books must balance —
+``submitted == executed + failed + cancelled`` — with every request in a
+terminal state, no pending work, and every worker alive."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.io import IORequest, IOScheduler, Priority
+from repro.io.aio import JobState
+from repro.io.errors import PermanentIOError, TransientIOError
+
+#: One scripted operation: (op kind, fault mode, lane, priority index,
+#: cancel-after-submit?).
+_OPS = st.tuples(
+    st.sampled_from(["store", "load", "demote"]),
+    st.sampled_from(["ok", "ok", "transient_heals", "transient_fatal", "permanent", "bug"]),
+    st.sampled_from(["ssd", "cpu"]),
+    st.integers(min_value=0, max_value=3),
+    st.booleans(),
+)
+
+
+def _body(mode, counter):
+    if mode == "ok":
+        return None
+    if mode == "transient_heals":
+        # Fails on the first attempt, heals on the retry.
+        counter["n"] += 1
+        if counter["n"] == 1:
+            raise TransientIOError("blip")
+        return None
+    if mode == "transient_fatal":
+        raise TransientIOError("blip forever")
+    if mode == "permanent":
+        raise PermanentIOError("brick")
+    raise ValueError("bug")
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.lists(_OPS, min_size=1, max_size=40))
+def test_scheduler_counters_always_reconcile(ops):
+    sched = IOScheduler(
+        num_store_workers=1,
+        num_load_workers=1,
+        max_retries=2,
+        retry_backoff_s=0.0,
+    )
+    requests = []
+    promoted_candidates = []
+    try:
+        for i, (kind, mode, lane, prio_index, cancel_it) in enumerate(ops):
+            counter = {"n": 0}
+            priority = list(Priority)[prio_index]
+            if kind == "load" and priority is Priority.STORE:
+                priority = Priority.PREFETCH_LOAD
+            req = IORequest(
+                lambda m=mode, c=counter: _body(m, c),
+                kind=kind,
+                priority=priority,
+                tensor_id=f"t{i}",
+                nbytes=(i + 1) * 16,
+                lane=lane,
+                # transient_fatal must actually exhaust: give it no budget
+                max_retries=0 if mode == "transient_fatal" else None,
+            )
+            sched.submit(req)
+            requests.append((req, mode))
+            if cancel_it:
+                sched.cancel(req)
+            elif mode == "ok" and kind == "load":
+                promoted_candidates.append(req)
+            if promoted_candidates and i % 3 == 0:
+                sched.promote(promoted_candidates[-1])
+        assert sched.drain(10), "drain must always return"
+
+        stats = sched.stats
+        states = [req.state for req, _ in requests]
+        # Every request reached a terminal state and the books balance.
+        assert all(s is not JobState.PENDING and s is not JobState.RUNNING for s in states)
+        assert all(req.done_event.is_set() for req, _ in requests)
+        assert stats.submitted == len(requests)
+        assert stats.executed == sum(1 for s in states if s is JobState.DONE)
+        assert stats.failed == sum(1 for s in states if s is JobState.FAILED)
+        assert stats.cancelled == sum(1 for s in states if s is JobState.CANCELLED)
+        assert stats.submitted == stats.executed + stats.failed + stats.cancelled
+        assert sched.pending() == 0
+        # Mode-level guarantees for requests that were not cancelled:
+        for req, mode in requests:
+            if req.state is JobState.CANCELLED:
+                continue
+            if mode in ("ok", "transient_heals"):
+                assert req.state is JobState.DONE
+            else:
+                assert req.state is JobState.FAILED
+                assert req.error is not None
+        # Coalescing/cancellation sub-counters never exceed their totals.
+        assert stats.coalesced_requests <= stats.executed
+        assert stats.cancelled_stores <= stats.cancelled
+        # Workers all survived the interleaving.
+        for worker in sched._workers:
+            assert worker.is_alive()
+    finally:
+        sched.shutdown()

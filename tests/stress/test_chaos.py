@@ -1,0 +1,280 @@
+"""Seeded chaos suite: end-to-end training under injected I/O failures.
+
+The acceptance properties of the failure model (ISSUE 4 / architecture
+§6), each proven on the functional engine with real file I/O:
+
+1. under a seeded **transient-fault** plan the run completes with losses
+   bit-exact vs the fault-free run (retries heal everything; zero FAILED
+   requests leak through);
+2. under **permanent SSD death** the run completes via CPU-tier failover
+   with losses still bit-exact;
+3. **100 % of injected job exceptions leave every scheduler worker
+   alive**, with the request books reconciling exactly
+   (``submitted == executed + failed + cancelled``, zero pending).
+
+Seeds are fixed for determinism; set ``REPRO_CHAOS_STRESS=1`` to sweep a
+wider seed range (the CI stress-smoke job does).
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadPolicy, PolicyConfig, TensorCache, make_offloader
+from repro.data import SyntheticCorpus, TokenBatchLoader
+from repro.device import GPU
+from repro.io import IORequest, IOScheduler, Priority
+from repro.io.aio import JobState
+from repro.io.errors import PermanentIOError, TransientIOError
+from repro.io.faults import FaultPlan, inject_faults
+from repro.models import GPT, ModelConfig
+from repro.optim import SGD
+from repro.train import PlacementStrategy, Trainer
+
+CONFIG = ModelConfig(
+    arch="gpt", hidden=64, num_layers=2, vocab_size=97, seq_len=32, head_dim=32
+)
+STEPS = 3
+
+#: Fixed seed set; the stress-smoke CI job widens it via the env knob.
+SEEDS = (0, 1, 2)
+if os.environ.get("REPRO_CHAOS_STRESS"):
+    SEEDS = tuple(range(8))
+
+
+def _assert_scheduler_invariants(scheduler):
+    """Worker liveness + exact request-book reconciliation."""
+    for worker in scheduler._workers:
+        assert worker.is_alive(), f"worker {worker.name} died"
+    assert scheduler.pending() == 0
+    stats = scheduler.stats
+    assert stats.submitted == stats.executed + stats.failed + stats.cancelled
+
+
+def _train(
+    tmp_path,
+    name,
+    plan=None,
+    target="ssd",
+    cpu_pool_bytes=None,
+    chunk_bytes=None,
+    kill_before_step=None,
+):
+    """Train the reference model; returns (losses, injector, cache)."""
+    gpu = GPU()
+    model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
+    policy = OffloadPolicy(PolicyConfig(min_offload_numel=256))
+    cache = TensorCache(
+        make_offloader(
+            target,
+            store_dir=tmp_path / name,
+            cpu_pool_bytes=cpu_pool_bytes,
+            chunk_bytes=chunk_bytes,
+            policy=policy,
+        ),
+        policy=policy,
+    )
+    injector = inject_faults(cache.offloader, plan) if plan is not None else None
+    trainer = Trainer(
+        model,
+        SGD(model.parameters(), lr=1e-3),
+        gpu,
+        strategy=PlacementStrategy.OFFLOAD,
+        cache=cache,
+    )
+    loader = TokenBatchLoader(
+        SyntheticCorpus(vocab_size=CONFIG.vocab_size, seed=5),
+        batch_size=2,
+        seq_len=CONFIG.seq_len,
+        device=gpu,
+    )
+    losses = []
+    try:
+        for step in range(STEPS):
+            if injector is not None and kill_before_step == step:
+                injector.kill()
+            losses.append(trainer.train_step([loader.next_batch()]).loss)
+        _assert_scheduler_invariants(cache.scheduler)
+        stats = cache.scheduler.stats
+    finally:
+        trainer.close()
+    return losses, injector, stats, cache
+
+
+# ----------------------------------------------------------- transient faults
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transient_faults_heal_to_bit_exact_results(tmp_path, seed):
+    clean, _, _, _ = _train(tmp_path, "clean")
+    plan = FaultPlan.transient(rate=0.25, seed=seed)
+    faulted, injector, stats, cache = _train(tmp_path, f"faulted{seed}", plan=plan)
+    assert injector.fault_stats.injected_transient > 0, "the plan must actually bite"
+    assert stats.retries >= injector.fault_stats.injected_transient
+    assert stats.failed == 0, "every transient fault must heal within the budget"
+    assert faulted == clean, "results must be bit-exact vs the fault-free run"
+    assert cache.stats.store_failures == 0 and cache.stats.load_failures == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_transient_faults_chunked_backend_bit_exact(tmp_path, seed):
+    clean, _, _, _ = _train(tmp_path, "clean", chunk_bytes=1 << 16)
+    plan = FaultPlan.transient(rate=0.25, seed=seed)
+    faulted, injector, stats, _ = _train(
+        tmp_path, f"chunk{seed}", plan=plan, chunk_bytes=1 << 16
+    )
+    assert injector.fault_stats.injected_transient > 0
+    assert stats.failed == 0
+    assert faulted == clean
+
+
+def test_latency_spikes_are_slow_not_wrong(tmp_path):
+    clean, _, _, _ = _train(tmp_path, "clean")
+    plan = FaultPlan.flaky_latency(rate=0.3, spike_s=0.002, seed=1)
+    slow, injector, stats, _ = _train(tmp_path, "slow", plan=plan)
+    assert injector.fault_stats.injected_latency > 0
+    assert stats.failed == 0 and stats.retries == 0
+    assert slow == clean
+
+
+# ---------------------------------------------------------- permanent death
+def test_permanent_ssd_death_mid_run_fails_over_to_cpu(tmp_path):
+    """The SSD bricks between steps; the tiered engine re-routes every
+    placement (and the in-flight demotions' buffers) to the pinned pool
+    and the run completes bit-exact."""
+    clean, _, _, _ = _train(
+        tmp_path, "clean", target="tiered", cpu_pool_bytes=64 << 10
+    )
+    dead, injector, stats, cache = _train(
+        tmp_path,
+        "dead",
+        plan=FaultPlan(),
+        target="tiered",
+        cpu_pool_bytes=64 << 10,
+        kill_before_step=1,
+    )
+    tier_stats = cache.offloader.stats
+    assert injector.fault_stats.permanent_failures >= 1
+    assert cache.offloader.ssd_dead
+    assert tier_stats.failovers >= 1
+    assert dead == clean, "CPU failover must keep results bit-exact"
+
+
+def test_ssd_dead_on_arrival_tiered_completes_via_cpu(tmp_path):
+    clean, _, _, _ = _train(
+        tmp_path, "clean", target="tiered", cpu_pool_bytes=64 << 10
+    )
+    dead, injector, stats, cache = _train(
+        tmp_path,
+        "doa",
+        plan=FaultPlan.dead(after_ops=0),
+        target="tiered",
+        cpu_pool_bytes=64 << 10,
+    )
+    assert cache.offloader.ssd_dead
+    assert cache.offloader.pool.overflow_allowed
+    assert dead == clean
+
+
+def test_ssd_death_single_tier_recovers_by_keeping_tensors(tmp_path):
+    """Without a CPU tier to fail over to, a dead store still must not
+    corrupt training: failed stores keep their tensor GPU-resident
+    (the offload saving is lost, the numerics are not)."""
+    clean, _, _, _ = _train(tmp_path, "clean")
+    dead, injector, stats, cache = _train(
+        tmp_path, "deadssd", plan=FaultPlan.dead(after_ops=0)
+    )
+    assert stats.failed >= 1  # the bricked stores surfaced as FAILED
+    assert cache.stats.store_failures >= 1
+    assert cache.scheduler.health.is_dead("ssd")
+    assert dead == clean
+
+
+# -------------------------------------------------------------- worker storm
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_exception_storm_leaves_all_workers_alive(seed):
+    """A seeded storm of failing / succeeding / cancelled requests from
+    several threads: every worker survives, drain returns, and the books
+    reconcile exactly."""
+    import random
+
+    rng = random.Random(seed)
+    sched = IOScheduler(num_store_workers=2, num_load_workers=2, retry_backoff_s=0)
+    submitted = []
+    lock = threading.Lock()
+
+    def body(mode):
+        if mode == "transient":
+            raise TransientIOError("storm blip")  # exhausts the 0-retry opt-out
+        if mode == "permanent":
+            raise PermanentIOError("storm brick")
+        if mode == "bug":
+            raise ValueError("storm bug")
+        return None
+
+    def submitter(tseed):
+        trng = random.Random(tseed)
+        for i in range(60):
+            mode = trng.choice(["ok", "ok", "transient", "permanent", "bug"])
+            req = IORequest(
+                lambda m=mode: body(m),
+                kind=trng.choice(["store", "load"]),
+                priority=trng.choice(list(Priority)),
+                tensor_id=f"t{tseed}-{i}",
+                nbytes=trng.randrange(1, 4096),
+                lane=trng.choice(["ssd", "cpu"]),
+                max_retries=0 if mode == "transient" else None,
+            )
+            sched.submit(req)
+            with lock:
+                submitted.append(req)
+            if trng.random() < 0.2:
+                sched.cancel(req)
+
+    threads = [
+        threading.Thread(target=submitter, args=(rng.randrange(1 << 30),))
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10)
+        assert not t.is_alive()
+    assert sched.drain(10), "drain must return despite the exception storm"
+    _assert_scheduler_invariants(sched)
+    states = [req.state for req in submitted]
+    assert all(req.done_event.is_set() for req in submitted)
+    stats = sched.stats
+    assert stats.executed == sum(1 for s in states if s is JobState.DONE)
+    assert stats.failed == sum(1 for s in states if s is JobState.FAILED)
+    assert stats.cancelled == sum(1 for s in states if s is JobState.CANCELLED)
+    assert stats.failed > 0  # the storm actually injected failures
+    sched.shutdown()
+
+
+def test_drain_timeout_returns_after_store_failure(tmp_path):
+    """Satellite regression: drain(timeout) must return — not hang —
+    after a backend store failure killed work mid-queue."""
+    from repro.core import SSDOffloader
+
+    offloader = SSDOffloader(tmp_path / "s")
+    injector = inject_faults(offloader, FaultPlan.dead(after_ops=0))
+    sched = IOScheduler(num_store_workers=1, num_load_workers=1, retry_backoff_s=0)
+    data = np.ones((64,), dtype=np.float32)
+    reqs = [
+        sched.submit(
+            IORequest(
+                lambda i=i: offloader.file_store.write(f"t{i}", data),
+                kind="store",
+                priority=Priority.STORE,
+                tensor_id=f"t{i}",
+                nbytes=data.nbytes,
+            )
+        )
+        for i in range(6)
+    ]
+    assert sched.drain(5), "drain hung after injected store failures"
+    assert all(r.state is JobState.FAILED for r in reqs)
+    assert injector.fault_stats.permanent_failures == 6
+    _assert_scheduler_invariants(sched)
+    sched.shutdown()
