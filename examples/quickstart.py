@@ -57,6 +57,7 @@ def run(
     cpu_pool_bytes: Optional[int] = None,
     chunk_bytes: Optional[int] = None,
     fifo_io: bool = False,
+    legacy_dataplane: bool = False,
 ) -> dict:
     gpu = GPU()
     model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
@@ -79,6 +80,7 @@ def run(
                 chunk_bytes=chunk_bytes,
                 throttle_bytes_per_s=STORE_THROTTLE_BYTES_PER_S,
                 policy=policy,  # one policy governs decide() and place()
+                legacy_dataplane=legacy_dataplane,
             ),
             policy=policy,
             fifo_io=fifo_io,
@@ -103,6 +105,7 @@ def run(
     tier_stats = None
     sched_stats = None
     cache_stats = None
+    dataplane = None
     try:
         for _ in range(STEPS):
             result = trainer.train_step([loader.next_batch()])
@@ -113,6 +116,7 @@ def run(
             tier_stats = getattr(cache.offloader, "stats", None)
             sched_stats = cache.scheduler.stats
             cache_stats = cache.stats
+            dataplane = cache.dataplane_stats()
     finally:
         trainer.close()
     return {
@@ -122,6 +126,7 @@ def run(
         "tier_stats": tier_stats,
         "sched_stats": sched_stats,
         "cache_stats": cache_stats,
+        "dataplane": dataplane,
         "tracer": tracer,
     }
 
@@ -131,12 +136,15 @@ def main(
     cpu_pool_bytes: Optional[int] = None,
     chunk_bytes: Optional[int] = None,
     fifo_io: bool = False,
+    legacy_dataplane: bool = False,
 ) -> None:
     print(f"Training GPT (H={CONFIG.hidden}, L={CONFIG.num_layers}) for {STEPS} steps")
     print(f"offload target: {target}"
           + (f"  cpu_pool={cpu_pool_bytes}B" if cpu_pool_bytes is not None else "")
           + (f"  chunk={chunk_bytes}B" if chunk_bytes is not None else "")
-          + ("  io=fifo" if fifo_io else "  io=priority") + "\n")
+          + ("  io=fifo" if fifo_io else "  io=priority")
+          + ("  dataplane=legacy" if legacy_dataplane else "  dataplane=pooled")
+          + "\n")
     baseline = run(offload=False)
     ssdtrain = run(
         offload=True,
@@ -144,6 +152,7 @@ def main(
         cpu_pool_bytes=cpu_pool_bytes,
         chunk_bytes=chunk_bytes,
         fifo_io=fifo_io,
+        legacy_dataplane=legacy_dataplane,
     )
 
     print(f"{'step':>4} {'loss (keep)':>12} {'loss (SSDTrain)':>16}")
@@ -165,6 +174,13 @@ def main(
         print(f"I/O scheduler: {sched.submitted} requests "
               f"({sched.cancelled} cancelled, {sched.promotions} promoted, "
               f"{sched.coalesced_requests} coalesced)")
+    dataplane = ssdtrain["dataplane"]
+    if dataplane is not None:
+        per_step = dataplane.copies / STEPS
+        print(f"data plane: {dataplane.copies} copies "
+              f"({dataplane.bytes_copied / 1e6:.2f} MB, {per_step:.1f} copies/step), "
+              f"{dataplane.allocs_avoided} allocs avoided, "
+              f"arena hit rate {dataplane.arena_hit_rate:.0%}")
     tracer = ssdtrain["tracer"]
     if tracer is not None:
         overlap = tracer.stats()
@@ -180,6 +196,10 @@ def main(
         # The scheduler must visibly work on this workload: obsolete
         # stores are cancelled before they hit the SSD (trace 'x' marks).
         assert sched.cancelled >= 1, "expected >=1 cancelled store per quickstart run"
+    if dataplane is not None and not legacy_dataplane:
+        # The pooled data plane must visibly work too: the streaming
+        # writer / arena must have skipped real allocations this run.
+        assert dataplane.allocs_avoided > 0, "expected the data plane to avoid allocs"
     print("losses identical: offloading is transparent to training. ✓")
 
 

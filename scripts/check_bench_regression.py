@@ -36,14 +36,23 @@ import sys
 from typing import Dict, List, Tuple
 
 #: Hot paths this repo promises not to regress: the I/O scheduler, the
-#: offload simulator paths, the Fig. 2 timeline pipeline, and the
-#: adaptive controller's per-step observe/retune cycle (it runs inside
-#: the training loop, so a slowdown is paid on every step).  The
-#: chunk-coalescing ablation is deliberately NOT wall-clock-guarded: it
-#: is bound by real disk writes whose latency swings far beyond 20%
-#: between identical runs — its invariant (the >= 4x write-count
-#: reduction) is asserted deterministically inside the benchmark itself.
-DEFAULT_PATTERN = r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller"
+#: offload simulator paths, the Fig. 2 timeline pipeline, the adaptive
+#: controller's per-step observe/retune cycle (it runs inside the
+#: training loop, so a slowdown is paid on every step), and the
+#: zero-copy data plane's ``buffers`` arena lease hot path (CPU-bound and
+#: stable — a slow lease/release is paid on every pooled CPU store).
+#: The chunk-coalescing ablation and the ``dataplane`` store/load
+#: benches are deliberately NOT in the default wall-clock gate: they are
+#: bound by real disk writes whose latency swings far beyond 20% between
+#: identical runs.  Their invariants are asserted deterministically
+#: inside the benchmarks themselves (>= 4x write-count reduction; same
+#: bytes written with strictly fewer copies and allocs avoided), and CI
+#: additionally guards ``dataplane|buffers`` in a separate invocation
+#: against BENCH_PR5.json with a much wider threshold (see the
+#: bench-smoke job) that only catches catastrophic copy-path regressions.
+DEFAULT_PATTERN = (
+    r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller|buffers"
+)
 
 #: machine_info keys that must match for cross-run ratios to mean anything.
 MACHINE_KEYS = ("machine", "processor", "python_version", "system")

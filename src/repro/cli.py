@@ -18,6 +18,8 @@ Usage::
     python -m repro autotune             # static vs adaptive budget under drift
     python -m repro faults               # fault-scenario runner (--functional
                                          #   for the live chaos recovery demo)
+    python -m repro dataplane            # pooled vs legacy copy-path A/B
+                                         #   (MB/s, copies/step, bit-exactness)
 
 The functional quickstart drives any backend: ``--target ssd|cpu|tiered``
 plus ``--cpu-pool-bytes`` (CPU-tier capacity) and ``--chunk-bytes``
@@ -187,6 +189,7 @@ def cmd_quickstart(args: argparse.Namespace) -> None:
         cpu_pool_bytes=cpu_pool_bytes,
         chunk_bytes=args.chunk_bytes,
         fifo_io=args.fifo_io,
+        legacy_dataplane=args.legacy_dataplane,
     )
 
 
@@ -461,6 +464,128 @@ def cmd_faults(args: argparse.Namespace) -> None:
           f"outruns a single bricked SSD, at the cost of bounded host DRAM)")
 
 
+def cmd_dataplane(args: argparse.Namespace) -> None:
+    """Zero-copy data plane A/B: pooled/streaming vs the legacy copy map.
+
+    Two surfaces: a store/load microbench of every backend (MB/s both
+    ways), and a functional mini-training A/B proving the pooled path
+    changes *nothing* about the numerics (losses bit-exact) while
+    avoiding real allocations (``allocs_avoided`` / copies per step).
+    """
+    import shutil
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.core.ids import TensorID
+    from repro.core.offloader import CPUOffloader, PinnedMemoryPool
+    from repro.io.chunkstore import ChunkedTensorStore
+    from repro.io.filestore import TensorFileStore
+
+    size = args.size_mb * (1 << 20)
+    iters = args.iters
+    data = np.random.default_rng(0).random(size // 8)
+    names = [f"t{i}" for i in range(8)]
+    tids = [TensorID(stamp=i, shape=data.shape) for i in range(len(names))]
+
+    def bench_store(store):
+        start = _time.perf_counter()
+        for i in range(iters):
+            store.write(names[i % len(names)], data)
+        flush = getattr(store, "flush", None)
+        if flush is not None:
+            flush()
+        write_s = _time.perf_counter() - start
+        start = _time.perf_counter()
+        for i in range(iters):
+            store.read(names[i % len(names)], data.shape, data.dtype)
+        read_s = _time.perf_counter() - start
+        return write_s, read_s, store.copy_stats.snapshot()
+
+    def bench_cpu(legacy):
+        off = CPUOffloader(PinnedMemoryPool(), legacy_copies=legacy)
+        # Warm-up pass: both paths pay first-touch faults once; steady
+        # state is what differs (the arena reuses, legacy re-allocates).
+        for tid in tids:
+            off.store(tid, data)
+        start = _time.perf_counter()
+        for i in range(iters):
+            off.store(tids[i % len(tids)], data)
+        write_s = _time.perf_counter() - start
+        start = _time.perf_counter()
+        for i in range(iters):
+            off.load(tids[i % len(tids)], data.shape, data.dtype)
+        read_s = _time.perf_counter() - start
+        # dataplane_stats folds in the arena's hits — copy_stats alone
+        # would report 'avoided 0' and hide the CPU tier's pooling win.
+        snap = off.dataplane_stats()
+        off.shutdown()
+        return write_s, read_s, snap
+
+    total_mb = iters * size / 1e6
+    print(f"data-plane microbench: {iters} x {args.size_mb} MiB tensors "
+          f"({total_mb:.0f} MB per direction)\n")
+    print(f"{'backend':>12} {'path':>8} {'store MB/s':>11} {'load MB/s':>10} "
+          f"{'copies':>7} {'avoided':>8}")
+    speedups = {}
+    for backend in ("filestore", "chunkstore", "cpu pool"):
+        rates = {}
+        for legacy in (True, False):
+            if backend == "cpu pool":
+                write_s, read_s, snap = bench_cpu(legacy)
+            else:
+                tmpdir = tempfile.mkdtemp(prefix="dp-bench-")
+                try:
+                    if backend == "filestore":
+                        store = TensorFileStore(tmpdir, legacy_copies=legacy)
+                    else:
+                        store = ChunkedTensorStore(
+                            tmpdir, chunk_bytes=4 << 20, legacy_copies=legacy
+                        )
+                    write_s, read_s, snap = bench_store(store)
+                    store.clear()
+                finally:
+                    shutil.rmtree(tmpdir, ignore_errors=True)
+            label = "legacy" if legacy else "pooled"
+            rates[label] = total_mb / write_s
+            print(f"{backend:>12} {label:>8} {total_mb / write_s:>11.0f} "
+                  f"{total_mb / read_s:>10.0f} {snap.copies:>7} "
+                  f"{snap.allocs_avoided:>8}")
+        speedups[backend] = rates["pooled"] / rates["legacy"]
+    for backend, ratio in speedups.items():
+        print(f"store-path speedup ({backend}): {ratio:.2f}x")
+
+    if args.no_functional:
+        return
+    from examples.quickstart import STEPS, run
+
+    print("\nfunctional A/B (tiered target, 5 steps each):")
+    results = {}
+    for legacy in (True, False):
+        results["legacy" if legacy else "pooled"] = run(
+            offload=True,
+            target="tiered",
+            cpu_pool_bytes=1 << 20,
+            chunk_bytes=64 << 10,
+            legacy_dataplane=legacy,
+        )
+    for label, result in results.items():
+        dp = result["dataplane"]
+        print(f"  {label:>6}: {dp.copies / STEPS:.1f} copies/step "
+              f"({dp.bytes_copied / 1e6:.2f} MB copied), "
+              f"{dp.allocs_avoided} allocs avoided, "
+              f"arena hit rate {dp.arena_hit_rate:.0%}")
+    assert results["pooled"]["losses"] == results["legacy"]["losses"], (
+        "pooled data plane must be bit-exact vs the legacy copy path"
+    )
+    pooled = results["pooled"]["dataplane"]
+    legacy_dp = results["legacy"]["dataplane"]
+    assert pooled.allocs_avoided > 0, "pooled run must avoid allocations"
+    assert pooled.copies < legacy_dp.copies, "pooled run must copy less"
+    print("losses bit-exact across pooled vs legacy data planes. ✓")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -476,6 +601,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "sched": cmd_sched,
     "autotune": cmd_autotune,
     "faults": cmd_faults,
+    "dataplane": cmd_dataplane,
 }
 
 
@@ -514,6 +640,25 @@ def build_parser() -> argparse.ArgumentParser:
                 "--fifo-io", action="store_true",
                 help="use the paper's FIFO dequeue instead of the "
                      "priority-aware I/O scheduler",
+            )
+            p.add_argument(
+                "--legacy-dataplane", action="store_true",
+                help="run the pre-PR5 copy map (fresh allocation per CPU "
+                     "store, tobytes/slurp file I/O) instead of the pooled "
+                     "zero-copy data plane",
+            )
+        if name == "dataplane":
+            p.add_argument(
+                "--size-mb", type=int, default=4,
+                help="tensor size for the store/load microbench (MiB)",
+            )
+            p.add_argument(
+                "--iters", type=int, default=24,
+                help="stores/loads per backend and path",
+            )
+            p.add_argument(
+                "--no-functional", action="store_true",
+                help="skip the functional mini-training A/B (microbench only)",
             )
         if name in ("sched", "autotune"):
             p.add_argument(

@@ -34,6 +34,13 @@ import numpy as np
 
 from repro.core.ids import TensorID
 from repro.core.policy import Tier
+from repro.io.buffers import (
+    BufferArena,
+    BufferLease,
+    CopyCounter,
+    DataPlaneStats,
+    owned_copy,
+)
 from repro.io.chunkstore import ChunkedTensorStore
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import GDSRegistry
@@ -95,6 +102,26 @@ class Offloader:
     def shutdown(self) -> None:
         """Release backend resources (idempotent)."""
 
+    def dataplane_stats(self) -> DataPlaneStats:
+        """Copy-map telemetry aggregated across this backend's parts.
+
+        Duck-typed: folds in the ``copy_stats`` counters of the backend
+        itself and of its ``file_store`` (if any), plus the ``arena``'s
+        lease accounting (if any).  Composite backends override to merge
+        their tiers.
+        """
+        stats = DataPlaneStats()
+        store_counter = getattr(getattr(self, "file_store", None), "copy_stats", None)
+        if store_counter is not None:
+            stats.add_counter(store_counter.snapshot())
+        own_counter = getattr(self, "copy_stats", None)
+        if own_counter is not None:
+            stats.add_counter(own_counter.snapshot())
+        arena = getattr(self, "arena", None)
+        if arena is not None:
+            stats.add_arena(arena.stats())
+        return stats
+
 
 class SSDOffloader(Offloader):
     """NVMe-SSD-targeting offloader via the file store.
@@ -108,6 +135,8 @@ class SSDOffloader(Offloader):
             :class:`~repro.io.chunkstore.ChunkedTensorStore` of this chunk
             size — small activations coalesce into one sequential write
             per chunk instead of one file per tensor.
+        legacy_copies: restore the store's pre-streaming copy map (the
+            ``bench_dataplane.py`` A/B baseline).
     """
 
     def __init__(
@@ -117,6 +146,7 @@ class SSDOffloader(Offloader):
         array=None,
         gds: Optional[GDSRegistry] = None,
         chunk_bytes: Optional[int] = None,
+        legacy_copies: bool = False,
     ) -> None:
         self.file_store: Union[TensorFileStore, ChunkedTensorStore]
         if chunk_bytes is not None:
@@ -125,10 +155,14 @@ class SSDOffloader(Offloader):
                 chunk_bytes=chunk_bytes,
                 throttle_bytes_per_s=throttle_bytes_per_s,
                 array=array,
+                legacy_copies=legacy_copies,
             )
         else:
             self.file_store = TensorFileStore(
-                store_dir, throttle_bytes_per_s=throttle_bytes_per_s, array=array
+                store_dir,
+                throttle_bytes_per_s=throttle_bytes_per_s,
+                array=array,
+                legacy_copies=legacy_copies,
             )
         self.gds = gds if gds is not None else GDSRegistry()
 
@@ -217,12 +251,27 @@ class PinnedMemoryPool:
 class CPUOffloader(Offloader):
     """Host-memory offloader backed by the pinned pool.
 
+    Stores copy into **leased arena buffers** (``np.copyto`` into a
+    reused, already-faulted allocation) instead of a fresh
+    ``np.array(copy=True)`` per tensor; the lease lives exactly as long
+    as the resident buffer (released on evict/overwrite/shutdown, or
+    transferred wholesale to a demotion via :meth:`take` /
+    :meth:`adopt`).  ``use_arena=False`` (or ``legacy_copies=True``)
+    restores the per-store allocation as the A/B baseline.
+
     Args:
         pool: pinned-pool capacity accounting.
         throttle_bytes_per_s: optional pacing of transfers, modelling the
             PCIe link to host memory the way the file store's throttle
             models SSD bandwidth (a local memcpy is otherwise instant,
             which no real GPU->host copy is).
+        arena: the buffer pool to lease from; by default a private
+            :class:`~repro.io.buffers.BufferArena` whose free-list
+            retention is capped by this pool's (live) capacity.
+        use_arena: disable pooling entirely (fresh allocation per store).
+        legacy_copies: alias for ``use_arena=False`` matching the file
+            stores' flag, so ``make_offloader(legacy_dataplane=True)``
+            reads uniformly.
     """
 
     default_tier = Tier.CPU
@@ -231,13 +280,23 @@ class CPUOffloader(Offloader):
         self,
         pool: Optional[PinnedMemoryPool] = None,
         throttle_bytes_per_s: Optional[float] = None,
+        arena: Optional[BufferArena] = None,
+        use_arena: bool = True,
+        legacy_copies: bool = False,
     ) -> None:
         if throttle_bytes_per_s is not None and throttle_bytes_per_s <= 0:
             raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
         self.pool = pool if pool is not None else PinnedMemoryPool()
         self.throttle_bytes_per_s = throttle_bytes_per_s
+        if legacy_copies:
+            use_arena = False
+        self.arena: Optional[BufferArena] = None
+        if use_arena:
+            self.arena = arena if arena is not None else BufferArena(pool=self.pool)
+        self.copy_stats = CopyCounter()
         self._lock = threading.Lock()
         self._buffers: Dict[TensorID, np.ndarray] = {}
+        self._leases: Dict[TensorID, BufferLease] = {}
 
     def _throttle(self, nbytes: int, start: float) -> None:
         if self.throttle_bytes_per_s is None:
@@ -249,22 +308,76 @@ class CPUOffloader(Offloader):
 
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         start = time.monotonic()
-        copy = np.array(data, copy=True)
-        self.pool.alloc(copy.nbytes)
+        src = np.asarray(data)
+        # Capacity first: a refused allocation must not leak a lease.
+        self.pool.alloc(src.nbytes)
+        lease: Optional[BufferLease] = None
+        try:
+            if self.arena is not None:
+                lease = self.arena.lease(src.nbytes)
+                copy = lease.view(src.shape, src.dtype)
+                np.copyto(copy, src)
+            else:
+                copy = np.array(src, copy=True)
+            self.copy_stats.count_copy(src.nbytes)
+        except BaseException:
+            self.pool.free(src.nbytes)
+            if lease is not None:  # a failed view/copy must not leak it
+                lease.release()
+            raise
+        self.adopt(tid, copy, lease, _alloc=False)
+        self._throttle(copy.nbytes, start)
+
+    def adopt(
+        self,
+        tid: TensorID,
+        buf: np.ndarray,
+        lease: Optional[BufferLease] = None,
+        _alloc: bool = True,
+    ) -> None:
+        """Take ownership of an already-host-resident buffer (zero copy).
+
+        The tier-failover and demotion-cancellation paths hand a parked
+        buffer (and its arena lease) back without re-copying it; the
+        pool is charged unless the caller already did (``_alloc=False``).
+        """
+        if _alloc:
+            self.pool.alloc(buf.nbytes)
         with self._lock:
             old = self._buffers.get(tid)
-            self._buffers[tid] = copy
+            old_lease = self._leases.pop(tid, None)
+            self._buffers[tid] = buf
+            if lease is not None:
+                self._leases[tid] = lease
         if old is not None:
             self.pool.free(old.nbytes)
-        self._throttle(copy.nbytes, start)
+        if old_lease is not None:
+            old_lease.release()
 
     def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         start = time.monotonic()
-        with self._lock:
-            buf = self._buffers.get(tid)
-        if buf is None:
-            raise KeyError(f"tensor {tid} not in host pool")
-        data = buf.reshape(shape).astype(dtype, copy=True)
+        if self.arena is None:
+            # Legacy private-array buffers are immune to recycling (the
+            # reader's reference keeps them alive and unshared), so the
+            # copy can run unlocked as it always did.
+            with self._lock:
+                buf = self._buffers.get(tid)
+            if buf is None:
+                raise KeyError(f"tensor {tid} not in host pool")
+            data = owned_copy(buf.reshape(shape), dtype, self.copy_stats)
+        else:
+            with self._lock:
+                buf = self._buffers.get(tid)
+                if buf is None:
+                    raise KeyError(f"tensor {tid} not in host pool")
+                # The single ownership copy at the GPU-reinstate boundary
+                # — a plain copy when the dtype already matches, one
+                # conversion copy otherwise (never astype *and* copy).
+                # Copied under the lock: an arena-backed buffer whose
+                # lease a concurrent evict/overwrite releases may be
+                # recycled by the next store, so reading it unlocked
+                # could observe torn bytes.
+                data = owned_copy(buf.reshape(shape), dtype, self.copy_stats)
         self._throttle(data.nbytes, start)
         return data
 
@@ -274,11 +387,33 @@ class CPUOffloader(Offloader):
         with self._lock:
             return self._buffers.get(tid)
 
+    def take(
+        self, tid: TensorID
+    ) -> Optional[Tuple[np.ndarray, Optional[BufferLease]]]:
+        """Remove ``tid`` and transfer buffer *and lease* to the caller.
+
+        Unlike :meth:`evict`, the arena lease is NOT released: an async
+        demotion parks the buffer until its SSD write lands, and the
+        arena must not hand that memory to anyone else meanwhile.  The
+        caller releases the lease (write landed / cancelled) or adopts
+        it back (failover reinstate).
+        """
+        with self._lock:
+            buf = self._buffers.pop(tid, None)
+            lease = self._leases.pop(tid, None)
+        if buf is None:
+            return None
+        self.pool.free(buf.nbytes)
+        return buf, lease
+
     def evict(self, tid: TensorID) -> None:
         with self._lock:
             buf = self._buffers.pop(tid, None)
+            lease = self._leases.pop(tid, None)
         if buf is not None:
             self.pool.free(buf.nbytes)
+        if lease is not None:
+            lease.release()
 
     def location(self, tid: TensorID) -> str:
         return f"pinned://{tid.filename()}"
@@ -290,9 +425,13 @@ class CPUOffloader(Offloader):
     def shutdown(self) -> None:
         with self._lock:
             buffers = list(self._buffers.values())
+            leases = list(self._leases.values())
             self._buffers.clear()
+            self._leases.clear()
         for buf in buffers:
             self.pool.free(buf.nbytes)
+        for lease in leases:
+            lease.release()
 
 
 #: Target names accepted by :func:`make_offloader` (the CLI/config axis).
@@ -307,6 +446,7 @@ def make_offloader(
     throttle_bytes_per_s: Optional[float] = None,
     array=None,
     policy=None,
+    legacy_dataplane: bool = False,
 ) -> Offloader:
     """Build a transfer backend from a config/CLI target string.
 
@@ -323,6 +463,9 @@ def make_offloader(
             tier placement (``tiered`` only).  Pass the same policy you
             hand to :class:`~repro.core.tensor_cache.TensorCache` so
             knobs like ``cpu_tier_max_tensor_bytes`` take effect.
+        legacy_dataplane: run the pre-PR5 copy map (fresh allocation per
+            CPU store, ``tobytes``/slurp file I/O) — the A/B baseline of
+            ``repro dataplane`` and ``bench_dataplane.py``.
     """
     from repro.core.tiered import TieredOffloader  # circular-import guard
 
@@ -341,10 +484,13 @@ def make_offloader(
             throttle_bytes_per_s=throttle_bytes_per_s,
             array=array,
             chunk_bytes=chunk_bytes,
+            legacy_copies=legacy_dataplane,
         )
     if target == "cpu":
         return CPUOffloader(
-            PinnedMemoryPool(cpu_pool_bytes), throttle_bytes_per_s=throttle_bytes_per_s
+            PinnedMemoryPool(cpu_pool_bytes),
+            throttle_bytes_per_s=throttle_bytes_per_s,
+            legacy_copies=legacy_dataplane,
         )
     if target == "tiered":
         if store_dir is None:
@@ -358,5 +504,6 @@ def make_offloader(
             throttle_bytes_per_s=throttle_bytes_per_s,
             array=array,
             policy=policy,
+            legacy_dataplane=legacy_dataplane,
         )
     raise ValueError(f"unknown offload target {target!r}; expected one of {OFFLOAD_TARGETS}")

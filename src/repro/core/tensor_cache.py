@@ -148,6 +148,13 @@ class CacheStats:
     #: Loads that failed terminally; the error surfaces to the blocking
     #: unpack as a RuntimeError instead of a hang.
     load_failures: int = 0
+    #: Data-plane copy map (refreshed from the offloader's telemetry by
+    #: :meth:`TensorCache.dataplane_stats` / ``on_step_end``): bytes the
+    #: backend actually memcpy'd, allocations the pooled/streaming paths
+    #: avoided versus the legacy copy map, and the arena's lease hit rate.
+    bytes_copied: int = 0
+    allocs_avoided: int = 0
+    arena_hit_rate: float = 0.0
 
 
 @dataclass
@@ -398,6 +405,22 @@ class TensorCache:
         self._step_index += 1
         self._keep_all_hint = False
         self.accounting.reset()
+        self.dataplane_stats()  # keep the copy-map counters step-fresh
+
+    def dataplane_stats(self):
+        """The backend's copy-map telemetry (see
+        :class:`~repro.io.buffers.DataPlaneStats`), refreshed into
+        :class:`CacheStats` so ``stats.bytes_copied`` /
+        ``stats.allocs_avoided`` / ``stats.arena_hit_rate`` are always
+        readable alongside the traffic counters."""
+        from repro.io.buffers import DataPlaneStats
+
+        getter = getattr(self.offloader, "dataplane_stats", None)
+        dp = getter() if getter is not None else DataPlaneStats()
+        self.stats.bytes_copied = dp.bytes_copied
+        self.stats.allocs_avoided = dp.allocs_avoided
+        self.stats.arena_hit_rate = dp.arena_hit_rate
+        return dp
 
     # ----------------------------------------------------------- autotuning
     def consume_step_stats(self) -> StepCacheStats:

@@ -42,6 +42,7 @@ import numpy as np
 from repro.core.ids import TensorID
 from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
 from repro.core.policy import OffloadPolicy, Tier
+from repro.io.buffers import BufferLease, DataPlaneStats, owned_copy
 from repro.io.errors import PermanentIOError, retry_call
 from repro.io.gds import GDSRegistry
 from repro.io.scheduler import IORequest, IOScheduler, Priority
@@ -89,6 +90,8 @@ class TieredOffloader(Offloader):
         promote_on_load: copy SSD-resident tensors back into the pool on
             load when there is free room (no demotion is triggered for a
             promotion — promotions must never thrash the warm set).
+        legacy_dataplane: run both tiers with the pre-PR5 copy map (the
+            ``repro dataplane`` / ``bench_dataplane.py`` A/B baseline).
         throttle_bytes_per_s / array / gds: forwarded to the SSD tier.
     """
 
@@ -102,16 +105,20 @@ class TieredOffloader(Offloader):
         throttle_bytes_per_s: Optional[float] = None,
         array=None,
         gds: Optional[GDSRegistry] = None,
+        legacy_dataplane: bool = False,
     ) -> None:
         if cpu_pool_bytes < 0:
             raise ValueError(f"cpu_pool_bytes must be >= 0: {cpu_pool_bytes}")
-        self.cpu = CPUOffloader(PinnedMemoryPool(cpu_pool_bytes))
+        self.cpu = CPUOffloader(
+            PinnedMemoryPool(cpu_pool_bytes), legacy_copies=legacy_dataplane
+        )
         self.ssd = SSDOffloader(
             store_dir,
             throttle_bytes_per_s=throttle_bytes_per_s,
             array=array,
             gds=gds,
             chunk_bytes=chunk_bytes,
+            legacy_copies=legacy_dataplane,
         )
         self.policy = policy if policy is not None else OffloadPolicy()
         self.promote_on_load = promote_on_load
@@ -207,6 +214,15 @@ class TieredOffloader(Offloader):
         return self.cpu.pool
 
     @property
+    def arena(self):
+        """The CPU tier's buffer arena (None in legacy-dataplane mode)."""
+        return self.cpu.arena
+
+    def dataplane_stats(self) -> DataPlaneStats:
+        """Merge both tiers' copy-map telemetry."""
+        return self.cpu.dataplane_stats().merge(self.ssd.dataplane_stats())
+
+    @property
     def cpu_capacity_bytes(self) -> int:
         return self.pool.capacity_bytes or 0
 
@@ -254,9 +270,14 @@ class TieredOffloader(Offloader):
                 self.cpu.evict(tid)
                 self._lru.pop(tid, None)
             elif old is Tier.SSD:
-                if self._cancel_pending_demotion_locked(tid) is None and (
-                    placement is not Tier.SSD
-                ):
+                cancelled = self._cancel_pending_demotion_locked(tid)
+                if cancelled is not None:
+                    # The queued spill held the old bytes; they are
+                    # obsolete, so the lease goes straight back.
+                    _, stale_lease = cancelled
+                    if stale_lease is not None:
+                        stale_lease.release()
+                elif placement is not Tier.SSD:
                     self.ssd.release(tid)
             if placement is Tier.SSD:
                 try:
@@ -309,12 +330,12 @@ class TieredOffloader(Offloader):
     def _demote_locked(
         self, tid: TensorID, nbytes: int, events: List[Tuple[TensorID, Tier]]
     ) -> None:
-        buf = self.cpu.peek(tid)
-        if buf is None:  # raced with a release
-            self._lru.pop(tid, None)
-            self._tier.pop(tid, None)
-            return
         if self._scheduler is None:
+            buf = self.cpu.peek(tid)
+            if buf is None:  # raced with a release
+                self._lru.pop(tid, None)
+                self._tier.pop(tid, None)
+                return
             try:
                 retry_call(lambda: self.ssd.store(tid, buf))
             except Exception as exc:
@@ -326,11 +347,23 @@ class TieredOffloader(Offloader):
                     self._mark_ssd_dead()
                     return
                 raise
+            self.cpu.evict(tid)
         else:
             # Asynchronous spill: reclaim the pool accounting now (the
             # in-flight buffer plays the staging role), queue the SSD
             # write at DEMOTION priority — behind every load, ahead of
             # fresh stores — and keep it cancellable until it runs.
+            # ``take`` transfers the arena lease along with the buffer:
+            # the parked bytes are the tensor's only copy, so the arena
+            # must not recycle that memory until the write lands (the
+            # request's lease is released on its DONE, or handed back on
+            # cancellation / failover reinstate).
+            taken = self.cpu.take(tid)
+            if taken is None:  # raced with a release (tier lock says no)
+                self._lru.pop(tid, None)
+                self._tier.pop(tid, None)
+                return
+            buf, lease = taken
             self._pending_demotions[tid] = buf
             # max_retries=0: _run_demotion is stateful (it pops the
             # parked buffer), so job-level re-execution would find it
@@ -343,10 +376,10 @@ class TieredOffloader(Offloader):
                 nbytes=nbytes,
                 lane="ssd",
                 max_retries=0,
+                lease=lease,
             )
             self._demotion_reqs[tid] = request
             self._scheduler.submit(request)
-        self.cpu.evict(tid)
         self._lru.pop(tid, None)
         self._tier[tid] = Tier.SSD
         self.stats.demotions += 1
@@ -385,19 +418,26 @@ class TieredOffloader(Offloader):
                     tid,
                     exc,
                 )
+                lease: Optional[BufferLease] = None
                 if request is not None:
                     # The request will complete DONE (the data is safe),
                     # but the SSD lane must still learn about the write
                     # it failed — an SSD that flakes every demotion has
                     # to accumulate toward the death verdict.
                     request.health_error = exc
+                    # Reinstate keeps the parked buffer alive: detach the
+                    # lease so the request's DONE does not hand the
+                    # memory back to the arena while the CPU tier owns it.
+                    lease = request.detach_lease()
                 with self._lock:
                     if isinstance(exc, PermanentIOError):
                         self._mark_ssd_dead()
                     previous_overflow = self.pool.overflow_allowed
                     self.pool.overflow_allowed = True
                     try:
-                        self.cpu.store(tid, buf)
+                        # Zero-copy reinstate: the parked buffer (and its
+                        # lease) re-enter the CPU tier as-is.
+                        self.cpu.adopt(tid, buf, lease)
                     finally:
                         if not self._ssd_dead:
                             self.pool.overflow_allowed = previous_overflow
@@ -425,24 +465,32 @@ class TieredOffloader(Offloader):
                 return
             event.wait()
 
-    def _cancel_pending_demotion_locked(self, tid: TensorID) -> Optional["np.ndarray"]:
-        """Pull ``tid`` out of the demotion queue; returns its buffer.
+    def _cancel_pending_demotion_locked(
+        self, tid: TensorID
+    ) -> Optional[Tuple["np.ndarray", Optional[BufferLease]]]:
+        """Pull ``tid`` out of the demotion queue; returns (buffer, lease).
 
         Whoever pops the parked buffer first — this canceller or the
         lane worker's :meth:`_run_demotion` — wins the race under the
         tier lock; a successful pop here means the SSD write never
         happens, and the queued request is cancelled (or no-ops if the
-        worker already claimed it).
+        worker already claimed it).  The arena lease is detached from the
+        request *before* the cancel, so its terminal state cannot release
+        memory the caller is about to adopt; the caller now owns the
+        lease (release it, or adopt it back into the CPU tier).
         """
         buf = self._pending_demotions.pop(tid, None)
         if buf is None:
             return None
         request = self._demotion_reqs.pop(tid, None)
-        if request is not None and self._scheduler is not None:
-            self._scheduler.cancel(request)
+        lease: Optional[BufferLease] = None
+        if request is not None:
+            lease = request.detach_lease()
+            if self._scheduler is not None:
+                self._scheduler.cancel(request)
         self.stats.cancelled_demotions += 1
         self.stats.cancelled_demotion_bytes += buf.nbytes
-        return buf
+        return buf, lease
 
     @property
     def free_watermark_bytes(self) -> int:
@@ -510,7 +558,7 @@ class TieredOffloader(Offloader):
                 # parked buffer is authoritative — serve it without
                 # waiting for (or blocking) the write.
                 self.stats.demotion_forward_hits += 1
-                return writing.reshape(shape).astype(dtype, copy=True)
+                return owned_copy(writing.reshape(shape), dtype, self.cpu.copy_stats)
             pending = self._pending_demotions.get(tid)
             if pending is not None:
                 # Demotion forwarding: the victim is being re-read while
@@ -519,16 +567,21 @@ class TieredOffloader(Offloader):
                 # SSD write and reinstate the tensor (a promotion that
                 # never touched the SSD); otherwise the spill proceeds,
                 # since the queued buffer is the only backing copy.
-                data = pending.reshape(shape).astype(dtype, copy=True)
+                data = owned_copy(pending.reshape(shape), dtype, self.cpu.copy_stats)
                 self.stats.demotion_forward_hits += 1
-                if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
-                    self._cancel_pending_demotion_locked(tid)
-                    self.cpu.store(tid, data)
-                    self._tier[tid] = Tier.CPU
-                    self._lru[tid] = data.nbytes
-                    self.stats.promotions += 1
-                    self.stats.promoted_bytes += data.nbytes
-                    events.append((tid, Tier.CPU))
+                if self.promote_on_load and pending.nbytes <= self.cpu_free_bytes():
+                    cancelled = self._cancel_pending_demotion_locked(tid)
+                    if cancelled is not None:
+                        # Zero-copy promotion: the parked buffer (and its
+                        # lease) re-enter the CPU tier without touching
+                        # the SSD — or copying the bytes again.
+                        buf, lease = cancelled
+                        self.cpu.adopt(tid, buf, lease)
+                        self._tier[tid] = Tier.CPU
+                        self._lru[tid] = buf.nbytes
+                        self.stats.promotions += 1
+                        self.stats.promoted_bytes += buf.nbytes
+                        events.append((tid, Tier.CPU))
             else:
                 if self._scheduler is None:
                     # Standalone mode: apply the retry rule here (with a
@@ -562,8 +615,13 @@ class TieredOffloader(Offloader):
             elif tier is Tier.SSD:
                 # A queued demotion of a released tensor is an SSD write
                 # for data nobody will read again: cancel it outright.
-                if self._cancel_pending_demotion_locked(tid) is None:
+                cancelled = self._cancel_pending_demotion_locked(tid)
+                if cancelled is None:
                     self.ssd.release(tid)
+                else:
+                    _, lease = cancelled
+                    if lease is not None:
+                        lease.release()
 
     def location(self, tid: TensorID) -> str:
         with self._lock:

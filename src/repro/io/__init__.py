@@ -19,9 +19,20 @@
 - :mod:`~repro.io.faults` — seeded deterministic fault injection
   (:class:`FaultPlan` / :class:`FaultInjector`): the chaos harness that
   proves the retry, checksum, and tier-failover recovery paths.
+- :mod:`~repro.io.buffers` — the zero-copy data plane's allocator:
+  :class:`BufferArena` (size-class-binned pool of reusable host buffers
+  with explicit lease/release) plus the copy-count telemetry that makes
+  the eliminated copies measurable.
 """
 
 from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.buffers import (
+    ArenaStats,
+    BufferArena,
+    BufferLease,
+    CopyCounter,
+    DataPlaneStats,
+)
 from repro.io.chunkstore import ChunkedTensorStore, DEFAULT_CHUNK_BYTES
 from repro.io.errors import (
     IntegrityError,
@@ -45,6 +56,11 @@ from repro.io.scheduler import (
 __all__ = [
     "AsyncIOPool",
     "IOJob",
+    "ArenaStats",
+    "BufferArena",
+    "BufferLease",
+    "CopyCounter",
+    "DataPlaneStats",
     "IORequest",
     "IOScheduler",
     "LaneHealthTracker",

@@ -26,6 +26,17 @@ The store intentionally mirrors the :class:`TensorFileStore` API
 (``write`` / ``read`` / ``delete`` / ``clear`` / ``path_for`` + stats)
 so :class:`~repro.core.offloader.SSDOffloader` can swap it in behind an
 unchanged :class:`~repro.core.tensor_cache.TensorCache`.
+
+**Zero-copy streaming (PR 5):** ``write`` appends the tensor's
+contiguous ``memoryview`` straight into the open-chunk staging buffer
+(no ``tobytes()`` temporary) with the index crc32 computed over the same
+view; the flush hands the ``bytearray`` to the kernel directly instead
+of materializing a ``bytes`` payload first; ranged reads ``readinto``
+the destination array (one disk-to-array transfer), and open-chunk reads
+copy once out of a ``memoryview`` window over the staging buffer.
+``legacy_copies=True`` restores the old copy map for A/B benchmarks, and
+``copy_stats`` (:class:`~repro.io.buffers.CopyCounter`) counts both
+sides.
 """
 
 from __future__ import annotations
@@ -40,7 +51,9 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.device.ssd import RAID0Array, SSD
+from repro.io.buffers import CopyCounter
 from repro.io.errors import IntegrityError
+from repro.io.filestore import contiguous_view
 
 #: Default chunk size: 4 MiB — large enough that a P5800X-class SSD sees
 #: near-sequential bandwidth, small enough to bound the open-chunk buffer.
@@ -85,6 +98,9 @@ class ChunkedTensorStore:
             :class:`TensorFileStore` semantics (applied to chunk flushes
             and ranged reads).
         array: optional SSD/RAID0 wear model charged with the traffic.
+        legacy_copies: restore the pre-streaming copy map (``tobytes()``
+            staging, ``bytes`` flush payloads, slice+copy reads) — the
+            A/B baseline for ``bench_dataplane.py``.
     """
 
     def __init__(
@@ -93,6 +109,7 @@ class ChunkedTensorStore:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         throttle_bytes_per_s: Optional[float] = None,
         array: Optional[Union[SSD, RAID0Array]] = None,
+        legacy_copies: bool = False,
     ) -> None:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive: {chunk_bytes}")
@@ -103,6 +120,8 @@ class ChunkedTensorStore:
         self.chunk_bytes = chunk_bytes
         self.throttle_bytes_per_s = throttle_bytes_per_s
         self.array = array
+        self.legacy_copies = legacy_copies
+        self.copy_stats = CopyCounter()
 
         self._lock = threading.Lock()
         self._open_id = 0
@@ -204,18 +223,29 @@ class ChunkedTensorStore:
             time.sleep(required - elapsed)
 
     def _flush_locked(self) -> None:
-        """Write the open chunk as one file; caller holds the lock."""
+        """Write the open chunk as one file; caller holds the lock.
+
+        The staging ``bytearray`` is handed to the kernel directly — the
+        legacy ``bytes(buf)`` payload temporary is skipped — and then
+        dropped, so the chunk-sized allocation is paid once per chunk,
+        not once per flush plus once per payload copy.
+        """
         if not self._open_entries:
             self._open_buf = bytearray()
             return
         chunk_id = self._open_id
-        payload = bytes(self._open_buf)
+        nbytes = len(self._open_buf)
         start = time.monotonic()
         with open(self._chunk_path(chunk_id), "wb") as f:
-            f.write(payload)
+            if self.legacy_copies:
+                f.write(bytes(self._open_buf))
+                self.copy_stats.count_copy(nbytes)
+            else:
+                f.write(self._open_buf)
+                self.copy_stats.count_avoided(1)  # the bytes() payload temp
         self._chunks[chunk_id] = _ChunkMeta(
             chunk_id=chunk_id,
-            total_bytes=len(payload),
+            total_bytes=nbytes,
             refcount=len(self._open_entries),
             live_bytes=sum(loc.nbytes for loc in self._open_entries.values()),
         )
@@ -224,26 +254,41 @@ class ChunkedTensorStore:
         self._open_buf = bytearray()
         self._open_dead_bytes = 0  # holes now accounted via chunk metadata
         self._open_id += 1
-        self._bytes_written += len(payload)
+        self._bytes_written += nbytes
         self._write_count += 1
         if self.array is not None:
-            self.array.record_write(len(payload))
-        self._throttle(len(payload), start)
+            self.array.record_write(nbytes)
+        self._throttle(nbytes, start)
 
     def write(self, tensor_id: str, data: np.ndarray) -> Path:
         """Append ``data`` to the open chunk; flush it when full.
 
-        Returns the path of the chunk the tensor lands in.
+        Returns the path of the chunk the tensor lands in.  The tensor's
+        bytes move exactly once — from its contiguous ``memoryview``
+        into the staging buffer — with the index crc32 computed over the
+        same view (no ``tobytes()`` temporary).  As with
+        :meth:`TensorFileStore.write`, ``data`` must not mutate during
+        the call: crc and staging append are two passes over the source.
         """
-        contiguous = np.ascontiguousarray(data)
-        raw = contiguous.tobytes()
+        contiguous, copied = contiguous_view(data)
+        nbytes = contiguous.nbytes
+        if copied:
+            self.copy_stats.count_copy(nbytes)
+        if self.legacy_copies:
+            raw = contiguous.tobytes()
+            self.copy_stats.count_copy(nbytes, copies=2)  # tobytes + extend
+        else:
+            raw = memoryview(contiguous.reshape(-1)).cast("B")
+            self.copy_stats.count_copy(nbytes)  # the one staging append
+            self.copy_stats.count_avoided(1)  # the tobytes() temporary
+        crc = zlib.crc32(raw)
         with self._lock:
             self._delete_locked(tensor_id)  # overwrite drops the old copy
             loc = _TensorLoc(
                 chunk_id=self._open_id,
                 offset=len(self._open_buf),
-                nbytes=len(raw),
-                crc32=zlib.crc32(raw),
+                nbytes=nbytes,
+                crc32=crc,
             )
             self._open_buf.extend(raw)
             self._open_entries[tensor_id] = loc
@@ -260,27 +305,74 @@ class ChunkedTensorStore:
     def read(self, tensor_id: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         """Read a tensor back as a fresh array of ``shape``/``dtype``.
 
-        Tensors still in the open chunk are served from memory without any
-        file I/O; flushed tensors cost one ranged read.
+        Tensors still in the open chunk are served from memory without
+        any file I/O — one copy out of a ``memoryview`` window over the
+        staging buffer; flushed tensors cost one ranged ``readinto`` the
+        destination array.  Both paths validate the index-held length
+        before touching payload bytes.
         """
         start = time.monotonic()
+        dtype = np.dtype(dtype)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
         with self._lock:
             open_loc = self._open_entries.get(tensor_id)
             if open_loc is not None:
-                raw = bytes(
-                    self._open_buf[open_loc.offset : open_loc.offset + open_loc.nbytes]
-                )
-                self._verify(tensor_id, open_loc, raw)
-                return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+                self._check_length(tensor_id, open_loc, expected)
+                if self.legacy_copies:
+                    raw = bytes(
+                        self._open_buf[
+                            open_loc.offset : open_loc.offset + open_loc.nbytes
+                        ]
+                    )
+                    self._verify(tensor_id, open_loc, raw)
+                    self.copy_stats.count_copy(open_loc.nbytes, copies=2)
+                    return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+                # The staging buffer mutates under this lock only; copy
+                # out through a released-before-return window so the
+                # bytearray is never left with a live buffer export (a
+                # later extend() would raise BufferError on resize).
+                with memoryview(self._open_buf) as staging:
+                    window = staging[
+                        open_loc.offset : open_loc.offset + open_loc.nbytes
+                    ]
+                    try:
+                        self._verify(tensor_id, open_loc, window)
+                        data = np.frombuffer(window, dtype=dtype).reshape(shape).copy()
+                    finally:
+                        window.release()
+                self.copy_stats.count_copy(open_loc.nbytes)
+                self.copy_stats.count_avoided(1)  # the bytes() slice temp
+                return data
             loc = self._index.get(tensor_id)
             if loc is None:
                 raise FileNotFoundError(f"no offloaded tensor {tensor_id!r} in chunk store")
             path = self._chunk_path(loc.chunk_id)
-        with open(path, "rb") as f:
-            f.seek(loc.offset)
-            raw = f.read(loc.nbytes)
-        self._verify(tensor_id, loc, raw)
-        data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+        self._check_length(tensor_id, loc, expected)
+        if self.legacy_copies:
+            with open(path, "rb") as f:
+                f.seek(loc.offset)
+                raw = f.read(loc.nbytes)
+            self._verify(tensor_id, loc, raw)
+            data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+            self.copy_stats.count_copy(loc.nbytes, copies=2)
+        else:
+            flat = np.empty(expected // dtype.itemsize, dtype)
+            view = memoryview(flat)
+            with open(path, "rb") as f:
+                f.seek(loc.offset)
+                got = f.readinto(view)
+            if got != loc.nbytes:
+                # readinto always fills the full-size destination view,
+                # so the short-read case needs its own length check; the
+                # crc (and its message) stays centralized in _verify.
+                raise IntegrityError(
+                    f"torn write: tensor {tensor_id!r} expected {loc.nbytes} bytes "
+                    f"in chunk {loc.chunk_id}, read {got}"
+                )
+            self._verify(tensor_id, loc, view)
+            data = flat.reshape(shape)
+            self.copy_stats.count_copy(loc.nbytes)
+            self.copy_stats.count_avoided(1)  # the ranged-read bytes temp
         self._throttle(loc.nbytes, start)
         with self._lock:
             self._bytes_read += loc.nbytes
@@ -290,13 +382,31 @@ class ChunkedTensorStore:
         return data
 
     @staticmethod
-    def _verify(tensor_id: str, loc: _TensorLoc, raw: bytes) -> None:
+    def _check_length(tensor_id: str, loc: _TensorLoc, expected: int) -> None:
+        """Reject a size mismatch *before* any payload bytes move.
+
+        The index is internally consistent here, so a mismatch is a
+        deterministic caller shape/dtype bug — ``ValueError`` (fail
+        fast, non-retryable), matching the legacy ``frombuffer`` /
+        ``reshape`` behaviour; corruption keeps raising the retryable
+        :class:`IntegrityError` from the crc/short-read checks.
+        """
+        if loc.nbytes != expected:
+            raise ValueError(
+                f"tensor {tensor_id!r} indexes {loc.nbytes} bytes "
+                f"in chunk {loc.chunk_id}, caller expects {expected}"
+            )
+
+    @staticmethod
+    def _verify(tensor_id: str, loc: _TensorLoc, raw) -> None:
         """Length + crc32 check of one tensor's bytes against its index
-        entry; raises :class:`IntegrityError` on torn writes / bit-rot."""
-        if len(raw) != loc.nbytes:
+        entry; raises :class:`IntegrityError` on torn writes / bit-rot.
+        ``raw`` is any C-contiguous buffer (bytes or memoryview)."""
+        nbytes = raw.nbytes if isinstance(raw, memoryview) else len(raw)
+        if nbytes != loc.nbytes:
             raise IntegrityError(
                 f"torn write: tensor {tensor_id!r} expected {loc.nbytes} bytes "
-                f"in chunk {loc.chunk_id}, read {len(raw)}"
+                f"in chunk {loc.chunk_id}, read {nbytes}"
             )
         if zlib.crc32(raw) != loc.crc32:
             raise IntegrityError(

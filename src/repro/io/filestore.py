@@ -23,10 +23,23 @@ caller.  An ``IntegrityError`` is classified retryable
 heals on re-read; corruption at rest exhausts the retry budget and
 surfaces.  All byte accounting (stats, throttle, wear model) stays on
 the payload — the 16-byte frame is bookkeeping, not traffic.
+
+**Zero-copy streaming (PR 5):** the store writes the 16-byte header and
+then the tensor's contiguous ``memoryview`` as two writes — no
+``tobytes()`` temporary, no header+payload ``bytes`` concatenation —
+with the crc32 computed directly over the view.  The read path validates
+the header (magic, framed length vs the expected tensor size, and the
+on-disk file size) *before* touching the payload, then ``readinto``\\ s
+the destination array directly: one disk-to-array transfer, zero staging
+buffers.  The on-disk format is bit-identical to the legacy writer
+(``frame_payload``), which remains for equivalence tests and the
+``legacy_copies=True`` A/B baseline; :class:`~repro.io.buffers.CopyCounter`
+telemetry (``copy_stats``) makes the eliminated copies a printed number.
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import threading
 import time
@@ -37,6 +50,7 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from repro.device.ssd import RAID0Array, SSD
+from repro.io.buffers import CopyCounter
 from repro.io.errors import IntegrityError
 
 #: Checksum-frame header: magic, payload length (LE u64), crc32 (LE u32).
@@ -50,18 +64,36 @@ def frame_payload(payload: bytes) -> bytes:
     return _FRAME_HEADER.pack(FRAME_MAGIC, len(payload), zlib.crc32(payload)) + payload
 
 
+def contiguous_view(data: np.ndarray) -> Tuple[np.ndarray, bool]:
+    """C-contiguous form of ``data`` plus whether materializing it copied."""
+    contiguous = np.ascontiguousarray(data)
+    return contiguous, contiguous is not data
+
+
+def parse_frame_header(header: bytes, label: str) -> Tuple[int, int]:
+    """Validate a frame header prefix; returns ``(payload_len, crc32)``.
+
+    The single source of truth for the fixed 16-byte header — both the
+    whole-file :func:`unframe_payload` and the streaming ``readinto``
+    reader validate through it, so a frame-format change has one site.
+    Raises :class:`IntegrityError` on a short header or bad magic.
+    """
+    if len(header) < FRAME_HEADER_BYTES:
+        raise IntegrityError(
+            f"torn write: {label} holds {len(header)} bytes, shorter than the frame header"
+        )
+    magic, length, crc = _FRAME_HEADER.unpack_from(header)
+    if magic != FRAME_MAGIC:
+        raise IntegrityError(f"corrupt frame header for {label}: bad magic {magic!r}")
+    return length, crc
+
+
 def unframe_payload(raw: bytes, label: str) -> bytes:
     """Verify and strip the checksum frame; raises :class:`IntegrityError`.
 
     ``label`` names the tensor/file for the error message.
     """
-    if len(raw) < FRAME_HEADER_BYTES:
-        raise IntegrityError(
-            f"torn write: {label} holds {len(raw)} bytes, shorter than the frame header"
-        )
-    magic, length, crc = _FRAME_HEADER.unpack_from(raw)
-    if magic != FRAME_MAGIC:
-        raise IntegrityError(f"corrupt frame header for {label}: bad magic {magic!r}")
+    length, crc = parse_frame_header(raw, label)
     payload = raw[FRAME_HEADER_BYTES:]
     if len(payload) != length:
         raise IntegrityError(
@@ -80,6 +112,10 @@ class TensorFileStore:
         throttle_bytes_per_s: if set, sleep so that transfers do not exceed
             this bandwidth — used to emulate slow SSDs in tests.
         array: optional SSD/RAID0 model charged with the traffic.
+        legacy_copies: restore the pre-streaming copy map (``tobytes()``
+            + frame concat on write, whole-file slurp + ``frombuffer``
+            copy on read) — the A/B baseline for ``bench_dataplane.py``
+            and the byte-equivalence tests.
     """
 
     def __init__(
@@ -87,6 +123,7 @@ class TensorFileStore:
         root: Union[str, Path],
         throttle_bytes_per_s: Optional[float] = None,
         array: Optional[Union[SSD, RAID0Array]] = None,
+        legacy_copies: bool = False,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -94,6 +131,8 @@ class TensorFileStore:
             raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
         self.throttle_bytes_per_s = throttle_bytes_per_s
         self.array = array
+        self.legacy_copies = legacy_copies
+        self.copy_stats = CopyCounter()
         self._lock = threading.Lock()
         self._bytes_written = 0
         self._bytes_read = 0
@@ -141,13 +180,37 @@ class TensorFileStore:
             time.sleep(required - elapsed)
 
     def write(self, tensor_id: str, data: np.ndarray) -> Path:
-        """Persist ``data``; returns the file path."""
+        """Persist ``data``; returns the file path.
+
+        Streaming path: header and payload land as two writes, the crc32
+        is computed over the tensor's contiguous view, and no
+        intermediate ``bytes`` object is ever built.  The resulting file
+        is bit-identical to ``frame_payload(data.tobytes())``.
+
+        Contract: ``data`` must not mutate during the call.  The zero-copy
+        path reads the source twice (crc pass, write pass) — a concurrent
+        mutation would frame a checksum that can never match the payload,
+        i.e. a file that is unreadable rather than merely stale.  The
+        engine honors this by construction: activations are immutable
+        once packed, and mutable buffers (weights) never reach a store.
+        """
         start = time.monotonic()
         path = self.path_for(tensor_id)
-        contiguous = np.ascontiguousarray(data)
-        with open(path, "wb") as f:
-            f.write(frame_payload(contiguous.tobytes()))
+        contiguous, copied = contiguous_view(data)
         nbytes = contiguous.nbytes
+        if copied:
+            self.copy_stats.count_copy(nbytes)
+        if self.legacy_copies:
+            # Legacy copy map: tobytes() temporary + header concat.
+            with open(path, "wb") as f:
+                f.write(frame_payload(contiguous.tobytes()))
+            self.copy_stats.count_copy(nbytes, copies=2)
+        else:
+            view = memoryview(contiguous.reshape(-1)).cast("B")
+            with open(path, "wb") as f:
+                f.write(_FRAME_HEADER.pack(FRAME_MAGIC, nbytes, zlib.crc32(view)))
+                f.write(view)
+            self.copy_stats.count_avoided(2)  # tobytes() + frame concat
         self._throttle(nbytes, start)
         with self._lock:
             self._bytes_written += nbytes
@@ -157,13 +220,62 @@ class TensorFileStore:
         return path
 
     def read(self, tensor_id: str, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
-        """Read a tensor back as a fresh array of ``shape``/``dtype``."""
+        """Read a tensor back as a fresh array of ``shape``/``dtype``.
+
+        Streaming path: the header is read and validated first (magic,
+        framed length against both the expected tensor size and the
+        on-disk file size — a torn write is rejected *before* any
+        payload bytes are slurped), then the payload is ``readinto`` the
+        destination array directly: one disk-to-array transfer, and the
+        only allocation is the returned array itself — the ownership
+        copy the GPU-reinstate boundary demands.
+        """
         start = time.monotonic()
         path = self.path_for(tensor_id)
         if not path.exists():
             raise FileNotFoundError(f"no offloaded tensor at {path}")
-        payload = unframe_payload(path.read_bytes(), f"tensor {tensor_id!r} at {path}")
-        data = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+        label = f"tensor {tensor_id!r} at {path}"
+        if self.legacy_copies:
+            payload = unframe_payload(path.read_bytes(), label)
+            data = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+            self.copy_stats.count_copy(data.nbytes, copies=2)
+        else:
+            dtype = np.dtype(dtype)
+            numel = int(np.prod(shape, dtype=np.int64))
+            expected = numel * dtype.itemsize
+            flat = np.empty(numel, dtype)
+            with open(path, "rb") as f:
+                length, crc = parse_frame_header(f.read(FRAME_HEADER_BYTES), label)
+                file_size = os.fstat(f.fileno()).st_size
+                if file_size != FRAME_HEADER_BYTES + length:
+                    # Header and file disagree: corruption — retryable.
+                    raise IntegrityError(
+                        f"torn write: {label} frames {length} payload bytes, "
+                        f"found {max(0, file_size - FRAME_HEADER_BYTES)}"
+                    )
+                if length != expected:
+                    # Header and file agree with each other but not with
+                    # the caller: a deterministic shape/dtype bug, not
+                    # corruption — fail fast (ValueError is
+                    # non-retryable), matching the legacy frombuffer/
+                    # reshape behaviour.
+                    raise ValueError(
+                        f"{label} holds {length} payload bytes, "
+                        f"caller expected {expected}"
+                    )
+                view = memoryview(flat)
+                got = f.readinto(view)
+                if got != length:
+                    raise IntegrityError(
+                        f"torn write: {label} frames {length} payload bytes, read {got}"
+                    )
+                if zlib.crc32(view) != crc:
+                    raise IntegrityError(
+                        f"checksum mismatch for {label}: bit-rot or torn write"
+                    )
+            data = flat.reshape(shape)
+            self.copy_stats.count_copy(data.nbytes)
+            self.copy_stats.count_avoided(1)  # the whole-file bytes slurp
         self._throttle(data.nbytes, start)
         with self._lock:
             self._bytes_read += data.nbytes

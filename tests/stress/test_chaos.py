@@ -158,6 +158,11 @@ def test_permanent_ssd_death_mid_run_fails_over_to_cpu(tmp_path):
     assert cache.offloader.ssd_dead
     assert tier_stats.failovers >= 1
     assert dead == clean, "CPU failover must keep results bit-exact"
+    # Arena accounting stays exact through the failover chaos: every
+    # reinstated demotion buffer's lease was returned by shutdown.
+    arena_stats = cache.offloader.arena.stats()
+    assert arena_stats.outstanding == 0
+    assert arena_stats.leaked == 0
 
 
 def test_ssd_dead_on_arrival_tiered_completes_via_cpu(tmp_path):
@@ -174,6 +179,9 @@ def test_ssd_dead_on_arrival_tiered_completes_via_cpu(tmp_path):
     assert cache.offloader.ssd_dead
     assert cache.offloader.pool.overflow_allowed
     assert dead == clean
+    arena_stats = cache.offloader.arena.stats()
+    assert arena_stats.outstanding == 0
+    assert arena_stats.leaked == 0
 
 
 def test_ssd_death_single_tier_recovers_by_keeping_tensors(tmp_path):

@@ -148,3 +148,41 @@ def test_autotune_controller_hot_path_is_guarded(tmp_path):
         {"bench_autotune.py::test_autotune_controller_hot_path": 0.013},
     )
     assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_buffers_arena_hot_path_is_guarded_by_default(tmp_path):
+    """The arena lease/release cycle (CPU-bound, stable) sits in the
+    default wall-clock gate (the PR 5 pattern extension)."""
+    name = "bench_dataplane.py::test_dataplane_buffers_arena_lease_hot_path"
+    base = _write(tmp_path, "base.json", {name: 0.010})
+    cur = _write(tmp_path, "cur.json", {name: 0.013})
+    assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_dataplane_guarded_only_by_the_explicit_wide_invocation(tmp_path):
+    """The disk-bound dataplane store benches stay OUT of the tight
+    default gate (their min wall-clock swings ~2x between identical
+    runs) but fail CI's explicit dataplane invocation — the bench-smoke
+    job's BENCH_PR5 guard with a wide threshold."""
+    name = "bench_dataplane.py::test_dataplane_filestore_store_pooled"
+    base = _write(tmp_path, "base.json", {name: 0.010})
+    cur = _write(tmp_path, "cur.json", {name: 0.030})  # 3x: catastrophic
+    assert guard.main(["--baseline", base, "--current", cur]) == 0  # default gate
+    assert (
+        guard.main(
+            ["--baseline", base, "--current", cur,
+             "--threshold", "1.50", "--pattern", "dataplane|buffers"]
+        )
+        == 1
+    )
+
+
+def test_committed_pr5_baseline_is_loadable():
+    """The data-plane baseline must stay parseable and cover its paths."""
+    baseline = Path(__file__).parent.parent / "BENCH_PR5.json"
+    payload = guard.load_payload(str(baseline))
+    stats = guard.extract_stats(payload, str(baseline), "min")
+    assert any("dataplane" in name for name in stats)
+    assert any("buffers" in name for name in stats)
+    assert all(value > 0 for value in stats.values())
+    assert payload.get("machine_info")
