@@ -51,7 +51,7 @@ from typing import Dict, List, Tuple
 #: against BENCH_PR5.json with a much wider threshold (see the
 #: bench-smoke job) that only catches catastrophic copy-path regressions.
 DEFAULT_PATTERN = (
-    r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller|buffers"
+    r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller|buffers|tenan"
 )
 
 #: machine_info keys that must match for cross-run ratios to mean anything.

@@ -44,6 +44,7 @@ from repro.io.buffers import (
 from repro.io.chunkstore import ChunkedTensorStore
 from repro.io.filestore import TensorFileStore
 from repro.io.gds import GDSRegistry
+from repro.io.tenancy import current_tenant
 from repro.tensor.tensor import Tensor
 
 
@@ -202,8 +203,13 @@ class PinnedMemoryPool:
         self._lock = threading.Lock()
         self._used = 0
         self._high_watermark = 0
+        #: Live bytes per owning tenant; zeroed keys are dropped, so a
+        #: fully-released pool reads ``{}`` tenant by tenant (the exact
+        #: per-tenant reconciliation surface of the isolation tests).
+        self._used_by: Dict[str, int] = {}
 
-    def alloc(self, nbytes: int) -> None:
+    def alloc(self, nbytes: int, tenant: Optional[str] = None) -> None:
+        owner = tenant if tenant is not None else current_tenant()
         with self._lock:
             new_used = self._used + nbytes
             if (
@@ -215,6 +221,7 @@ class PinnedMemoryPool:
                     f"pinned pool exhausted: {new_used} > {self.capacity_bytes} bytes"
                 )
             self._used = new_used
+            self._used_by[owner] = self._used_by.get(owner, 0) + nbytes
             self._high_watermark = max(self._high_watermark, new_used)
 
     @property
@@ -225,11 +232,32 @@ class PinnedMemoryPool:
                 return 0
             return max(0, self._used - self.capacity_bytes)
 
-    def free(self, nbytes: int) -> None:
+    def free(self, nbytes: int, tenant: Optional[str] = None) -> None:
+        owner = tenant if tenant is not None else current_tenant()
         with self._lock:
             if nbytes > self._used:
                 raise ValueError("freeing more pinned memory than allocated")
+            owned = self._used_by.get(owner, 0)
+            if nbytes > owned:
+                raise ValueError(
+                    f"tenant {owner!r} freeing {nbytes} pinned bytes but owns {owned}"
+                )
             self._used -= nbytes
+            remaining = owned - nbytes
+            if remaining > 0:
+                self._used_by[owner] = remaining
+            else:
+                del self._used_by[owner]
+
+    def used_by(self, tenant: str) -> int:
+        """Live pinned bytes currently charged to one tenant."""
+        with self._lock:
+            return self._used_by.get(tenant, 0)
+
+    def used_by_tenant(self) -> Dict[str, int]:
+        """Snapshot of live bytes per tenant (empty when fully released)."""
+        with self._lock:
+            return dict(self._used_by)
 
     @property
     def used(self) -> int:
@@ -297,6 +325,10 @@ class CPUOffloader(Offloader):
         self._lock = threading.Lock()
         self._buffers: Dict[TensorID, np.ndarray] = {}
         self._leases: Dict[TensorID, BufferLease] = {}
+        #: Owning tenant per resident tensor — pool bytes must be freed
+        #: against the tenant they were charged to, even when the free
+        #: happens on another tenant's thread (evict/demote/shutdown).
+        self._owners: Dict[TensorID, str] = {}
 
     def _throttle(self, nbytes: int, start: float) -> None:
         if self.throttle_bytes_per_s is None:
@@ -309,23 +341,24 @@ class CPUOffloader(Offloader):
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         start = time.monotonic()
         src = np.asarray(data)
+        owner = current_tenant()
         # Capacity first: a refused allocation must not leak a lease.
-        self.pool.alloc(src.nbytes)
+        self.pool.alloc(src.nbytes, tenant=owner)
         lease: Optional[BufferLease] = None
         try:
             if self.arena is not None:
-                lease = self.arena.lease(src.nbytes)
+                lease = self.arena.lease(src.nbytes, tenant=owner)
                 copy = lease.view(src.shape, src.dtype)
                 np.copyto(copy, src)
             else:
                 copy = np.array(src, copy=True)
             self.copy_stats.count_copy(src.nbytes)
         except BaseException:
-            self.pool.free(src.nbytes)
+            self.pool.free(src.nbytes, tenant=owner)
             if lease is not None:  # a failed view/copy must not leak it
                 lease.release()
             raise
-        self.adopt(tid, copy, lease, _alloc=False)
+        self.adopt(tid, copy, lease, _alloc=False, tenant=owner)
         self._throttle(copy.nbytes, start)
 
     def adopt(
@@ -334,25 +367,38 @@ class CPUOffloader(Offloader):
         buf: np.ndarray,
         lease: Optional[BufferLease] = None,
         _alloc: bool = True,
+        tenant: Optional[str] = None,
     ) -> None:
         """Take ownership of an already-host-resident buffer (zero copy).
 
         The tier-failover and demotion-cancellation paths hand a parked
         buffer (and its arena lease) back without re-copying it; the
         pool is charged unless the caller already did (``_alloc=False``).
+        The owning tenant defaults to the lease's owner (failover hands
+        back the original tenant's lease), then the calling scope.
         """
+        owner = tenant
+        if owner is None:
+            owner = lease.tenant if lease is not None else current_tenant()
         if _alloc:
-            self.pool.alloc(buf.nbytes)
+            self.pool.alloc(buf.nbytes, tenant=owner)
         with self._lock:
             old = self._buffers.get(tid)
             old_lease = self._leases.pop(tid, None)
+            old_owner = self._owners.get(tid)
             self._buffers[tid] = buf
+            self._owners[tid] = owner
             if lease is not None:
                 self._leases[tid] = lease
         if old is not None:
-            self.pool.free(old.nbytes)
+            self.pool.free(old.nbytes, tenant=old_owner)
         if old_lease is not None:
             old_lease.release()
+
+    def owner_of(self, tid: TensorID) -> Optional[str]:
+        """The tenant charged for ``tid``'s pool bytes (None if absent)."""
+        with self._lock:
+            return self._owners.get(tid)
 
     def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
         start = time.monotonic()
@@ -401,17 +447,19 @@ class CPUOffloader(Offloader):
         with self._lock:
             buf = self._buffers.pop(tid, None)
             lease = self._leases.pop(tid, None)
+            owner = self._owners.pop(tid, None)
         if buf is None:
             return None
-        self.pool.free(buf.nbytes)
+        self.pool.free(buf.nbytes, tenant=owner)
         return buf, lease
 
     def evict(self, tid: TensorID) -> None:
         with self._lock:
             buf = self._buffers.pop(tid, None)
             lease = self._leases.pop(tid, None)
+            owner = self._owners.pop(tid, None)
         if buf is not None:
-            self.pool.free(buf.nbytes)
+            self.pool.free(buf.nbytes, tenant=owner)
         if lease is not None:
             lease.release()
 
@@ -424,12 +472,15 @@ class CPUOffloader(Offloader):
 
     def shutdown(self) -> None:
         with self._lock:
-            buffers = list(self._buffers.values())
+            buffers = [
+                (buf, self._owners.get(tid)) for tid, buf in self._buffers.items()
+            ]
             leases = list(self._leases.values())
             self._buffers.clear()
             self._leases.clear()
-        for buf in buffers:
-            self.pool.free(buf.nbytes)
+            self._owners.clear()
+        for buf, owner in buffers:
+            self.pool.free(buf.nbytes, tenant=owner)
         for lease in leases:
             lease.release()
 

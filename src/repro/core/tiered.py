@@ -35,7 +35,7 @@ import logging
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -46,6 +46,7 @@ from repro.io.buffers import BufferLease, DataPlaneStats, owned_copy
 from repro.io.errors import PermanentIOError, retry_call
 from repro.io.gds import GDSRegistry
 from repro.io.scheduler import IORequest, IOScheduler, Priority
+from repro.io.tenancy import DEFAULT_TENANT, current_tenant, tenant_scope
 from repro.tensor.tensor import Tensor
 
 logger = logging.getLogger(__name__)
@@ -158,6 +159,17 @@ class TieredOffloader(Offloader):
         #: CPU tier — correctness over capacity — and the pinned pool is
         #: allowed to overflow its cap rather than fail the step.
         self._ssd_dead = False
+        #: Tenant-scoped death latches: an SSD failure attributed to one
+        #: tenant (via the scheduler's per-tenant lane health or a failed
+        #: store in that tenant's scope) degrades only that tenant's
+        #: placement; every other tenant keeps its SSD tier.  The default
+        #: tenant never lands here — its failures drive the global latch,
+        #: preserving single-tenant behaviour exactly.
+        self._dead_tenants: Set[str] = set()
+        #: Owning tenant per stored tensor: demotions/evictions of a
+        #: victim must run (and account) against the tenant that stored
+        #: it, not whichever tenant's store triggered the pool pressure.
+        self._tid_owner: Dict[TensorID, str] = {}
 
     # ---------------------------------------------------------------- failover
     @property
@@ -165,15 +177,50 @@ class TieredOffloader(Offloader):
         """True once the SSD tier has been written off (sticky)."""
         return self._ssd_dead
 
-    def _ssd_unhealthy(self) -> bool:
+    def ssd_dead_for(self, tenant: str) -> bool:
+        """True when ``tenant``'s SSD placement is written off (global
+        death counts for everyone; tenant-scoped death only for them)."""
+        return self._ssd_unhealthy(tenant)
+
+    @property
+    def dead_tenants(self) -> Set[str]:
+        """Tenants whose SSD tier is latched dead (copy)."""
+        return set(self._dead_tenants)
+
+    def _ssd_unhealthy(self, tenant: Optional[str] = None) -> bool:
         if self._ssd_dead:
             return True
         scheduler = self._scheduler
-        return scheduler is not None and scheduler.health.is_dead("ssd")
+        if tenant is None or tenant == DEFAULT_TENANT:
+            return scheduler is not None and scheduler.health.is_dead("ssd")
+        if tenant in self._dead_tenants:
+            return True
+        return scheduler is not None and scheduler.health.is_dead("ssd", tenant)
 
-    def _mark_ssd_dead(self) -> None:
+    def _mark_ssd_dead(self, tenant: Optional[str] = None) -> None:
         """Latch degraded mode; callers hold (or are about to release)
-        ``self._lock``."""
+        ``self._lock``.
+
+        ``tenant`` scopes the latch: a non-default tenant's failure
+        degrades only that tenant's placement (the blast radius of the
+        isolation guarantee), while the default tenant — and ``None`` —
+        keep the pre-tenancy global latch.
+        """
+        if tenant is not None and tenant != DEFAULT_TENANT:
+            if tenant not in self._dead_tenants:
+                logger.warning(
+                    "SSD tier marked dead for tenant %r; "
+                    "failing that tenant's placements over to the CPU tier",
+                    tenant,
+                )
+            self._dead_tenants.add(tenant)
+            # The dead tenant's bytes may no longer spill, so its share
+            # of the pool can exceed the capacity model: allow overflow
+            # rather than fail steps (same trade as the global latch).
+            self.pool.overflow_allowed = True
+            if self._scheduler is not None:
+                self._scheduler.health.mark_dead("ssd", tenant=tenant)
+            return
         if not self._ssd_dead:
             logger.warning(
                 "SSD tier marked dead; failing all placements over to the CPU tier"
@@ -242,6 +289,7 @@ class TieredOffloader(Offloader):
     def store(self, tid: TensorID, data: np.ndarray) -> None:
         events: List[Tuple[TensorID, Tier]] = []
         nbytes = int(np.asarray(data).nbytes)
+        owner = current_tenant()
         # Never race the background spill writer on the same tid: the
         # re-store logic below assumes the SSD copy is either absent or
         # fully landed.
@@ -250,14 +298,15 @@ class TieredOffloader(Offloader):
             # With a dead SSD tier there is exactly one viable placement;
             # otherwise the policy sees the capacity the pool *could*
             # free: every resident is demotable, so the whole pool is
-            # reclaimable.
-            ssd_down = self._ssd_unhealthy()
+            # reclaimable.  Death is judged per-tenant: another tenant's
+            # latch must not move this tenant's placements.
+            ssd_down = self._ssd_unhealthy(owner)
             if ssd_down:
-                self._mark_ssd_dead()  # sync the latch + pool overflow
+                self._mark_ssd_dead(owner)  # sync the latch + pool overflow
                 placement = Tier.CPU
             else:
-                placement = self.policy.place(
-                    nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
+                placement = self.policy.place_for(
+                    owner, nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
                 )
             # Re-store: drop the old backing copy first.  A cross-tier
             # move would otherwise leak it (orphaned SSD file / pinned
@@ -295,19 +344,24 @@ class TieredOffloader(Offloader):
                     # errors propagate: the request's bounded retry
                     # re-enters this method with the books consistent.
                     logger.warning("SSD store failed for %s (%s); failing over", tid, exc)
-                    self._mark_ssd_dead()
+                    self._mark_ssd_dead(owner)
                     placement = Tier.CPU
                     self.stats.failovers += 1
                     self.stats.failover_bytes += nbytes
                 else:
                     self._tier[tid] = Tier.SSD
+                    self._tid_owner[tid] = owner
                     self.stats.ssd_stored_tensors += 1
                     self.stats.ssd_stored_bytes += nbytes
             if placement is Tier.CPU:
+                # Global death means nowhere to demote *to*; a latch
+                # scoped to other tenants still leaves their residents
+                # demotable (and _make_room skips the dead ones).
                 if not self._ssd_unhealthy():
                     self._make_room(nbytes, events)
                 self.cpu.store(tid, data)
                 self._tier[tid] = Tier.CPU
+                self._tid_owner[tid] = owner
                 self._lru[tid] = nbytes
                 self._lru.move_to_end(tid)
                 self.stats.cpu_stored_tensors += 1
@@ -319,32 +373,50 @@ class TieredOffloader(Offloader):
 
         With the SSD tier dead there is nowhere to demote *to*: stop
         making room and let the pool overflow instead (degraded mode).
+        A *tenant-scoped* latch only shrinks the victim set — that
+        tenant's residents are pinned (their spill target is gone) while
+        everyone else's remain demotable.
         """
         while self._lru and self.cpu_free_bytes() < nbytes:
             if self._ssd_unhealthy():
                 self._mark_ssd_dead()
                 return
-            victim, victim_bytes = next(iter(self._lru.items()))
+            victim: Optional[TensorID] = None
+            victim_bytes = 0
+            for cand, cand_bytes in self._lru.items():
+                cand_owner = self._tid_owner.get(cand, DEFAULT_TENANT)
+                if self._dead_tenants and self._ssd_unhealthy(cand_owner):
+                    continue  # this tenant's bytes cannot spill anymore
+                victim, victim_bytes = cand, cand_bytes
+                break
+            if victim is None:
+                # Every resident belongs to a dead-SSD tenant: nothing
+                # can spill, so the pool overflows (already allowed by
+                # the tenant latch) rather than failing the store.
+                return
             self._demote_locked(victim, victim_bytes, events)
 
     def _demote_locked(
         self, tid: TensorID, nbytes: int, events: List[Tuple[TensorID, Tier]]
     ) -> None:
+        owner = self._tid_owner.get(tid, DEFAULT_TENANT)
         if self._scheduler is None:
             buf = self.cpu.peek(tid)
             if buf is None:  # raced with a release
                 self._lru.pop(tid, None)
                 self._tier.pop(tid, None)
+                self._tid_owner.pop(tid, None)
                 return
             try:
                 retry_call(lambda: self.ssd.store(tid, buf))
             except Exception as exc:
                 # The victim stays CPU-resident (nothing was evicted
                 # yet): no data moved, no data lost.  A dead device
-                # flips degraded mode so the caller stops demoting.
+                # flips degraded mode (scoped to the victim's tenant)
+                # so the caller stops demoting their residents.
                 if isinstance(exc, PermanentIOError):
                     logger.warning("demotion of %s hit a dead SSD (%s)", tid, exc)
-                    self._mark_ssd_dead()
+                    self._mark_ssd_dead(owner)
                     return
                 raise
             self.cpu.evict(tid)
@@ -368,6 +440,10 @@ class TieredOffloader(Offloader):
             # max_retries=0: _run_demotion is stateful (it pops the
             # parked buffer), so job-level re-execution would find it
             # gone; the SSD write retries *inside* the body instead.
+            # The spill is charged to (and its health attributed to) the
+            # *victim's* tenant — pool pressure from tenant A must never
+            # bill tenant B's demotion to A, nor let B's write failures
+            # poison A's lane-health verdict.
             request = IORequest(
                 lambda t=tid: self._run_demotion(t),
                 kind="demote",
@@ -377,6 +453,7 @@ class TieredOffloader(Offloader):
                 lane="ssd",
                 max_retries=0,
                 lease=lease,
+                tenant=owner,
             )
             self._demotion_reqs[tid] = request
             self._scheduler.submit(request)
@@ -429,17 +506,18 @@ class TieredOffloader(Offloader):
                     # lease so the request's DONE does not hand the
                     # memory back to the arena while the CPU tier owns it.
                     lease = request.detach_lease()
+                owner = self._tid_owner.get(tid, DEFAULT_TENANT)
                 with self._lock:
                     if isinstance(exc, PermanentIOError):
-                        self._mark_ssd_dead()
+                        self._mark_ssd_dead(owner)
                     previous_overflow = self.pool.overflow_allowed
                     self.pool.overflow_allowed = True
                     try:
                         # Zero-copy reinstate: the parked buffer (and its
                         # lease) re-enter the CPU tier as-is.
-                        self.cpu.adopt(tid, buf, lease)
+                        self.cpu.adopt(tid, buf, lease, tenant=owner)
                     finally:
-                        if not self._ssd_dead:
+                        if not self._ssd_dead and owner not in self._dead_tenants:
                             self.pool.overflow_allowed = previous_overflow
                     self._tier[tid] = Tier.CPU
                     self._lru[tid] = buf.nbytes
@@ -574,9 +652,14 @@ class TieredOffloader(Offloader):
                     if cancelled is not None:
                         # Zero-copy promotion: the parked buffer (and its
                         # lease) re-enter the CPU tier without touching
-                        # the SSD — or copying the bytes again.
+                        # the SSD — or copying the bytes again.  Charged
+                        # to the owning tenant, not the (possibly
+                        # different) reader.
                         buf, lease = cancelled
-                        self.cpu.adopt(tid, buf, lease)
+                        self.cpu.adopt(
+                            tid, buf, lease,
+                            tenant=self._tid_owner.get(tid, DEFAULT_TENANT),
+                        )
                         self._tier[tid] = Tier.CPU
                         self._lru[tid] = buf.nbytes
                         self.stats.promotions += 1
@@ -592,7 +675,11 @@ class TieredOffloader(Offloader):
                 self.stats.ssd_loads += 1
                 self.stats.ssd_loaded_bytes += data.nbytes
                 if self.promote_on_load and data.nbytes <= self.cpu_free_bytes():
-                    self.cpu.store(tid, data)
+                    # Promote in the owner's scope: the pool bytes must
+                    # land on the tenant that stored the tensor even when
+                    # a different tenant's thread triggers the promotion.
+                    with tenant_scope(self._tid_owner.get(tid, DEFAULT_TENANT)):
+                        self.cpu.store(tid, data)
                     self.ssd.release(tid)
                     self._tier[tid] = Tier.CPU
                     self._lru[tid] = data.nbytes
@@ -610,6 +697,7 @@ class TieredOffloader(Offloader):
         with self._lock:
             tier = self._tier.pop(tid, None)
             self._lru.pop(tid, None)
+            self._tid_owner.pop(tid, None)
             if tier is Tier.CPU:
                 self.cpu.evict(tid)
             elif tier is Tier.SSD:
@@ -648,10 +736,11 @@ class TieredOffloader(Offloader):
         slot, and the pool-capacity input mirrors :meth:`store`'s ("every
         resident is demotable").
         """
-        if self._ssd_unhealthy():
-            return "cpu"  # dead SSD: every placement fails over
-        placement = self.policy.place(
-            nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
+        tenant = current_tenant()
+        if self._ssd_unhealthy(tenant):
+            return "cpu"  # dead SSD (for this tenant): placement fails over
+        placement = self.policy.place_for(
+            tenant, nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
         )
         return "cpu" if placement is Tier.CPU else "ssd"
 
@@ -666,5 +755,6 @@ class TieredOffloader(Offloader):
             self._demotion_reqs.clear()
             self._tier.clear()
             self._lru.clear()
+            self._tid_owner.clear()
         self.cpu.shutdown()
         self.ssd.shutdown()

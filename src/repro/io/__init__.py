@@ -23,6 +23,10 @@
   :class:`BufferArena` (size-class-binned pool of reusable host buffers
   with explicit lease/release) plus the copy-count telemetry that makes
   the eliminated copies measurable.
+- :mod:`~repro.io.tenancy` — multi-tenant QoS layer:
+  :class:`TenantContext` / :class:`TenantRegistry` (weights, byte and
+  bandwidth quotas, admission) plus the thread-local tenant scope that
+  attributes every store/load to its owning job.
 """
 
 from repro.io.aio import AsyncIOPool, IOJob
@@ -51,6 +55,16 @@ from repro.io.scheduler import (
     LaneHealthTracker,
     Priority,
     SchedulerStats,
+)
+from repro.io.tenancy import (
+    DEFAULT_TENANT,
+    TenantContext,
+    TenantQuotaError,
+    TenantRegistry,
+    TenantStats,
+    current_tenant,
+    jain_index,
+    tenant_scope,
 )
 
 __all__ = [
@@ -81,4 +95,12 @@ __all__ = [
     "FaultPlan",
     "FaultInjector",
     "inject_faults",
+    "DEFAULT_TENANT",
+    "TenantContext",
+    "TenantQuotaError",
+    "TenantRegistry",
+    "TenantStats",
+    "current_tenant",
+    "jain_index",
+    "tenant_scope",
 ]

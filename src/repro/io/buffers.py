@@ -42,10 +42,12 @@ number, not a claim.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.io.tenancy import current_tenant
 
 #: Smallest size-class: leases below this share 4 KiB buffers (the page
 #: size — also the alignment unit the SSD path cares about).
@@ -75,6 +77,10 @@ class ArenaStats:
     high_water_bytes: int = 0  #: peak of outstanding_bytes
     retained_bytes: int = 0    #: free-list bytes currently pooled
     trimmed_buffers: int = 0   #: free buffers dropped to respect the cap
+    #: Live leases per owning tenant (emptied keys are dropped, so after
+    #: a clean drain this is exactly ``{}`` — the per-tenant no-leak
+    #: invariant the isolation chaos tests reconcile).
+    outstanding_by_tenant: Dict[str, int] = field(default_factory=dict)
 
     @property
     def allocs_avoided(self) -> int:
@@ -150,12 +156,23 @@ class BufferLease:
     both call it without coordinating.
     """
 
-    __slots__ = ("arena", "array", "nbytes", "_released")
+    __slots__ = ("arena", "array", "nbytes", "tenant", "_released")
 
-    def __init__(self, arena: "BufferArena", array: np.ndarray, nbytes: int) -> None:
+    def __init__(
+        self,
+        arena: "BufferArena",
+        array: np.ndarray,
+        nbytes: int,
+        tenant: Optional[str] = None,
+    ) -> None:
         self.arena = arena
         self.array = array
         self.nbytes = nbytes
+        #: Owning tenant (stamped at lease time from the leasing
+        #: thread's scope) — the key the per-tenant arena accounting
+        #: credits the release back to, however many hands the lease
+        #: passes through in between.
+        self.tenant = tenant if tenant is not None else current_tenant()
         self._released = False
 
     @property
@@ -208,7 +225,15 @@ class BufferArena:
         """A consistent copy of the arena's accounting."""
         with self._lock:
             snap = ArenaStats(**vars(self._stats))
+            # vars() shallow-copies: the per-tenant dict must be copied
+            # explicitly or the snapshot would alias live state.
+            snap.outstanding_by_tenant = dict(self._stats.outstanding_by_tenant)
         return snap
+
+    def outstanding_for(self, tenant: str) -> int:
+        """Live leases currently held by one tenant."""
+        with self._lock:
+            return self._stats.outstanding_by_tenant.get(tenant, 0)
 
     @property
     def retention_cap_bytes(self) -> Optional[int]:
@@ -220,9 +245,15 @@ class BufferArena:
         return None
 
     # ------------------------------------------------------------------ lease
-    def lease(self, nbytes: int) -> BufferLease:
-        """Lease a buffer of at least ``nbytes`` (size-class rounded)."""
+    def lease(self, nbytes: int, tenant: Optional[str] = None) -> BufferLease:
+        """Lease a buffer of at least ``nbytes`` (size-class rounded).
+
+        The lease is attributed to ``tenant`` (default: the calling
+        thread's :func:`~repro.io.tenancy.current_tenant` scope) for
+        the per-tenant outstanding books.
+        """
         cls = size_class(nbytes)
+        owner = tenant if tenant is not None else current_tenant()
         with self._lock:
             bin_ = self._free.get(cls)
             if bin_:
@@ -236,6 +267,8 @@ class BufferArena:
             self._stats.requested_bytes += nbytes
             self._stats.outstanding += 1
             self._stats.outstanding_bytes += cls
+            by_tenant = self._stats.outstanding_by_tenant
+            by_tenant[owner] = by_tenant.get(owner, 0) + 1
             self._stats.high_water_bytes = max(
                 self._stats.high_water_bytes, self._stats.outstanding_bytes
             )
@@ -254,8 +287,19 @@ class BufferArena:
                     self._stats.requested_bytes -= nbytes
                     self._stats.outstanding -= 1
                     self._stats.outstanding_bytes -= cls
+                    self._drop_tenant_outstanding_locked(owner)
                 raise
-        return BufferLease(self, array, nbytes)
+        return BufferLease(self, array, nbytes, tenant=owner)
+
+    def _drop_tenant_outstanding_locked(self, tenant: str) -> None:
+        by_tenant = self._stats.outstanding_by_tenant
+        remaining = by_tenant.get(tenant, 0) - 1
+        if remaining > 0:
+            by_tenant[tenant] = remaining
+        else:
+            # Zeroed keys are removed so "fully reconciled" reads as an
+            # empty dict, tenant by tenant.
+            by_tenant.pop(tenant, None)
 
     def _release(self, lease: BufferLease) -> None:
         cls = lease.array.nbytes
@@ -266,6 +310,7 @@ class BufferArena:
             self._stats.releases += 1
             self._stats.outstanding -= 1
             self._stats.outstanding_bytes -= cls
+            self._drop_tenant_outstanding_locked(lease.tenant)
             cap = self.retention_cap_bytes
             if cap is None or self._stats.retained_bytes + cls <= cap:
                 self._free.setdefault(cls, []).append(lease.array)

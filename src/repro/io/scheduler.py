@@ -39,6 +39,20 @@ each request is for:
 original behaviour — which keeps an apples-to-apples baseline for the
 priority-vs-FIFO comparison in benchmarks and tests.
 
+**Multi-tenancy** (architecture §8): pass a
+:class:`~repro.io.tenancy.TenantRegistry` and each lane swaps its heap
+for a weighted fair-share queue — priority classes stay strictly
+ordered, but *within* a class tenants are served by deficit round-robin
+over per-tenant subqueues, so one tenant's backlog cannot starve
+another's.  The registry also gates admission (byte quotas reject or
+park over-budget submissions; parked requests re-enter when a refund
+frees headroom) and paces bandwidth-quota'd tenants (soft token bucket,
+work-conserving).  Telemetry, request books and lane health all grow a
+per-tenant dimension with the same exact-reconciliation bar as the
+global books.  Without a registry the legacy single-heap path runs
+unchanged — the default-tenant behaviour is byte-identical to the
+pre-tenancy scheduler.
+
 **Failure model** (see :mod:`repro.io.errors` for the taxonomy and
 ``docs/architecture.md`` §6 for the map): a request whose body raises is
 never allowed to take a lane worker down with it — the worker loop
@@ -59,8 +73,9 @@ import heapq
 import logging
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.io.aio import IOJob, JobState
 from repro.io.errors import (
@@ -68,6 +83,13 @@ from repro.io.errors import (
     DEFAULT_RETRY_BACKOFF_S,
     PermanentIOError,
     is_device_error,
+)
+from repro.io.tenancy import (
+    DEFAULT_TENANT,
+    TenantQuotaError,
+    TenantRegistry,
+    current_tenant,
+    tenant_scope,
 )
 
 logger = logging.getLogger(__name__)
@@ -111,6 +133,7 @@ class IORequest(IOJob):
         max_retries: Optional[int] = None,
         retry_backoff_s: Optional[float] = None,
         lease=None,
+        tenant: Optional[str] = None,
     ) -> None:
         if kind not in REQUEST_KINDS:
             raise ValueError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
@@ -129,6 +152,12 @@ class IORequest(IOJob):
         self.tensor_id = tensor_id
         self.nbytes = int(nbytes)
         self.lane = lane
+        #: Owning tenant; defaults to the submitting thread's scope
+        #: (:func:`~repro.io.tenancy.current_tenant`), so un-scoped
+        #: callers land on ``"default"`` and see pre-tenancy behaviour.
+        self.tenant = tenant if tenant is not None else current_tenant()
+        #: True while held by quota admission (not on any lane queue).
+        self._parked = False
         #: True when this request ran as a trailing member of a coalesced
         #: store batch (not the batch head).  Set only once the member has
         #: actually won ``claim()`` — a batch member cancelled before the
@@ -269,6 +298,14 @@ class LaneHealthTracker:
     - :meth:`consume_failure_window` — per-step failure deltas the
       adaptive controller folds into its trim signal, the same way it
       consumes the completion-bandwidth windows.
+
+    **Tenant scoping** (isolation, architecture §8): traffic from the
+    default tenant drives the lane's *global* verdict exactly as
+    before; a non-default tenant's failures drive a per-(lane, tenant)
+    verdict only.  ``is_dead(lane, tenant)`` is the union — a lane is
+    dead *for a tenant* when the device is globally dead or that
+    tenant's own traffic bricked it — so tenant A's permanent failures
+    degrade A's placement without touching B's.
     """
 
     def __init__(self, death_threshold: int = 3) -> None:
@@ -277,7 +314,11 @@ class LaneHealthTracker:
         self.death_threshold = death_threshold
         self._lock = threading.Lock()
         self._lanes: Dict[str, LaneHealthSnapshot] = {}
-        #: Failures per lane since the last consume_failure_window().
+        #: Per-(lane, tenant) verdicts for non-default tenants.
+        self._tenant_lanes: Dict[Tuple[str, str], LaneHealthSnapshot] = {}
+        #: Failures per lane since the last consume_failure_window()
+        #: (lane-wide: every tenant's failures count — it feeds the
+        #: adaptive controller's device-degradation signal).
         self._window: Dict[str, int] = {}
 
     def _state(self, lane: str) -> LaneHealthSnapshot:
@@ -286,39 +327,92 @@ class LaneHealthTracker:
             state = self._lanes[lane] = LaneHealthSnapshot()
         return state
 
-    def record_success(self, lane: str) -> None:
+    def _scoped_state(self, lane: str, tenant: str) -> LaneHealthSnapshot:
+        if tenant == DEFAULT_TENANT:
+            return self._state(lane)
+        key = (lane, tenant)
+        state = self._tenant_lanes.get(key)
+        if state is None:
+            state = self._tenant_lanes[key] = LaneHealthSnapshot()
+        return state
+
+    def record_success(self, lane: str, tenant: str = DEFAULT_TENANT) -> None:
         with self._lock:
-            state = self._state(lane)
+            state = self._scoped_state(lane, tenant)
             state.successes += 1
             state.consecutive_failures = 0
 
-    def record_failure(self, lane: str, permanent: bool = False) -> None:
+    def record_failure(
+        self, lane: str, permanent: bool = False, tenant: str = DEFAULT_TENANT
+    ) -> None:
         with self._lock:
-            state = self._state(lane)
+            state = self._scoped_state(lane, tenant)
             state.failures += 1
             state.consecutive_failures += 1
             self._window[lane] = self._window.get(lane, 0) + 1
             if permanent or state.consecutive_failures >= self.death_threshold:
                 state.dead = True
 
-    def mark_dead(self, lane: str) -> None:
+    def mark_dead(self, lane: str, tenant: Optional[str] = None) -> None:
+        """Brick the lane globally, or for one tenant only."""
         with self._lock:
-            self._state(lane).dead = True
+            if tenant is None or tenant == DEFAULT_TENANT:
+                self._state(lane).dead = True
+            else:
+                self._scoped_state(lane, tenant).dead = True
 
-    def revive(self, lane: str) -> None:
+    def revive(self, lane: str, tenant: Optional[str] = None) -> None:
+        """Operator-driven recovery.  Reviving the lane globally (no
+        tenant) also clears every tenant-scoped verdict for it — a
+        replaced device is new for everyone."""
         with self._lock:
-            state = self._state(lane)
-            state.dead = False
-            state.consecutive_failures = 0
+            if tenant is None or tenant == DEFAULT_TENANT:
+                state = self._state(lane)
+                state.dead = False
+                state.consecutive_failures = 0
+                if tenant is None:
+                    for (ln, _), scoped in self._tenant_lanes.items():
+                        if ln == lane:
+                            scoped.dead = False
+                            scoped.consecutive_failures = 0
+            else:
+                scoped = self._scoped_state(lane, tenant)
+                scoped.dead = False
+                scoped.consecutive_failures = 0
 
-    def is_dead(self, lane: str) -> bool:
+    def is_dead(self, lane: str, tenant: Optional[str] = None) -> bool:
         with self._lock:
             state = self._lanes.get(lane)
-            return state.dead if state is not None else False
+            if state is not None and state.dead:
+                return True
+            if tenant is None or tenant == DEFAULT_TENANT:
+                return False
+            scoped = self._tenant_lanes.get((lane, tenant))
+            return scoped.dead if scoped is not None else False
 
     def dead_lanes(self) -> Tuple[str, ...]:
         with self._lock:
             return tuple(sorted(name for name, s in self._lanes.items() if s.dead))
+
+    def dead_tenants(self, lane: str) -> Tuple[str, ...]:
+        """Tenants whose own traffic bricked this lane (global deaths
+        are reported by :meth:`dead_lanes`, not here)."""
+        with self._lock:
+            return tuple(
+                sorted(t for (ln, t), s in self._tenant_lanes.items() if ln == lane and s.dead)
+            )
+
+    def tenant_snapshot(self) -> Dict[Tuple[str, str], LaneHealthSnapshot]:
+        with self._lock:
+            return {
+                key: LaneHealthSnapshot(
+                    successes=s.successes,
+                    failures=s.failures,
+                    consecutive_failures=s.consecutive_failures,
+                    dead=s.dead,
+                )
+                for key, s in self._tenant_lanes.items()
+            }
 
     def snapshot(self) -> Dict[str, LaneHealthSnapshot]:
         with self._lock:
@@ -339,10 +433,196 @@ class LaneHealthTracker:
             return window
 
 
+class _ClassRing:
+    """Deficit round-robin over per-tenant FIFO subqueues of one
+    priority class.
+
+    Classic DRR: tenants sit on a ring; each visit a tenant earns
+    ``quantum * weight`` bytes of credit, and its head request is
+    served once the accumulated deficit covers the request size — so
+    over time each backlogged tenant's byte share converges to its
+    weight share, and a tenant with a non-empty subqueue is always
+    served within ``ceil(nbytes / (quantum * weight))`` ring passes
+    (the no-starvation bound the property suite pins down).  Idle
+    tenants leave the ring and forfeit their credit — deficit never
+    accumulates while a tenant has nothing queued.
+    """
+
+    __slots__ = ("queues", "order", "idx", "deficit", "fresh")
+
+    def __init__(self) -> None:
+        self.queues: Dict[str, Deque[IORequest]] = {}
+        self.order: List[str] = []
+        self.idx = 0
+        self.deficit: Dict[str, float] = {}
+        #: True when the ring pointer just arrived at ``order[idx]`` —
+        #: the arrival grants the tenant its ``quantum * weight`` credit
+        #: exactly once; the pointer then stays (across pop() calls)
+        #: while the deficit keeps covering the tenant's heads, and
+        #: advances when it no longer does.  Granting per *arrival*
+        #: rather than per visit is what makes byte shares track
+        #: weights: a weight-2 tenant drains twice the bytes per round,
+        #: not merely one request per turn.
+        self.fresh = True
+
+    def push(self, request: IORequest) -> None:
+        queue = self.queues.get(request.tenant)
+        if queue is None:
+            queue = self.queues[request.tenant] = deque()
+            self.order.append(request.tenant)
+            self.deficit.setdefault(request.tenant, 0.0)
+        queue.append(request)
+
+    def retire(self, tenant: str) -> None:
+        """Drop an emptied tenant from the ring (and its credit)."""
+        pos = self.order.index(tenant)
+        del self.order[pos]
+        if pos < self.idx:
+            self.idx -= 1
+        elif pos == self.idx:
+            self.fresh = True  # the pointer landed on the next tenant
+        if self.idx >= len(self.order):
+            self.idx = 0
+        del self.queues[tenant]
+        self.deficit.pop(tenant, None)
+
+    def pop(self, weight_of, quantum: int, bw_gate) -> Tuple[Optional[IORequest], int]:
+        """Serve the next request by DRR; returns (request | None,
+        stale entries dropped).
+
+        ``bw_gate(tenant, nbytes, force)`` is the registry's token
+        bucket.  A bandwidth-blocked tenant is skipped while others can
+        be served, but after a full bounded sweep with no service it is
+        served anyway with ``force=True`` (work-conserving: quota
+        pacing shapes order, it never idles the device — which also
+        keeps this loop's termination unconditional).
+        """
+        dropped = 0
+        visits_without_service = 0
+        bw_blocked: Optional[str] = None
+        while self.order:
+            if self.idx >= len(self.order):
+                self.idx = 0
+            tenant = self.order[self.idx]
+            queue = self.queues[tenant]
+            while queue and queue[0].state is not JobState.PENDING:
+                queue.popleft()  # cancelled while queued
+                dropped += 1
+            if not queue:
+                self.retire(tenant)
+                continue
+            if self.fresh:
+                self.deficit[tenant] = (
+                    self.deficit.get(tenant, 0.0) + quantum * weight_of(tenant)
+                )
+                self.fresh = False
+            head = queue[0]
+            credit = self.deficit.get(tenant, 0.0)
+            if credit >= head.nbytes:
+                force = (
+                    tenant == bw_blocked
+                    and visits_without_service >= 2 * len(self.order)
+                )
+                if bw_gate is None or bw_gate(tenant, head.nbytes, force):
+                    queue.popleft()
+                    self.deficit[tenant] = credit - head.nbytes
+                    if not queue:
+                        self.retire(tenant)
+                    # The pointer stays on this tenant (fresh stays
+                    # False) so its burst continues while credit lasts.
+                    return head, dropped
+                if bw_blocked is None:
+                    bw_blocked = tenant
+            # Deficit exhausted or bandwidth-blocked: pointer moves on.
+            visits_without_service += 1
+            self.idx += 1
+            self.fresh = True
+        return None, dropped
+
+
+class _FairQueue:
+    """Per-lane weighted fair-share queue: priority classes stay
+    strictly ordered (a blocking load still overtakes every store);
+    *within* a class tenants are served by :class:`_ClassRing` DRR."""
+
+    def __init__(self, registry: TenantRegistry) -> None:
+        self.registry = registry
+        self.classes: Dict[int, _ClassRing] = {}
+        #: Queued entries, live + stale (drives the workers' wait
+        #: predicate; stale entries are dropped lazily by pop()).
+        self.size = 0
+
+    def push(self, request: IORequest) -> None:
+        cls = int(request.priority)
+        ring = self.classes.get(cls)
+        if ring is None:
+            ring = self.classes[cls] = _ClassRing()
+        ring.push(request)
+        self.size += 1
+
+    def pop(self) -> Optional[IORequest]:
+        for cls in sorted(self.classes):
+            ring = self.classes[cls]
+            request, dropped = ring.pop(
+                self.registry.weight, self.registry.quantum_bytes, self._bw_gate
+            )
+            self.size -= dropped
+            if not ring.order:
+                del self.classes[cls]
+            if request is not None:
+                self.size -= 1
+                return request
+        return None
+
+    def _bw_gate(self, tenant: str, nbytes: int, force: bool) -> bool:
+        return self.registry.bw_admit(tenant, nbytes, force=force)
+
+    def remove(self, request: IORequest) -> bool:
+        """Unlink a queued request (promotion re-push); False when it
+        is not queued here (already popped, or parked)."""
+        cls = int(request.priority)
+        ring = self.classes.get(cls)
+        if ring is None:
+            return False
+        queue = ring.queues.get(request.tenant)
+        if queue is None:
+            return False
+        try:
+            queue.remove(request)
+        except ValueError:
+            return False
+        self.size -= 1
+        if not queue:
+            ring.retire(request.tenant)
+            if not ring.order:
+                del self.classes[cls]
+        return True
+
+    def peek_tenant_head(self, tenant: str) -> Optional[IORequest]:
+        """The tenant's most urgent live queued request (coalescing
+        looks here for the next batch member, so a batch never crosses
+        tenants — adjacency within the owner is the point)."""
+        for cls in sorted(self.classes):
+            ring = self.classes[cls]
+            queue = ring.queues.get(tenant)
+            if queue is None:
+                continue
+            while queue and queue[0].state is not JobState.PENDING:
+                queue.popleft()
+                self.size -= 1
+            if not queue:
+                ring.retire(tenant)
+                if not ring.order:
+                    del self.classes[cls]
+                continue
+            return queue[0]
+        return None
+
+
 class _Lane:
     """One tier's queue + bookkeeping (workers live on the scheduler)."""
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, fair: Optional[_FairQueue] = None) -> None:
         self.name = name
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
@@ -352,6 +632,12 @@ class _Lane:
         self.pending = 0  # submitted, not yet finished or cancelled
         self.idle = threading.Event()
         self.idle.set()
+        #: Fair-share queue replacing the heap when the scheduler runs
+        #: with a tenant registry (None = legacy single-heap path).
+        self.fair = fair
+
+    def has_work(self) -> bool:
+        return bool(self.heap) if self.fair is None else self.fair.size > 0
 
 
 class IOScheduler:
@@ -373,6 +659,13 @@ class IOScheduler:
             job errors (transient device faults, checksum mismatches)
             are re-attempted this many times with exponential backoff
             before the request goes FAILED.
+        tenants: a :class:`~repro.io.tenancy.TenantRegistry` to share
+            the lanes across jobs: enables quota admission and — unless
+            ``fifo`` — weighted fair-share (DRR) dequeue across tenants
+            within each priority class.  ``None`` (the default) keeps
+            the legacy single-heap path, byte-identical to the
+            pre-tenancy scheduler (a registry is still created for
+            bookkeeping, but never drives dequeue order).
         name: thread-name prefix.
     """
 
@@ -385,6 +678,7 @@ class IOScheduler:
         coalesce_bytes: int = DEFAULT_COALESCE_BYTES,
         max_retries: int = DEFAULT_MAX_RETRIES,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        tenants: Optional[TenantRegistry] = None,
         name: str = "ssdtrain-io",
     ) -> None:
         if num_store_workers < 1 or num_load_workers < 1:
@@ -402,6 +696,17 @@ class IOScheduler:
         self.coalesce_bytes = coalesce_bytes
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        #: Tenant registry: admission control + per-tenant books.  Fair
+        #: dequeue engages only when a registry was passed explicitly
+        #: (and not in FIFO mode) — the implicit bookkeeping registry
+        #: must not perturb the legacy heap order.
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.fair_share = tenants is not None and not fifo
+        #: Requests held by quota admission, per tenant, in submit
+        #: order; not on any lane (pending/drain ignore them) until a
+        #: refund re-admits them.  Guarded by _park_lock.
+        self._parked: Dict[str, Deque[IORequest]] = {}
+        self._park_lock = threading.Lock()
         self.stats = SchedulerStats()
         #: Per-lane failure/death bookkeeping fed by request completions;
         #: the tiered offloader and the adaptive controller both read it.
@@ -422,8 +727,15 @@ class IOScheduler:
         #: tracks the union of execution intervals across the lane's
         #: workers so busy_s never double-counts overlap.
         self._channel_usage: Dict[Tuple[str, str], List[float]] = {}
+        #: Per-(tenant, lane, channel) mirrors of the two dicts above —
+        #: the per-tenant telemetry surface (autotune per tenant).
+        self._tenant_windows: Dict[Tuple[str, str, str], ChannelWindow] = {}
+        self._tenant_usage: Dict[Tuple[str, str, str], List[float]] = {}
         self._listeners: List[Callable[[str, IORequest], None]] = []
-        self._lanes: Dict[str, _Lane] = {lane: _Lane(lane) for lane in lanes}
+        self._lanes: Dict[str, _Lane] = {
+            lane: _Lane(lane, _FairQueue(self.tenants) if self.fair_share else None)
+            for lane in lanes
+        }
         workers_per_lane = num_store_workers + num_load_workers
         self._workers: List[threading.Thread] = []
         for lane in self._lanes.values():
@@ -442,7 +754,8 @@ class IOScheduler:
         """Subscribe to scheduler events.
 
         ``listener(event, request)`` fires for ``"submit"``, ``"start"``,
-        ``"done"``, ``"cancel"`` and ``"promote"`` (after the fact, with
+        ``"done"``, ``"cancel"``, ``"promote"`` and — under quota
+        admission — ``"park"`` / ``"unpark"`` (after the fact, with
         no scheduler lock held).  The I/O tracer uses this to surface
         cancellations and promotions in overlap reports.
         """
@@ -465,7 +778,35 @@ class IOScheduler:
         return 0 if self.fifo else int(request.priority)
 
     def submit(self, request: IORequest) -> IORequest:
-        """Enqueue a typed request on its tier lane; returns the request."""
+        """Enqueue a typed request on its tier lane; returns the request.
+
+        Tenant admission runs first: an over-quota submission is either
+        rejected (:class:`~repro.io.tenancy.TenantQuotaError`) or
+        parked — held off-lane until a refund (a cancellation or
+        failure of an admitted request) frees headroom, at which point
+        it is enqueued in park order.  A parked request is PENDING and
+        cancellable, but invisible to ``pending()``/``drain()``.
+        """
+        self._lane_of(request)  # validate the lane before charging quota
+        outcome = self.tenants.admit(request.tenant, request.nbytes)
+        if outcome == "reject":
+            raise TenantQuotaError(
+                f"tenant {request.tenant!r} over quota: {request.label} "
+                f"({request.nbytes} bytes) rejected"
+            )
+        if outcome == "park":
+            with self._park_lock:
+                if self._shutdown.is_set():
+                    self.tenants.note_parked_cancelled(request.tenant)
+                    raise RuntimeError(f"scheduler {self.name} is shut down")
+                request._parked = True
+                self._parked.setdefault(request.tenant, deque()).append(request)
+            self._safe_notify("park", request)
+            return request
+        return self._enqueue(request)
+
+    def _enqueue(self, request: IORequest) -> IORequest:
+        """Admission already charged: put the request on its lane."""
         lane = self._lane_of(request)
         # Requests without an explicit retry policy inherit the
         # scheduler's (an explicit 0 opts out — stateful bodies that
@@ -476,16 +817,24 @@ class IOScheduler:
             request.retry_backoff_s = self.retry_backoff_s
         request.submitted_at = time.monotonic()
         with lane.cond:
-            if self._shutdown.is_set():
-                raise RuntimeError(f"scheduler {self.name} is shut down")
-            lane.pending += 1
-            lane.idle.clear()
-            heapq.heappush(
-                lane.heap,
-                (self._sort_key(request), lane.seq, int(request.priority), request),
-            )
-            lane.seq += 1
-            lane.cond.notify()
+            shut = self._shutdown.is_set()
+            if not shut:
+                lane.pending += 1
+                lane.idle.clear()
+                if lane.fair is not None:
+                    lane.fair.push(request)
+                else:
+                    heapq.heappush(
+                        lane.heap,
+                        (self._sort_key(request), lane.seq, int(request.priority), request),
+                    )
+                    lane.seq += 1
+                lane.cond.notify()
+        if shut:
+            # Admission already booked/charged this request; undo it so
+            # the per-tenant books stay exact through the refusal.
+            self.tenants.rollback_submitted(request.tenant, request.nbytes)
+            raise RuntimeError(f"scheduler {self.name} is shut down")
         # Finishing — by execution or by cancellation — is bookkept in one
         # place so the pending count never double-decrements on the
         # cancel-vs-dequeue race.
@@ -537,6 +886,20 @@ class IOScheduler:
                 self.stats.failed_bytes += request.nbytes
             else:
                 self.stats.executed += 1
+        outcome = (
+            "cancelled"
+            if state is JobState.CANCELLED
+            else "failed" if state is JobState.FAILED else "executed"
+        )
+        self.tenants.note_finished(
+            request.tenant, outcome, request.nbytes, retries=request.attempts
+        )
+        if outcome != "executed":
+            # The bytes never landed: refund the tenant's quota charge
+            # and give any of its parked submissions a shot at the
+            # freed headroom.
+            self.tenants.refund(request.tenant, request.nbytes)
+            self.kick_parked(request.tenant)
         # Health is learned only from requests that actually ran, and
         # only from *device-shaped* errors: a MemoryError (pool capacity
         # spike), a structural OSError (missing file, permissions), or a
@@ -544,16 +907,80 @@ class IOScheduler:
         # must not brick a lane.  A body that recovered from an I/O
         # failure internally (tiered demotion failover) reports it via
         # ``health_error`` so the lane still learns the truth despite
-        # the request completing DONE.
+        # the request completing DONE.  Verdicts are tenant-scoped: the
+        # default tenant drives the lane's global verdict, any other
+        # tenant only its own (isolation).
         if state is JobState.CANCELLED:
             return
         error = request.error if state is JobState.FAILED else request.health_error
         if is_device_error(error):
             self.health.record_failure(
-                request.lane, permanent=isinstance(error, PermanentIOError)
+                request.lane,
+                permanent=isinstance(error, PermanentIOError),
+                tenant=request.tenant,
             )
         elif state is JobState.DONE:
-            self.health.record_success(request.lane)
+            self.health.record_success(request.lane, tenant=request.tenant)
+
+    # ------------------------------------------------------------------ parked
+    def parked(self, tenant: Optional[str] = None) -> int:
+        """Requests currently held by quota admission (one tenant or all)."""
+        with self._park_lock:
+            if tenant is not None:
+                return sum(
+                    1
+                    for req in self._parked.get(tenant, ())
+                    if req.state is JobState.PENDING
+                )
+            return sum(
+                1
+                for queue in self._parked.values()
+                for req in queue
+                if req.state is JobState.PENDING
+            )
+
+    def kick_parked(self, tenant: str) -> int:
+        """Re-try admission for the tenant's parked requests, in park
+        order, until the head no longer fits; returns how many were
+        enqueued.  Called automatically on every refund; call it
+        manually after :meth:`TenantRegistry.resume` or a quota raise.
+        """
+        enqueued = 0
+        while True:
+            with self._park_lock:
+                queue = self._parked.get(tenant)
+                while queue and queue[0].state is not JobState.PENDING:
+                    queue.popleft()  # cancelled while parked
+                    self.tenants.note_parked_cancelled(tenant)
+                if not queue:
+                    if queue is not None:
+                        self._parked.pop(tenant, None)
+                    return enqueued
+                request = queue[0]
+                if not self.tenants.try_charge(tenant, request.nbytes):
+                    return enqueued  # still no headroom; stays parked
+                queue.popleft()
+                request._parked = False
+                if not queue:
+                    self._parked.pop(tenant, None)
+            self._enqueue(request)
+            self._safe_notify("unpark", request)
+            enqueued += 1
+
+    def _discard_parked(self, request: IORequest) -> bool:
+        with self._park_lock:
+            queue = self._parked.get(request.tenant)
+            if not queue:
+                return False
+            try:
+                queue.remove(request)
+            except ValueError:
+                return False
+            request._parked = False
+            if not queue:
+                self._parked.pop(request.tenant, None)
+        self.tenants.note_parked_cancelled(request.tenant)
+        return True
 
     # ------------------------------------------------------ cancel / promote
     def cancel(self, request: IORequest) -> bool:
@@ -561,9 +988,12 @@ class IOScheduler:
 
         The request's done event fires either way once it reaches a
         terminal state; a successful cancel reaches it without touching
-        the backing store.
+        the backing store.  Cancelling a parked request unlinks it from
+        the park queue immediately (it owed no quota).
         """
         if request.cancel():
+            if request._parked:
+                self._discard_parked(request)
             self._safe_notify("cancel", request)
             return True
         return False
@@ -571,26 +1001,48 @@ class IOScheduler:
     def promote(self, request: Optional[IORequest], priority: Priority = Priority.BLOCKING_LOAD) -> bool:
         """Raise a PENDING request's urgency (deadline promotion).
 
-        Re-pushes the request with the new class; the stale heap entry is
-        skipped at dequeue time (its priority snapshot no longer matches).
-        No-op in FIFO mode, for requests already at least that urgent,
-        and for requests that left the queue.
+        Legacy path: re-pushes the request with the new class; the stale
+        heap entry is skipped at dequeue time (its priority snapshot no
+        longer matches).  Fair path: the request is unlinked from its
+        class ring and re-pushed under the new class (no stale entries).
+        A parked request just has its priority raised — it enters the
+        queue with it when admission unparks it.  No-op in FIFO mode,
+        for requests already at least that urgent, and for requests
+        that left the queue.
         """
         if request is None or self.fifo:
             return False
+        if request._parked:
+            with self._park_lock:
+                if not request._parked or request.state is not JobState.PENDING:
+                    return False
+                if int(priority) >= int(request.priority):
+                    return False
+                request.priority = Priority(priority)
+            with self._stats_lock:
+                self.stats.promotions += 1
+            self._safe_notify("promote", request)
+            return True
         lane = self._lane_of(request)
         with lane.cond:
             if request.state is not JobState.PENDING:
                 return False
             if int(priority) >= int(request.priority):
                 return False
-            request.priority = Priority(priority)
-            heapq.heappush(
-                lane.heap,
-                (self._sort_key(request), lane.seq, int(request.priority), request),
-            )
-            lane.seq += 1
-            lane.cond.notify()
+            if lane.fair is not None:
+                requeue = lane.fair.remove(request)
+                request.priority = Priority(priority)
+                if requeue:
+                    lane.fair.push(request)
+                    lane.cond.notify()
+            else:
+                request.priority = Priority(priority)
+                heapq.heappush(
+                    lane.heap,
+                    (self._sort_key(request), lane.seq, int(request.priority), request),
+                )
+                lane.seq += 1
+                lane.cond.notify()
         with self._stats_lock:
             self.stats.promotions += 1
         self._safe_notify("promote", request)
@@ -623,6 +1075,8 @@ class IOScheduler:
         only a step-end deadline, and claimed members stay cancellable
         until the worker reaches them.
         """
+        if lane.fair is not None:
+            return self._pop_batch_fair_locked(lane)
         head = self._pop_valid_locked(lane)
         if head is None:
             return []
@@ -648,32 +1102,85 @@ class IOScheduler:
             total += nxt.nbytes
         return batch
 
+    def _pop_batch_fair_locked(self, lane: _Lane) -> List[IORequest]:
+        """Fair-path dequeue: DRR picks the head; coalescing then
+        drains the *same tenant's* queued small stores/demotions (in
+        its class order) into the batch — a batch never mixes tenants,
+        so coalescing cannot become a fairness loophole (the bytes a
+        batch moves are all charged to the tenant DRR selected)."""
+        head = lane.fair.pop()
+        if head is None:
+            return []
+        batch = [head]
+        if (
+            self.coalesce_bytes <= 0
+            or head.kind not in ("store", "demote")
+            or head.nbytes >= self.coalesce_bytes
+        ):
+            return batch
+        total = head.nbytes
+        while True:
+            nxt = lane.fair.peek_tenant_head(head.tenant)
+            if (
+                nxt is None
+                or nxt.kind not in ("store", "demote")
+                or total + nxt.nbytes > self.coalesce_bytes
+            ):
+                break
+            lane.fair.remove(nxt)
+            batch.append(nxt)
+            total += nxt.nbytes
+        return batch
+
+    @staticmethod
+    def _usage_open(usage_map, key, at: float) -> None:
+        usage = usage_map.setdefault(key, [0, 0.0])
+        if usage[0] == 0:
+            usage[1] = at  # a new busy interval opens
+        usage[0] += 1
+
+    @staticmethod
+    def _usage_close(usage_map, windows_map, key, request: IORequest) -> None:
+        window = windows_map.setdefault(key, ChannelWindow())
+        if request.state is not JobState.FAILED:
+            # A failed request moved no usable bytes; counting them
+            # would inflate the observed bandwidth the adaptive
+            # controller trusts.  Its busy time is still real, so the
+            # interval-union accounting below proceeds either way.
+            window.nbytes += request.nbytes
+            window.queued_s += max(0.0, request.started_at - request.submitted_at)
+            window.count += 1
+        usage = usage_map[key]
+        usage[0] -= 1
+        if usage[0] == 0:
+            # Last concurrent request on the channel: the busy
+            # interval closes, credited once for all of them.
+            window.busy_s += max(0.0, request.finished_at - usage[1])
+
     def _channel_started(self, request: IORequest) -> None:
-        key = (request.lane, _channel_of(request.kind))
+        channel = _channel_of(request.kind)
         with self._stats_lock:
-            usage = self._channel_usage.setdefault(key, [0, 0.0])
-            if usage[0] == 0:
-                usage[1] = request.started_at  # a new busy interval opens
-            usage[0] += 1
+            self._usage_open(
+                self._channel_usage, (request.lane, channel), request.started_at
+            )
+            self._usage_open(
+                self._tenant_usage,
+                (request.tenant, request.lane, channel),
+                request.started_at,
+            )
 
     def _record_completion(self, request: IORequest) -> None:
-        key = (request.lane, _channel_of(request.kind))
+        channel = _channel_of(request.kind)
         with self._stats_lock:
-            window = self._windows.setdefault(key, ChannelWindow())
-            if request.state is not JobState.FAILED:
-                # A failed request moved no usable bytes; counting them
-                # would inflate the observed bandwidth the adaptive
-                # controller trusts.  Its busy time is still real, so the
-                # interval-union accounting below proceeds either way.
-                window.nbytes += request.nbytes
-                window.queued_s += max(0.0, request.started_at - request.submitted_at)
-                window.count += 1
-            usage = self._channel_usage[key]
-            usage[0] -= 1
-            if usage[0] == 0:
-                # Last concurrent request on the channel: the busy
-                # interval closes, credited once for all of them.
-                window.busy_s += max(0.0, request.finished_at - usage[1])
+            self._usage_close(
+                self._channel_usage, self._windows, (request.lane, channel), request
+            )
+            self._usage_close(
+                self._tenant_usage,
+                self._tenant_windows,
+                (request.tenant, request.lane, channel),
+                request,
+            )
 
     def consume_completion_stats(self) -> Dict[str, Dict[str, ChannelWindow]]:
         """Drain the per-lane completion windows accumulated since the
@@ -697,6 +1204,31 @@ class IOScheduler:
         out: Dict[str, Dict[str, ChannelWindow]] = {}
         for (lane, channel), window in windows.items():
             out.setdefault(lane, {})[channel] = window
+        return out
+
+    def consume_tenant_completion_stats(
+        self,
+    ) -> Dict[str, Dict[str, Dict[str, ChannelWindow]]]:
+        """Per-tenant completion windows since the last call:
+        ``{tenant: {lane: {"write" | "read": ChannelWindow}}}``.
+
+        The per-tenant mirror of :meth:`consume_completion_stats` (same
+        interval-union busy accounting, scoped to one tenant's
+        requests) — the feed for per-tenant bandwidth reporting and a
+        future per-tenant autotune.  The two surfaces drain independent
+        window dicts, so consuming one does not reset the other.
+        """
+        now = time.monotonic()
+        with self._stats_lock:
+            for key, usage in self._tenant_usage.items():
+                if usage[0] > 0:
+                    window = self._tenant_windows.setdefault(key, ChannelWindow())
+                    window.busy_s += max(0.0, now - usage[1])
+                    usage[1] = now
+            windows, self._tenant_windows = self._tenant_windows, {}
+        out: Dict[str, Dict[str, Dict[str, ChannelWindow]]] = {}
+        for (tenant, lane, channel), window in windows.items():
+            out.setdefault(tenant, {}).setdefault(lane, {})[channel] = window
         return out
 
     def _safe_notify(self, event: str, request: IORequest) -> None:
@@ -732,9 +1264,9 @@ class IOScheduler:
     def _worker_loop(self, lane: _Lane) -> None:
         while True:
             with lane.cond:
-                while not lane.heap and not self._shutdown.is_set():
+                while not lane.has_work() and not self._shutdown.is_set():
                     lane.cond.wait()
-                if not lane.heap and self._shutdown.is_set():
+                if not lane.has_work() and self._shutdown.is_set():
                     return
                 batch = self._pop_batch_locked(lane)
             claimed = 0
@@ -764,9 +1296,13 @@ class IOScheduler:
                 # contains the residual hazard — exceptions escaping from
                 # the job's *done callbacks* — so one poisoned request
                 # can never kill the lane and hang drain() on the work
-                # queued behind it.
+                # queued behind it.  The body runs inside its request's
+                # tenant scope, so placement/pool/arena attribution made
+                # *within* a store or load body survives the hop from
+                # the submitting thread to this worker.
                 try:
-                    request.execute()
+                    with tenant_scope(request.tenant):
+                        request.execute()
                 except Exception:
                     logger.exception(
                         "request %s raised outside its body (callback failure); "
@@ -819,11 +1355,22 @@ class IOScheduler:
                 return True
 
     def shutdown(self) -> None:
-        """Finish queued work and stop the workers (idempotent)."""
+        """Finish queued work and stop the workers (idempotent).
+
+        Parked requests are cancelled — they were never admitted, and
+        nothing will refund quota for them after the lanes stop."""
         with self._stats_lock:  # idempotency only; readers use the Event
             if self._shutdown.is_set():
                 return
             self._shutdown.set()
+        with self._park_lock:
+            parked = [req for queue in self._parked.values() for req in queue]
+            self._parked.clear()
+        for request in parked:
+            request._parked = False
+            self.tenants.note_parked_cancelled(request.tenant)
+            if request.cancel():
+                self._safe_notify("cancel", request)
         self.drain()
         for lane in self._lanes.values():
             with lane.cond:

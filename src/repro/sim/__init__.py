@@ -15,9 +15,13 @@ from repro.sim.step_sim import (
     DriftScenario,
     FaultRunResult,
     FaultScenario,
+    MultiTenantHarness,
+    MultiTenantRunResult,
     SegmentSpec,
     SimResult,
     StepSimulator,
+    TenantJobSpec,
+    TenantRunMetrics,
     build_segments,
     simulate_adaptive_run,
     simulate_fault_run,
@@ -39,6 +43,10 @@ __all__ = [
     "FaultRunResult",
     "FaultScenario",
     "simulate_fault_run",
+    "MultiTenantHarness",
+    "MultiTenantRunResult",
+    "TenantJobSpec",
+    "TenantRunMetrics",
     "SegmentSpec",
     "SimResult",
     "StepSimulator",

@@ -37,6 +37,7 @@ Sec. III-C2) — making offload decisions with the *same*
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -1029,3 +1030,229 @@ def simulate_adaptive_run(
     return AdaptiveRunResult(
         scenario=scenario, results=results, budgets=budgets, decisions=decisions
     )
+
+
+# --------------------------------------------------------------------------
+# Multi-tenant contention harness
+# --------------------------------------------------------------------------
+
+#: Default virtual device bandwidth of the tenant harness (bytes per
+#: virtual second).  The absolute value is immaterial — every metric the
+#: harness reports is a ratio over it.
+DEFAULT_TENANT_DEVICE_BW = 256e6
+
+
+@dataclass(frozen=True)
+class TenantJobSpec:
+    """One tenant's synthetic offload burst for :class:`MultiTenantHarness`.
+
+    ``num_tensors`` store requests of ``tensor_bytes`` each are submitted
+    back-to-back; quotas forward to the tenant's
+    :class:`~repro.io.tenancy.TenantContext`.
+    """
+
+    name: str
+    weight: float = 1.0
+    num_tensors: int = 32
+    tensor_bytes: int = 64 << 10
+    byte_quota: Optional[int] = None
+    over_quota: str = "reject"
+
+    @property
+    def total_bytes(self) -> int:
+        return self.num_tensors * self.tensor_bytes
+
+
+@dataclass
+class TenantRunMetrics:
+    """Per-tenant outputs of one harness run (virtual-clock time base)."""
+
+    name: str
+    weight: float
+    submitted_bytes: int
+    executed_bytes: int
+    rejected_bytes: int
+    #: Virtual time at which the tenant's last byte landed on the device.
+    finish_time_s: float
+    #: executed bytes / finish time — completion bandwidth.
+    bandwidth: float
+    #: Bytes this tenant moved while *every* tenant still had queued work
+    #: (up to the first tenant's completion) — the contended-window share
+    #: that fair-share scheduling equalises and FIFO does not.
+    contended_bytes: int
+
+
+@dataclass
+class MultiTenantRunResult:
+    """Outputs of one :class:`MultiTenantHarness` run."""
+
+    fair: bool
+    device_bandwidth: float
+    tenants: Dict[str, TenantRunMetrics]
+    #: Jain's fairness index over the weight-normalised contended-window
+    #: byte shares (1.0 = perfectly proportional service).
+    contended_jain: float
+    #: Jain's index over weight-normalised completion bandwidths.
+    bandwidth_jain: float
+    #: Per-tenant scheduler books (TenantStats snapshot after drain).
+    tenant_stats: Dict[str, object] = field(default_factory=dict)
+
+
+class _VirtualDevice:
+    """A serial device on a virtual clock.
+
+    Service order is whatever the scheduler dequeues; each write advances
+    the virtual clock by ``nbytes / bandwidth`` under a lock, so byte
+    shares and finish times are deterministic — no wall-clock jitter, no
+    sleeps.  The ``start`` gate holds the lane worker until every tenant
+    has its burst queued, creating the contended window the fairness
+    metrics are defined over.
+    """
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self.start = threading.Event()
+        self._lock = threading.Lock()
+        self.clock = 0.0
+        #: (tenant, nbytes, virtual completion time) in service order.
+        self.served: List[Tuple[str, int, float]] = []
+
+    def write(self, tenant: str, nbytes: int) -> None:
+        self.start.wait()
+        with self._lock:
+            self.clock += nbytes / self.bandwidth
+            self.served.append((tenant, nbytes, self.clock))
+
+
+class MultiTenantHarness:
+    """Drive N tenant bursts through one shared-lane scheduler and measure
+    who got what.
+
+    The A/B axis is ``fair``: ``True`` runs the scheduler's weighted
+    deficit-round-robin dequeue (one
+    :class:`~repro.io.tenancy.TenantRegistry` shared with admission);
+    ``False`` runs the same registry over the legacy FIFO heap — the
+    naive baseline whose head-of-line bias the fairness suite quantifies.
+    All service lands on a single-worker virtual device, so results are
+    deterministic run to run.
+    """
+
+    def __init__(
+        self,
+        jobs: List[TenantJobSpec],
+        device_bandwidth: float = DEFAULT_TENANT_DEVICE_BW,
+        fair: bool = True,
+        quantum_bytes: Optional[int] = None,
+    ) -> None:
+        if not jobs:
+            raise ValueError("need at least one tenant job")
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        if device_bandwidth <= 0:
+            raise ValueError(f"device_bandwidth must be positive: {device_bandwidth}")
+        self.jobs = jobs
+        self.device_bandwidth = device_bandwidth
+        self.fair = fair
+        self.quantum_bytes = quantum_bytes
+
+    def run(self) -> MultiTenantRunResult:
+        from repro.io.scheduler import IORequest, IOScheduler, Priority
+        from repro.io.tenancy import (
+            DEFAULT_DRR_QUANTUM_BYTES,
+            TenantQuotaError,
+            TenantRegistry,
+            jain_index,
+        )
+
+        registry = TenantRegistry(
+            quantum_bytes=(
+                self.quantum_bytes
+                if self.quantum_bytes is not None
+                else DEFAULT_DRR_QUANTUM_BYTES
+            )
+        )
+        for job in self.jobs:
+            registry.register(
+                job.name,
+                weight=job.weight,
+                byte_quota=job.byte_quota,
+                over_quota=job.over_quota,
+            )
+        device = _VirtualDevice(self.device_bandwidth)
+        scheduler = IOScheduler(
+            num_store_workers=1,
+            num_load_workers=1,
+            lanes=("ssd",),
+            fifo=not self.fair,
+            coalesce_bytes=0,
+            tenants=registry,
+            name="tenant-harness",
+        )
+        rejected: Dict[str, int] = {job.name: 0 for job in self.jobs}
+        try:
+            for job in self.jobs:
+                for i in range(job.num_tensors):
+                    request = IORequest(
+                        lambda t=job.name, n=job.tensor_bytes: device.write(t, n),
+                        kind="store",
+                        priority=Priority.STORE,
+                        tensor_id=f"{job.name}:{i}",
+                        nbytes=job.tensor_bytes,
+                        lane="ssd",
+                        tenant=job.name,
+                    )
+                    try:
+                        scheduler.submit(request)
+                    except TenantQuotaError:
+                        rejected[job.name] += job.tensor_bytes
+            device.start.set()
+            scheduler.drain()
+        finally:
+            device.start.set()  # never leave the worker gated on error
+            scheduler.shutdown()
+
+        served = device.served
+        finish: Dict[str, float] = {}
+        executed: Dict[str, int] = {job.name: 0 for job in self.jobs}
+        for tenant, nbytes, at in served:
+            executed[tenant] = executed.get(tenant, 0) + nbytes
+            finish[tenant] = at
+        # The contended window closes when the first tenant runs dry —
+        # beyond it the survivors split idle capacity, which says nothing
+        # about fairness under contention.
+        active = [t for t, done in finish.items() if executed.get(t, 0) > 0]
+        window_end = min((finish[t] for t in active), default=0.0)
+        contended: Dict[str, int] = {job.name: 0 for job in self.jobs}
+        for tenant, nbytes, at in served:
+            if at <= window_end + 1e-12:
+                contended[tenant] = contended.get(tenant, 0) + nbytes
+
+        metrics: Dict[str, TenantRunMetrics] = {}
+        for job in self.jobs:
+            done_at = finish.get(job.name, 0.0)
+            done_bytes = executed.get(job.name, 0)
+            metrics[job.name] = TenantRunMetrics(
+                name=job.name,
+                weight=job.weight,
+                submitted_bytes=job.total_bytes - rejected[job.name],
+                executed_bytes=done_bytes,
+                rejected_bytes=rejected[job.name],
+                finish_time_s=done_at,
+                bandwidth=(done_bytes / done_at) if done_at > 0 else 0.0,
+                contended_bytes=contended.get(job.name, 0),
+            )
+        contended_jain = jain_index(
+            [m.contended_bytes / m.weight for m in metrics.values() if m.executed_bytes]
+        )
+        bandwidth_jain = jain_index(
+            [m.bandwidth / m.weight for m in metrics.values() if m.executed_bytes]
+        )
+        return MultiTenantRunResult(
+            fair=self.fair,
+            device_bandwidth=self.device_bandwidth,
+            tenants=metrics,
+            contended_jain=contended_jain,
+            bandwidth_jain=bandwidth_jain,
+            tenant_stats=registry.stats_snapshot(),
+        )

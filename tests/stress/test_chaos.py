@@ -286,3 +286,209 @@ def test_drain_timeout_returns_after_store_failure(tmp_path):
     assert injector.fault_stats.permanent_failures == 6
     _assert_scheduler_invariants(sched)
     sched.shutdown()
+
+
+# ------------------------------------------------------ tenant isolation
+def _train_pair(tmp_path, name, plan_for_a=None, kill_before_step=None):
+    """Two tenants share one fair-share scheduler; faults (if any) are
+    injected into tenant ``a``'s offloader only.  Returns per-tenant
+    losses plus the injector, registry and both caches."""
+    from repro.io import TenantRegistry, tenant_scope
+
+    registry = TenantRegistry()
+    registry.register("a")
+    registry.register("b")
+    scheduler = IOScheduler(
+        num_store_workers=2,
+        num_load_workers=2,
+        tenants=registry,
+        retry_backoff_s=0,
+        name=f"chaos-{name}",
+    )
+
+    def build(tenant):
+        gpu = GPU()
+        model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
+        policy = OffloadPolicy(PolicyConfig(min_offload_numel=256))
+        cache = TensorCache(
+            make_offloader(
+                "tiered",
+                store_dir=tmp_path / name / tenant,
+                cpu_pool_bytes=64 << 10,
+                policy=policy,
+            ),
+            policy=policy,
+            scheduler=scheduler,
+        )
+        trainer = Trainer(
+            model,
+            SGD(model.parameters(), lr=1e-3),
+            gpu,
+            strategy=PlacementStrategy.OFFLOAD,
+            cache=cache,
+        )
+        loader = TokenBatchLoader(
+            SyntheticCorpus(vocab_size=CONFIG.vocab_size, seed=5),
+            batch_size=2,
+            seq_len=CONFIG.seq_len,
+            device=gpu,
+        )
+        return cache, trainer, loader
+
+    cache_a, trainer_a, loader_a = build("a")
+    cache_b, trainer_b, loader_b = build("b")
+    injector = (
+        inject_faults(cache_a.offloader, plan_for_a)
+        if plan_for_a is not None
+        else None
+    )
+    losses = {"a": [], "b": []}
+    try:
+        for step in range(STEPS):
+            if injector is not None and kill_before_step == step:
+                injector.kill()
+            with tenant_scope("a"):
+                losses["a"].append(trainer_a.train_step([loader_a.next_batch()]).loss)
+            with tenant_scope("b"):
+                losses["b"].append(trainer_b.train_step([loader_b.next_batch()]).loss)
+        _assert_scheduler_invariants(scheduler)
+        for tenant in ("a", "b"):
+            stats = registry.stats_of(tenant)
+            assert (
+                stats.submitted == stats.executed + stats.failed + stats.cancelled
+            ), f"tenant {tenant!r} books do not reconcile"
+    finally:
+        trainer_a.close()
+        trainer_b.close()
+    return losses, injector, registry, cache_a, cache_b
+
+
+def test_tenant_ssd_death_is_isolated_and_b_stays_bit_exact(tmp_path):
+    """Tenant A's SSD bricks mid-run on a *shared* scheduler: A fails
+    over to its CPU tier, the death latch stays scoped to A, and tenant
+    B's losses are bit-exact vs the run where A stayed healthy."""
+    clean, _, _, clean_a, clean_b = _train_pair(tmp_path, "clean")
+    dead, injector, registry, cache_a, cache_b = _train_pair(
+        tmp_path, "dead", plan_for_a=FaultPlan(), kill_before_step=1
+    )
+    assert injector.fault_stats.permanent_failures >= 1
+    # The latch fired for tenant A only -- never globally, never for B.
+    assert cache_a.offloader.ssd_dead_for("a")
+    assert not cache_a.offloader.ssd_dead
+    assert not cache_b.offloader.ssd_dead_for("b")
+    scheduler = cache_a.scheduler
+    assert not scheduler.health.is_dead("ssd")
+    assert scheduler.health.is_dead("ssd", "a")
+    assert set(scheduler.health.dead_tenants("ssd")) == {"a"}
+    assert cache_a.offloader.stats.failovers >= 1
+    assert cache_b.offloader.stats.failovers == 0
+    assert not cache_b.offloader.pool.overflow_allowed
+    # Isolation: B is bit-exact; failover correctness: A is too.
+    assert dead["b"] == clean["b"], "tenant B must be untouched by A's chaos"
+    assert dead["a"] == clean["a"], "A's CPU failover must stay bit-exact"
+    # Per-tenant lease accounting reconciles exactly after shutdown.
+    for cache in (cache_a, cache_b, clean_a, clean_b):
+        arena_stats = cache.offloader.arena.stats()
+        assert arena_stats.outstanding == 0
+        assert arena_stats.leaked == 0
+        assert arena_stats.outstanding_by_tenant == {}
+        assert cache.offloader.pool.used_by_tenant() == {}
+
+
+@pytest.mark.parametrize("seed", SEEDS[:2])
+def test_tenant_transient_storm_retries_stay_attributed_to_a(tmp_path, seed):
+    """A transient-fault storm against tenant A heals via retries whose
+    cost never shows up in tenant B's books or losses."""
+    clean, _, _, _, _ = _train_pair(tmp_path, "clean")
+    plan = FaultPlan.transient(rate=0.25, seed=seed)
+    storm, injector, registry, cache_a, cache_b = _train_pair(
+        tmp_path, f"storm{seed}", plan_for_a=plan
+    )
+    assert injector.fault_stats.injected_transient > 0
+    stats_a = registry.stats_of("a")
+    stats_b = registry.stats_of("b")
+    # The tiered engine heals some faults with in-offloader synchronous
+    # retries that never reach the scheduler books, so only a subset of
+    # injected faults shows up as request-level retries -- but all of
+    # those must land on A.
+    assert stats_a.retries > 0
+    assert stats_b.retries == 0, "A's retry storm leaked into B's books"
+    assert stats_a.failed == 0, "every transient fault must heal"
+    assert storm["b"] == clean["b"]
+    assert storm["a"] == clean["a"]
+
+
+def test_retry_storm_degrades_other_tenant_bandwidth_under_15pct():
+    """Deterministic virtual-clock storm: every one of tenant A's writes
+    fails once (the aborted attempt burns a slice of device time) and
+    tenant B's contended-window bandwidth degrades by less than 15 %."""
+    from repro.io import TenantRegistry, tenant_scope
+
+    bandwidth = 256e6
+    nbytes = 32 << 10
+    per_tenant = 64
+
+    def run(storm):
+        registry = TenantRegistry()
+        registry.register("a")
+        registry.register("b")
+        sched = IOScheduler(
+            num_store_workers=1,
+            num_load_workers=1,
+            lanes=("ssd",),
+            tenants=registry,
+            coalesce_bytes=0,
+            retry_backoff_s=0,
+            name=f"vdev-{'storm' if storm else 'clean'}",
+        )
+        lock = threading.Lock()
+        start = threading.Event()
+        clock = [0.0]
+        served = []
+        failed_once = set()
+
+        def write(tenant, tid):
+            start.wait(10)
+            with lock:
+                if storm and tenant == "a" and tid not in failed_once:
+                    failed_once.add(tid)
+                    # An aborted attempt still burns device time before
+                    # the error surfaces -- a slice of the full write.
+                    clock[0] += (nbytes / bandwidth) * 0.15
+                    raise TransientIOError("storm blip")
+                clock[0] += nbytes / bandwidth
+                served.append((tenant, nbytes, clock[0]))
+
+        try:
+            for tenant in ("a", "b"):
+                with tenant_scope(tenant):
+                    for i in range(per_tenant):
+                        sched.submit(
+                            IORequest(
+                                lambda t=tenant, i=i: write(t, f"{t}{i}"),
+                                kind="store",
+                                priority=Priority.STORE,
+                                tensor_id=f"{tenant}{i}",
+                                nbytes=nbytes,
+                            )
+                        )
+            start.set()
+            assert sched.drain(30)
+        finally:
+            start.set()
+            sched.shutdown()
+        if storm:
+            assert len(failed_once) == per_tenant, "the storm must bite every write"
+        assert registry.stats_of("a").failed == 0
+        assert registry.stats_of("b").retries == 0
+        finish = {
+            t: max(at for who, _, at in served if who == t) for t in ("a", "b")
+        }
+        window = min(finish.values())
+        b_bytes = sum(n for who, n, at in served if who == "b" and at <= window + 1e-12)
+        return b_bytes / window
+
+    clean_bw = run(storm=False)
+    storm_bw = run(storm=True)
+    degradation = 1.0 - storm_bw / clean_bw
+    assert degradation < 0.15, f"tenant B lost {degradation:.1%} bandwidth to A's storm"

@@ -186,3 +186,12 @@ def test_committed_pr5_baseline_is_loadable():
     assert any("buffers" in name for name in stats)
     assert all(value > 0 for value in stats.values())
     assert payload.get("machine_info")
+
+
+def test_tenant_benches_are_guarded_by_default(tmp_path):
+    """The multi-tenant QoS benches (DRR dequeue, admission hot path)
+    sit in the default wall-clock gate (the PR 6 pattern extension)."""
+    name = "bench_tenants.py::test_tenant_admission_quota_hot_path"
+    base = _write(tmp_path, "base.json", {name: 0.010})
+    cur = _write(tmp_path, "cur.json", {name: 0.013})
+    assert guard.main(["--baseline", base, "--current", cur]) == 1
