@@ -32,7 +32,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core import OffloadPolicy, PolicyConfig, TensorCache, make_offloader
+from repro.core import EngineConfig, OffloadPolicy, PolicyConfig, build_engine
 from repro.data import SyntheticCorpus, TokenBatchLoader
 from repro.device import GPU
 from repro.io.trace import attach_tracer
@@ -67,24 +67,24 @@ def run(
     tracer = None
     if offload:
         # The "few lines added to the existing script" (paper Sec. III-A):
-        # build a cache over a config-selected offloader; the Trainer
-        # registers the weights, attaches the hooks, and wires the
-        # scheduler hints.
+        # one EngineConfig selects the whole engine, engine.cache() hangs
+        # the training front-end on it; the Trainer registers the
+        # weights, attaches the hooks, and wires the scheduler hints.
         store_dir = tempfile.mkdtemp(prefix="ssdtrain-quickstart-")
         policy = OffloadPolicy(PolicyConfig(min_offload_numel=1024))
-        cache = TensorCache(
-            make_offloader(
-                target,
+        engine = build_engine(
+            EngineConfig(
+                target=target,
                 store_dir=store_dir,
                 cpu_pool_bytes=cpu_pool_bytes,
                 chunk_bytes=chunk_bytes,
                 throttle_bytes_per_s=STORE_THROTTLE_BYTES_PER_S,
                 policy=policy,  # one policy governs decide() and place()
                 legacy_dataplane=legacy_dataplane,
-            ),
-            policy=policy,
-            fifo_io=fifo_io,
+                fifo_io=fifo_io,
+            )
         )
+        cache = engine.cache()
         tracer = attach_tracer(cache)
 
     trainer = Trainer(

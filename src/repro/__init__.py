@@ -16,6 +16,11 @@ from repro.core import (
     AutotuneController,
     ControllerConfig,
     CPUOffloader,
+    Engine,
+    EngineConfig,
+    EngineConfigError,
+    EngineStats,
+    build_engine,
     OffloadPolicy,
     PolicyConfig,
     SSDOffloader,
@@ -39,6 +44,11 @@ __all__ = [
     "TieredOffloader",
     "Tier",
     "make_offloader",
+    "Engine",
+    "EngineConfig",
+    "EngineConfigError",
+    "EngineStats",
+    "build_engine",
     "OffloadPolicy",
     "PolicyConfig",
     "TensorIDRegistry",

@@ -22,6 +22,8 @@ Usage::
                                          #   (MB/s, copies/step, bit-exactness)
     python -m repro tenants              # multi-tenant fair-share vs FIFO A/B
                                          #   (Jain's index, weights, quotas)
+    python -m repro kv                   # KV-cache paging vs HBM-only serving
+                                         #   (p50/p99 TTFT, peak concurrency)
 
 The functional quickstart drives any backend: ``--target ssd|cpu|tiered``
 plus ``--cpu-pool-bytes`` (CPU-tier capacity) and ``--chunk-bytes``
@@ -349,7 +351,7 @@ def _faults_functional(args: argparse.Namespace) -> None:
 
     import numpy as np
 
-    from repro.core import OffloadPolicy, PolicyConfig, TensorCache, make_offloader
+    from repro.core import EngineConfig, OffloadPolicy, PolicyConfig, build_engine
     from repro.data import SyntheticCorpus, TokenBatchLoader
     from repro.device import GPU
     from repro.io.faults import FaultPlan, inject_faults
@@ -366,16 +368,16 @@ def _faults_functional(args: argparse.Namespace) -> None:
         gpu = GPU()
         model = GPT(config, rng=np.random.default_rng(0)).to(gpu)
         policy = OffloadPolicy(PolicyConfig(min_offload_numel=256))
-        cache = TensorCache(
-            make_offloader(
-                target,
+        engine = build_engine(
+            EngineConfig(
+                target=target,
                 store_dir=tempfile.mkdtemp(prefix="ssdtrain-faults-"),
                 # Small pool: demotions to the (killable) SSD tier happen.
                 cpu_pool_bytes=(64 << 10) if target == "tiered" else None,
                 policy=policy,
-            ),
-            policy=policy,
+            )
         )
+        cache = engine.cache()
         injector = inject_faults(cache.offloader, plan) if plan is not None else None
         trainer = Trainer(model, SGD(model.parameters(), lr=1e-3), gpu,
                           strategy=PlacementStrategy.OFFLOAD, cache=cache)
@@ -651,6 +653,75 @@ def cmd_tenants(args: argparse.Namespace) -> None:
     assert capped.executed_bytes <= quota, "byte quota must cap executed bytes"
 
 
+def cmd_kv(args: argparse.Namespace) -> None:
+    """KV-cache paging A/B: paged serving vs HBM-only at equal capacity.
+
+    One seeded multi-user trace is served twice through the virtual-clock
+    server sim — once with the KV block pool paging cold blocks to the
+    engine's CPU/SSD tiers, once reserving every request's full KV in HBM.
+    All numbers are virtual-clock, so they are exact and deterministic;
+    the paged run is replayed under the same seed to prove it.
+    """
+    from repro.serve import (
+        KVServerSim,
+        RequestTrace,
+        ServerConfig,
+        TraceConfig,
+    )
+
+    trace = RequestTrace.generate(
+        TraceConfig(num_requests=args.requests, seed=args.seed)
+    )
+    print(
+        f"KV paging A/B: {len(trace)} requests from {len(trace.users)} users "
+        f"(seed {args.seed}), contexts up to {trace.max_context_tokens} tokens, "
+        f"HBM capacity {args.hbm_kb} KiB\n"
+    )
+    hbm = args.hbm_kb << 10
+    paged_cfg = ServerConfig(paged=True, strategy=args.strategy, hbm_capacity_bytes=hbm)
+    base_cfg = ServerConfig(paged=False, hbm_capacity_bytes=hbm)
+    paged = KVServerSim(trace, paged_cfg).run()
+    base = KVServerSim(trace, base_cfg).run()
+    replay = KVServerSim(trace, paged_cfg).run()
+
+    print(f"{'mode':>16} {'served':>7} {'rejected':>9} {'peak ctx':>9} "
+          f"{'TTFT p50 (s)':>13} {'TTFT p99 (s)':>13}")
+    for r in (paged, base):
+        print(f"{r.label:>16} {r.served:>7d} {r.rejected:>9d} "
+              f"{r.peak_concurrency:>9d} {r.ttft_p50:>13.4f} {r.ttft_p99:>13.4f}")
+
+    print("\nper-user TTFT p50 (s), paged:")
+    for user in sorted(paged.per_user_ttft_p50):
+        print(f"  {user}: {paged.per_user_ttft_p50[user]:.4f}")
+
+    stats = paged.pool_stats
+    census = "  ".join(
+        f"{tier}:{count}" for tier, count in sorted(paged.tier_census_peak.items())
+    )
+    print(f"\nblock census at peak concurrency: {census}")
+    print(f"pool books: {stats.blocks_written} blocks written, "
+          f"{stats.demand_fetches} demand fetches, "
+          f"{stats.prefetch_hits} prefetch hits "
+          f"(hit rate {stats.prefetch_hit_rate:.3f}), "
+          f"{stats.writebacks} writebacks, {stats.evictions} evictions")
+    print(f"bit-exact KV round-trip: {paged.bit_exact_checked} blocks verified "
+          f"across tier migrations. {'✓' if paged.bit_exact_ok else '✗'}")
+
+    assert paged.bit_exact_ok and base.bit_exact_ok, "KV bytes must round-trip bit-exact"
+    assert paged.peak_concurrency > base.peak_concurrency, (
+        "paging must serve more concurrent contexts than HBM-only at equal capacity"
+    )
+    assert paged.served >= base.served, "paging must not serve fewer requests"
+    if args.strategy in ("lookahead",):
+        assert stats.prefetch_hit_rate > 0, "look-ahead prefetch must land hits"
+    assert (replay.ttft_p50, replay.ttft_p99) == (paged.ttft_p50, paged.ttft_p99), (
+        "same seed must reproduce identical p50/p99"
+    )
+    print(f"\npaged serves {paged.peak_concurrency} concurrent contexts vs "
+          f"{base.peak_concurrency} HBM-only; replay under seed {args.seed} "
+          f"reproduced p50/p99 exactly. ✓")
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "fig1": cmd_fig1,
     "fig2": cmd_fig2,
@@ -668,6 +739,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "faults": cmd_faults,
     "dataplane": cmd_dataplane,
     "tenants": cmd_tenants,
+    "kv": cmd_kv,
 }
 
 
@@ -738,6 +810,25 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument(
                 "--tensor-kb", type=int, default=48,
                 help="size of each store in KiB",
+            )
+        if name == "kv":
+            p.add_argument(
+                "--requests", type=int, default=32,
+                help="requests in the synthetic multi-user trace",
+            )
+            p.add_argument(
+                "--seed", type=int, default=1234,
+                help="trace seed (same seed => identical p50/p99)",
+            )
+            p.add_argument(
+                "--strategy", choices=("prefer-hbm", "split-token",
+                                       "layer-importance", "lookahead"),
+                default="lookahead",
+                help="paging strategy for the paged run",
+            )
+            p.add_argument(
+                "--hbm-kb", type=int, default=256,
+                help="simulated HBM KV budget in KiB (both modes)",
             )
         if name in ("sched", "autotune"):
             p.add_argument(

@@ -19,6 +19,14 @@ Public surface:
 """
 
 from repro.core.ids import TensorID, TensorIDRegistry
+from repro.core.engine import (
+    Engine,
+    EngineConfig,
+    EngineConfigError,
+    EngineStats,
+    PoolBooks,
+    build_engine,
+)
 from repro.core.policy import (
     Decision,
     KeepReason,
@@ -49,6 +57,12 @@ from repro.core.hints import SchedulerHints, Stage, patch_schedule
 __all__ = [
     "TensorID",
     "TensorIDRegistry",
+    "Engine",
+    "EngineConfig",
+    "EngineConfigError",
+    "EngineStats",
+    "PoolBooks",
+    "build_engine",
     "Decision",
     "KeepReason",
     "OffloadPolicy",

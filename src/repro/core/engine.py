@@ -1,0 +1,370 @@
+"""The engine facade: one typed construction path for the offload stack.
+
+Growing a second front-end (the KV-cache paging server in
+:mod:`repro.serve`) next to the original :class:`~repro.train.trainer.Trainer`
+exposed two API problems:
+
+1. **Construction sprawl** — the only way to build the data plane was the
+   ``make_offloader(target, store_dir, cpu_pool_bytes, chunk_bytes, ...)``
+   kwarg pile, after which every caller still had to build an
+   :class:`~repro.io.scheduler.IOScheduler` (or let
+   :class:`~repro.core.tensor_cache.TensorCache` build one implicitly) and
+   wire the two together by hand.
+2. **Stats sprawl** — telemetry was scattered over four ad-hoc accessors
+   (``Offloader.dataplane_stats()``, ``IOScheduler.consume_completion_stats()``,
+   ``TensorCache.consume_step_stats()`` and the tenancy books), each with
+   its own consuming/non-consuming semantics.
+
+This module fixes both:
+
+- :class:`EngineConfig` is the single typed configuration record;
+  invalid combinations raise :class:`EngineConfigError` (a
+  :class:`ValueError` subclass, so legacy ``except ValueError`` callers
+  keep working) with the same messages ``make_offloader`` always used.
+- :func:`build_engine` returns an :class:`Engine` bundling the offloader,
+  a lazily-started scheduler, the placement policy and the optional
+  tenant registry.  ``Trainer`` runs construct a cache via
+  :meth:`Engine.cache`; the KV front-end drives the offloader/scheduler
+  pair directly; ``make_offloader()`` survives as a thin shim over it.
+- :meth:`Engine.stats` returns one :class:`EngineStats` snapshot
+  aggregating every book non-destructively — reading it never steals the
+  adaptive controller's bandwidth windows or resets a counter.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.core.offloader import (
+    CPUOffloader,
+    OFFLOAD_TARGETS,
+    Offloader,
+    PinnedMemoryPool,
+    SSDOffloader,
+)
+from repro.core.policy import OffloadPolicy
+from repro.io.buffers import ArenaStats, DataPlaneStats
+from repro.io.scheduler import (
+    ChannelWindow,
+    IOScheduler,
+    LaneHealthSnapshot,
+    SchedulerStats,
+)
+from repro.io.tenancy import TenantRegistry, TenantStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.tensor_cache import TensorCache
+    from repro.core.tiered import TierStats
+
+
+class EngineConfigError(ValueError):
+    """An :class:`EngineConfig` describes an impossible engine.
+
+    Subclasses :class:`ValueError` so code written against the historic
+    ``make_offloader`` error contract (``except ValueError`` /
+    ``pytest.raises(ValueError)``) is unaffected by the typed upgrade.
+    """
+
+
+@dataclass
+class EngineConfig:
+    """Typed configuration for one offload engine (data + I/O plane).
+
+    Data-plane knobs (the former ``make_offloader`` axis):
+
+    Attributes:
+        target: ``"ssd"``, ``"cpu"`` or ``"tiered"`` (see
+            :data:`~repro.core.offloader.OFFLOAD_TARGETS`).
+        store_dir: backing directory; required for ``ssd``/``tiered``.
+        cpu_pool_bytes: pinned-pool capacity (``cpu``/``tiered``);
+            ``None`` means unbounded for ``cpu`` and is rejected for
+            ``tiered``.
+        chunk_bytes: enable chunk coalescing on the SSD path.
+        throttle_bytes_per_s: model a paced store device.
+        array: array-module override forwarded to the SSD tier.
+        policy: the :class:`~repro.core.policy.OffloadPolicy`; built
+            fresh when ``None`` and shared between the offloader, the
+            cache and any paging front-end so per-tenant placement hooks
+            take effect everywhere.
+        legacy_dataplane: run the pre-PR5 copy map (A/B baseline).
+        promote_on_load: tiered only — copy SSD residents back into the
+            pinned pool on load when there is room.
+
+    I/O-plane knobs (the scheduler every front-end shares):
+
+    Attributes:
+        num_store_workers / num_load_workers: per-channel worker counts
+            (their sum is each lane's worker pool).
+        fifo_io: dequeue in submission order (paper baseline).
+        coalesce_bytes / max_retries / retry_backoff_s: forwarded to
+            :class:`~repro.io.scheduler.IOScheduler`; ``None`` keeps the
+            scheduler's defaults.
+        tenants: a :class:`~repro.io.tenancy.TenantRegistry` enabling
+            quota admission + weighted fair-share dequeue.
+        prefetch_window: look-ahead depth handed to caches built via
+            :meth:`Engine.cache`.
+    """
+
+    target: str = "tiered"
+    store_dir: Any = None
+    cpu_pool_bytes: Optional[int] = None
+    chunk_bytes: Optional[int] = None
+    throttle_bytes_per_s: Optional[float] = None
+    array: Any = None
+    policy: Optional[OffloadPolicy] = None
+    legacy_dataplane: bool = False
+    promote_on_load: bool = True
+    num_store_workers: int = 2
+    num_load_workers: int = 2
+    fifo_io: bool = False
+    coalesce_bytes: Optional[int] = None
+    max_retries: Optional[int] = None
+    retry_backoff_s: Optional[float] = None
+    tenants: Optional[TenantRegistry] = None
+    prefetch_window: int = 8
+
+    def validate(self) -> None:
+        """Raise :class:`EngineConfigError` on an inconsistent config.
+
+        Keeps the exact messages ``make_offloader`` raised for the
+        combinations it rejected (an experiment flag that does nothing
+        is worse than an error), plus checks for the scheduler axis.
+        """
+        if self.target not in OFFLOAD_TARGETS:
+            raise EngineConfigError(
+                f"unknown offload target {self.target!r}; "
+                f"expected one of {OFFLOAD_TARGETS}"
+            )
+        if self.target == "cpu" and self.chunk_bytes is not None:
+            raise EngineConfigError(
+                "chunk_bytes applies to the ssd/tiered targets, not cpu"
+            )
+        if self.target == "ssd" and self.cpu_pool_bytes is not None:
+            raise EngineConfigError(
+                "cpu_pool_bytes applies to the cpu/tiered targets, not ssd"
+            )
+        if self.target in ("ssd", "tiered") and self.store_dir is None:
+            raise EngineConfigError(f"{self.target} target requires store_dir")
+        if self.target == "tiered" and self.cpu_pool_bytes is None:
+            raise EngineConfigError("tiered target requires cpu_pool_bytes")
+        if self.cpu_pool_bytes is not None and self.cpu_pool_bytes < 0:
+            raise EngineConfigError(
+                f"cpu_pool_bytes must be >= 0: {self.cpu_pool_bytes}"
+            )
+        if self.num_store_workers < 1 or self.num_load_workers < 1:
+            raise EngineConfigError("each channel needs at least one worker")
+        if self.prefetch_window < 0:
+            raise EngineConfigError(
+                f"prefetch_window must be >= 0: {self.prefetch_window}"
+            )
+
+
+@dataclass
+class PoolBooks:
+    """Point-in-time books of the pinned host pool."""
+
+    capacity_bytes: Optional[int]
+    used_bytes: int
+    high_watermark_bytes: int
+    overflow_bytes: int
+    used_by_tenant: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class EngineStats:
+    """One aggregated, non-destructive snapshot of the whole engine.
+
+    Every field is a detached copy: mutating it (or the engine doing
+    more work) affects nothing, and taking the snapshot never drains
+    the adaptive controller's completion windows.  Fields that do not
+    apply to the configured target stay ``None``/empty (e.g. ``tiers``
+    for a pure-SSD engine, ``scheduler`` before any front-end touched
+    the lazily-built I/O plane).
+    """
+
+    target: str
+    dataplane: DataPlaneStats
+    scheduler: Optional[SchedulerStats] = None
+    channels: Dict[str, Dict[str, ChannelWindow]] = field(default_factory=dict)
+    lane_health: Dict[str, LaneHealthSnapshot] = field(default_factory=dict)
+    tenants: Dict[str, TenantStats] = field(default_factory=dict)
+    pool: Optional[PoolBooks] = None
+    tiers: Optional["TierStats"] = None
+    arena: Optional[ArenaStats] = None
+
+
+class Engine:
+    """The assembled offload engine: data plane + I/O plane + policy.
+
+    Use :func:`build_engine` rather than constructing directly.  The
+    scheduler is built lazily on first access, so callers that only
+    need the synchronous offloader (the ``make_offloader()`` shim, unit
+    fixtures) never spawn worker threads.
+    """
+
+    def __init__(self, config: EngineConfig) -> None:
+        config.validate()
+        self.config = config
+        self.policy = config.policy if config.policy is not None else OffloadPolicy()
+        self.tenants = config.tenants
+        self.offloader = self._build_offloader()
+        self._scheduler: Optional[IOScheduler] = None
+        self._scheduler_lock = threading.Lock()
+        self._caches: List["TensorCache"] = []
+
+    # ------------------------------------------------------------ construction
+    def _build_offloader(self) -> Offloader:
+        from repro.core.tiered import TieredOffloader  # circular-import guard
+
+        cfg = self.config
+        if cfg.target == "ssd":
+            return SSDOffloader(
+                cfg.store_dir,
+                throttle_bytes_per_s=cfg.throttle_bytes_per_s,
+                array=cfg.array,
+                chunk_bytes=cfg.chunk_bytes,
+                legacy_copies=cfg.legacy_dataplane,
+            )
+        if cfg.target == "cpu":
+            return CPUOffloader(
+                PinnedMemoryPool(cfg.cpu_pool_bytes),
+                throttle_bytes_per_s=cfg.throttle_bytes_per_s,
+                legacy_copies=cfg.legacy_dataplane,
+            )
+        return TieredOffloader(
+            cfg.store_dir,
+            cpu_pool_bytes=cfg.cpu_pool_bytes,
+            chunk_bytes=cfg.chunk_bytes,
+            policy=self.policy,
+            promote_on_load=cfg.promote_on_load,
+            throttle_bytes_per_s=cfg.throttle_bytes_per_s,
+            array=cfg.array,
+            legacy_dataplane=cfg.legacy_dataplane,
+        )
+
+    @property
+    def scheduler(self) -> IOScheduler:
+        """The shared priority scheduler, built (and wired to the
+        offloader's demotion path) on first access."""
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                cfg = self.config
+                kwargs: Dict[str, Any] = {}
+                if cfg.coalesce_bytes is not None:
+                    kwargs["coalesce_bytes"] = cfg.coalesce_bytes
+                if cfg.max_retries is not None:
+                    kwargs["max_retries"] = cfg.max_retries
+                if cfg.retry_backoff_s is not None:
+                    kwargs["retry_backoff_s"] = cfg.retry_backoff_s
+                self._scheduler = IOScheduler(
+                    num_store_workers=cfg.num_store_workers,
+                    num_load_workers=cfg.num_load_workers,
+                    fifo=cfg.fifo_io,
+                    tenants=cfg.tenants,
+                    **kwargs,
+                )
+                set_scheduler = getattr(self.offloader, "set_scheduler", None)
+                if set_scheduler is not None:
+                    set_scheduler(self._scheduler)
+            return self._scheduler
+
+    @property
+    def scheduler_started(self) -> bool:
+        """True once the lazy I/O plane exists (without creating it)."""
+        return self._scheduler is not None
+
+    def cache(self, **overrides: Any) -> "TensorCache":
+        """Build a :class:`~repro.core.tensor_cache.TensorCache` on this
+        engine — the ``Trainer`` front-end's construction path.
+
+        The cache shares the engine's offloader, policy and scheduler,
+        so its records, the KV front-end's blocks and any direct
+        submissions all flow through one set of books.
+        """
+        from repro.core.tensor_cache import TensorCache  # circular-import guard
+
+        kwargs: Dict[str, Any] = {
+            "policy": self.policy,
+            "scheduler": self.scheduler,
+            "prefetch_window": self.config.prefetch_window,
+        }
+        kwargs.update(overrides)
+        cache = TensorCache(self.offloader, **kwargs)
+        self._caches.append(cache)
+        return cache
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> EngineStats:
+        """The one aggregated snapshot (see :class:`EngineStats`)."""
+        off = self.offloader
+        snap = EngineStats(
+            target=self.config.target, dataplane=off.dataplane_stats()
+        )
+        sched = self._scheduler
+        if sched is not None:
+            snap.scheduler = sched.stats_snapshot()
+            snap.channels = sched.peek_completion_stats()
+            snap.lane_health = sched.health.snapshot()
+            snap.tenants = sched.tenants.stats_snapshot()
+        elif self.tenants is not None:
+            snap.tenants = self.tenants.stats_snapshot()
+        pool = getattr(off, "pool", None)
+        if pool is not None:
+            snap.pool = PoolBooks(
+                capacity_bytes=pool.capacity_bytes,
+                used_bytes=pool.used,
+                high_watermark_bytes=pool.high_watermark,
+                overflow_bytes=pool.overflow_bytes,
+                used_by_tenant=pool.used_by_tenant(),
+            )
+        tier_snapshot = getattr(off, "stats_snapshot", None)
+        if tier_snapshot is not None:
+            snap.tiers = tier_snapshot()
+        arena = getattr(off, "arena", None)
+        if arena is not None:
+            snap.arena = arena.stats()
+        return snap
+
+    # Thin delegating accessors: the historic per-object entry points,
+    # now all views over the same stats() aggregation.
+    def dataplane_stats(self) -> DataPlaneStats:
+        return self.stats().dataplane
+
+    def tenant_stats(self) -> Dict[str, TenantStats]:
+        return self.stats().tenants
+
+    def pool_stats(self) -> Optional[PoolBooks]:
+        return self.stats().pool
+
+    def channel_windows(self) -> Dict[str, Dict[str, ChannelWindow]]:
+        return self.stats().channels
+
+    # ---------------------------------------------------------------- teardown
+    def shutdown(self) -> None:
+        """Stop the I/O plane (if started) and release the data plane."""
+        with self._scheduler_lock:
+            sched, self._scheduler = self._scheduler, None
+        if sched is not None:
+            sched.shutdown()
+        self.offloader.shutdown()
+
+
+def build_engine(config: Optional[EngineConfig] = None, **overrides: Any) -> Engine:
+    """Build an :class:`Engine` from an :class:`EngineConfig`.
+
+    The single construction path shared by the ``Trainer`` front-end
+    (via :meth:`Engine.cache`), the KV paging server
+    (:class:`repro.serve.KVBlockPool`) and the CLI.  Keyword overrides
+    are a convenience for the common "default config plus a couple of
+    fields" call — ``build_engine(target="ssd", store_dir=d)`` —
+    applied on a copy, so a shared config object is never mutated.
+    """
+    from dataclasses import replace
+
+    if config is None:
+        config = EngineConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return Engine(config)

@@ -517,39 +517,20 @@ def make_offloader(
         legacy_dataplane: run the pre-PR5 copy map (fresh allocation per
             CPU store, ``tobytes``/slurp file I/O) — the A/B baseline of
             ``repro dataplane`` and ``bench_dataplane.py``.
+
+    Since the engine-facade redesign this is a thin shim over
+    :func:`repro.core.engine.build_engine` — the validation rules and
+    resulting backends are identical (regression-tested), the engine
+    handle is simply discarded.  New code should prefer
+    ``build_engine(EngineConfig(...))`` and keep the handle for the
+    shared scheduler and the aggregated ``engine.stats()`` surface.
     """
-    from repro.core.tiered import TieredOffloader  # circular-import guard
+    from repro.core.engine import EngineConfig, build_engine  # circular-import guard
 
-    # Reject knobs that would be silently inert for the chosen target —
-    # an experiment flag that does nothing is worse than an error.
-    if target == "cpu" and chunk_bytes is not None:
-        raise ValueError("chunk_bytes applies to the ssd/tiered targets, not cpu")
-    if target == "ssd" and cpu_pool_bytes is not None:
-        raise ValueError("cpu_pool_bytes applies to the cpu/tiered targets, not ssd")
-
-    if target == "ssd":
-        if store_dir is None:
-            raise ValueError("ssd target requires store_dir")
-        return SSDOffloader(
-            store_dir,
-            throttle_bytes_per_s=throttle_bytes_per_s,
-            array=array,
-            chunk_bytes=chunk_bytes,
-            legacy_copies=legacy_dataplane,
-        )
-    if target == "cpu":
-        return CPUOffloader(
-            PinnedMemoryPool(cpu_pool_bytes),
-            throttle_bytes_per_s=throttle_bytes_per_s,
-            legacy_copies=legacy_dataplane,
-        )
-    if target == "tiered":
-        if store_dir is None:
-            raise ValueError("tiered target requires store_dir")
-        if cpu_pool_bytes is None:
-            raise ValueError("tiered target requires cpu_pool_bytes")
-        return TieredOffloader(
-            store_dir,
+    return build_engine(
+        EngineConfig(
+            target=target,
+            store_dir=store_dir,
             cpu_pool_bytes=cpu_pool_bytes,
             chunk_bytes=chunk_bytes,
             throttle_bytes_per_s=throttle_bytes_per_s,
@@ -557,4 +538,4 @@ def make_offloader(
             policy=policy,
             legacy_dataplane=legacy_dataplane,
         )
-    raise ValueError(f"unknown offload target {target!r}; expected one of {OFFLOAD_TARGETS}")
+    ).offloader

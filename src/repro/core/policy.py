@@ -187,6 +187,18 @@ class OffloadPolicy:
         else:
             self._tenant_placers[tenant] = placer
 
+    def tenant_policy(
+        self, tenant: str
+    ) -> Optional[Callable[[int, Optional[int]], Optional[Tier]]]:
+        """The per-tenant placement hook installed for ``tenant``, if any.
+
+        Introspection counterpart of :meth:`set_tenant_policy` — the KV
+        paging front-end uses it to install its placer idempotently (and
+        its tests to assert the hook is wired), without reaching into
+        the private table.
+        """
+        return self._tenant_placers.get(tenant)
+
     def place_for(
         self, tenant: str, *, nbytes: int, cpu_free_bytes: Optional[int]
     ) -> Tier:

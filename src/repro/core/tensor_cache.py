@@ -31,6 +31,7 @@ import enum
 import logging
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -287,13 +288,25 @@ class TensorCache:
 
     @property
     def store_pool(self) -> IOScheduler:
-        """Legacy alias from the two-FIFO-pool era; both channels now
+        """Deprecated alias from the two-FIFO-pool era; both channels now
         live on the scheduler (``drain``/``pending`` keep working)."""
+        warnings.warn(
+            "TensorCache.store_pool is deprecated; the two FIFO pools were "
+            "replaced by one priority scheduler — use TensorCache.scheduler",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.scheduler
 
     @property
     def load_pool(self) -> IOScheduler:
-        """Legacy alias; see :attr:`store_pool`."""
+        """Deprecated alias; see :attr:`store_pool`."""
+        warnings.warn(
+            "TensorCache.load_pool is deprecated; the two FIFO pools were "
+            "replaced by one priority scheduler — use TensorCache.scheduler",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.scheduler
 
     def register_weights(self, module: Module) -> int:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import logging
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -268,6 +268,17 @@ class TieredOffloader(Offloader):
     def dataplane_stats(self) -> DataPlaneStats:
         """Merge both tiers' copy-map telemetry."""
         return self.cpu.dataplane_stats().merge(self.ssd.dataplane_stats())
+
+    def stats_snapshot(self) -> TierStats:
+        """A coherent, detached copy of the tier-traffic counters.
+
+        :attr:`stats` is mutated under the tier lock by stores, loads
+        and background demotions; a reader iterating the live object can
+        see a half-updated pair (e.g. ``demotions`` without its
+        ``demoted_bytes``).  ``engine.stats()`` reports this copy.
+        """
+        with self._lock:
+            return replace(self.stats)
 
     @property
     def cpu_capacity_bytes(self) -> int:

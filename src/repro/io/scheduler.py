@@ -74,7 +74,7 @@ import logging
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.io.aio import IOJob, JobState
@@ -1181,6 +1181,43 @@ class IOScheduler:
                 (request.tenant, request.lane, channel),
                 request,
             )
+
+    def stats_snapshot(self) -> SchedulerStats:
+        """A point-in-time copy of the cumulative counters.
+
+        Unlike reading :attr:`stats` directly this is coherent (taken
+        under the stats lock) and detached — mutating the copy, or the
+        scheduler executing more work, does not affect the other.  The
+        aggregate :meth:`repro.core.engine.Engine.stats` surface is built
+        from this, so it never hands callers the live mutable books.
+        """
+        with self._stats_lock:
+            snap = replace(self.stats)
+            snap.submitted_by_class = dict(self.stats.submitted_by_class)
+        return snap
+
+    def peek_completion_stats(self) -> Dict[str, Dict[str, ChannelWindow]]:
+        """Copy the per-lane completion windows WITHOUT draining them:
+        ``{lane: {"write" | "read": ChannelWindow}}``.
+
+        The consuming reader is the adaptive controller
+        (:meth:`consume_completion_stats` once per step); a second
+        consumer would silently steal its bandwidth samples.  This
+        read-only view lets ``engine.stats()`` report the windows while
+        leaving the controller's feed intact.  Open busy intervals are
+        closed *virtually* (elapsed time added to the copy only), so an
+        in-flight transfer still shows up with honest busy seconds.
+        """
+        now = time.monotonic()
+        out: Dict[str, Dict[str, ChannelWindow]] = {}
+        with self._stats_lock:
+            for (lane, channel), window in self._windows.items():
+                copy = replace(window)
+                usage = self._channel_usage.get((lane, channel))
+                if usage is not None and usage[0] > 0:
+                    copy.busy_s += max(0.0, now - usage[1])
+                out.setdefault(lane, {})[channel] = copy
+        return out
 
     def consume_completion_stats(self) -> Dict[str, Dict[str, ChannelWindow]]:
         """Drain the per-lane completion windows accumulated since the

@@ -1,0 +1,695 @@
+"""The KV-cache block pool: fixed-size paged KV over HBM → CPU → SSD.
+
+The serving analogue of the training-side tensor cache.  Each inference
+request's KV cache is chopped into fixed-size per-layer blocks
+(``block_tokens`` tokens each — the chunk-based memory-management idea
+of PatrickStar, SNIPPETS §1, applied to KV); the **block table** keys
+every block by ``(request_id, layer, token_range)`` and tracks which
+tier holds it:
+
+- **HBM-sim** — a bounded byte budget owned by the pool itself (the
+  "GPU" tier of the serving box); resident blocks are served with zero
+  engine traffic.
+- **engine** — everything paged out lands in the existing
+  :class:`~repro.core.tiered.TieredOffloader` data plane (pinned CPU
+  pool backed by the :class:`~repro.io.buffers.BufferArena`, spilling
+  to the SSD store), placed per block through the strategy's tier hint
+  via the per-tenant :meth:`~repro.core.policy.OffloadPolicy
+  .set_tenant_policy` hook.
+
+Traffic rides the shared :class:`~repro.io.scheduler.IOScheduler` with
+the serving-appropriate classes: decode-blocking reads are
+``BLOCKING_LOAD``, look-ahead prefetch is ``PREFETCH_LOAD`` (and is
+*promoted* to blocking the moment a decode arrives before it lands —
+the same deadline-promotion machinery backward passes use), writeback
+is ``STORE``.  Every request is mapped to its user's tenant, so the
+PR 6 fair-share/quota books account KV traffic per user with no new
+mechanism.
+
+Two I/O modes:
+
+- ``sync_mode=False`` (default): writebacks and prefetches run as
+  scheduler requests, overlapping the caller; an in-flight writeback's
+  payload is parked on the block and a read of it is served locally
+  (cancelling the queued write when possible — the demotion-
+  cancellation idea at the serving layer).
+- ``sync_mode=True``: writebacks and prefetches run inline on the
+  calling thread, so *placement is a pure function of the call
+  sequence* — the determinism the seeded server simulation and the
+  ``repro kv`` asserts require.  Demand fetches still flow through the
+  scheduler as ``BLOCKING_LOAD`` (the pool waits, so determinism is
+  preserved).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import Engine
+from repro.core.ids import TensorID
+from repro.core.policy import Tier
+from repro.io.scheduler import IORequest, Priority
+from repro.io.tenancy import DEFAULT_TENANT, tenant_scope
+from repro.serve.paging import BlockContext, PagingPolicy, PagingStrategy
+
+__all__ = ["BlockKey", "BlockMeta", "BlockState", "KVBlockPool", "KVPoolStats"]
+
+
+@dataclass(frozen=True)
+class BlockKey:
+    """Block-table key: ``(request_id, layer, token_range)``.
+
+    Equality/hash use ``(request_id, layer, index)``; the token range is
+    carried alongside (it is bijective with the index for fixed-size
+    blocks) so table entries self-describe which tokens they cover.
+    """
+
+    request_id: str
+    layer: int
+    index: int
+    token_start: int = field(compare=False, default=0)
+    token_end: int = field(compare=False, default=0)
+
+    @property
+    def token_range(self) -> Tuple[int, int]:
+        return (self.token_start, self.token_end)
+
+
+class BlockState(enum.Enum):
+    HBM = "hbm"              # resident in the pool's HBM budget
+    WRITEBACK = "writeback"  # engine store in flight; payload parked
+    ENGINE = "engine"        # held by the tiered engine (CPU or SSD)
+    FETCHING = "fetching"    # prefetch load in flight
+
+
+class BlockMeta:
+    """One row of the block table."""
+
+    __slots__ = (
+        "key",
+        "tid",
+        "tenant",
+        "nbytes",
+        "shape",
+        "dtype",
+        "state",
+        "data",
+        "pending_data",
+        "request",
+        "prefetched",
+        "last_access_seq",
+        "context_blocks",
+        "num_layers",
+    )
+
+    def __init__(
+        self,
+        key: BlockKey,
+        tid: TensorID,
+        tenant: str,
+        data: np.ndarray,
+        context_blocks: int,
+        num_layers: int,
+    ) -> None:
+        self.key = key
+        self.tid = tid
+        self.tenant = tenant
+        self.nbytes = int(data.nbytes)
+        self.shape = tuple(data.shape)
+        self.dtype = data.dtype
+        self.state = BlockState.HBM
+        self.data: Optional[np.ndarray] = None
+        #: Payload parked while an async writeback is in flight.
+        self.pending_data: Optional[np.ndarray] = None
+        self.request: Optional[IORequest] = None
+        #: Set when a prefetch was issued for this block and not yet
+        #: consumed by an access — the hit-accounting flag.
+        self.prefetched = False
+        self.last_access_seq = 0
+        self.context_blocks = context_blocks
+        self.num_layers = num_layers
+
+    def context(self) -> BlockContext:
+        return BlockContext(
+            request_id=self.key.request_id,
+            tenant=self.tenant,
+            layer=self.key.layer,
+            num_layers=self.num_layers,
+            block_index=self.key.index,
+            context_blocks=self.context_blocks,
+            token_start=self.key.token_start,
+            token_end=self.key.token_end,
+            nbytes=self.nbytes,
+        )
+
+
+@dataclass
+class KVPoolStats:
+    """Cumulative pool counters (test / bench / CLI surface)."""
+
+    blocks_written: int = 0
+    bytes_written: int = 0
+    hbm_hits: int = 0
+    prefetch_issued: int = 0
+    prefetch_hits: int = 0
+    demand_fetches: int = 0
+    fetched_bytes: int = 0
+    writebacks: int = 0
+    writeback_bytes: int = 0
+    evictions: int = 0
+    writebacks_cancelled: int = 0
+    writeback_failures: int = 0
+    forward_hits: int = 0
+    released_blocks: int = 0
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of non-HBM accesses a prefetch had already covered."""
+        covered = self.prefetch_hits + self.demand_fetches
+        return self.prefetch_hits / covered if covered else 0.0
+
+
+@dataclass
+class _RequestEntry:
+    tenant: str
+    context_blocks: int
+    next_index: Dict[int, int] = field(default_factory=dict)
+    keys: List[BlockKey] = field(default_factory=list)
+
+
+class KVBlockPool:
+    """Fixed-size KV block manager over the tiered engine (see module
+    docstring).
+
+    Args:
+        engine: a built :class:`~repro.core.engine.Engine` — the single
+            construction path (``build_engine(EngineConfig(...))``)
+            shared with the training front-end.
+        block_tokens: tokens per block (the paging granularity).
+        num_layers: model depth — each token's KV spans this many blocks
+            columns.
+        hbm_capacity_bytes: the simulated HBM budget for resident blocks.
+        strategy: a :class:`~repro.serve.paging.PagingStrategy`
+            (default :class:`~repro.serve.paging.PreferHBM`).
+        sync_mode: run writeback/prefetch inline for determinism (the
+            server simulation's mode); demand fetches always flow
+            through the scheduler's ``BLOCKING_LOAD`` class.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        *,
+        block_tokens: int = 64,
+        num_layers: int = 2,
+        hbm_capacity_bytes: int = 1 << 20,
+        strategy: Optional[PagingStrategy] = None,
+        sync_mode: bool = False,
+    ) -> None:
+        if block_tokens < 1:
+            raise ValueError(f"block_tokens must be >= 1: {block_tokens}")
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1: {num_layers}")
+        if hbm_capacity_bytes < 0:
+            raise ValueError(
+                f"hbm_capacity_bytes must be >= 0: {hbm_capacity_bytes}"
+            )
+        self.engine = engine
+        self.block_tokens = block_tokens
+        self.num_layers = num_layers
+        self.hbm_capacity_bytes = hbm_capacity_bytes
+        self.paging = PagingPolicy(strategy)
+        self.sync_mode = sync_mode
+        self.stats = KVPoolStats()
+        self._lock = threading.RLock()
+        self._table: Dict[BlockKey, BlockMeta] = {}
+        self._requests: Dict[str, _RequestEntry] = {}
+        self._hbm_used = 0
+        self._seq = itertools.count(1)
+        self._stamps = itertools.count(1)
+
+    # ------------------------------------------------------------- requests
+    def begin_request(
+        self,
+        request_id: str,
+        *,
+        user: str = DEFAULT_TENANT,
+        context_tokens: int = 0,
+    ) -> None:
+        """Register a request and wire its user's tenant placement hook."""
+        with self._lock:
+            if request_id in self._requests:
+                raise ValueError(f"request {request_id!r} already registered")
+            context_blocks = max(
+                1, -(-int(context_tokens) // self.block_tokens)
+            )
+            self._requests[request_id] = _RequestEntry(
+                tenant=user, context_blocks=context_blocks
+            )
+        self.paging.install(self.engine.policy, user)
+
+    def _entry(self, request_id: str) -> _RequestEntry:
+        entry = self._requests.get(request_id)
+        if entry is None:
+            raise KeyError(f"unknown request {request_id!r}")
+        return entry
+
+    # -------------------------------------------------------------- append
+    def append_block(
+        self, request_id: str, layer: int, data: np.ndarray
+    ) -> BlockKey:
+        """Append the next KV block for ``(request_id, layer)``.
+
+        Placement is the strategy's call: ``Tier.GPU`` keeps the block
+        HBM-resident (evicting colder residents if needed), ``CPU`` /
+        ``SSD`` page it out to the engine with that tier as the
+        per-tenant placement hint.
+        """
+        if not (0 <= layer < self.num_layers):
+            raise ValueError(
+                f"layer {layer} out of range for num_layers={self.num_layers}"
+            )
+        with self._lock:
+            entry = self._entry(request_id)
+            index = entry.next_index.get(layer, 0)
+            entry.next_index[layer] = index + 1
+            key = BlockKey(
+                request_id=request_id,
+                layer=layer,
+                index=index,
+                token_start=index * self.block_tokens,
+                token_end=(index + 1) * self.block_tokens,
+            )
+            tid = TensorID(stamp=next(self._stamps), shape=tuple(data.shape))
+            meta = BlockMeta(
+                key,
+                tid,
+                entry.tenant,
+                data,
+                context_blocks=entry.context_blocks,
+                num_layers=self.num_layers,
+            )
+            self._table[key] = meta
+            entry.keys.append(key)
+            self.stats.blocks_written += 1
+            self.stats.bytes_written += meta.nbytes
+            tier = self.paging.strategy.place(meta.context())
+        if tier is Tier.GPU:
+            self._admit_hbm(meta, data)
+        else:
+            self._page_out(meta, data, tier)
+        return key
+
+    # ----------------------------------------------------- HBM admission
+    def _admit_hbm(self, meta: BlockMeta, data: np.ndarray) -> None:
+        """Make the block HBM-resident, evicting colder blocks for room."""
+        to_evict: List[BlockMeta] = []
+        with self._lock:
+            while self._hbm_used + meta.nbytes > self.hbm_capacity_bytes:
+                victim = self._pick_victim(exclude=meta)
+                if victim is None:
+                    break
+                victim_data = victim.data
+                victim.data = None
+                victim.state = BlockState.WRITEBACK
+                self._hbm_used -= victim.nbytes
+                victim.pending_data = victim_data
+                to_evict.append(victim)
+                self.stats.evictions += 1
+            if self._hbm_used + meta.nbytes <= self.hbm_capacity_bytes:
+                meta.data = data
+                meta.state = BlockState.HBM
+                meta.last_access_seq = next(self._seq)
+                self._hbm_used += meta.nbytes
+                overflow = None
+            else:
+                # Nothing evictable and no room: the new block itself
+                # pages out (its strategy tier hint, or pool-first).
+                overflow = meta
+        for victim in to_evict:
+            hint = self.paging.strategy.eviction_tier(victim.context())
+            self._page_out(
+                victim, victim.pending_data, hint, already_marked=True
+            )
+        if overflow is not None:
+            hint = self.paging.strategy.eviction_tier(meta.context())
+            self._page_out(meta, data, hint)
+
+    def _pick_victim(self, exclude: BlockMeta) -> Optional[BlockMeta]:
+        resident = [
+            m
+            for m in self._table.values()
+            if m.state is BlockState.HBM and m is not exclude
+        ]
+        if not resident:
+            return None
+        ordered = self.paging.strategy.eviction_order(resident)
+        return ordered[0] if ordered else None
+
+    # ------------------------------------------------------------ writeback
+    def _page_out(
+        self,
+        meta: BlockMeta,
+        data: np.ndarray,
+        tier_hint: Optional[Tier],
+        already_marked: bool = False,
+    ) -> None:
+        offloader = self.engine.offloader
+        tid = meta.tid
+        with self._lock:
+            meta.prefetched = False
+            self.stats.writebacks += 1
+            self.stats.writeback_bytes += meta.nbytes
+        if self.sync_mode:
+            with tenant_scope(meta.tenant), self.paging.hint(tier_hint):
+                offloader.store(tid, data)
+            with self._lock:
+                meta.pending_data = None
+                meta.request = None
+                meta.state = BlockState.ENGINE
+            return
+
+        def body() -> None:
+            # Runs on a scheduler worker under tenant_scope(request.tenant).
+            with self.paging.hint(tier_hint):
+                offloader.store(tid, data)
+
+        request = IORequest(
+            body,
+            kind="store",
+            priority=Priority.STORE,
+            tensor_id=str(tid),
+            nbytes=meta.nbytes,
+            lane=offloader.store_lane(tid, meta.nbytes),
+            label=f"kv-writeback:{meta.key.request_id}/{meta.key.layer}/{meta.key.index}",
+            tenant=meta.tenant,
+        )
+        with self._lock:
+            if not already_marked:
+                meta.state = BlockState.WRITEBACK
+            meta.pending_data = data
+            meta.request = request
+        request.add_done_callback(lambda job: self._on_writeback_done(meta, job))
+        self.engine.scheduler.submit(request)
+
+    def _on_writeback_done(self, meta: BlockMeta, job) -> None:
+        from repro.io.aio import JobState
+
+        with self._lock:
+            if meta.request is not job:
+                return  # superseded (forwarded / released meanwhile)
+            meta.request = None
+            if meta.state is not BlockState.WRITEBACK:
+                return
+            if job.state is JobState.DONE:
+                meta.state = BlockState.ENGINE
+                meta.pending_data = None
+            elif job.state is JobState.FAILED:
+                # Correctness over capacity: keep the payload parked so
+                # reads still serve it (the block simply never leaves
+                # the writeback state's local copy).
+                self.stats.writeback_failures += 1
+
+    # -------------------------------------------------------------- prefetch
+    def prefetch(self, schedule: Sequence[str]) -> int:
+        """Run the strategy's look-ahead plan for the decode ``schedule``.
+
+        Returns the number of blocks a prefetch was issued for.  In
+        async mode each becomes a ``PREFETCH_LOAD`` on the engine's
+        load lane; in sync mode the block is migrated into HBM inline
+        (the look-ahead happens between decode rounds).
+        """
+        keys = self.paging.strategy.prefetch_plan(schedule, self)
+        issued = 0
+        for key in keys:
+            meta = self._table.get(key)
+            if meta is None:
+                continue
+            with self._lock:
+                if meta.state is not BlockState.ENGINE or meta.prefetched:
+                    continue
+                meta.prefetched = True
+            issued += 1
+            if self.sync_mode:
+                data = self._engine_load(meta, blocking=False)
+                self.engine.offloader.release(meta.tid)
+                self._admit_hbm(meta, data)
+            else:
+                self._submit_prefetch(meta)
+        with self._lock:
+            self.stats.prefetch_issued += issued
+        return issued
+
+    def _submit_prefetch(self, meta: BlockMeta) -> None:
+        offloader = self.engine.offloader
+        tid, shape, dtype = meta.tid, meta.shape, meta.dtype
+
+        def body() -> np.ndarray:
+            return offloader.load(tid, shape, dtype)
+
+        request = IORequest(
+            body,
+            kind="load",
+            priority=Priority.PREFETCH_LOAD,
+            tensor_id=str(tid),
+            nbytes=meta.nbytes,
+            lane=offloader.load_lane(tid),
+            label=f"kv-prefetch:{meta.key.request_id}/{meta.key.layer}/{meta.key.index}",
+            tenant=meta.tenant,
+        )
+        with self._lock:
+            meta.state = BlockState.FETCHING
+            meta.request = request
+        self.engine.scheduler.submit(request)
+
+    # ----------------------------------------------------------------- fetch
+    def fetch(self, request_id: str, layer: int, index: int) -> np.ndarray:
+        """Read one block for a decode step (always returns the bytes).
+
+        HBM residents are free; an in-flight prefetch is *promoted* to
+        the blocking class and awaited (hit); an engine-resident block
+        costs a ``BLOCKING_LOAD`` demand fetch (miss).  Fetched blocks
+        are re-admitted to HBM — they are the decode working set.
+        """
+        key = BlockKey(request_id=request_id, layer=layer, index=index)
+        with self._lock:
+            meta = self._table.get(key)
+            if meta is None:
+                raise KeyError(f"no KV block for {request_id!r}/{layer}/{index}")
+            state = meta.state
+            meta.last_access_seq = next(self._seq)
+            if state is BlockState.HBM:
+                if meta.prefetched:
+                    meta.prefetched = False
+                    self.stats.prefetch_hits += 1
+                else:
+                    self.stats.hbm_hits += 1
+                return meta.data
+            request = meta.request
+            pending = meta.pending_data
+
+        if state is BlockState.WRITEBACK:
+            return self._fetch_forwarded(meta, request, pending)
+        if state is BlockState.FETCHING:
+            return self._fetch_prefetched(meta, request)
+        return self._fetch_demand(meta)
+
+    def _fetch_forwarded(
+        self,
+        meta: BlockMeta,
+        request: Optional[IORequest],
+        pending: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Serve a block whose writeback is still in flight from its
+        parked payload (data forwarding at the serving layer)."""
+        from repro.io.aio import JobState
+
+        cancelled = False
+        if request is not None:
+            cancelled = self.engine.scheduler.cancel(request)
+            if not cancelled:
+                request.wait()
+        with self._lock:
+            self.stats.forward_hits += 1
+            if cancelled:
+                self.stats.writebacks_cancelled += 1
+            meta.request = None
+            meta.pending_data = None
+        if not cancelled and (
+            request is None or request.state is JobState.DONE
+        ):
+            # The store landed after all; drop the engine copy since the
+            # block is going HBM-resident again.
+            self.engine.offloader.release(meta.tid)
+        data = pending
+        self._admit_hbm(meta, data)
+        return data
+
+    def _fetch_prefetched(
+        self, meta: BlockMeta, request: Optional[IORequest]
+    ) -> np.ndarray:
+        """A decode arrived before its prefetch landed: promote the
+        request to the blocking class (deadline promotion, exactly the
+        backward-pass machinery) and wait it out."""
+        from repro.io.aio import JobState
+
+        if request is not None:
+            self.engine.scheduler.promote(request)
+            request.wait()
+        if request is not None and request.state is JobState.DONE:
+            data = request.result
+            self.engine.offloader.release(meta.tid)
+            with self._lock:
+                meta.request = None
+                meta.prefetched = False
+                self.stats.prefetch_hits += 1
+                self.stats.fetched_bytes += meta.nbytes
+            self._admit_hbm(meta, data)
+            return data
+        # Prefetch failed or was cancelled: fall back to a demand fetch.
+        with self._lock:
+            meta.request = None
+            meta.prefetched = False
+            meta.state = BlockState.ENGINE
+        return self._fetch_demand(meta)
+
+    def _fetch_demand(self, meta: BlockMeta) -> np.ndarray:
+        data = self._engine_load(meta, blocking=True)
+        self.engine.offloader.release(meta.tid)
+        with self._lock:
+            self.stats.demand_fetches += 1
+            self.stats.fetched_bytes += meta.nbytes
+        self._admit_hbm(meta, data)
+        return data
+
+    def _engine_load(self, meta: BlockMeta, blocking: bool) -> np.ndarray:
+        """Load one block's bytes out of the engine.
+
+        Blocking loads always ride the scheduler's ``BLOCKING_LOAD``
+        class (the decode-blocking read path); sync-mode prefetch loads
+        run inline under the tenant's scope.
+        """
+        offloader = self.engine.offloader
+        tid, shape, dtype = meta.tid, meta.shape, meta.dtype
+        if not blocking:
+            with tenant_scope(meta.tenant):
+                return offloader.load(tid, shape, dtype)
+        request = IORequest(
+            lambda: offloader.load(tid, shape, dtype),
+            kind="load",
+            priority=Priority.BLOCKING_LOAD,
+            tensor_id=str(tid),
+            nbytes=meta.nbytes,
+            lane=offloader.load_lane(tid),
+            label=f"kv-fetch:{meta.key.request_id}/{meta.key.layer}/{meta.key.index}",
+            tenant=meta.tenant,
+        )
+        self.engine.scheduler.submit(request)
+        request.wait()
+        if request.error is not None:
+            raise request.error
+        return request.result
+
+    # --------------------------------------------------------------- release
+    def release_request(self, request_id: str) -> int:
+        """Drop every block of a finished request; returns the count."""
+        with self._lock:
+            entry = self._requests.pop(request_id, None)
+            if entry is None:
+                return 0
+            metas = [self._table.pop(key) for key in entry.keys]
+        released = 0
+        for meta in metas:
+            with self._lock:
+                state = meta.state
+                request = meta.request
+                if state is BlockState.HBM:
+                    self._hbm_used -= meta.nbytes
+                    meta.data = None
+            if state in (BlockState.WRITEBACK, BlockState.FETCHING):
+                if request is not None and not self.engine.scheduler.cancel(
+                    request
+                ):
+                    request.wait()
+                    # The engine I/O ran to completion; drop its copy.
+                    self.engine.offloader.release(meta.tid)
+                elif request is not None and state is BlockState.FETCHING:
+                    # Cancelled prefetch: the engine still holds the block.
+                    self.engine.offloader.release(meta.tid)
+                meta.pending_data = None
+                meta.request = None
+            elif state is BlockState.ENGINE:
+                self.engine.offloader.release(meta.tid)
+            released += 1
+        with self._lock:
+            self.stats.released_blocks += released
+        return released
+
+    # ----------------------------------------------------------------- views
+    @property
+    def hbm_used_bytes(self) -> int:
+        with self._lock:
+            return self._hbm_used
+
+    def request_ids(self) -> List[str]:
+        with self._lock:
+            return list(self._requests)
+
+    def keys_of(self, request_id: str) -> List[BlockKey]:
+        with self._lock:
+            entry = self._requests.get(request_id)
+            return list(entry.keys) if entry is not None else []
+
+    def paged_out_keys(self, request_id: str) -> List[BlockKey]:
+        """Blocks of ``request_id`` currently held by the engine only —
+        the candidates a look-ahead prefetch should bring back."""
+        with self._lock:
+            entry = self._requests.get(request_id)
+            if entry is None:
+                return []
+            return [
+                key
+                for key in entry.keys
+                if self._table[key].state is BlockState.ENGINE
+            ]
+
+    def block_tier(self, key: BlockKey) -> str:
+        """Where a block's authoritative bytes live right now:
+        ``"hbm"``, ``"writeback"``, ``"fetching"``, ``"cpu"`` or
+        ``"ssd"``."""
+        with self._lock:
+            meta = self._table.get(key)
+            if meta is None:
+                raise KeyError(f"unknown block {key}")
+            if meta.state is BlockState.HBM:
+                return "hbm"
+            if meta.state is BlockState.WRITEBACK:
+                return "writeback"
+            if meta.state is BlockState.FETCHING:
+                return "fetching"
+        return self.engine.offloader.tier_of(meta.tid).value
+
+    def tier_census(self) -> Dict[str, int]:
+        """Block counts per tier — the paging A/B's placement picture."""
+        census: Counter = Counter()
+        with self._lock:
+            keys = list(self._table)
+        for key in keys:
+            try:
+                census[self.block_tier(key)] += 1
+            except KeyError:
+                continue  # released concurrently
+        return dict(census)
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait for in-flight writebacks/prefetches (async mode)."""
+        if self.engine.scheduler_started:
+            return self.engine.scheduler.drain(timeout)
+        return True

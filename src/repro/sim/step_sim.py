@@ -1098,7 +1098,7 @@ class MultiTenantRunResult:
     tenant_stats: Dict[str, object] = field(default_factory=dict)
 
 
-class _VirtualDevice:
+class VirtualDevice:
     """A serial device on a virtual clock.
 
     Service order is whatever the scheduler dequeues; each write advances
@@ -1106,7 +1106,8 @@ class _VirtualDevice:
     shares and finish times are deterministic — no wall-clock jitter, no
     sleeps.  The ``start`` gate holds the lane worker until every tenant
     has its burst queued, creating the contended window the fairness
-    metrics are defined over.
+    metrics are defined over.  Shared by the multi-tenant fairness
+    harness below and the serving tests' scheduler-priority probes.
     """
 
     def __init__(self, bandwidth: float) -> None:
@@ -1122,6 +1123,10 @@ class _VirtualDevice:
         with self._lock:
             self.clock += nbytes / self.bandwidth
             self.served.append((tenant, nbytes, self.clock))
+
+
+#: Backwards-compatible alias from when the device was harness-private.
+_VirtualDevice = VirtualDevice
 
 
 class MultiTenantHarness:
@@ -1179,7 +1184,7 @@ class MultiTenantHarness:
                 byte_quota=job.byte_quota,
                 over_quota=job.over_quota,
             )
-        device = _VirtualDevice(self.device_bandwidth)
+        device = VirtualDevice(self.device_bandwidth)
         scheduler = IOScheduler(
             num_store_workers=1,
             num_load_workers=1,

@@ -1,0 +1,214 @@
+"""Engine facade: typed config validation, shim equivalence, one stats
+snapshot, and the pool-deprecation regression."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    EngineConfigError,
+    OffloadPolicy,
+    build_engine,
+    make_offloader,
+)
+from repro.core.ids import TensorID
+from repro.core.offloader import CPUOffloader, SSDOffloader
+from repro.core.tiered import TieredOffloader
+from repro.io.tenancy import TenantRegistry
+
+DATA = np.arange(256, dtype=np.float32)
+
+
+# -------------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "kwargs, message",
+    [
+        (dict(target="dram"), "unknown offload target"),
+        (dict(target="cpu", chunk_bytes=4096),
+         "chunk_bytes applies to the ssd/tiered targets, not cpu"),
+        (dict(target="ssd", store_dir="x", cpu_pool_bytes=1),
+         "cpu_pool_bytes applies to the cpu/tiered targets, not ssd"),
+        (dict(target="ssd"), "ssd target requires store_dir"),
+        (dict(target="tiered", cpu_pool_bytes=1),
+         "tiered target requires store_dir"),
+        (dict(target="tiered", store_dir="x"),
+         "tiered target requires cpu_pool_bytes"),
+        (dict(target="cpu", cpu_pool_bytes=-1), "cpu_pool_bytes must be >= 0"),
+        (dict(target="cpu", num_store_workers=0), "at least one worker"),
+        (dict(target="cpu", num_load_workers=0), "at least one worker"),
+        (dict(target="cpu", prefetch_window=-1), "prefetch_window must be >= 0"),
+    ],
+)
+def test_config_validation_is_typed(kwargs, message):
+    with pytest.raises(EngineConfigError, match=message):
+        build_engine(EngineConfig(**kwargs))
+
+
+def test_config_error_is_a_value_error():
+    # The historic make_offloader contract: callers catch ValueError.
+    assert issubclass(EngineConfigError, ValueError)
+    with pytest.raises(ValueError, match="ssd target requires store_dir"):
+        make_offloader("ssd")
+    with pytest.raises(ValueError, match="unknown offload target"):
+        make_offloader("dram")
+
+
+# ---------------------------------------------------------- shim equivalence
+def test_make_offloader_matches_build_engine_ssd(tmp_path):
+    via_shim = make_offloader("ssd", store_dir=tmp_path / "a", chunk_bytes=4096)
+    via_engine = build_engine(
+        EngineConfig(target="ssd", store_dir=tmp_path / "b", chunk_bytes=4096)
+    ).offloader
+    assert type(via_shim) is type(via_engine) is SSDOffloader
+    tid = TensorID(stamp=1, shape=tuple(DATA.shape))
+    via_shim.store(tid, DATA)
+    assert np.array_equal(via_shim.load(tid, DATA.shape, DATA.dtype), DATA)
+
+
+def test_make_offloader_matches_build_engine_cpu():
+    via_shim = make_offloader("cpu", cpu_pool_bytes=1 << 20)
+    via_engine = build_engine(
+        EngineConfig(target="cpu", cpu_pool_bytes=1 << 20)
+    ).offloader
+    assert type(via_shim) is type(via_engine) is CPUOffloader
+    assert via_shim.pool.capacity_bytes == via_engine.pool.capacity_bytes
+
+
+def test_make_offloader_matches_build_engine_tiered(tmp_path):
+    policy = OffloadPolicy()
+    via_shim = make_offloader(
+        "tiered", store_dir=tmp_path / "a", cpu_pool_bytes=1 << 16, policy=policy
+    )
+    via_engine = build_engine(
+        EngineConfig(
+            target="tiered",
+            store_dir=tmp_path / "b",
+            cpu_pool_bytes=1 << 16,
+            policy=policy,
+        )
+    ).offloader
+    assert type(via_shim) is type(via_engine) is TieredOffloader
+    # The shared policy is wired through both construction paths.
+    assert via_shim.policy is policy
+    assert via_engine.policy is policy
+
+
+# ------------------------------------------------------------------ wiring
+def test_engine_cache_shares_policy_and_scheduler(tmp_path):
+    engine = build_engine(
+        EngineConfig(target="tiered", store_dir=tmp_path, cpu_pool_bytes=1 << 16)
+    )
+    try:
+        assert not engine.scheduler_started  # the I/O plane is lazy
+        cache = engine.cache()
+        assert engine.scheduler_started
+        assert cache.policy is engine.policy
+        assert cache.scheduler is engine.scheduler
+        assert cache.offloader is engine.offloader
+        assert cache.prefetch_window == engine.config.prefetch_window
+        other = engine.cache(prefetch_window=3)
+        assert other.scheduler is cache.scheduler
+        assert other.prefetch_window == 3
+    finally:
+        engine.shutdown()
+
+
+def test_engine_overrides_form(tmp_path):
+    engine = build_engine(
+        EngineConfig(target="ssd", store_dir=tmp_path), fifo_io=True
+    )
+    try:
+        assert engine.config.fifo_io is True
+        assert engine.config.target == "ssd"
+    finally:
+        engine.shutdown()
+
+
+# ------------------------------------------------------------------- stats
+def test_engine_stats_aggregates_every_plane(tmp_path):
+    registry = TenantRegistry()
+    registry.register("alice")
+    engine = build_engine(
+        EngineConfig(
+            target="tiered",
+            store_dir=tmp_path,
+            cpu_pool_bytes=1 << 16,
+            tenants=registry,
+        )
+    )
+    try:
+        snap = engine.stats()
+        assert snap.target == "tiered"
+        assert snap.scheduler is None  # lazy plane untouched
+        assert snap.tiers is not None
+        assert snap.pool is not None
+        assert snap.pool.capacity_bytes == 1 << 16
+        assert "alice" in snap.tenants  # registry books without a scheduler
+
+        tid = TensorID(stamp=1, shape=tuple(DATA.shape))
+        engine.offloader.store(tid, DATA)
+        engine.scheduler.drain()
+        snap = engine.stats()
+        assert snap.scheduler is not None
+        assert snap.tiers.cpu_stored_bytes >= DATA.nbytes
+        assert snap.pool.used_bytes >= DATA.nbytes
+        assert snap.dataplane is not None
+        assert snap.arena is not None
+    finally:
+        engine.shutdown()
+
+
+def test_stats_snapshot_is_detached(tmp_path):
+    engine = build_engine(EngineConfig(target="cpu"))
+    try:
+        engine.scheduler  # start the I/O plane
+        snap = engine.stats()
+        snap.scheduler.submitted += 1000
+        assert engine.stats().scheduler.submitted != snap.scheduler.submitted
+    finally:
+        engine.shutdown()
+
+
+def test_delegating_accessors_are_views_of_stats(tmp_path):
+    engine = build_engine(
+        EngineConfig(target="tiered", store_dir=tmp_path, cpu_pool_bytes=1 << 16)
+    )
+    try:
+        assert engine.pool_stats().capacity_bytes == 1 << 16
+        assert engine.dataplane_stats() is not None
+        assert engine.tenant_stats() == {}
+        assert engine.channel_windows() == {}
+    finally:
+        engine.shutdown()
+
+
+def test_stats_never_steals_the_controller_feed(tmp_path):
+    """engine.stats() must not drain consume_completion_stats()."""
+    engine = build_engine(EngineConfig(target="ssd", store_dir=tmp_path))
+    try:
+        cache = engine.cache()
+        tid = TensorID(stamp=1, shape=tuple(DATA.shape))
+        engine.offloader.store(tid, DATA)
+        engine.scheduler.drain()
+        engine.stats()  # peek — must leave the destructive feed intact
+        del cache
+    finally:
+        engine.shutdown()
+
+
+# -------------------------------------------------------------- deprecation
+def test_store_pool_and_load_pool_deprecated(tmp_path):
+    engine = build_engine(EngineConfig(target="ssd", store_dir=tmp_path))
+    cache = engine.cache()
+    try:
+        with pytest.warns(DeprecationWarning, match="store_pool is deprecated"):
+            assert cache.store_pool is cache.scheduler
+        with pytest.warns(DeprecationWarning, match="load_pool is deprecated"):
+            assert cache.load_pool is cache.scheduler
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            cache.scheduler  # the replacement accessor stays silent
+    finally:
+        engine.shutdown()

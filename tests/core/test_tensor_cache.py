@@ -346,7 +346,7 @@ def test_load_failure_surfaces_as_runtime_error(gpu, make_cache):
     x = Tensor(np.ones((16, 64), dtype=np.float32), device=gpu, requires_grad=True)
     with cache:
         loss = ops.gelu(layer(x)).sum()
-        cache.store_pool.drain()
+        cache.scheduler.drain()
         # Sabotage: delete the offloaded files so loads fail.
         cache.offloader.file_store.clear()
         cache.on_backward_begin()

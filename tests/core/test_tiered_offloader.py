@@ -259,7 +259,7 @@ def test_cache_records_tier_per_activation(gpu, tiny_gpt_config, tmp_path):
         )
         with cache:
             loss = model(tokens, targets)
-            cache.store_pool.drain()
+            cache.scheduler.drain()
             records = list(cache.current.records.values())
             tiers = {rec.tier for rec in records}
             # The bounded pool splits the step's records across both tiers,

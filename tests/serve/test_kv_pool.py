@@ -1,0 +1,287 @@
+"""KV block pool: lifecycle, eviction, prefetch accounting, bit-exactness."""
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, build_engine
+from repro.serve import (
+    BlockKey,
+    BlockState,
+    KVBlockPool,
+    LayerImportance,
+    LookAheadBatch,
+    PreferHBM,
+    SplitToken,
+    make_strategy,
+)
+
+BLOCK_TOKENS = 8
+BLOCK_BYTES = BLOCK_TOKENS * 16  # payload below uses 16 bytes per token
+
+
+def payload(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=BLOCK_BYTES, dtype=np.uint8)
+
+
+@pytest.fixture
+def engine(tmp_path):
+    eng = build_engine(
+        EngineConfig(
+            target="tiered",
+            store_dir=tmp_path / "kv",
+            cpu_pool_bytes=4 * BLOCK_BYTES,
+            promote_on_load=False,
+        )
+    )
+    yield eng
+    eng.shutdown()
+
+
+def make_pool(engine, *, blocks_in_hbm=4, strategy=None, sync_mode=True, **kw):
+    return KVBlockPool(
+        engine,
+        block_tokens=BLOCK_TOKENS,
+        num_layers=2,
+        hbm_capacity_bytes=blocks_in_hbm * BLOCK_BYTES,
+        strategy=strategy,
+        sync_mode=sync_mode,
+        **kw,
+    )
+
+
+# --------------------------------------------------------------- lifecycle
+def test_block_lifecycle_append_fetch_release(engine):
+    pool = make_pool(engine)
+    pool.begin_request("r1", user="alice", context_tokens=2 * BLOCK_TOKENS)
+    data = payload(1)
+    key = pool.append_block("r1", 0, data)
+    assert key == BlockKey("r1", 0, 0)
+    assert key.token_range == (0, BLOCK_TOKENS)
+    assert pool.block_tier(key) == "hbm"
+    assert pool.hbm_used_bytes == BLOCK_BYTES
+
+    out = pool.fetch("r1", 0, 0)
+    assert np.array_equal(out, data)
+    assert pool.stats.hbm_hits == 1
+
+    assert pool.release_request("r1") == 1
+    assert pool.hbm_used_bytes == 0
+    assert pool.request_ids() == []
+    with pytest.raises(KeyError):
+        pool.fetch("r1", 0, 0)
+
+
+def test_append_validates_layer_and_duplicate_request(engine):
+    pool = make_pool(engine)
+    pool.begin_request("r1")
+    with pytest.raises(ValueError, match="layer"):
+        pool.append_block("r1", 9, payload(0))
+    with pytest.raises(ValueError, match="already registered"):
+        pool.begin_request("r1")
+    with pytest.raises(KeyError):
+        pool.append_block("ghost", 0, payload(0))
+
+
+def test_split_token_places_by_position(engine):
+    """A 3-block context under SplitToken(1, 1) spans all three tiers."""
+    pool = make_pool(
+        engine, strategy=SplitToken(hbm_recent_blocks=1, cpu_window_blocks=1)
+    )
+    pool.begin_request("r1", context_tokens=3 * BLOCK_TOKENS)
+    keys = [pool.append_block("r1", 0, payload(i)) for i in range(3)]
+    assert pool.block_tier(keys[0]) == "ssd"  # cold prefix
+    assert pool.block_tier(keys[1]) == "cpu"  # warm window
+    assert pool.block_tier(keys[2]) == "hbm"  # decode tail
+    assert pool.tier_census() == {"ssd": 1, "cpu": 1, "hbm": 1}
+
+
+def test_bit_exact_round_trip_through_each_tier(engine):
+    """KV bytes must survive migration through hbm, cpu and ssd."""
+    pool = make_pool(
+        engine, strategy=SplitToken(hbm_recent_blocks=1, cpu_window_blocks=1)
+    )
+    pool.begin_request("r1", context_tokens=3 * BLOCK_TOKENS)
+    originals = [payload(10 + i) for i in range(3)]
+    keys = [pool.append_block("r1", 0, originals[i]) for i in range(3)]
+    tiers = [pool.block_tier(k) for k in keys]
+    assert sorted(tiers) == ["cpu", "hbm", "ssd"]
+    for key, original in zip(keys, originals):
+        out = pool.fetch("r1", key.layer, key.index)
+        assert np.array_equal(np.asarray(out, dtype=np.uint8).ravel(), original)
+    # Fetches re-admit to HBM; pool books must reconcile.
+    assert pool.stats.demand_fetches == 2
+    assert pool.stats.fetched_bytes == 2 * BLOCK_BYTES
+
+
+# ---------------------------------------------------------------- eviction
+def test_lru_eviction_under_hbm_pressure(engine):
+    pool = make_pool(engine, blocks_in_hbm=2, strategy=PreferHBM())
+    pool.begin_request("r1", context_tokens=3 * BLOCK_TOKENS)
+    k0 = pool.append_block("r1", 0, payload(0))
+    k1 = pool.append_block("r1", 0, payload(1))
+    pool.fetch("r1", 0, 0)  # touch k0: k1 becomes LRU
+    k2 = pool.append_block("r1", 0, payload(2))
+    assert pool.block_tier(k0) == "hbm"
+    assert pool.block_tier(k1) in ("cpu", "ssd")
+    assert pool.block_tier(k2) == "hbm"
+    assert pool.stats.evictions == 1
+
+
+def test_layer_importance_evicts_low_value_layers_first(engine):
+    """Layer 0 (lowest importance) leaves first even if most recent."""
+    pool = make_pool(engine, blocks_in_hbm=2, strategy=LayerImportance())
+    pool.begin_request("r1", context_tokens=2 * BLOCK_TOKENS)
+    deep = pool.append_block("r1", 1, payload(0))
+    shallow = pool.append_block("r1", 0, payload(1))  # more recent
+    pool.append_block("r1", 1, payload(2))  # forces one eviction
+    assert pool.block_tier(shallow) in ("cpu", "ssd")
+    assert pool.block_tier(deep) == "hbm"
+
+
+def test_overflow_block_pages_itself_out(engine):
+    """With nothing evictable, an oversized append pages out instead."""
+    pool = make_pool(engine, blocks_in_hbm=0, strategy=PreferHBM())
+    pool.begin_request("r1")
+    key = pool.append_block("r1", 0, payload(0))
+    assert pool.block_tier(key) in ("cpu", "ssd")
+    assert pool.hbm_used_bytes == 0
+    assert np.array_equal(pool.fetch("r1", 0, 0), payload(0))
+
+
+# ---------------------------------------------------------------- prefetch
+def test_prefetch_hit_and_miss_accounting(engine):
+    strategy = LookAheadBatch(
+        base=SplitToken(hbm_recent_blocks=1, cpu_window_blocks=1), depth=1
+    )
+    pool = make_pool(engine, strategy=strategy, blocks_in_hbm=8)
+    for rid in ("r1", "r2"):
+        pool.begin_request(rid, context_tokens=3 * BLOCK_TOKENS)
+        for i in range(3):
+            pool.append_block(rid, 0, payload(hash(rid) % 97 + i))
+    assert len(pool.paged_out_keys("r1")) == 2
+
+    # depth=1: only r1's paged-out blocks are planned.
+    issued = pool.prefetch(["r1", "r2"])
+    assert issued == 2
+    assert pool.stats.prefetch_issued == 2
+    assert pool.paged_out_keys("r1") == []
+
+    pool.fetch("r1", 0, 0)  # prefetched -> hit
+    pool.fetch("r2", 0, 0)  # engine-resident -> demand miss
+    assert pool.stats.prefetch_hits == 1
+    assert pool.stats.demand_fetches == 1
+    assert pool.stats.prefetch_hit_rate == pytest.approx(0.5)
+
+    # Re-prefetching already-resident blocks is a no-op.
+    assert pool.prefetch(["r1"]) == 0
+
+
+def test_eviction_clears_prefetched_flag(engine):
+    strategy = LookAheadBatch(base=PreferHBM(), depth=1)
+    pool = make_pool(engine, strategy=strategy, blocks_in_hbm=1)
+    pool.begin_request("r1", context_tokens=2 * BLOCK_TOKENS)
+    k0 = pool.append_block("r1", 0, payload(0))
+    pool.append_block("r1", 0, payload(1))  # evicts k0
+    assert pool.block_tier(k0) != "hbm"
+    pool.prefetch(["r1"])  # brings k0 back (evicting k1)
+    pool.append_block("r1", 1, payload(2))  # evicts the prefetched k0 again
+    assert pool.block_tier(k0) != "hbm"
+    # The flag must not survive the eviction: a second prefetch re-issues.
+    assert pool.prefetch(["r1"]) >= 1
+
+
+# -------------------------------------------------------------- async mode
+def test_async_writeback_completes_and_round_trips(engine):
+    pool = make_pool(engine, blocks_in_hbm=0, sync_mode=False)
+    pool.begin_request("r1")
+    data = payload(3)
+    key = pool.append_block("r1", 0, data)
+    assert pool.drain(timeout=10.0)
+    assert pool.block_tier(key) in ("cpu", "ssd")
+    assert pool.stats.writebacks == 1
+    # The fetch re-admits, overflows the zero-budget HBM, and pages out
+    # again — a second writeback.
+    assert np.array_equal(pool.fetch("r1", 0, 0), data)
+    assert pool.stats.writebacks == 2
+
+
+def test_async_forwarding_serves_parked_payload(engine):
+    """A read during an in-flight writeback is served locally."""
+    pool = make_pool(engine, blocks_in_hbm=0, sync_mode=False)
+    pool.begin_request("r1")
+    data = payload(4)
+    pool.append_block("r1", 0, data)
+    out = pool.fetch("r1", 0, 0)  # races the writeback: forward either way
+    assert np.array_equal(out, data)
+    assert pool.stats.forward_hits + pool.stats.hbm_hits + pool.stats.demand_fetches >= 1
+    pool.drain(timeout=10.0)
+
+
+def test_async_prefetch_promotion(engine):
+    strategy = LookAheadBatch(base=PreferHBM(), depth=1)
+    pool = make_pool(engine, strategy=strategy, blocks_in_hbm=0, sync_mode=False)
+    pool.begin_request("r1")
+    data = payload(5)
+    pool.append_block("r1", 0, data)
+    assert pool.drain(timeout=10.0)
+    assert pool.prefetch(["r1"]) == 1
+    out = pool.fetch("r1", 0, 0)  # may promote the in-flight prefetch
+    assert np.array_equal(out, data)
+    assert pool.stats.prefetch_hits == 1
+    scheduler_stats = engine.stats().scheduler
+    assert scheduler_stats.submitted >= 2  # writeback + prefetch at least
+
+
+def test_async_release_with_inflight_io(engine):
+    pool = make_pool(engine, blocks_in_hbm=0, sync_mode=False)
+    pool.begin_request("r1")
+    for i in range(4):
+        pool.append_block("r1", 0, payload(i))
+    assert pool.release_request("r1") == 4
+    assert pool.drain(timeout=10.0)
+    assert pool.tier_census() == {}
+
+
+# ----------------------------------------------------------------- tenancy
+def test_requests_map_to_tenant_books(engine, tmp_path):
+    """KV traffic lands in the engine's per-tenant books (PR 6 reuse)."""
+    pool = make_pool(
+        engine, strategy=SplitToken(hbm_recent_blocks=1, cpu_window_blocks=4)
+    )
+    pool.begin_request("r1", user="alice", context_tokens=3 * BLOCK_TOKENS)
+    for i in range(3):
+        pool.append_block("r1", 0, payload(i))
+    books = engine.stats().pool
+    assert books is not None
+    assert books.used_by_tenant.get("alice", 0) > 0
+    # A demand fetch rides the scheduler under the same tenant.
+    pool.fetch("r1", 0, 0)
+    tenants = engine.stats().tenants
+    assert "alice" in tenants
+
+
+def test_make_strategy_names():
+    for name in ("prefer-hbm", "split-token", "layer-importance", "lookahead"):
+        assert make_strategy(name) is not None
+    with pytest.raises(ValueError, match="unknown paging strategy"):
+        make_strategy("nope")
+
+
+def test_pool_validates_construction(engine):
+    with pytest.raises(ValueError):
+        KVBlockPool(engine, block_tokens=0)
+    with pytest.raises(ValueError):
+        KVBlockPool(engine, num_layers=0)
+    with pytest.raises(ValueError):
+        KVBlockPool(engine, hbm_capacity_bytes=-1)
+
+
+def test_blocks_marked_prefetched_state_transitions(engine):
+    pool = make_pool(engine, blocks_in_hbm=0)
+    pool.begin_request("r1")
+    key = pool.append_block("r1", 0, payload(0))
+    meta = pool._table[key]
+    assert meta.state is BlockState.ENGINE
+    pool.fetch("r1", 0, 0)
+    assert meta.state is BlockState.ENGINE  # hbm capacity 0: paged out again

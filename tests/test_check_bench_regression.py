@@ -195,3 +195,15 @@ def test_tenant_benches_are_guarded_by_default(tmp_path):
     base = _write(tmp_path, "base.json", {name: 0.010})
     cur = _write(tmp_path, "cur.json", {name: 0.013})
     assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_kv_serve_benches_are_guarded_by_default(tmp_path):
+    """The KV paging front-end's CPU-bound pool benches sit in the
+    default wall-clock gate (the PR 7 pattern extension)."""
+    for name in (
+        "bench_kv.py::test_kv_pool_append_fetch_hot_path",
+        "bench_kv.py::test_kv_prefetch_planning_hot_path",
+    ):
+        base = _write(tmp_path, "base.json", {name: 0.010})
+        cur = _write(tmp_path, "cur.json", {name: 0.013})
+        assert guard.main(["--baseline", base, "--current", cur]) == 1
