@@ -58,6 +58,8 @@ def run(
     chunk_bytes: Optional[int] = None,
     fifo_io: bool = False,
     legacy_dataplane: bool = False,
+    io_backend: str = "thread",
+    io_direct: bool = False,
 ) -> dict:
     gpu = GPU()
     model = GPT(CONFIG, rng=np.random.default_rng(0)).to(gpu)
@@ -82,6 +84,8 @@ def run(
                 policy=policy,  # one policy governs decide() and place()
                 legacy_dataplane=legacy_dataplane,
                 fifo_io=fifo_io,
+                io_backend=io_backend,
+                io_direct=io_direct,
             )
         )
         cache = engine.cache()
@@ -106,6 +110,7 @@ def run(
     sched_stats = None
     cache_stats = None
     dataplane = None
+    engine_stats = None
     try:
         for _ in range(STEPS):
             result = trainer.train_step([loader.next_batch()])
@@ -117,6 +122,7 @@ def run(
             sched_stats = cache.scheduler.stats
             cache_stats = cache.stats
             dataplane = cache.dataplane_stats()
+            engine_stats = engine.stats()
     finally:
         trainer.close()
     return {
@@ -127,6 +133,7 @@ def run(
         "sched_stats": sched_stats,
         "cache_stats": cache_stats,
         "dataplane": dataplane,
+        "engine_stats": engine_stats,
         "tracer": tracer,
     }
 
@@ -137,6 +144,8 @@ def main(
     chunk_bytes: Optional[int] = None,
     fifo_io: bool = False,
     legacy_dataplane: bool = False,
+    io_backend: str = "thread",
+    io_direct: bool = False,
 ) -> None:
     print(f"Training GPT (H={CONFIG.hidden}, L={CONFIG.num_layers}) for {STEPS} steps")
     print(f"offload target: {target}"
@@ -144,6 +153,7 @@ def main(
           + (f"  chunk={chunk_bytes}B" if chunk_bytes is not None else "")
           + ("  io=fifo" if fifo_io else "  io=priority")
           + ("  dataplane=legacy" if legacy_dataplane else "  dataplane=pooled")
+          + f"  backend={io_backend}" + ("+O_DIRECT" if io_direct else "")
           + "\n")
     baseline = run(offload=False)
     ssdtrain = run(
@@ -153,6 +163,8 @@ def main(
         chunk_bytes=chunk_bytes,
         fifo_io=fifo_io,
         legacy_dataplane=legacy_dataplane,
+        io_backend=io_backend,
+        io_direct=io_direct,
     )
 
     print(f"{'step':>4} {'loss (keep)':>12} {'loss (SSDTrain)':>16}")
@@ -181,6 +193,18 @@ def main(
               f"({dataplane.bytes_copied / 1e6:.2f} MB, {per_step:.1f} copies/step), "
               f"{dataplane.allocs_avoided} allocs avoided, "
               f"arena hit rate {dataplane.arena_hit_rate:.0%}")
+    engine_stats = ssdtrain["engine_stats"]
+    if engine_stats is not None and engine_stats.io_lanes:
+        for lane, ls in sorted(engine_stats.io_lanes.items()):
+            if not ls.batches:
+                continue
+            line = (f"io backend [{engine_stats.io_backend}] lane {lane}: "
+                    f"{ls.syscalls} syscalls over {ls.batches} batches "
+                    f"({ls.batched_requests} requests batched)")
+            if ls.bounce_copies or ls.bounce_copies_skipped:
+                line += (f", bounce copies {ls.bounce_copies} "
+                         f"(skipped {ls.bounce_copies_skipped})")
+            print(line)
     tracer = ssdtrain["tracer"]
     if tracer is not None:
         overlap = tracer.stats()

@@ -37,6 +37,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List
 
+from repro.core.engine import IO_BACKENDS
 from repro.core.offloader import OFFLOAD_TARGETS
 from repro.device.ssd import INTEL_OPTANE_P5800X_1600GB
 from repro.models.config import ModelConfig
@@ -194,6 +195,8 @@ def cmd_quickstart(args: argparse.Namespace) -> None:
         chunk_bytes=args.chunk_bytes,
         fifo_io=args.fifo_io,
         legacy_dataplane=args.legacy_dataplane,
+        io_backend=args.io_backend,
+        io_direct=args.io_direct,
     )
 
 
@@ -560,34 +563,79 @@ def cmd_dataplane(args: argparse.Namespace) -> None:
     for backend, ratio in speedups.items():
         print(f"store-path speedup ({backend}): {ratio:.2f}x")
 
-    if args.no_functional:
-        return
     from examples.quickstart import STEPS, run
 
-    print("\nfunctional A/B (tiered target, 5 steps each):")
-    results = {}
-    for legacy in (True, False):
-        results["legacy" if legacy else "pooled"] = run(
-            offload=True,
-            target="tiered",
-            cpu_pool_bytes=1 << 20,
-            chunk_bytes=64 << 10,
-            legacy_dataplane=legacy,
+    if not args.no_functional:
+        print("\nfunctional A/B (tiered target, 5 steps each):")
+        results = {}
+        for legacy in (True, False):
+            results["legacy" if legacy else "pooled"] = run(
+                offload=True,
+                target="tiered",
+                cpu_pool_bytes=1 << 20,
+                chunk_bytes=64 << 10,
+                legacy_dataplane=legacy,
+            )
+        for label, result in results.items():
+            dp = result["dataplane"]
+            print(f"  {label:>6}: {dp.copies / STEPS:.1f} copies/step "
+                  f"({dp.bytes_copied / 1e6:.2f} MB copied), "
+                  f"{dp.allocs_avoided} allocs avoided, "
+                  f"arena hit rate {dp.arena_hit_rate:.0%}")
+        assert results["pooled"]["losses"] == results["legacy"]["losses"], (
+            "pooled data plane must be bit-exact vs the legacy copy path"
         )
-    for label, result in results.items():
-        dp = result["dataplane"]
-        print(f"  {label:>6}: {dp.copies / STEPS:.1f} copies/step "
-              f"({dp.bytes_copied / 1e6:.2f} MB copied), "
-              f"{dp.allocs_avoided} allocs avoided, "
-              f"arena hit rate {dp.arena_hit_rate:.0%}")
-    assert results["pooled"]["losses"] == results["legacy"]["losses"], (
-        "pooled data plane must be bit-exact vs the legacy copy path"
+        pooled = results["pooled"]["dataplane"]
+        legacy_dp = results["legacy"]["dataplane"]
+        assert pooled.allocs_avoided > 0, "pooled run must avoid allocations"
+        assert pooled.copies < legacy_dp.copies, "pooled run must copy less"
+        print("losses bit-exact across pooled vs legacy data planes. ✓")
+
+    if args.io_backend in (None, "thread"):
+        return
+    print(f"\nI/O backend A/B (ssd target, {STEPS} steps each): "
+          f"thread vs {args.io_backend}"
+          + (" with O_DIRECT" if args.io_direct else ""))
+    ab = {}
+    for backend in ("thread", args.io_backend):
+        ab[backend] = run(
+            offload=True,
+            target="ssd",
+            io_backend=backend,
+            io_direct=args.io_direct and backend != "thread",
+        )
+    totals = {}
+    for backend, result in ab.items():
+        lanes = result["engine_stats"].io_lanes
+        syscalls = sum(ls.syscalls for ls in lanes.values())
+        batched = sum(ls.batched_requests for ls in lanes.values())
+        bounced = sum(ls.bounce_copies for ls in lanes.values())
+        skipped = sum(ls.bounce_copies_skipped for ls in lanes.values())
+        totals[backend] = (syscalls, skipped, result["offloaded"])
+        line = (f"  {backend:>8}: {syscalls} syscalls "
+                f"({syscalls / STEPS:.0f}/step) for "
+                f"{result['offloaded'] / 1e6:.2f} MB offloaded, "
+                f"{batched} requests batched")
+        if bounced or skipped:
+            line += f", bounce copies {bounced} (skipped {skipped})"
+        print(line)
+    assert ab["thread"]["losses"] == ab[args.io_backend]["losses"], (
+        "batched backends must be bit-exact vs the thread backend"
     )
-    pooled = results["pooled"]["dataplane"]
-    legacy_dp = results["legacy"]["dataplane"]
-    assert pooled.allocs_avoided > 0, "pooled run must avoid allocations"
-    assert pooled.copies < legacy_dp.copies, "pooled run must copy less"
-    print("losses bit-exact across pooled vs legacy data planes. ✓")
+    assert totals["thread"][2] == totals[args.io_backend][2], (
+        "A/B runs must offload identical bytes"
+    )
+    assert totals[args.io_backend][0] < totals["thread"][0], (
+        f"{args.io_backend} must issue strictly fewer syscalls than "
+        f"thread at identical bytes"
+    )
+    if args.io_backend == "gds-sim":
+        assert totals["gds-sim"][1] > 0, (
+            "gds-sim must skip host bounce copies for registered tensors"
+        )
+    print(f"losses bit-exact, {args.io_backend} used "
+          f"{totals['thread'][0] - totals[args.io_backend][0]} fewer "
+          f"syscalls at identical bytes. ✓")
 
 
 def cmd_tenants(args: argparse.Namespace) -> None:
@@ -784,6 +832,22 @@ def build_parser() -> argparse.ArgumentParser:
                 help="run the pre-PR5 copy map (fresh allocation per CPU "
                      "store, tobytes/slurp file I/O) instead of the pooled "
                      "zero-copy data plane",
+            )
+        if name in ("quickstart", "dataplane"):
+            p.add_argument(
+                "--io-backend", choices=IO_BACKENDS,
+                default="thread" if name == "quickstart" else None,
+                help="lane execution backend: blocking thread-per-job, "
+                     "batched SQ/CQ submission (uring), or the simulated "
+                     "GPUDirect-Storage lane (gds-sim)"
+                     + ("" if name == "quickstart"
+                        else "; selecting one runs a backend A/B vs thread"),
+            )
+            p.add_argument(
+                "--io-direct", action="store_true",
+                help="use O_DIRECT-aligned writes (uring/gds-sim backends "
+                     "only; falls back to buffered I/O if the filesystem "
+                     "refuses O_DIRECT)",
             )
         if name == "dataplane":
             p.add_argument(

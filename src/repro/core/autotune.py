@@ -99,6 +99,11 @@ class StepObservation:
     read_bytes: int = 0
     read_busy_s: float = 0.0
     read_count: int = 0
+    #: Completion-path latency (SQ/CQ backends: time completions sat on
+    #: the completion queue before the reaper applied them).  Part of
+    #: the effective per-read latency the prefetch window must cover;
+    #: the thread backend completes inline and contributes 0.
+    reap_lag_s: float = 0.0
     #: Offloaded-tensor shape of the step (prefetch-window sizing).
     stored_tensors: int = 0
     stored_bytes: int = 0
@@ -245,7 +250,12 @@ class AutotuneController:
         if obs.read_bytes > 0 and obs.read_busy_s > 0:
             est.read_bw.update(obs.read_bytes / obs.read_busy_s)
         if obs.read_count > 0 and obs.read_busy_s > 0:
-            est.read_latency_s.update(obs.read_busy_s / obs.read_count)
+            # Busy time plus reap lag: what a blocking unpack actually
+            # waits, so the prefetch window absorbs the completion path
+            # too (zero under the inline-completing thread backend).
+            est.read_latency_s.update(
+                (obs.read_busy_s + obs.reap_lag_s) / obs.read_count
+            )
         if obs.stored_tensors > 0 and obs.stored_bytes > 0:
             est.tensor_bytes.update(obs.stored_bytes / obs.stored_tensors)
         if obs.cpu_pool_capacity_bytes > 0:
@@ -398,6 +408,7 @@ class AutotuneController:
             read_bytes=read.nbytes,
             read_busy_s=read.busy_s,
             read_count=read.count,
+            reap_lag_s=read.reap_lag_s,
             stored_tensors=step.stored_tensors,
             stored_bytes=step.stored_bytes,
             stall_time_s=stall_s,

@@ -45,6 +45,7 @@ from repro.core.offloader import (
     SSDOffloader,
 )
 from repro.core.policy import OffloadPolicy
+from repro.io.aio import IOLaneStats
 from repro.io.buffers import ArenaStats, DataPlaneStats
 from repro.io.scheduler import (
     ChannelWindow,
@@ -53,10 +54,14 @@ from repro.io.scheduler import (
     SchedulerStats,
 )
 from repro.io.tenancy import TenantRegistry, TenantStats
+from repro.io.uring import GDSSimBackend, UringBackend
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.tensor_cache import TensorCache
     from repro.core.tiered import TierStats
+
+#: Lane execution backends an :class:`EngineConfig` may select.
+IO_BACKENDS = ("thread", "uring", "gds-sim")
 
 
 class EngineConfigError(ValueError):
@@ -105,6 +110,16 @@ class EngineConfig:
             quota admission + weighted fair-share dequeue.
         prefetch_window: look-ahead depth handed to caches built via
             :meth:`Engine.cache`.
+        io_backend: how lane workers reach the kernel (:data:`IO_BACKENDS`).
+            ``"thread"`` (default) is the blocking per-request model;
+            ``"uring"`` batches each dequeued batch into vectored
+            submissions over pre-opened descriptors with a dedicated
+            completion reaper; ``"gds-sim"`` adds simulated
+            GPUDirect-Storage routing against the offloader's
+            :class:`~repro.io.gds.GDSRegistry`.
+        io_direct: open write descriptors ``O_DIRECT`` (uring/gds-sim
+            only) — aligned staging via arena leases, per-file fallback
+            where the filesystem refuses.
     """
 
     target: str = "tiered"
@@ -124,6 +139,8 @@ class EngineConfig:
     retry_backoff_s: Optional[float] = None
     tenants: Optional[TenantRegistry] = None
     prefetch_window: int = 8
+    io_backend: str = "thread"
+    io_direct: bool = False
 
     def validate(self) -> None:
         """Raise :class:`EngineConfigError` on an inconsistent config.
@@ -159,6 +176,15 @@ class EngineConfig:
             raise EngineConfigError(
                 f"prefetch_window must be >= 0: {self.prefetch_window}"
             )
+        if self.io_backend not in IO_BACKENDS:
+            raise EngineConfigError(
+                f"unknown io_backend {self.io_backend!r}; "
+                f"expected one of {IO_BACKENDS}"
+            )
+        if self.io_direct and self.io_backend == "thread":
+            raise EngineConfigError(
+                "io_direct requires io_backend='uring' or 'gds-sim'"
+            )
 
 
 @dataclass
@@ -193,6 +219,11 @@ class EngineStats:
     pool: Optional[PoolBooks] = None
     tiers: Optional["TierStats"] = None
     arena: Optional[ArenaStats] = None
+    #: Which lane execution backend the I/O plane runs.
+    io_backend: str = "thread"
+    #: Per-lane backend books (syscalls, batched requests, reap lag,
+    #: GDS-sim bounce routing) — empty until the lazy scheduler exists.
+    io_lanes: Dict[str, IOLaneStats] = field(default_factory=dict)
 
 
 class Engine:
@@ -258,6 +289,14 @@ class Engine:
                     kwargs["max_retries"] = cfg.max_retries
                 if cfg.retry_backoff_s is not None:
                     kwargs["retry_backoff_s"] = cfg.retry_backoff_s
+                if cfg.io_backend == "uring":
+                    kwargs["backend"] = UringBackend(direct=cfg.io_direct)
+                elif cfg.io_backend == "gds-sim":
+                    # Share the offloader's registry so pack-time
+                    # registrations are what the lane routes on.
+                    kwargs["backend"] = GDSSimBackend(
+                        registry=self._gds_registry(), direct=cfg.io_direct
+                    )
                 self._scheduler = IOScheduler(
                     num_store_workers=cfg.num_store_workers,
                     num_load_workers=cfg.num_load_workers,
@@ -269,6 +308,14 @@ class Engine:
                 if set_scheduler is not None:
                     set_scheduler(self._scheduler)
             return self._scheduler
+
+    def _gds_registry(self):
+        """The offloader's GDS registry (SSD tier's), if it has one."""
+        off = self.offloader
+        gds = getattr(off, "gds", None)
+        if gds is None:
+            gds = getattr(getattr(off, "ssd", None), "gds", None)
+        return gds
 
     @property
     def scheduler_started(self) -> bool:
@@ -300,7 +347,9 @@ class Engine:
         """The one aggregated snapshot (see :class:`EngineStats`)."""
         off = self.offloader
         snap = EngineStats(
-            target=self.config.target, dataplane=off.dataplane_stats()
+            target=self.config.target,
+            dataplane=off.dataplane_stats(),
+            io_backend=self.config.io_backend,
         )
         sched = self._scheduler
         if sched is not None:
@@ -308,6 +357,14 @@ class Engine:
             snap.channels = sched.peek_completion_stats()
             snap.lane_health = sched.health.snapshot()
             snap.tenants = sched.tenants.stats_snapshot()
+            snap.io_lanes = sched.backend_stats_snapshot()
+            # GDS-sim bounce routing is data-plane telemetry: fold the
+            # backend's books into the aggregated copy map.
+            for lane_stats in snap.io_lanes.values():
+                snap.dataplane.bounce_copies += lane_stats.bounce_copies
+                snap.dataplane.bounce_copies_skipped += (
+                    lane_stats.bounce_copies_skipped
+                )
         elif self.tenants is not None:
             snap.tenants = self.tenants.stats_snapshot()
         pool = getattr(off, "pool", None)

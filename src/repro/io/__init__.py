@@ -27,9 +27,24 @@
   :class:`TenantContext` / :class:`TenantRegistry` (weights, byte and
   bandwidth quotas, admission) plus the thread-local tenant scope that
   attributes every store/load to its owning job.
+- :mod:`~repro.io.uring` — the batched submission/completion-queue lane
+  backend: vectored multi-request submissions over a pre-opened FD
+  table, a dedicated completion reaper, an ``O_DIRECT``-aligned write
+  path and the simulated GPUDirect-Storage lane
+  (:class:`GDSSimBackend`); :class:`~repro.io.aio.ThreadBackend` is the
+  default blocking model behind the same :class:`~repro.io.aio.IOBackend`
+  interface.
 """
 
-from repro.io.aio import AsyncIOPool, IOJob
+from repro.io.aio import (
+    AsyncIOPool,
+    IOBackend,
+    IOJob,
+    IOLaneStats,
+    ThreadBackend,
+    count_syscalls,
+    syscall_tape,
+)
 from repro.io.buffers import (
     ArenaStats,
     BufferArena,
@@ -66,10 +81,29 @@ from repro.io.tenancy import (
     jain_index,
     tenant_scope,
 )
+from repro.io.uring import (
+    FDTable,
+    GDSSimBackend,
+    IOContext,
+    UringBackend,
+    current_io_context,
+    io_context,
+)
 
 __all__ = [
     "AsyncIOPool",
+    "IOBackend",
     "IOJob",
+    "IOLaneStats",
+    "ThreadBackend",
+    "UringBackend",
+    "GDSSimBackend",
+    "FDTable",
+    "IOContext",
+    "current_io_context",
+    "io_context",
+    "count_syscalls",
+    "syscall_tape",
     "ArenaStats",
     "BufferArena",
     "BufferLease",

@@ -1,14 +1,34 @@
-"""FIFO worker pools and the IOJob state machine.
+"""The IOJob state machine, the lane-backend interface, and the thread backend.
 
 The paper's tensor cache owns two pools — "one for storing tensors and
 the other for loading tensors.  Submitted jobs are executed in
 first-in-first-out (FIFO) order." (Sec. III-C2.)  The cache now runs on
 the priority-aware :class:`~repro.io.scheduler.IOScheduler` instead;
-:class:`AsyncIOPool` remains as the paper-faithful baseline and for
-standalone use.  :class:`IOJob` is the shared unit of work: observable
-state (pending/running/done/failed/cancelled), a completion event, done
-callbacks, and a ``cancel``/``run`` handshake that lets exactly one side
-win the PENDING race.
+:class:`AsyncIOPool` remains as the paper-faithful baseline (deprecated
+for direct construction).  :class:`IOJob` is the shared unit of work:
+observable state (pending/running/done/failed/cancelled), a completion
+event, done callbacks, and a ``cancel``/``run`` handshake that lets
+exactly one side win the PENDING race.
+
+This module also defines the pluggable **lane execution backend**
+(:class:`IOBackend`): the scheduler's worker loop dequeues a batch and
+hands it to the installed backend, which decides *how* the member
+requests hit the kernel.  :class:`ThreadBackend` is the default and
+reproduces the pre-backend worker-loop semantics operation-for-operation
+(the ``io_backend="thread"`` escape hatch); the submission/completion
+-queue backend lives in :mod:`repro.io.uring`.
+
+Backend contract (docs/architecture.md §10): for every request in the
+batch the backend must (1) win :meth:`IOJob.claim` before touching it —
+a lost claim means a canceller or a promoted duplicate got there first
+and the request must be skipped silently; (2) bracket the body with
+:meth:`IOScheduler.begin_request` / :meth:`IOScheduler.finish_request`
+so channel telemetry, health, retry books, lease release, and tenant
+refunds all fire exactly once; (3) leave every claimed request in a
+terminal state (DONE/FAILED) even when the body raises something
+unexpected — ``finish_request`` enforces this.  Retries happen inside
+the body via :func:`~repro.io.errors.retry_call`; the backend never
+re-runs a finished request.
 """
 
 from __future__ import annotations
@@ -17,11 +37,64 @@ import enum
 import logging
 import queue
 import threading
-from typing import Any, Callable, List, Optional
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.io.errors import retry_call
+from repro.io.tenancy import tenant_scope
 
 logger = logging.getLogger(__name__)
+
+
+# --------------------------------------------------------------------------
+# Syscall tape: per-thread attribution of kernel round-trips.
+#
+# The stores (:mod:`repro.io.filestore` / :mod:`repro.io.chunkstore`)
+# call :func:`count_syscalls` next to every ``open``/``read``/``write``
+# they issue; a backend wraps each request body in a
+# :class:`syscall_tape` so the calls land on the per-lane books no
+# matter which closure the request body routed through.  Outside an
+# active tape the calls are no-ops (zero overhead on non-lane threads).
+# --------------------------------------------------------------------------
+
+
+class _TapeState(threading.local):
+    count = 0
+    depth = 0
+
+
+_TAPE = _TapeState()
+
+
+def count_syscalls(n: int = 1) -> None:
+    """Record ``n`` kernel round-trips on the current thread's tape."""
+    if _TAPE.depth:
+        _TAPE.count += n
+
+
+class syscall_tape:
+    """Context manager measuring syscalls issued on this thread.
+
+    Re-entrant: nested tapes each see the calls made inside their own
+    scope (the inner scope's calls are part of the outer's too).
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._start = 0
+
+    def __enter__(self) -> "syscall_tape":
+        _TAPE.depth += 1
+        self._start = _TAPE.count
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        _TAPE.depth -= 1
+        self.count = _TAPE.count - self._start
+        if _TAPE.depth == 0:
+            _TAPE.count = 0
+        return False
 
 
 class JobState(enum.Enum):
@@ -138,37 +211,200 @@ class IOJob:
     def _count_retry(self, exc: BaseException, attempt: int) -> None:
         self.attempts = attempt
 
-    def execute(self) -> None:
-        """Run the claimed job body; caller must have won :meth:`claim`.
+    def run_body(self) -> Tuple[Any, Optional[BaseException]]:
+        """Run the claimed body without finishing — the SQ half.
 
         Retryable failures are re-attempted within the job's budget via
         the stack's single retry rule (:func:`~repro.io.errors.retry_call`;
-        the worker holds the job for the backoff sleeps — the budget
-        bounds that occupancy).  The terminal state is DONE, or FAILED
-        with the last error surfaced via ``.error``.
+        the submitting worker holds the job for the backoff sleeps — the
+        budget bounds that occupancy).  Returns ``(result, error)``; the
+        job stays RUNNING until :meth:`complete` applies the outcome, so
+        a completion-queue backend can reap on another thread.
         """
         try:
-            self.result = retry_call(
+            result = retry_call(
                 self.fn,
                 max_retries=self.max_retries,
                 backoff_s=self.retry_backoff_s,
                 on_retry=self._count_retry,
             )
         except BaseException as exc:  # surfaced via .error for the waiter
-            self.error = exc
+            return None, exc
+        return result, None
+
+    def complete(self, result: Any, error: Optional[BaseException]) -> None:
+        """Apply a body outcome and finish — the CQ half."""
+        if error is not None:
+            self.error = error
             self.fn = None  # drop closure refs (e.g. the tensor being stored)
             self._finish(JobState.FAILED)
             return
+        self.result = result
         self.fn = None  # drop closure refs so GPU buffers can be reclaimed
         self._finish(JobState.DONE)
+
+    def execute(self) -> None:
+        """Run the claimed job body; caller must have won :meth:`claim`.
+
+        Equivalent to ``complete(*run_body())`` — the synchronous path
+        used by the thread backend and by plain pool jobs.  The terminal
+        state is DONE, or FAILED with the last error via ``.error``.
+        """
+        result, error = self.run_body()
+        self.complete(result, error)
 
     def run(self) -> None:
         if self.claim():
             self.execute()
 
 
+# --------------------------------------------------------------------------
+# Lane execution backends
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IOLaneStats:
+    """Per-lane backend telemetry (cumulative; snapshot via copies).
+
+    ``syscalls`` counts kernel round-trips attributed to this lane's
+    request bodies via the syscall tape; ``batched_requests`` counts the
+    members of multi-request submissions (batches of >= 2);
+    ``bounce_copies`` / ``bounce_copies_skipped`` book the GDS-sim
+    routing decisions (host staging copy made vs. elided);
+    ``direct_fallbacks`` counts files the filesystem refused to open
+    with ``O_DIRECT``; ``reap_lag_s`` accumulates the delay between a
+    request's I/O finishing and its completion being reaped (zero on the
+    thread backend, where the two coincide).
+    """
+
+    syscalls: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    reaped: int = 0
+    reap_lag_s: float = 0.0
+    bounce_copies: int = 0
+    bounce_copies_skipped: int = 0
+    direct_fallbacks: int = 0
+
+    def merge(self, other: "IOLaneStats") -> "IOLaneStats":
+        """Fold ``other`` into self (returns self for chaining)."""
+        self.syscalls += other.syscalls
+        self.batches += other.batches
+        self.batched_requests += other.batched_requests
+        self.reaped += other.reaped
+        self.reap_lag_s += other.reap_lag_s
+        self.bounce_copies += other.bounce_copies
+        self.bounce_copies_skipped += other.bounce_copies_skipped
+        self.direct_fallbacks += other.direct_fallbacks
+        return self
+
+
+class IOBackend:
+    """How a lane batch reaches the kernel (see the module docstring).
+
+    Subclasses implement :meth:`run_batch`.  The scheduler calls
+    :meth:`bind` once at construction and :meth:`shutdown` after its
+    workers have been joined (so no batch is in flight when the backend
+    tears down its reaper/FD state).
+    """
+
+    name = "backend"
+
+    def __init__(self) -> None:
+        self.scheduler = None  # bound by IOScheduler.__init__
+        self._stats_lock = threading.Lock()
+        self._lanes: Dict[str, IOLaneStats] = {}
+
+    def bind(self, scheduler) -> None:
+        self.scheduler = scheduler
+
+    def run_batch(self, lane: str, batch: List["IOJob"]) -> None:
+        """Execute one dequeued batch for ``lane``; must not raise."""
+        raise NotImplementedError
+
+    def lane_stats(self) -> Dict[str, IOLaneStats]:
+        """Non-destructive snapshot of the per-lane telemetry."""
+        with self._stats_lock:
+            return {lane: replace(stats) for lane, stats in self._lanes.items()}
+
+    def _lane(self, lane: str) -> IOLaneStats:
+        """The live per-lane record; caller must hold ``_stats_lock``."""
+        stats = self._lanes.get(lane)
+        if stats is None:
+            stats = self._lanes[lane] = IOLaneStats()
+        return stats
+
+    def shutdown(self) -> None:  # pragma: no cover - default is a no-op
+        pass
+
+
+class ThreadBackend(IOBackend):
+    """The default backend: blocking I/O on the dequeuing worker thread.
+
+    This is the pre-backend worker loop, operation for operation — the
+    ``io_backend="thread"`` A/B escape hatch.  The only additions are
+    observational: the syscall tape around each body and the per-lane
+    batch books, neither of which touches request semantics.
+    """
+
+    name = "thread"
+
+    def run_batch(self, lane: str, batch: List["IOJob"]) -> None:
+        sched = self.scheduler
+        claimed = 0
+        done_members = 0
+        trailing_done_bytes = 0
+        batch_syscalls = 0
+        for request in batch:
+            if not request.claim():
+                # Lost to cancel() or a competing claim on a promoted
+                # duplicate; the winner owns all bookkeeping.
+                continue
+            claimed += 1
+            if claimed > 1:
+                request.coalesced = True
+            sched.begin_request(request)
+            tape = syscall_tape()
+            try:
+                with tape, tenant_scope(request.tenant):
+                    request.execute()
+            except Exception:
+                logger.exception(
+                    "request %s raised outside the job body", request.label
+                )
+            finally:
+                batch_syscalls += tape.count
+                sched.finish_request(request)
+            if request.state is JobState.DONE:
+                done_members += 1
+                if done_members > 1:
+                    trailing_done_bytes += request.nbytes
+            sched.notify_done(request)
+        sched.book_coalesced(done_members, trailing_done_bytes)
+        with self._stats_lock:
+            stats = self._lane(lane)
+            stats.syscalls += batch_syscalls
+            if claimed:
+                stats.batches += 1
+            if claimed > 1:
+                stats.batched_requests += claimed
+
+
 class AsyncIOPool:
-    """A FIFO pool of worker threads.
+    """A FIFO pool of worker threads (deprecated for direct construction).
+
+    The pools survive as the paper-faithful FIFO baseline, but new code
+    should go through :class:`~repro.io.scheduler.IOScheduler` (with
+    ``io_backend="thread"`` for the equivalent execution model) — the
+    scheduler owns lanes, priorities, retries, and telemetry the pool
+    never had.  Direct construction warns the same way PR 7 deprecated
+    ``TensorCache.store_pool``/``load_pool``.
+
+    Job-state handling is owned entirely by :class:`IOJob`: the pool's
+    pending/idle books ride the job's done callbacks (one firing per
+    terminal transition, cancellation included) instead of a duplicate
+    bookkeeping path in the worker loop.
 
     Args:
         num_workers: worker thread count (1 preserves strict FIFO
@@ -180,6 +416,12 @@ class AsyncIOPool:
     def __init__(self, num_workers: int = 1, name: str = "io") -> None:
         if num_workers < 1:
             raise ValueError(f"need at least one worker: {num_workers}")
+        warnings.warn(
+            "AsyncIOPool is deprecated; submit through IOScheduler "
+            "(io_backend='thread' preserves the blocking execution model)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.name = name
         self._queue: "queue.Queue[Optional[IOJob]]" = queue.Queue()
         self._shutdown = False
@@ -200,10 +442,15 @@ class AsyncIOPool:
             if job is None:
                 return
             job.run()
-            with self._lock:
-                self._pending -= 1
-                if self._pending == 0:
-                    self._idle.set()
+
+    def _on_job_done(self, job: IOJob) -> None:
+        # The completion callback IOJob already owns fires exactly once
+        # per terminal transition (DONE/FAILED/CANCELLED), so the books
+        # cannot double-count a job a canceller beat the worker to.
+        with self._lock:
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.set()
 
     def submit(self, fn: Callable[[], Any], label: str = "") -> IOJob:
         """Enqueue work; returns the job handle."""
@@ -213,6 +460,7 @@ class AsyncIOPool:
             self._pending += 1
             self._idle.clear()
         job = IOJob(fn, label=label)
+        job.add_done_callback(self._on_job_done)
         self._queue.put(job)
         return job
 

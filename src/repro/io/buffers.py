@@ -53,6 +53,12 @@ from repro.io.tenancy import current_tenant
 #: size — also the alignment unit the SSD path cares about).
 MIN_SIZE_CLASS = 4096
 
+#: ``O_DIRECT`` buffer/offset/length alignment unit.  Every size class
+#: is a multiple of this by construction (power-of-two, floor 4 KiB) —
+#: only the buffer's *address* needs extra care, which ``aligned=True``
+#: leases provide.
+DIRECT_ALIGNMENT = 4096
+
 
 def size_class(nbytes: int) -> int:
     """Round a request up to its power-of-two bin (floor 4 KiB)."""
@@ -77,6 +83,7 @@ class ArenaStats:
     high_water_bytes: int = 0  #: peak of outstanding_bytes
     retained_bytes: int = 0    #: free-list bytes currently pooled
     trimmed_buffers: int = 0   #: free buffers dropped to respect the cap
+    aligned_leases: int = 0    #: leases served from the O_DIRECT-aligned bins
     #: Live leases per owning tenant (emptied keys are dropped, so after
     #: a clean drain this is exactly ``{}`` — the per-tenant no-leak
     #: invariant the isolation chaos tests reconcile).
@@ -156,7 +163,7 @@ class BufferLease:
     both call it without coordinating.
     """
 
-    __slots__ = ("arena", "array", "nbytes", "tenant", "_released")
+    __slots__ = ("arena", "array", "nbytes", "tenant", "aligned", "_released")
 
     def __init__(
         self,
@@ -164,10 +171,14 @@ class BufferLease:
         array: np.ndarray,
         nbytes: int,
         tenant: Optional[str] = None,
+        aligned: bool = False,
     ) -> None:
         self.arena = arena
         self.array = array
         self.nbytes = nbytes
+        #: Whether the buffer's address is DIRECT_ALIGNMENT-aligned (the
+        #: lease came from — and returns to — the aligned bins).
+        self.aligned = aligned
         #: Owning tenant (stamped at lease time from the leasing
         #: thread's scope) — the key the per-tenant arena accounting
         #: credits the release back to, however many hands the lease
@@ -218,6 +229,11 @@ class BufferArena:
         self.pool = pool
         self._lock = threading.Lock()
         self._free: Dict[int, List[np.ndarray]] = {}
+        #: O_DIRECT-aligned buffers pool separately: a plain ``np.empty``
+        #: has no address guarantee, so the two populations must never
+        #: mix (an aligned lease served an unaligned buffer would EINVAL
+        #: at ``pwrite`` time).
+        self._free_aligned: Dict[int, List[np.ndarray]] = {}
         self._stats = ArenaStats()
 
     # ------------------------------------------------------------------ stats
@@ -245,17 +261,26 @@ class BufferArena:
         return None
 
     # ------------------------------------------------------------------ lease
-    def lease(self, nbytes: int, tenant: Optional[str] = None) -> BufferLease:
+    def lease(
+        self, nbytes: int, tenant: Optional[str] = None, aligned: bool = False
+    ) -> BufferLease:
         """Lease a buffer of at least ``nbytes`` (size-class rounded).
 
         The lease is attributed to ``tenant`` (default: the calling
         thread's :func:`~repro.io.tenancy.current_tenant` scope) for
         the per-tenant outstanding books.
+
+        ``aligned=True`` guarantees the buffer's address is
+        :data:`DIRECT_ALIGNMENT`-aligned (the ``O_DIRECT`` requirement;
+        length and offset are already multiples by size-class
+        construction).  Aligned buffers pool in their own bins; the
+        over-allocation slack (one alignment unit per fresh buffer) is
+        not charged to the retention books.
         """
         cls = size_class(nbytes)
         owner = tenant if tenant is not None else current_tenant()
         with self._lock:
-            bin_ = self._free.get(cls)
+            bin_ = (self._free_aligned if aligned else self._free).get(cls)
             if bin_:
                 array = bin_.pop()
                 self._stats.hits += 1
@@ -263,6 +288,8 @@ class BufferArena:
             else:
                 array = None
                 self._stats.misses += 1
+            if aligned:
+                self._stats.aligned_leases += 1
             self._stats.leases += 1
             self._stats.requested_bytes += nbytes
             self._stats.outstanding += 1
@@ -276,7 +303,15 @@ class BufferArena:
             # Allocate outside the lock: np.empty of a large class can
             # fault pages, and concurrent leases must not serialize on it.
             try:
-                array = np.empty(cls, dtype=np.uint8)
+                if aligned:
+                    # Over-allocate one alignment unit and slice to the
+                    # first aligned address; the slice view keeps the
+                    # base allocation alive for the buffer's lifetime.
+                    raw = np.empty(cls + DIRECT_ALIGNMENT, dtype=np.uint8)
+                    offset = (-raw.ctypes.data) % DIRECT_ALIGNMENT
+                    array = raw[offset : offset + cls]
+                else:
+                    array = np.empty(cls, dtype=np.uint8)
             except BaseException:
                 # Roll the optimistic accounting back — a failed
                 # allocation must leave the books exact (no phantom
@@ -287,9 +322,11 @@ class BufferArena:
                     self._stats.requested_bytes -= nbytes
                     self._stats.outstanding -= 1
                     self._stats.outstanding_bytes -= cls
+                    if aligned:
+                        self._stats.aligned_leases -= 1
                     self._drop_tenant_outstanding_locked(owner)
                 raise
-        return BufferLease(self, array, nbytes, tenant=owner)
+        return BufferLease(self, array, nbytes, tenant=owner, aligned=aligned)
 
     def _drop_tenant_outstanding_locked(self, tenant: str) -> None:
         by_tenant = self._stats.outstanding_by_tenant
@@ -313,7 +350,8 @@ class BufferArena:
             self._drop_tenant_outstanding_locked(lease.tenant)
             cap = self.retention_cap_bytes
             if cap is None or self._stats.retained_bytes + cls <= cap:
-                self._free.setdefault(cls, []).append(lease.array)
+                free = self._free_aligned if lease.aligned else self._free
+                free.setdefault(cls, []).append(lease.array)
                 self._stats.retained_bytes += cls
             else:
                 self._stats.trimmed_buffers += 1
@@ -328,16 +366,17 @@ class BufferArena:
             raise ValueError(f"target_bytes must be >= 0: {target_bytes}")
         dropped = 0
         with self._lock:
-            # Largest classes first: fewest drops to reach the target.
-            for cls in sorted(self._free, reverse=True):
-                bin_ = self._free[cls]
-                while bin_ and self._stats.retained_bytes > target_bytes:
-                    bin_.pop()
-                    self._stats.retained_bytes -= cls
-                    self._stats.trimmed_buffers += 1
-                    dropped += 1
-                if not bin_:
-                    del self._free[cls]
+            for free in (self._free, self._free_aligned):
+                # Largest classes first: fewest drops to reach the target.
+                for cls in sorted(free, reverse=True):
+                    bin_ = free[cls]
+                    while bin_ and self._stats.retained_bytes > target_bytes:
+                        bin_.pop()
+                        self._stats.retained_bytes -= cls
+                        self._stats.trimmed_buffers += 1
+                        dropped += 1
+                    if not bin_:
+                        del free[cls]
         return dropped
 
 
@@ -362,6 +401,12 @@ class DataPlaneStats:
     arena_outstanding: int = 0
     arena_high_water_bytes: int = 0
     arena_retained_bytes: int = 0
+    #: GDS-sim routing books: host bounce-staging copies actually made
+    #: for unregistered storages, and the ones elided because the
+    #: storage was GDS-registered (the direct lane).  Zero under the
+    #: thread/uring backends, which never stage.
+    bounce_copies: int = 0
+    bounce_copies_skipped: int = 0
 
     @property
     def arena_hit_rate(self) -> float:
@@ -393,4 +438,6 @@ class DataPlaneStats:
         self.arena_outstanding += other.arena_outstanding
         self.arena_high_water_bytes += other.arena_high_water_bytes
         self.arena_retained_bytes += other.arena_retained_bytes
+        self.bounce_copies += other.bounce_copies
+        self.bounce_copies_skipped += other.bounce_copies_skipped
         return self

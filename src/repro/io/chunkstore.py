@@ -41,6 +41,7 @@ sides.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import zlib
@@ -51,9 +52,11 @@ from typing import Dict, Optional, Tuple, Union
 import numpy as np
 
 from repro.device.ssd import RAID0Array, SSD
+from repro.io.aio import count_syscalls, syscall_tape
 from repro.io.buffers import CopyCounter
 from repro.io.errors import IntegrityError
 from repro.io.filestore import contiguous_view
+from repro.io.uring import current_io_context, preadv_full, pwritev_full
 
 #: Default chunk size: 4 MiB — large enough that a P5800X-class SSD sees
 #: near-sequential bandwidth, small enough to bound the open-chunk buffer.
@@ -122,6 +125,10 @@ class ChunkedTensorStore:
         self.array = array
         self.legacy_copies = legacy_copies
         self.copy_stats = CopyCounter()
+        #: FD table of the last batched backend that drove this store
+        #: (self-attached by the vectored paths); chunk reclaim
+        #: invalidates its cached descriptors.
+        self.fd_table = None
 
         self._lock = threading.Lock()
         self._open_id = 0
@@ -134,6 +141,8 @@ class ChunkedTensorStore:
         self._bytes_read = 0
         self._write_count = 0
         self._read_count = 0
+        self._write_syscalls = 0
+        self._read_syscalls = 0
         self._reclaimed_bytes = 0
         self._open_dead_bytes = 0
 
@@ -159,6 +168,18 @@ class ChunkedTensorStore:
     def read_count(self) -> int:
         with self._lock:
             return self._read_count
+
+    @property
+    def write_syscalls(self) -> int:
+        """Kernel round-trips spent flushing chunks."""
+        with self._lock:
+            return self._write_syscalls
+
+    @property
+    def read_syscalls(self) -> int:
+        """Kernel round-trips spent on ranged chunk reads."""
+        with self._lock:
+            return self._read_syscalls
 
     @property
     def reclaimed_bytes(self) -> int:
@@ -201,6 +222,8 @@ class ChunkedTensorStore:
             self._bytes_read = 0
             self._write_count = 0
             self._read_count = 0
+            self._write_syscalls = 0
+            self._read_syscalls = 0
             self._reclaimed_bytes = 0
 
     # ------------------------------------------------------------------- I/O
@@ -236,13 +259,39 @@ class ChunkedTensorStore:
         chunk_id = self._open_id
         nbytes = len(self._open_buf)
         start = time.monotonic()
-        with open(self._chunk_path(chunk_id), "wb") as f:
-            if self.legacy_copies:
-                f.write(bytes(self._open_buf))
-                self.copy_stats.count_copy(nbytes)
-            else:
-                f.write(self._open_buf)
-                self.copy_stats.count_avoided(1)  # the bytes() payload temp
+        ctx = current_io_context()
+        if ctx is not None and not self.legacy_copies:
+            # Batched backend: one pwritev over a pre-opened descriptor.
+            # The chunk staging buffer is ordinary (unaligned) host
+            # memory, so a direct descriptor is demoted to buffered —
+            # chunk flushes are already large sequential writes and the
+            # staging buffer *is* the host bounce by design.
+            if self.fd_table is not ctx.fds:
+                self.fd_table = ctx.fds
+            path = str(self._chunk_path(chunk_id))
+            tape = syscall_tape()
+            with tape:
+                fd, direct, cached, _ = ctx.fds.acquire_write(path)
+                if direct:
+                    fd = ctx.fds.acquire_read(path)
+                    cached = True
+                pwritev_full(fd, [self._open_buf])
+                if cached:
+                    os.ftruncate(fd, nbytes)
+                    count_syscalls(1)
+            syscalls = tape.count
+            self.copy_stats.count_avoided(1)  # the bytes() payload temp
+        else:
+            with open(self._chunk_path(chunk_id), "wb") as f:
+                if self.legacy_copies:
+                    f.write(bytes(self._open_buf))
+                    self.copy_stats.count_copy(nbytes)
+                else:
+                    f.write(self._open_buf)
+                    self.copy_stats.count_avoided(1)  # the bytes() payload temp
+            syscalls = 3  # open + write + close
+            count_syscalls(syscalls)
+        self._write_syscalls += syscalls
         self._chunks[chunk_id] = _ChunkMeta(
             chunk_id=chunk_id,
             total_bytes=nbytes,
@@ -348,6 +397,7 @@ class ChunkedTensorStore:
                 raise FileNotFoundError(f"no offloaded tensor {tensor_id!r} in chunk store")
             path = self._chunk_path(loc.chunk_id)
         self._check_length(tensor_id, loc, expected)
+        ctx = current_io_context()
         if self.legacy_copies:
             with open(path, "rb") as f:
                 f.seek(loc.offset)
@@ -355,6 +405,34 @@ class ChunkedTensorStore:
             self._verify(tensor_id, loc, raw)
             data = np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
             self.copy_stats.count_copy(loc.nbytes, copies=2)
+            syscalls = 4  # open + seek + read + close
+            count_syscalls(syscalls)
+        elif ctx is not None:
+            # Batched backend: one preadv at the tensor's chunk offset,
+            # straight into the destination array.
+            if self.fd_table is not ctx.fds:
+                self.fd_table = ctx.fds
+            flat = np.empty(expected // dtype.itemsize, dtype)
+            view = memoryview(flat)
+            tape = syscall_tape()
+            with tape:
+                try:
+                    fd = ctx.fds.acquire_read(str(path))
+                except FileNotFoundError:
+                    raise FileNotFoundError(
+                        f"no offloaded tensor {tensor_id!r} in chunk store"
+                    ) from None
+                got = preadv_full(fd, [view], offset=loc.offset)
+            syscalls = tape.count
+            if got != loc.nbytes:
+                raise IntegrityError(
+                    f"torn write: tensor {tensor_id!r} expected {loc.nbytes} bytes "
+                    f"in chunk {loc.chunk_id}, read {got}"
+                )
+            self._verify(tensor_id, loc, view)
+            data = flat.reshape(shape)
+            self.copy_stats.count_copy(loc.nbytes)
+            self.copy_stats.count_avoided(1)  # the ranged-read bytes temp
         else:
             flat = np.empty(expected // dtype.itemsize, dtype)
             view = memoryview(flat)
@@ -373,10 +451,13 @@ class ChunkedTensorStore:
             data = flat.reshape(shape)
             self.copy_stats.count_copy(loc.nbytes)
             self.copy_stats.count_avoided(1)  # the ranged-read bytes temp
+            syscalls = 4  # open + seek + readinto + close
+            count_syscalls(syscalls)
         self._throttle(loc.nbytes, start)
         with self._lock:
             self._bytes_read += loc.nbytes
             self._read_count += 1
+            self._read_syscalls += syscalls
         if self.array is not None:
             self.array.record_read(loc.nbytes)
         return data
@@ -434,8 +515,11 @@ class ChunkedTensorStore:
         meta.refcount -= 1
         meta.live_bytes -= loc.nbytes
         if meta.refcount <= 0:
+            path = self._chunk_path(meta.chunk_id)
+            if self.fd_table is not None:
+                self.fd_table.invalidate(str(path))
             try:
-                self._chunk_path(meta.chunk_id).unlink()
+                path.unlink()
             except FileNotFoundError:
                 pass
             self._reclaimed_bytes += meta.total_bytes
@@ -455,8 +539,12 @@ class ChunkedTensorStore:
             self._index = {}
             chunk_ids = list(self._chunks)
             self._chunks = {}
+        table = self.fd_table
         for chunk_id in chunk_ids:
+            path = self._chunk_path(chunk_id)
+            if table is not None:
+                table.invalidate(str(path))
             try:
-                self._chunk_path(chunk_id).unlink()
+                path.unlink()
             except FileNotFoundError:
                 pass

@@ -41,6 +41,15 @@ class GDSRegistry:
 
     def __init__(self) -> None:
         self._registered: "weakref.WeakSet[UntypedStorage]" = weakref.WeakSet()
+        #: Owning storage by payload-array identity (``id(storage.data)``)
+        #: — the lookup the GDS-sim lane performs at store time, when it
+        #: holds the ndarray being written, not the storage object.  A
+        #: WeakValueDictionary so the index, like the membership set,
+        #: never extends a buffer's lifetime; the ``.data is array``
+        #: re-check below guards against ``id()`` reuse after a collect.
+        self._by_array: "weakref.WeakValueDictionary[int, UntypedStorage]" = (
+            weakref.WeakValueDictionary()
+        )
         self._lock = threading.Lock()
         self.register_count = 0
         self.deregister_count = 0
@@ -49,17 +58,38 @@ class GDSRegistry:
         with self._lock:
             if storage not in self._registered:
                 self._registered.add(storage)
+                self._by_array[id(storage.data)] = storage
                 self.register_count += 1
 
     def deregister(self, storage: UntypedStorage) -> None:
         with self._lock:
             if storage in self._registered:
                 self._registered.discard(storage)
+                self._by_array.pop(id(storage.data), None)
                 self.deregister_count += 1
 
     def is_registered(self, storage: UntypedStorage) -> bool:
         with self._lock:
             return storage in self._registered
+
+    def owner_of(self, array) -> Union[UntypedStorage, None]:
+        """The registered storage whose payload is ``array``, else None."""
+        with self._lock:
+            storage = self._by_array.get(id(array))
+            if storage is None or storage.data is not array:
+                return None
+            return storage
+
+    def is_array_registered(self, array) -> bool:
+        """Whether ``array`` is the payload of a registered storage.
+
+        The functional GDS-sim lane's routing predicate: a store whose
+        source array belongs to a registered storage takes the direct
+        path (no host bounce staging); anything else — unregistered
+        storages, detached copies — falls back to the bounce path, like
+        real GDS.
+        """
+        return self.owner_of(array) is not None
 
 
 @dataclass(frozen=True)

@@ -77,7 +77,7 @@ from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
-from repro.io.aio import IOJob, JobState
+from repro.io.aio import IOBackend, IOJob, IOLaneStats, JobState, ThreadBackend
 from repro.io.errors import (
     DEFAULT_MAX_RETRIES,
     DEFAULT_RETRY_BACKOFF_S,
@@ -89,7 +89,6 @@ from repro.io.tenancy import (
     TenantQuotaError,
     TenantRegistry,
     current_tenant,
-    tenant_scope,
 )
 
 logger = logging.getLogger(__name__)
@@ -256,12 +255,19 @@ class ChannelWindow:
     busy_s: float = 0.0
     queued_s: float = 0.0
     count: int = 0
+    #: Completion-reap delay accumulated over the window's requests: the
+    #: time between a request's I/O finishing and its completion being
+    #: reaped/booked.  Always 0.0 on the thread backend (execution and
+    #: completion coincide); the SQ/CQ backend's reaper stamps it so the
+    #: adaptive controller can see completion-path latency.
+    reap_lag_s: float = 0.0
 
     def merge(self, other: "ChannelWindow") -> None:
         self.nbytes += other.nbytes
         self.busy_s += other.busy_s
         self.queued_s += other.queued_s
         self.count += other.count
+        self.reap_lag_s += other.reap_lag_s
 
     def bandwidth_bytes_per_s(self) -> Optional[float]:
         """Observed throughput, or ``None`` when the window saw no work."""
@@ -667,6 +673,12 @@ class IOScheduler:
             pre-tenancy scheduler (a registry is still created for
             bookkeeping, but never drives dequeue order).
         name: thread-name prefix.
+        backend: the lane execution backend
+            (:class:`~repro.io.aio.IOBackend`).  ``None`` installs the
+            default :class:`~repro.io.aio.ThreadBackend` — blocking
+            per-request I/O on the dequeuing worker, byte-identical to
+            the pre-backend scheduler; :mod:`repro.io.uring` provides
+            the batched SQ/CQ and simulated-GDS backends.
     """
 
     def __init__(
@@ -680,6 +692,7 @@ class IOScheduler:
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
         tenants: Optional[TenantRegistry] = None,
         name: str = "ssdtrain-io",
+        backend: Optional[IOBackend] = None,
     ) -> None:
         if num_store_workers < 1 or num_load_workers < 1:
             raise ValueError("each channel needs at least one worker")
@@ -732,6 +745,12 @@ class IOScheduler:
         self._tenant_windows: Dict[Tuple[str, str, str], ChannelWindow] = {}
         self._tenant_usage: Dict[Tuple[str, str, str], List[float]] = {}
         self._listeners: List[Callable[[str, IORequest], None]] = []
+        #: How dequeued batches reach the kernel.  The default thread
+        #: backend reproduces the pre-backend worker loop operation for
+        #: operation; see :class:`~repro.io.aio.IOBackend` for the
+        #: contract a replacement must honour.
+        self.backend = backend if backend is not None else ThreadBackend()
+        self.backend.bind(self)
         self._lanes: Dict[str, _Lane] = {
             lane: _Lane(lane, _FairQueue(self.tenants) if self.fair_share else None)
             for lane in lanes
@@ -1298,6 +1317,81 @@ class IOScheduler:
             logger.exception("failing stranded request %s raised", request.label)
             request.done_event.set()
 
+    # ---------------------------------------------------- backend hooks
+    # The installed IOBackend drives these for every request it claimed;
+    # together they are the whole bookkeeping contract (docs §10).  Kept
+    # as small public wrappers so a backend never reaches into the
+    # scheduler's locking discipline.
+
+    def begin_request(self, request: IORequest) -> None:
+        """Book a claimed request as started (telemetry + listeners).
+
+        Must be called exactly once per won :meth:`IOJob.claim`, before
+        the body runs — the channel busy interval opens here.
+        """
+        request.started_at = time.monotonic()
+        self._channel_started(request)
+        self._safe_notify("start", request)
+
+    def finish_request(self, request: IORequest) -> None:
+        """Book a begun request as finished and force a terminal state.
+
+        Must be called exactly once per :meth:`begin_request`, after the
+        body's outcome has been applied (or when the backend gave up on
+        the request).  Closes the busy interval, books the completion
+        windows, and guarantees the job is DONE/FAILED so no waiter can
+        block forever on a request a backend touched.  ``finished_at``
+        is stamped here unless the backend already did (an SQ/CQ
+        backend stamps it at I/O completion, before the reap).
+        """
+        if not request.finished_at:
+            request.finished_at = time.monotonic()
+        self._record_completion(request)
+        self._force_terminal(request)
+
+    def notify_done(self, request: IORequest) -> None:
+        """Emit the ``"done"`` listener event for a finished request."""
+        self._safe_notify("done", request)
+
+    def book_coalesced(self, done_members: int, trailing_done_bytes: int) -> None:
+        """Book one multi-request submission's coalescing outcome.
+
+        ``done_members`` counts the batch members that reached DONE;
+        only the trailing ones (beyond the head) count as coalesced
+        work, preserving ``coalesced_requests <= executed``.  A batch
+        with fewer than two DONE members books nothing.
+        """
+        if done_members <= 1:
+            return
+        with self._stats_lock:
+            self.stats.coalesced_batches += 1
+            self.stats.coalesced_requests += done_members - 1
+            self.stats.coalesced_bytes += trailing_done_bytes
+
+    def note_reap_lag(self, request: IORequest, lag_s: float) -> None:
+        """Credit completion-reap delay to the request's channel window.
+
+        The SQ/CQ backend's reaper calls this with ``reaped_at -
+        finished_at``; the controller folds the per-request lag into its
+        read-latency estimate.  The thread backend never calls it (its
+        windows keep ``reap_lag_s == 0.0``).
+        """
+        if lag_s <= 0.0:
+            return
+        channel = _channel_of(request.kind)
+        with self._stats_lock:
+            window = self._windows.setdefault((request.lane, channel), ChannelWindow())
+            window.reap_lag_s += lag_s
+            tenant_key = (request.tenant, request.lane, channel)
+            tenant_window = self._tenant_windows.setdefault(tenant_key, ChannelWindow())
+            tenant_window.reap_lag_s += lag_s
+
+    def backend_stats_snapshot(self) -> Dict[str, IOLaneStats]:
+        """Non-destructive per-lane backend telemetry (syscalls, batch
+        membership, GDS-sim routing) — the ``EngineStats.io_lanes``
+        surface."""
+        return self.backend.lane_stats()
+
     def _worker_loop(self, lane: _Lane) -> None:
         while True:
             with lane.cond:
@@ -1306,61 +1400,29 @@ class IOScheduler:
                 if not lane.has_work() and self._shutdown.is_set():
                     return
                 batch = self._pop_batch_locked(lane)
-            claimed = 0
-            done_members = 0
-            trailing_done_bytes = 0
-            for request in batch:
-                # claim() loses against a cancel — and against another
-                # worker holding a duplicate entry left by a promotion;
-                # the loser must stay silent (no start/done events).
-                # Coalescing is booked per member only after it both wins
-                # claim() *and* completes: a member cancelled between the
-                # pop and the claim is a cancellation win, and a member
-                # that FAILED stored nothing — counting either as
-                # coalesced work would break the reconciliation invariant
-                # ``coalesced_requests <= executed``.
-                if not request.claim():
-                    continue
-                claimed += 1
-                if claimed > 1:
-                    request.coalesced = True
-                request.started_at = time.monotonic()
-                self._channel_started(request)
-                self._safe_notify("start", request)
-                # The worker must survive anything the job throws at it:
-                # execute() turns body exceptions into the FAILED state
-                # (after the bounded retry budget), and the try/except
-                # contains the residual hazard — exceptions escaping from
-                # the job's *done callbacks* — so one poisoned request
-                # can never kill the lane and hang drain() on the work
-                # queued behind it.  The body runs inside its request's
-                # tenant scope, so placement/pool/arena attribution made
-                # *within* a store or load body survives the hop from
-                # the submitting thread to this worker.
-                try:
-                    with tenant_scope(request.tenant):
-                        request.execute()
-                except Exception:
-                    logger.exception(
-                        "request %s raised outside its body (callback failure); "
-                        "worker %s continues",
-                        request.label,
-                        threading.current_thread().name,
-                    )
-                finally:
-                    request.finished_at = time.monotonic()
-                    self._record_completion(request)
-                    self._force_terminal(request)
-                if request.state is JobState.DONE:
-                    done_members += 1
-                    if done_members > 1:
-                        trailing_done_bytes += request.nbytes
-                self._safe_notify("done", request)
-            if done_members > 1:
-                with self._stats_lock:
-                    self.stats.coalesced_batches += 1
-                    self.stats.coalesced_requests += done_members - 1
-                    self.stats.coalesced_bytes += trailing_done_bytes
+            # How the batch's members reach the kernel is the installed
+            # backend's business (blocking per-request I/O on this
+            # thread, or SQ/CQ submission with a separate reaper); the
+            # scheduler's books are updated through the begin/finish
+            # hooks the backend is contractually bound to call.  The
+            # backend must not raise — but one poisoned batch still must
+            # not kill the lane and hang drain() on the work queued
+            # behind it, so the residual hazard is contained here too.
+            try:
+                self.backend.run_batch(lane.name, batch)
+            except Exception:
+                logger.exception(
+                    "backend %s raised on a %s batch; worker %s continues",
+                    self.backend.name,
+                    lane.name,
+                    threading.current_thread().name,
+                )
+                for request in batch:
+                    if request.state is JobState.RUNNING:
+                        try:
+                            self.finish_request(request)
+                        except Exception:
+                            self._force_terminal(request)
 
     # ------------------------------------------------------------------- drain
     def pending(self, lane: Optional[str] = None) -> int:
@@ -1414,3 +1476,6 @@ class IOScheduler:
                 lane.cond.notify_all()
         for worker in self._workers:
             worker.join(timeout=5)
+        # Only after the lane workers are gone: no batch can be in
+        # flight, so the backend can stop its reaper and close its FDs.
+        self.backend.shutdown()

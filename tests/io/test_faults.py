@@ -4,6 +4,7 @@ retry-with-backoff, the scheduler's FAILED accounting + worker
 survival, and the per-lane health tracker."""
 
 import threading
+import warnings
 
 import numpy as np
 import pytest
@@ -308,7 +309,9 @@ def test_iojob_default_budget_is_zero():
 
 
 def test_pool_jobs_keep_one_shot_semantics():
-    pool = AsyncIOPool(1)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        pool = AsyncIOPool(1)
     calls = []
 
     def flaky():

@@ -2,6 +2,7 @@
 
 import threading
 import time
+import warnings
 
 import numpy as np
 import pytest
@@ -21,8 +22,21 @@ from repro.tensor.tensor import Tensor
 
 
 # ------------------------------------------------------------------ AsyncIOPool
+def _pool(num_workers: int) -> AsyncIOPool:
+    """Build the deprecated FIFO pool without tripping its warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return AsyncIOPool(num_workers)
+
+
+def test_pool_construction_warns_deprecated():
+    with pytest.warns(DeprecationWarning, match="IOScheduler"):
+        pool = AsyncIOPool(1)
+    pool.shutdown()
+
+
 def test_pool_executes_jobs():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     job = pool.submit(lambda: 42)
     assert job.wait(5)
     assert job.result == 42
@@ -31,7 +45,7 @@ def test_pool_executes_jobs():
 
 
 def test_pool_fifo_order_single_worker():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     order = []
     for i in range(20):
         pool.submit(lambda i=i: order.append(i))
@@ -41,7 +55,7 @@ def test_pool_fifo_order_single_worker():
 
 
 def test_pool_error_captured_not_raised():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
 
     def boom():
         raise ValueError("io error")
@@ -54,7 +68,7 @@ def test_pool_error_captured_not_raised():
 
 
 def test_pool_done_callback_fires():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     fired = threading.Event()
     job = pool.submit(lambda: 1)
     job.add_done_callback(lambda j: fired.set())
@@ -63,7 +77,7 @@ def test_pool_done_callback_fires():
 
 
 def test_pool_done_callback_after_completion_runs_immediately():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     job = pool.submit(lambda: 1)
     job.wait(5)
     fired = []
@@ -75,7 +89,7 @@ def test_pool_done_callback_after_completion_runs_immediately():
 def test_pool_drops_closure_after_run():
     """The job must not pin the stored tensor after completion (GPU memory
     is reclaimed by refcount once the store finishes)."""
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     job = pool.submit(lambda: None)
     job.wait(5)
     assert job.fn is None
@@ -83,7 +97,7 @@ def test_pool_drops_closure_after_run():
 
 
 def test_pool_pending_and_drain():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     release = threading.Event()
     pool.submit(release.wait)
     pool.submit(lambda: 1)
@@ -95,7 +109,7 @@ def test_pool_pending_and_drain():
 
 
 def test_pool_shutdown_rejects_new_work():
-    pool = AsyncIOPool(1)
+    pool = _pool(1)
     pool.shutdown()
     with pytest.raises(RuntimeError):
         pool.submit(lambda: 1)

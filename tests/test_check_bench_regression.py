@@ -207,3 +207,15 @@ def test_kv_serve_benches_are_guarded_by_default(tmp_path):
         base = _write(tmp_path, "base.json", {name: 0.010})
         cur = _write(tmp_path, "cur.json", {name: 0.013})
         assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_uring_backend_benches_are_guarded_by_default(tmp_path):
+    """The SQ/CQ backend benches sit in the default wall-clock gate
+    (the PR 8 pattern extension)."""
+    for name in (
+        "bench_uring.py::test_uring_backend_store_round",
+        "bench_uring.py::test_thread_backend_store_round",
+    ):
+        base = _write(tmp_path, "base.json", {name: 0.010})
+        cur = _write(tmp_path, "cur.json", {name: 0.013})
+        assert guard.main(["--baseline", base, "--current", cur]) == 1
