@@ -34,6 +34,7 @@ This module fixes both:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
@@ -96,6 +97,15 @@ class EngineConfig:
         legacy_dataplane: run the pre-PR5 copy map (A/B baseline).
         promote_on_load: tiered only — copy SSD residents back into the
             pinned pool on load when there is room.
+        durable: journal the chunk store's index to a manifest under
+            ``store_dir`` and replay it on construction — the crash
+            -recovery substrate of the service mode
+            (:mod:`repro.service`).  Requires ``chunk_bytes`` and an
+            ssd/tiered target; flips the SSD store's shutdown from
+            ``clear()`` (destroy) to ``close()`` (keep for replay).
+        store_roots: extra chunk-store directories; flushed chunks are
+            write-leveled across them by cumulative bytes written
+            (requires ``chunk_bytes``).
 
     I/O-plane knobs (the scheduler every front-end shares):
 
@@ -131,6 +141,8 @@ class EngineConfig:
     policy: Optional[OffloadPolicy] = None
     legacy_dataplane: bool = False
     promote_on_load: bool = True
+    durable: bool = False
+    store_roots: Any = None
     num_store_workers: int = 2
     num_load_workers: int = 2
     fifo_io: bool = False
@@ -185,6 +197,20 @@ class EngineConfig:
             raise EngineConfigError(
                 "io_direct requires io_backend='uring' or 'gds-sim'"
             )
+        if self.durable and self.target not in ("ssd", "tiered"):
+            raise EngineConfigError(
+                "durable (manifest-journaled) stores require an ssd/tiered target"
+            )
+        if self.durable and self.chunk_bytes is None:
+            raise EngineConfigError("durable requires chunk_bytes (chunked store)")
+        if self.store_roots and self.target not in ("ssd", "tiered"):
+            raise EngineConfigError(
+                "store_roots (write-leveling) requires an ssd/tiered target"
+            )
+        if self.store_roots and self.chunk_bytes is None:
+            raise EngineConfigError(
+                "store_roots (write-leveling) requires chunk_bytes (chunked store)"
+            )
 
 
 @dataclass
@@ -196,6 +222,47 @@ class PoolBooks:
     high_watermark_bytes: int
     overflow_bytes: int
     used_by_tenant: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class EnduranceStats:
+    """SSD-endurance books of a chunked store (service-mode lifespan).
+
+    The paper's lifespan analysis (Fig. 5, ``bench_fig5_lifespan.py``)
+    projects SSD life from write volume; a week-long service needs the
+    *live* counterpart: how many bytes the engine is actually pushing,
+    how much of that is GC write amplification, and how evenly the
+    write-leveling spreads it across store roots.  All fields come
+    straight from the chunk store's books plus the engine's uptime.
+    """
+
+    bytes_written: int
+    dead_bytes: int
+    reclaimed_bytes: int
+    gc_runs: int
+    gc_bytes_rewritten: int
+    gc_reclaimed_dead_bytes: int
+    root_bytes_written: tuple
+    manifest_records_replayed: int
+    replay_was_torn: bool
+    uptime_s: float
+
+    @property
+    def write_rate_bytes_per_day(self) -> float:
+        """Lifetime write volume extrapolated to a 24 h day."""
+        if self.uptime_s <= 0:
+            return 0.0
+        return self.bytes_written * 86400.0 / self.uptime_s
+
+    def bytes_per_gb_day(self, capacity_bytes: int) -> float:
+        """The lifespan budget: daily write volume per GB of capacity.
+
+        Divide a device's rated DWPD-equivalent budget by this to get
+        projected life — the live analogue of the Fig. 5 model.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity_bytes must be positive: {capacity_bytes}")
+        return self.write_rate_bytes_per_day / (capacity_bytes / 10**9)
 
 
 @dataclass
@@ -224,6 +291,9 @@ class EngineStats:
     #: Per-lane backend books (syscalls, batched requests, reap lag,
     #: GDS-sim bounce routing) — empty until the lazy scheduler exists.
     io_lanes: Dict[str, IOLaneStats] = field(default_factory=dict)
+    #: SSD endurance / lifespan books — ``None`` unless the engine runs
+    #: a chunked store (the only backend with wear-relevant batching).
+    endurance: Optional[EnduranceStats] = None
 
 
 class Engine:
@@ -244,6 +314,8 @@ class Engine:
         self._scheduler: Optional[IOScheduler] = None
         self._scheduler_lock = threading.Lock()
         self._caches: List["TensorCache"] = []
+        self._started_at = time.monotonic()
+        self._closed = False
 
     # ------------------------------------------------------------ construction
     def _build_offloader(self) -> Offloader:
@@ -257,6 +329,8 @@ class Engine:
                 array=cfg.array,
                 chunk_bytes=cfg.chunk_bytes,
                 legacy_copies=cfg.legacy_dataplane,
+                durable=cfg.durable,
+                store_roots=cfg.store_roots,
             )
         if cfg.target == "cpu":
             return CPUOffloader(
@@ -273,6 +347,8 @@ class Engine:
             throttle_bytes_per_s=cfg.throttle_bytes_per_s,
             array=cfg.array,
             legacy_dataplane=cfg.legacy_dataplane,
+            durable=cfg.durable,
+            store_roots=cfg.store_roots,
         )
 
     @property
@@ -382,7 +458,33 @@ class Engine:
         arena = getattr(off, "arena", None)
         if arena is not None:
             snap.arena = arena.stats()
+        store = self.chunk_store
+        if store is not None:
+            snap.endurance = EnduranceStats(
+                bytes_written=store.bytes_written,
+                dead_bytes=store.dead_bytes,
+                reclaimed_bytes=store.reclaimed_bytes,
+                gc_runs=store.gc_runs,
+                gc_bytes_rewritten=store.gc_bytes_rewritten,
+                gc_reclaimed_dead_bytes=store.gc_reclaimed_dead_bytes,
+                root_bytes_written=store.root_bytes_written,
+                manifest_records_replayed=store.manifest_records_replayed,
+                replay_was_torn=store.replay_was_torn,
+                uptime_s=time.monotonic() - self._started_at,
+            )
         return snap
+
+    @property
+    def chunk_store(self):
+        """The engine's :class:`~repro.io.chunkstore.ChunkedTensorStore`
+        (ssd or tiered target with ``chunk_bytes``), else ``None``."""
+        off = self.offloader
+        store = getattr(off, "file_store", None)
+        if store is None:
+            store = getattr(getattr(off, "ssd", None), "file_store", None)
+        if store is not None and hasattr(store, "gc_runs"):
+            return store
+        return None
 
     # Thin delegating accessors: the historic per-object entry points,
     # now all views over the same stats() aggregation.
@@ -400,12 +502,35 @@ class Engine:
 
     # ---------------------------------------------------------------- teardown
     def shutdown(self) -> None:
-        """Stop the I/O plane (if started) and release the data plane."""
+        """Stop the I/O plane (if started) and release the data plane.
+
+        Idempotent and leak-free: scheduler workers and the uring
+        reaper are joined (not abandoned as daemons), cached
+        descriptors are closed, and a durable store keeps its files +
+        manifest while an ephemeral one is cleared.  A 20×-restart
+        regression test holds this to a thread/FD baseline.
+        """
         with self._scheduler_lock:
             sched, self._scheduler = self._scheduler, None
+            if self._closed and sched is None:
+                return
+            self._closed = True
         if sched is not None:
             sched.shutdown()
         self.offloader.shutdown()
+
+    #: PEP 3116-style alias so engines read like other closeable resources.
+    close = shutdown
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
 
 
 def build_engine(config: Optional[EngineConfig] = None, **overrides: Any) -> Engine:

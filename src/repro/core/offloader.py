@@ -138,6 +138,11 @@ class SSDOffloader(Offloader):
             per chunk instead of one file per tensor.
         legacy_copies: restore the store's pre-streaming copy map (the
             ``bench_dataplane.py`` A/B baseline).
+        durable: journal the chunk store's index to a manifest replayed
+            on reopen (service-mode crash recovery; requires
+            ``chunk_bytes``).
+        store_roots: extra store directories for write-leveling
+            (chunked store only).
     """
 
     def __init__(
@@ -148,6 +153,8 @@ class SSDOffloader(Offloader):
         gds: Optional[GDSRegistry] = None,
         chunk_bytes: Optional[int] = None,
         legacy_copies: bool = False,
+        durable: bool = False,
+        store_roots=None,
     ) -> None:
         self.file_store: Union[TensorFileStore, ChunkedTensorStore]
         if chunk_bytes is not None:
@@ -157,8 +164,14 @@ class SSDOffloader(Offloader):
                 throttle_bytes_per_s=throttle_bytes_per_s,
                 array=array,
                 legacy_copies=legacy_copies,
+                durable=durable,
+                roots=store_roots,
             )
         else:
+            if durable:
+                raise ValueError("durable SSD offload requires chunk_bytes")
+            if store_roots:
+                raise ValueError("store_roots (write-leveling) requires chunk_bytes")
             self.file_store = TensorFileStore(
                 store_dir,
                 throttle_bytes_per_s=throttle_bytes_per_s,
@@ -181,7 +194,13 @@ class SSDOffloader(Offloader):
         return str(self.file_store.path_for(tid.filename()))
 
     def shutdown(self) -> None:
-        self.file_store.clear()
+        # A durable (service-mode) store must survive the engine: close
+        # flushes and keeps the files + manifest for the next replay.
+        # Ephemeral stores keep the original leave-nothing-behind clear.
+        if getattr(self.file_store, "persistent", False):
+            self.file_store.close()
+        else:
+            self.file_store.clear()
 
 
 class PinnedMemoryPool:

@@ -93,6 +93,8 @@ class TieredOffloader(Offloader):
             promotion — promotions must never thrash the warm set).
         legacy_dataplane: run both tiers with the pre-PR5 copy map (the
             ``repro dataplane`` / ``bench_dataplane.py`` A/B baseline).
+        durable / store_roots: forwarded to the SSD tier's chunk store
+            (manifest journaling and write-leveling, service mode).
         throttle_bytes_per_s / array / gds: forwarded to the SSD tier.
     """
 
@@ -107,6 +109,8 @@ class TieredOffloader(Offloader):
         array=None,
         gds: Optional[GDSRegistry] = None,
         legacy_dataplane: bool = False,
+        durable: bool = False,
+        store_roots=None,
     ) -> None:
         if cpu_pool_bytes < 0:
             raise ValueError(f"cpu_pool_bytes must be >= 0: {cpu_pool_bytes}")
@@ -120,6 +124,8 @@ class TieredOffloader(Offloader):
             gds=gds,
             chunk_bytes=chunk_bytes,
             legacy_copies=legacy_dataplane,
+            durable=durable,
+            store_roots=store_roots,
         )
         self.policy = policy if policy is not None else OffloadPolicy()
         self.promote_on_load = promote_on_load
@@ -170,6 +176,27 @@ class TieredOffloader(Offloader):
         #: victim must run (and account) against the tenant that stored
         #: it, not whichever tenant's store triggered the pool pressure.
         self._tid_owner: Dict[TensorID, str] = {}
+        if durable:
+            self._rehydrate_tier_map()
+
+    def _rehydrate_tier_map(self) -> None:
+        """Seed the tier map from a replayed durable store.
+
+        The tier map is in-memory state; after a service restart every
+        replayed SSD-resident tensor would otherwise read as "never
+        stored".  Host-tier residents are genuinely gone (RAM died with
+        the process), so only the SSD side is rebuilt.
+        """
+        store = self.ssd.file_store
+        tensor_ids = getattr(store, "tensor_ids", None)
+        if tensor_ids is None:
+            return
+        for name in tensor_ids():
+            try:
+                tid = TensorID.from_filename(name)
+            except ValueError:
+                continue  # foreign key in a shared store directory
+            self._tier[tid] = Tier.SSD
 
     # ---------------------------------------------------------------- failover
     @property

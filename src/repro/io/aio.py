@@ -484,3 +484,11 @@ class AsyncIOPool:
             self._queue.put(None)
         for worker in self._workers:
             worker.join(timeout=5)
+
+    close = shutdown
+
+    def __enter__(self) -> "AsyncIOPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

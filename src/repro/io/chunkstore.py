@@ -37,17 +37,34 @@ copy once out of a ``memoryview`` window over the staging buffer.
 ``legacy_copies=True`` restores the old copy map for A/B benchmarks, and
 ``copy_stats`` (:class:`~repro.io.buffers.CopyCounter`) counts both
 sides.
+
+**Durability + endurance (service mode):** ``durable=True`` journals
+every index mutation — chunk flushes, deletes, clears, compactions —
+through a crc-framed append-only manifest
+(:mod:`repro.io.manifest`), and a fresh store constructed on the same
+root **replays** it: every live tensor reads back bit-exact, the
+``bytes_written`` / ``reclaimed_bytes`` / ``dead_bytes`` books are
+restored exactly, chunk ids continue monotonically (no path reuse, so a
+cached descriptor can never alias a new chunk), and a torn final
+journal record — the crash signature — is skipped, not fatal.  On top
+of the journal sit the week-long-run endurance features:
+:meth:`compact` rewrites chunks whose dead-byte ratio crossed a
+threshold (live tensors migrate to a fresh chunk, the hole-ridden file
+is unlinked, every attached FD table is invalidated), and ``roots``
+spreads chunk placement across several store directories by cumulative
+bytes written (write-leveling).
 """
 
 from __future__ import annotations
 
 import os
+import re
 import threading
 import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,11 +73,23 @@ from repro.io.aio import count_syscalls, syscall_tape
 from repro.io.buffers import CopyCounter
 from repro.io.errors import IntegrityError
 from repro.io.filestore import contiguous_view
+from repro.io.manifest import JournalWriter, read_journal
 from repro.io.uring import current_io_context, preadv_full, pwritev_full
 
 #: Default chunk size: 4 MiB — large enough that a P5800X-class SSD sees
 #: near-sequential bandwidth, small enough to bound the open-chunk buffer.
 DEFAULT_CHUNK_BYTES = 4 * 2**20
+
+#: Manifest file name inside the primary root (``durable=True``).
+MANIFEST_NAME = "manifest.log"
+
+#: Default dead-byte ratio at which :meth:`ChunkedTensorStore.compact`
+#: rewrites a chunk.  Half-dead is the classic LFS cleaning point:
+#: rewriting earlier amplifies writes for little space, later lets
+#: garbage pile up against the free-space (and SSD-endurance) budget.
+DEFAULT_COMPACT_DEAD_RATIO = 0.5
+
+_CHUNK_FILE_RE = re.compile(r"chunk(\d+)\.bin$")
 
 
 @dataclass
@@ -104,6 +133,15 @@ class ChunkedTensorStore:
         legacy_copies: restore the pre-streaming copy map (``tobytes()``
             staging, ``bytes`` flush payloads, slice+copy reads) — the
             A/B baseline for ``bench_dataplane.py``.
+        durable: journal every index mutation to ``root/manifest.log``
+            and replay an existing manifest on construction — the crash
+            -recovery substrate of the service mode.  A durable store's
+            :meth:`close` keeps the chunk files; only :meth:`clear`
+            destroys data.
+        roots: additional store directories for write-leveling; each
+            flushed chunk lands in the directory with the least
+            cumulative bytes written (the primary ``root`` is index 0
+            and always holds the manifest).
     """
 
     def __init__(
@@ -113,29 +151,47 @@ class ChunkedTensorStore:
         throttle_bytes_per_s: Optional[float] = None,
         array: Optional[Union[SSD, RAID0Array]] = None,
         legacy_copies: bool = False,
+        durable: bool = False,
+        roots: Optional[Sequence[Union[str, Path]]] = None,
     ) -> None:
         if chunk_bytes <= 0:
             raise ValueError(f"chunk_bytes must be positive: {chunk_bytes}")
         if throttle_bytes_per_s is not None and throttle_bytes_per_s <= 0:
             raise ValueError(f"throttle must be positive: {throttle_bytes_per_s}")
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self.roots: List[Path] = [self.root]
+        for extra in roots or ():
+            extra = Path(extra)
+            if extra not in self.roots:
+                self.roots.append(extra)
+        for directory in self.roots:
+            directory.mkdir(parents=True, exist_ok=True)
         self.chunk_bytes = chunk_bytes
         self.throttle_bytes_per_s = throttle_bytes_per_s
         self.array = array
         self.legacy_copies = legacy_copies
+        self.durable = durable
         self.copy_stats = CopyCounter()
         #: FD table of the last batched backend that drove this store
         #: (self-attached by the vectored paths); chunk reclaim
-        #: invalidates its cached descriptors.
+        #: invalidates its cached descriptors.  Every table ever
+        #: attached is remembered in ``_fd_tables`` so an unlink
+        #: invalidates across backend swaps (service restarts), not just
+        #: the most recent driver.
         self.fd_table = None
+        self._fd_tables: List[object] = []
 
         self._lock = threading.Lock()
-        self._open_id = 0
+        self._next_chunk_id = 0
         self._open_buf = bytearray()
         self._open_entries: Dict[str, _TensorLoc] = {}
         self._chunks: Dict[int, _ChunkMeta] = {}
         self._index: Dict[str, _TensorLoc] = {}
+        #: chunk_id -> index into ``roots`` (write-leveling placement).
+        self._chunk_root: Dict[int, int] = {}
+        #: Cumulative bytes ever written per root — the write-leveling
+        #: criterion; survives replay so wear stays balanced for life.
+        self._root_bytes: List[int] = [0] * len(self.roots)
 
         self._bytes_written = 0
         self._bytes_read = 0
@@ -145,6 +201,157 @@ class ChunkedTensorStore:
         self._read_syscalls = 0
         self._reclaimed_bytes = 0
         self._open_dead_bytes = 0
+        self._gc_runs = 0
+        self._gc_bytes_rewritten = 0
+        self._gc_reclaimed_dead_bytes = 0
+        self._closed = False
+        self._manifest_records_replayed = 0
+        self._replay_was_torn = False
+
+        self._journal: Optional[JournalWriter] = None
+        if durable:
+            self._replay_manifest()
+            self._journal = JournalWriter(self.manifest_path)
+        self._open_id = self._alloc_chunk_id_locked()
+        # The open chunk's write-leveling placement is decided when the
+        # chunk opens (so path_for is stable), not when it flushes.
+        self._chunk_root[self._open_id] = self._pick_root_locked()
+
+    # ------------------------------------------------------------- durability
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def persistent(self) -> bool:
+        """Whether this store's contents outlive the object (durable)."""
+        return self.durable
+
+    def _alloc_chunk_id_locked(self) -> int:
+        chunk_id = self._next_chunk_id
+        self._next_chunk_id += 1
+        return chunk_id
+
+    def _journal_append(self, record: Dict[str, object]) -> None:
+        # Skipped once closed: the only post-close mutation is a cleanup
+        # clear(), whose file unlinks the next replay re-derives anyway.
+        if self._journal is not None and not self._journal.closed:
+            self._journal.append(record)
+
+    def _replay_manifest(self) -> None:
+        """Rebuild the index, chunk metadata and books from the journal.
+
+        Applied record by record, so the in-memory state lands exactly
+        where the crashed instance's flushed state was: deletes
+        decrement replayed refcounts, refcount-zero chunks are reclaimed
+        (their files unlinked if the crash beat the original unlink),
+        and ``clear``/``compact`` records replay their book movements.
+        Orphan chunk files — written by a flush whose journal record
+        never landed — are swept, so a restarted id can never read a
+        ghost's bytes.  A torn final record is skipped (``
+        replay_was_torn``), never fatal.
+        """
+        records, torn = read_journal(self.manifest_path)
+        self._replay_was_torn = torn
+        self._manifest_records_replayed = len(records)
+        max_id = -1
+        for record in records:
+            op = record.get("op")
+            if op == "flush" or op == "compact":
+                chunk_id = int(record["chunk"])
+                root = int(record.get("root", 0))
+                if root >= len(self.roots):
+                    root = 0  # a leveling root was dropped; fall back
+                entries = record["entries"]
+                total = int(record["total"])
+                max_id = max(max_id, chunk_id)
+                live = 0
+                for tid, offset, nbytes, crc in entries:
+                    self._delete_replayed(tid)  # overwrite drops the old copy
+                    self._index[tid] = _TensorLoc(
+                        chunk_id=chunk_id,
+                        offset=int(offset),
+                        nbytes=int(nbytes),
+                        crc32=int(crc),
+                    )
+                    live += int(nbytes)
+                if entries:
+                    # A compact whose live set emptied writes no chunk.
+                    self._chunk_root[chunk_id] = root
+                    self._chunks[chunk_id] = _ChunkMeta(
+                        chunk_id=chunk_id,
+                        total_bytes=total,
+                        refcount=len(entries),
+                        live_bytes=live,
+                    )
+                    self._bytes_written += total if op == "flush" else live
+                    self._write_count += 1
+                    self._root_bytes[root] += total
+                if op == "compact":
+                    victim = int(record["victim"])
+                    max_id = max(max_id, victim)
+                    self._reclaim_replayed(victim)
+                    self._gc_runs += 1
+                    self._gc_bytes_rewritten += live
+                    self._gc_reclaimed_dead_bytes += int(record["dead"])
+            elif op == "delete":
+                self._delete_replayed(str(record["tid"]))
+            elif op == "clear":
+                for chunk_id in list(self._chunks):
+                    self._reclaim_replayed(chunk_id)
+                self._index = {}
+            # Unknown ops from a newer writer are skipped, not fatal.
+        for chunk_id in self._chunks:
+            max_id = max(max_id, chunk_id)
+        self._next_chunk_id = max_id + 1
+        self._sweep_orphans()
+
+    def _delete_replayed(self, tensor_id: str) -> None:
+        loc = self._index.pop(tensor_id, None)
+        if loc is None:
+            return
+        meta = self._chunks.get(loc.chunk_id)
+        if meta is None:
+            return
+        meta.refcount -= 1
+        meta.live_bytes -= loc.nbytes
+        if meta.refcount <= 0:
+            self._reclaim_replayed(meta.chunk_id)
+
+    def _reclaim_replayed(self, chunk_id: int) -> None:
+        meta = self._chunks.pop(chunk_id, None)
+        if meta is None:
+            return
+        # The crashed instance may have died between journaling the
+        # delete and unlinking the file: finish the job here.
+        try:
+            self._chunk_path(chunk_id).unlink()
+        except FileNotFoundError:
+            pass
+        self._reclaimed_bytes += meta.total_bytes
+
+    def _sweep_orphans(self) -> None:
+        """Unlink chunk files the manifest never acknowledged.
+
+        A crash between a chunk-file write and its journal append leaves
+        a file with no record; its id will be reissued (the allocator
+        only counts journaled ids), so the stale bytes must go before a
+        new chunk — or a cached descriptor — can alias them.
+        """
+        for directory in self.roots:
+            try:
+                names = os.listdir(directory)
+            except FileNotFoundError:  # pragma: no cover - root vanished
+                continue
+            for name in names:
+                match = _CHUNK_FILE_RE.fullmatch(name)
+                if match is None:
+                    continue
+                if int(match.group(1)) not in self._chunks:
+                    try:
+                        (directory / name).unlink()
+                    except FileNotFoundError:  # pragma: no cover - race
+                        pass
 
     # ------------------------------------------------------------------ stats
     @property
@@ -200,10 +407,55 @@ class ChunkedTensorStore:
             return flushed_holes + self._open_dead_bytes
 
     @property
+    def gc_runs(self) -> int:
+        """Chunks rewritten by :meth:`compact` over this store's life."""
+        with self._lock:
+            return self._gc_runs
+
+    @property
+    def gc_bytes_rewritten(self) -> int:
+        """Live bytes :meth:`compact` migrated into fresh chunks — the
+        write-amplification cost of garbage collection."""
+        with self._lock:
+            return self._gc_bytes_rewritten
+
+    @property
+    def gc_reclaimed_dead_bytes(self) -> int:
+        """Dead (hole) bytes compaction freed, net of the rewrite."""
+        with self._lock:
+            return self._gc_reclaimed_dead_bytes
+
+    @property
+    def root_bytes_written(self) -> Tuple[int, ...]:
+        """Cumulative bytes written per store root (write-leveling books)."""
+        with self._lock:
+            return tuple(self._root_bytes)
+
+    @property
+    def manifest_records_replayed(self) -> int:
+        """Journal records applied when this instance was constructed."""
+        return self._manifest_records_replayed
+
+    @property
+    def replay_was_torn(self) -> bool:
+        """Whether replay hit (and skipped) a torn final journal record."""
+        return self._replay_was_torn
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
     def num_chunks(self) -> int:
         """Flushed chunks currently on disk."""
         with self._lock:
             return len(self._chunks)
+
+    def tensor_ids(self) -> Tuple[str, ...]:
+        """Every live tensor id (flushed + open chunk) — the surface a
+        restarted tiered engine rehydrates its tier map from."""
+        with self._lock:
+            return tuple(self._index) + tuple(self._open_entries)
 
     @property
     def open_chunk_bytes(self) -> int:
@@ -228,7 +480,14 @@ class ChunkedTensorStore:
 
     # ------------------------------------------------------------------- I/O
     def _chunk_path(self, chunk_id: int) -> Path:
-        return self.root / f"chunk{chunk_id}.bin"
+        root = self.roots[self._chunk_root.get(chunk_id, 0)]
+        return root / f"chunk{chunk_id}.bin"
+
+    def _pick_root_locked(self) -> int:
+        """Write-leveling placement: the root with the least lifetime
+        bytes written takes the next chunk (ties break to the lowest
+        index, keeping the single-root case byte-identical)."""
+        return min(range(len(self.roots)), key=lambda i: (self._root_bytes[i], i))
 
     def path_for(self, tensor_id: str) -> Path:
         """Chunk file holding (or destined to hold) ``tensor_id``."""
@@ -236,6 +495,24 @@ class ChunkedTensorStore:
             loc = self._index.get(tensor_id) or self._open_entries.get(tensor_id)
             chunk_id = loc.chunk_id if loc is not None else self._open_id
         return self._chunk_path(chunk_id)
+
+    def _attach_fd_table(self, table: object) -> None:
+        """Remember a batched backend's FD table for unlink invalidation."""
+        if self.fd_table is not table:
+            self.fd_table = table
+        if table not in self._fd_tables:
+            self._fd_tables.append(table)
+
+    def _invalidate_tables(self, path: Path) -> None:
+        """Drop ``path``'s cached descriptor from every attached table.
+
+        Called on **every** chunk unlink path — refcount-zero reclaim,
+        :meth:`clear`, :meth:`compact` — so an open LRU entry can never
+        outlive the unlink and serve (or worse, write through to) a
+        deleted file's inode.
+        """
+        for table in self._fd_tables:
+            table.invalidate(str(path))
 
     def _throttle(self, nbytes: int, start: float) -> None:
         if self.throttle_bytes_per_s is None:
@@ -266,8 +543,7 @@ class ChunkedTensorStore:
             # memory, so a direct descriptor is demoted to buffered —
             # chunk flushes are already large sequential writes and the
             # staging buffer *is* the host bounce by design.
-            if self.fd_table is not ctx.fds:
-                self.fd_table = ctx.fds
+            self._attach_fd_table(ctx.fds)
             path = str(self._chunk_path(chunk_id))
             tape = syscall_tape()
             with tape:
@@ -298,11 +574,27 @@ class ChunkedTensorStore:
             refcount=len(self._open_entries),
             live_bytes=sum(loc.nbytes for loc in self._open_entries.values()),
         )
+        # Journal AFTER the file write: a record always names a real
+        # file; a crash in between leaves an orphan the replay sweeps.
+        self._journal_append(
+            {
+                "op": "flush",
+                "chunk": chunk_id,
+                "root": self._chunk_root.get(chunk_id, 0),
+                "total": nbytes,
+                "entries": [
+                    [tid, loc.offset, loc.nbytes, loc.crc32]
+                    for tid, loc in self._open_entries.items()
+                ],
+            }
+        )
         self._index.update(self._open_entries)
         self._open_entries = {}
         self._open_buf = bytearray()
         self._open_dead_bytes = 0  # holes now accounted via chunk metadata
-        self._open_id += 1
+        self._root_bytes[self._chunk_root.get(chunk_id, 0)] += nbytes
+        self._open_id = self._alloc_chunk_id_locked()
+        self._chunk_root[self._open_id] = self._pick_root_locked()
         self._bytes_written += nbytes
         self._write_count += 1
         if self.array is not None:
@@ -410,8 +702,7 @@ class ChunkedTensorStore:
         elif ctx is not None:
             # Batched backend: one preadv at the tensor's chunk offset,
             # straight into the destination array.
-            if self.fd_table is not ctx.fds:
-                self.fd_table = ctx.fds
+            self._attach_fd_table(ctx.fds)
             flat = np.empty(expected // dtype.itemsize, dtype)
             view = memoryview(flat)
             tape = syscall_tape()
@@ -502,13 +793,15 @@ class ChunkedTensorStore:
             self._open_dead_bytes += open_loc.nbytes
             if not self._open_entries:
                 # Every tensor in the open chunk died before the flush:
-                # drop the buffer, no write ever happens.
+                # drop the buffer, no write ever happens.  (No journal
+                # record either — the open chunk never hit disk.)
                 self._open_buf = bytearray()
                 self._open_dead_bytes = 0
             return
         loc = self._index.pop(tensor_id, None)
         if loc is None:
             return
+        self._journal_append({"op": "delete", "tid": tensor_id})
         meta = self._chunks.get(loc.chunk_id)
         if meta is None:
             return
@@ -516,34 +809,185 @@ class ChunkedTensorStore:
         meta.live_bytes -= loc.nbytes
         if meta.refcount <= 0:
             path = self._chunk_path(meta.chunk_id)
-            if self.fd_table is not None:
-                self.fd_table.invalidate(str(path))
+            self._invalidate_tables(path)
             try:
                 path.unlink()
             except FileNotFoundError:
                 pass
             self._reclaimed_bytes += meta.total_bytes
             del self._chunks[meta.chunk_id]
+            self._chunk_root.pop(meta.chunk_id, None)
 
     def delete(self, tensor_id: str) -> None:
         """Drop one tensor; unlink its chunk once no live tensor remains."""
         with self._lock:
             self._delete_locked(tensor_id)
 
+    def compact(
+        self,
+        max_dead_ratio: float = DEFAULT_COMPACT_DEAD_RATIO,
+        max_chunks: Optional[int] = None,
+    ) -> int:
+        """Rewrite chunks whose dead-byte ratio crossed ``max_dead_ratio``.
+
+        For each victim the live tensors are read back (crc-verified —
+        GC doubles as a scrub), packed into a fresh chunk written in one
+        I/O on the least-worn root, the index is repointed, the old file
+        is unlinked with every attached FD table invalidated, and a
+        ``compact`` journal record makes the move durable.  Returns the
+        dead bytes reclaimed (0 when nothing crossed the threshold).
+
+        Runs entirely under the store lock: reads and writes briefly
+        queue behind it, which is the deliberate trade — the background
+        GC must never race a ranged read against its own unlink.  The
+        rewrite is charged to ``bytes_written`` (and the wear model):
+        that is GC write amplification, surfaced via
+        :attr:`gc_bytes_rewritten` so the endurance budget sees it.
+        """
+        if not 0.0 < max_dead_ratio <= 1.0:
+            raise ValueError(f"max_dead_ratio must be in (0, 1]: {max_dead_ratio}")
+        reclaimed_dead = 0
+        with self._lock:
+            victims = [
+                meta
+                for meta in self._chunks.values()
+                if meta.total_bytes > 0
+                and meta.live_bytes < meta.total_bytes
+                and (meta.total_bytes - meta.live_bytes) / meta.total_bytes
+                >= max_dead_ratio
+            ]
+            victims.sort(
+                key=lambda m: (m.total_bytes - m.live_bytes), reverse=True
+            )
+            if max_chunks is not None:
+                victims = victims[:max_chunks]
+            for meta in victims:
+                reclaimed_dead += self._compact_one_locked(meta)
+        return reclaimed_dead
+
+    def _compact_one_locked(self, meta: _ChunkMeta) -> int:
+        """Migrate one chunk's live tensors to a fresh chunk; unlink it."""
+        old_path = self._chunk_path(meta.chunk_id)
+        live = [
+            (tid, loc)
+            for tid, loc in self._index.items()
+            if loc.chunk_id == meta.chunk_id
+        ]
+        live.sort(key=lambda item: item[1].offset)
+        try:
+            raw = old_path.read_bytes()
+        except FileNotFoundError:
+            raw = b""
+        count_syscalls(3)  # open + read + close
+        buf = bytearray()
+        new_id = self._alloc_chunk_id_locked()
+        moved: List[Tuple[str, _TensorLoc]] = []
+        for tid, loc in live:
+            window = raw[loc.offset : loc.offset + loc.nbytes]
+            self._verify(tid, loc, window)  # GC doubles as a scrub
+            moved.append(
+                (
+                    tid,
+                    _TensorLoc(
+                        chunk_id=new_id,
+                        offset=len(buf),
+                        nbytes=loc.nbytes,
+                        crc32=loc.crc32,
+                    ),
+                )
+            )
+            buf.extend(window)
+        nbytes = len(buf)
+        root = self._pick_root_locked()
+        self._chunk_root[new_id] = root
+        if moved:
+            new_path = self._chunk_path(new_id)
+            with open(new_path, "wb") as f:
+                f.write(buf)
+            count_syscalls(3)  # open + write + close
+            self._write_syscalls += 3
+            self._chunks[new_id] = _ChunkMeta(
+                chunk_id=new_id,
+                total_bytes=nbytes,
+                refcount=len(moved),
+                live_bytes=nbytes,
+            )
+            self._bytes_written += nbytes
+            self._write_count += 1
+            self._root_bytes[root] += nbytes
+            if self.array is not None:
+                self.array.record_write(nbytes)
+            for tid, loc in moved:
+                self._index[tid] = loc
+        dead = meta.total_bytes - nbytes
+        self._journal_append(
+            {
+                "op": "compact",
+                "victim": meta.chunk_id,
+                "chunk": new_id,
+                "root": root,
+                "total": nbytes,
+                "dead": dead,
+                "entries": [
+                    [tid, loc.offset, loc.nbytes, loc.crc32] for tid, loc in moved
+                ],
+            }
+        )
+        self._invalidate_tables(old_path)
+        try:
+            old_path.unlink()
+        except FileNotFoundError:
+            pass
+        del self._chunks[meta.chunk_id]
+        self._chunk_root.pop(meta.chunk_id, None)
+        self._reclaimed_bytes += meta.total_bytes
+        self._gc_runs += 1
+        self._gc_bytes_rewritten += nbytes
+        self._gc_reclaimed_dead_bytes += dead
+        return dead
+
+    def close(self) -> None:
+        """Flush the open chunk and release the journal — keep the data.
+
+        The durable counterpart of :meth:`clear`: every chunk file (and
+        the manifest) stays on disk so a fresh store on the same root
+        replays back to this exact state.  Idempotent; a non-durable
+        store's close just flushes.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._flush_locked()
+            self._closed = True
+            if self._journal is not None:
+                self._journal.sync()
+                self._journal.close()
+
     def clear(self) -> None:
-        """Remove every chunk file and reset the in-memory state."""
+        """Remove every chunk file and reset the in-memory state.
+
+        The destroyed chunks' bytes are booked as ``reclaimed_bytes``
+        and the dead-byte holes they carried are zeroed — the explicit
+        stats contract: after ``clear`` (and across a durable
+        close/reopen) ``dead_bytes == 0`` and ``reclaimed_bytes`` equals
+        every chunk byte ever unlinked, exactly.
+        """
         with self._lock:
             self._open_buf = bytearray()
             self._open_entries = {}
             self._open_dead_bytes = 0
             self._index = {}
             chunk_ids = list(self._chunks)
+            self._reclaimed_bytes += sum(
+                meta.total_bytes for meta in self._chunks.values()
+            )
             self._chunks = {}
-        table = self.fd_table
-        for chunk_id in chunk_ids:
-            path = self._chunk_path(chunk_id)
-            if table is not None:
-                table.invalidate(str(path))
+            self._journal_append({"op": "clear"})
+            paths = [self._chunk_path(chunk_id) for chunk_id in chunk_ids]
+            for chunk_id in chunk_ids:
+                self._chunk_root.pop(chunk_id, None)
+        for path in paths:
+            self._invalidate_tables(path)
             try:
                 path.unlink()
             except FileNotFoundError:

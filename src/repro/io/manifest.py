@@ -1,0 +1,146 @@
+"""Durable append-only journal for the chunk store's tensor→chunk index.
+
+The :class:`~repro.io.chunkstore.ChunkedTensorStore` keeps its index —
+which chunk holds which tensor at which offset, with which crc — purely
+in memory.  That is fine for one training run that dies with the
+process, but the long-running service mode
+(:mod:`repro.service`) restarts a crashed engine *in place*: the chunk
+files survive on disk, so the index must survive too, or every byte the
+SSD holds becomes unreadable garbage on restart.
+
+This module is the journal layer underneath that durability:
+
+- :class:`JournalWriter` appends **crc-framed** records — a fixed
+  12-byte header (magic, payload length, payload crc32) followed by a
+  compact JSON payload — to one append-only file, flushing each record
+  into the page cache so an engine crash (the supervised-restart case)
+  loses nothing, and an OS crash loses at most the unsynced tail;
+- :func:`read_journal` replays the file sequentially and is
+  **torn-tail-tolerant**: a final record cut short by a crash — a
+  partial header, a short payload, or a crc mismatch — ends the replay
+  cleanly instead of raising.  Everything before the torn record is
+  trusted (each frame is individually checksummed); everything at and
+  after it is ignored, exactly like a write-ahead log recovery.
+
+Record payloads are dicts; the chunk store defines the schema
+(``flush`` / ``delete`` / ``clear`` / ``compact`` ops — see
+docs/architecture.md §11).  The framing is schema-agnostic so other
+subsystems can journal through the same code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+#: Frame header: magic(4s) + payload length (u32 LE) + payload crc32 (u32 LE).
+_HEADER = struct.Struct("<4sII")
+
+#: Frame magic — bumped if the header layout ever changes.
+JOURNAL_MAGIC = b"RMJ1"
+
+#: Refuse absurd lengths so a corrupt header cannot trigger a huge read.
+MAX_RECORD_BYTES = 64 * 2**20
+
+
+def frame_record(record: Dict[str, Any]) -> bytes:
+    """Serialize one record into its crc-framed on-disk form."""
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True).encode()
+    return _HEADER.pack(JOURNAL_MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+class JournalWriter:
+    """Append-only writer of crc-framed records (thread-safe).
+
+    Each :meth:`append` lands the full frame in the page cache before
+    returning (``flush``) — durable against the process dying, which is
+    the supervised-service crash model.  :meth:`sync` adds an
+    ``fsync`` for callers that need durability against the OS dying
+    (checkpoint boundaries); journaling every record through ``fsync``
+    would serialize the store on device flush latency.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "ab")
+        self.records_appended = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        frame = frame_record(record)
+        with self._lock:
+            if self._fh.closed:
+                raise ValueError(f"journal {self.path} is closed")
+            self._fh.write(frame)
+            self._fh.flush()
+            self.records_appended += 1
+
+    def sync(self) -> None:
+        """``fsync`` the journal file (durability against an OS crash)."""
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.flush()
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._fh.closed
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[List[Dict[str, Any]], bool]:
+    """Replay every intact record of the journal at ``path``.
+
+    Returns ``(records, torn_tail)``.  A missing file is an empty
+    journal.  The first frame that fails validation — truncated header,
+    bad magic, oversized or short payload, crc mismatch — ends the
+    replay and sets ``torn_tail``; a torn final record is the expected
+    crash signature, never an error.  Records *behind* a bad frame are
+    unreachable by design (frame lengths chain), so nothing after the
+    tear is trusted.
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    try:
+        raw = path.read_bytes()
+    except FileNotFoundError:
+        return records, False
+    pos = 0
+    size = len(raw)
+    while pos < size:
+        if pos + _HEADER.size > size:
+            return records, True  # torn header
+        magic, length, crc = _HEADER.unpack_from(raw, pos)
+        if magic != JOURNAL_MAGIC or length > MAX_RECORD_BYTES:
+            return records, True  # corrupt header
+        start = pos + _HEADER.size
+        end = start + length
+        if end > size:
+            return records, True  # torn payload
+        payload = raw[start:end]
+        if zlib.crc32(payload) != crc:
+            return records, True  # bit-rot / torn write inside the frame
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return records, True  # crc passed but payload is not a record
+        records.append(record)
+        pos = end
+    return records, False

@@ -1479,3 +1479,13 @@ class IOScheduler:
         # Only after the lane workers are gone: no batch can be in
         # flight, so the backend can stop its reaper and close its FDs.
         self.backend.shutdown()
+
+    #: Closeable-resource alias; service restarts lean on it being
+    #: idempotent and actually joining every worker (no daemon leaks).
+    close = shutdown
+
+    def __enter__(self) -> "IOScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -508,12 +508,24 @@ class UringBackend(IOBackend):
             stats.reap_lag_s += lag_total
 
     def shutdown(self) -> None:
+        """Stop the reaper and close every cached descriptor (idempotent)."""
         with self._cq_cond:
+            already = self._stop
             self._stop = True
             self._cq_cond.notify_all()
         if self._reaper is not None:
             self._reaper.join(timeout=5)
-        self.fds.close_all()
+            self._reaper = None
+        if not already:
+            self.fds.close_all()
+
+    close = shutdown
+
+    def __enter__(self) -> "UringBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
 
 
 class GDSSimBackend(UringBackend):

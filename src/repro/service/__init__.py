@@ -1,0 +1,47 @@
+"""Long-running service mode: a supervised, live-controllable engine.
+
+Everything below :mod:`repro.core.engine` models one run that dies with
+the process.  The service layer turns the engine into an always-on
+component, the shape named in the ROADMAP (supervised background jobs
+with pub/sub state, à la Pioreactor's leader/worker cluster or
+gridworks-scada's monitored actors):
+
+- :class:`~repro.service.bus.ControlBus` — in-process pub/sub;
+  telemetry ticks flow out, control commands flow in.
+- :class:`~repro.service.service.EngineService` — wraps
+  :func:`~repro.core.engine.build_engine` with a heartbeat/housekeeping
+  thread, a health state machine
+  (``STARTING/HEALTHY/DEGRADED/RESTARTING/STOPPED``), live control
+  application (budget, watermark, tenant QoS, paging strategy — all
+  step-safe, no restart) and periodic chunk GC.
+- :class:`~repro.service.service.Supervisor` — watches heartbeats and
+  lane health, restarts a wedged or crashed engine with exponential
+  backoff; a ``durable`` engine config replays the chunk store's
+  manifest on the way back up, so the restart is bit-exact.
+- :class:`~repro.service.workload.SyntheticWorkload` — a deterministic,
+  idempotent store/delete/load driver used by ``repro serve`` and the
+  crash-recovery tests.
+"""
+
+from repro.service.bus import ControlBus, Subscription
+from repro.service.service import (
+    EngineService,
+    ServiceState,
+    Supervisor,
+    TOPIC_CONTROL,
+    TOPIC_EVENTS,
+    TOPIC_TELEMETRY,
+)
+from repro.service.workload import SyntheticWorkload
+
+__all__ = [
+    "ControlBus",
+    "EngineService",
+    "ServiceState",
+    "Subscription",
+    "Supervisor",
+    "SyntheticWorkload",
+    "TOPIC_CONTROL",
+    "TOPIC_EVENTS",
+    "TOPIC_TELEMETRY",
+]

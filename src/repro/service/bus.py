@@ -1,0 +1,111 @@
+"""In-process pub/sub bus: telemetry out, control in.
+
+The service mode needs exactly two message flows — periodic
+:class:`~repro.core.engine.EngineStats` snapshots outward to whoever is
+watching, and control commands inward to the engine's step-safe knobs —
+and both must keep working while the engine itself is being killed and
+restarted.  A tiny topic-keyed bus covers that without any external
+broker:
+
+- :meth:`ControlBus.publish` delivers synchronously on the caller's
+  thread, in subscription order.  A subscriber that raises never breaks
+  the publisher or the other subscribers: the exception is swallowed
+  into ``delivery_errors`` (a crashing dashboard must not take the
+  service down with it).
+- every topic keeps a bounded ring of recent messages
+  (:meth:`ControlBus.recent`) so late subscribers — a supervisor
+  attaching after the service started, a test asserting on events —
+  can inspect what they missed without replay machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Tuple
+
+#: Messages retained per topic for :meth:`ControlBus.recent`.
+DEFAULT_HISTORY = 256
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """Handle returned by :meth:`ControlBus.subscribe`; pass back to
+    :meth:`ControlBus.unsubscribe`."""
+
+    topic: str
+    token: int
+    callback: Callable[[Any], None] = field(compare=False, repr=False)
+
+
+class ControlBus:
+    """Thread-safe topic pub/sub with contained subscriber failures."""
+
+    def __init__(self, history: int = DEFAULT_HISTORY) -> None:
+        if history < 1:
+            raise ValueError(f"history must be >= 1: {history}")
+        self._lock = threading.Lock()
+        self._next_token = 0
+        self._subs: Dict[str, List[Subscription]] = {}
+        self._history: Dict[str, Deque[Any]] = {}
+        self._history_len = history
+        self.published = 0
+        self.delivered = 0
+        self.delivery_errors = 0
+
+    def subscribe(self, topic: str, callback: Callable[[Any], None]) -> Subscription:
+        with self._lock:
+            sub = Subscription(topic=topic, token=self._next_token, callback=callback)
+            self._next_token += 1
+            self._subs.setdefault(topic, []).append(sub)
+            return sub
+
+    def unsubscribe(self, sub: Subscription) -> bool:
+        """Remove one subscription; ``False`` if it was already gone."""
+        with self._lock:
+            subs = self._subs.get(sub.topic, [])
+            for i, existing in enumerate(subs):
+                if existing.token == sub.token:
+                    del subs[i]
+                    return True
+            return False
+
+    def publish(self, topic: str, message: Any) -> int:
+        """Deliver ``message`` to every current subscriber of ``topic``.
+
+        Returns the number of successful deliveries.  Delivery runs on
+        the publisher's thread against a snapshot of the subscriber
+        list, so a callback may itself (un)subscribe without deadlock.
+        """
+        with self._lock:
+            subs = tuple(self._subs.get(topic, ()))
+            ring = self._history.get(topic)
+            if ring is None:
+                ring = self._history[topic] = deque(maxlen=self._history_len)
+            ring.append(message)
+            self.published += 1
+        ok = 0
+        for sub in subs:
+            try:
+                sub.callback(message)
+                ok += 1
+            except Exception:
+                with self._lock:
+                    self.delivery_errors += 1
+        with self._lock:
+            self.delivered += ok
+        return ok
+
+    def recent(self, topic: str, limit: int = DEFAULT_HISTORY) -> Tuple[Any, ...]:
+        """The newest ``limit`` messages published to ``topic``."""
+        with self._lock:
+            ring = self._history.get(topic)
+            if ring is None:
+                return ()
+            items = tuple(ring)
+        return items[-limit:] if limit < len(items) else items
+
+    def subscriber_count(self, topic: str) -> int:
+        with self._lock:
+            return len(self._subs.get(topic, ()))

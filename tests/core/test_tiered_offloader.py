@@ -494,3 +494,59 @@ def test_sync_direct_ssd_store_retries_transient_faults(tmp_path):
         assert injector.fault_stats.injected_transient >= 2
     finally:
         off.shutdown()
+
+
+# --------------------------------------------------------- durable rehydration
+def test_durable_tiered_rehydrates_ssd_tier_map(tmp_path):
+    """A restarted durable tiered engine must remember which tensors
+    live on SSD — the replayed store index seeds the tier map, so loads
+    of pre-crash tensors hit SSD instead of raising 'never stored'."""
+    first = TieredOffloader(
+        tmp_path / "t",
+        cpu_pool_bytes=4 * DATA.nbytes,
+        chunk_bytes=4096,
+        durable=True,
+    )
+    try:
+        for i in range(3):
+            first.store(_tid(i), DATA + i)
+            assert first.demote(_tid(i))  # force SSD residency
+        first.flush()
+    finally:
+        first.shutdown()  # durable: close() keeps the chunk files
+
+    second = TieredOffloader(
+        tmp_path / "t",
+        cpu_pool_bytes=4 * DATA.nbytes,
+        chunk_bytes=4096,
+        durable=True,
+    )
+    try:
+        for i in range(3):
+            assert second.tier_of(_tid(i)) is Tier.SSD
+            assert np.array_equal(
+                second.load(_tid(i), DATA.shape, DATA.dtype), DATA + i
+            )
+    finally:
+        second.shutdown()
+
+
+def test_volatile_tiered_starts_empty(tmp_path):
+    """Without durable=True the store clears on shutdown, so a second
+    offloader on the same directory sees nothing — the pre-PR9 contract."""
+    first = TieredOffloader(
+        tmp_path / "t", cpu_pool_bytes=4 * DATA.nbytes, chunk_bytes=4096
+    )
+    first.store(_tid(1), DATA)
+    first.demote(_tid(1))
+    first.shutdown()
+
+    second = TieredOffloader(
+        tmp_path / "t", cpu_pool_bytes=4 * DATA.nbytes, chunk_bytes=4096
+    )
+    try:
+        assert second.tier_of(_tid(1)) is Tier.GPU  # "never stored" default
+        with pytest.raises(KeyError):
+            second.load(_tid(1), DATA.shape, DATA.dtype)
+    finally:
+        second.shutdown()

@@ -1,0 +1,127 @@
+"""Tests for the crc-framed append-only journal (service-mode durability)."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.io.manifest import (
+    JOURNAL_MAGIC,
+    MAX_RECORD_BYTES,
+    JournalWriter,
+    frame_record,
+    read_journal,
+)
+
+_HEADER = struct.Struct("<4sII")
+
+
+# ------------------------------------------------------------------ framing
+def test_frame_round_trip(tmp_path):
+    path = tmp_path / "j.log"
+    records = [
+        {"op": "flush", "chunk": 0, "entries": [["t1", 0, 16, 99]]},
+        {"op": "delete", "tid": "t1"},
+        {"op": "clear"},
+    ]
+    with JournalWriter(path) as writer:
+        for record in records:
+            writer.append(record)
+        assert writer.records_appended == len(records)
+    assert read_journal(path) == (records, False)
+
+
+def test_frame_record_layout():
+    frame = frame_record({"op": "x"})
+    magic, length, crc = _HEADER.unpack_from(frame)
+    payload = frame[_HEADER.size :]
+    assert magic == JOURNAL_MAGIC
+    assert length == len(payload)
+    assert crc == zlib.crc32(payload)
+
+
+def test_missing_file_is_empty_journal(tmp_path):
+    assert read_journal(tmp_path / "never-written.log") == ([], False)
+
+
+def test_appends_accumulate_across_reopens(tmp_path):
+    path = tmp_path / "j.log"
+    with JournalWriter(path) as writer:
+        writer.append({"n": 1})
+    with JournalWriter(path) as writer:
+        writer.append({"n": 2})
+    assert read_journal(path) == ([{"n": 1}, {"n": 2}], False)
+
+
+# ---------------------------------------------------------------- torn tails
+def _write_intact_then(path, tail: bytes):
+    path.write_bytes(frame_record({"n": 1}) + frame_record({"n": 2}) + tail)
+
+
+@pytest.mark.parametrize(
+    "tail",
+    [
+        frame_record({"n": 3})[:5],  # torn mid-header
+        frame_record({"n": 3})[:-4],  # torn mid-payload
+        b"XXXX" + frame_record({"n": 3})[4:],  # bad magic
+        _HEADER.pack(JOURNAL_MAGIC, MAX_RECORD_BYTES + 1, 0),  # absurd length
+    ],
+    ids=["torn-header", "torn-payload", "bad-magic", "oversized"],
+)
+def test_torn_tail_keeps_intact_prefix(tmp_path, tail):
+    path = tmp_path / "j.log"
+    _write_intact_then(path, tail)
+    assert read_journal(path) == ([{"n": 1}, {"n": 2}], True)
+
+
+def test_crc_mismatch_ends_replay(tmp_path):
+    path = tmp_path / "j.log"
+    bad = bytearray(frame_record({"n": 3}))
+    bad[-1] ^= 0xFF  # flip a payload bit; header crc no longer matches
+    _write_intact_then(path, bytes(bad))
+    assert read_journal(path) == ([{"n": 1}, {"n": 2}], True)
+
+
+def test_crc_valid_but_not_json_ends_replay(tmp_path):
+    payload = b"not json"
+    tail = _HEADER.pack(JOURNAL_MAGIC, len(payload), zlib.crc32(payload)) + payload
+    path = tmp_path / "j.log"
+    _write_intact_then(path, tail)
+    assert read_journal(path) == ([{"n": 1}, {"n": 2}], True)
+
+
+def test_records_behind_a_tear_are_not_trusted(tmp_path):
+    """Frame lengths chain: a good frame after a bad one is unreachable."""
+    path = tmp_path / "j.log"
+    _write_intact_then(path, b"\x00" * 12 + frame_record({"n": 99}))
+    records, torn = read_journal(path)
+    assert torn and {"n": 99} not in records
+
+
+# ------------------------------------------------------------ writer lifecycle
+def test_append_after_close_raises(tmp_path):
+    writer = JournalWriter(tmp_path / "j.log")
+    writer.append({"n": 1})
+    writer.close()
+    assert writer.closed
+    with pytest.raises(ValueError):
+        writer.append({"n": 2})
+
+
+def test_close_and_sync_idempotent(tmp_path):
+    writer = JournalWriter(tmp_path / "j.log")
+    writer.append({"n": 1})
+    writer.sync()
+    writer.close()
+    writer.close()
+    writer.sync()  # no-op on a closed journal, not an error
+    assert read_journal(writer.path) == ([{"n": 1}], False)
+
+
+def test_each_append_is_durable_without_close(tmp_path):
+    """The crash model: records must be readable while the writer is
+    still open (the process may die at any moment)."""
+    writer = JournalWriter(tmp_path / "j.log")
+    writer.append({"n": 1})
+    assert read_journal(writer.path) == ([{"n": 1}], False)
+    writer.close()

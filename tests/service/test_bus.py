@@ -1,0 +1,63 @@
+"""In-process pub/sub control bus: delivery, containment, history."""
+
+import pytest
+
+from repro.service import ControlBus
+
+
+def test_publish_delivers_to_topic_subscribers_only():
+    bus = ControlBus()
+    got_a, got_b = [], []
+    bus.subscribe("a", got_a.append)
+    bus.subscribe("b", got_b.append)
+    assert bus.publish("a", {"n": 1}) == 1
+    assert got_a == [{"n": 1}] and got_b == []
+    assert bus.published == 1 and bus.delivered == 1
+
+
+def test_publish_without_subscribers_is_fine():
+    bus = ControlBus()
+    assert bus.publish("nobody", "hello") == 0
+    assert bus.recent("nobody") == ("hello",)  # still recorded
+
+
+def test_unsubscribe_by_handle():
+    bus = ControlBus()
+    got = []
+    sub = bus.subscribe("t", got.append)
+    assert bus.subscriber_count("t") == 1
+    assert bus.unsubscribe(sub)
+    assert bus.subscriber_count("t") == 0
+    bus.publish("t", 1)
+    assert got == []
+    assert not bus.unsubscribe(sub)  # already gone
+
+
+def test_subscriber_exception_is_contained():
+    """One broken consumer must not starve the others (or the service's
+    housekeeping thread, which publishes telemetry on every tick)."""
+    bus = ControlBus()
+    got = []
+
+    def broken(message):
+        raise RuntimeError("boom")
+
+    bus.subscribe("t", broken)
+    bus.subscribe("t", got.append)
+    assert bus.publish("t", {"n": 1}) == 1  # the healthy one got it
+    assert got == [{"n": 1}]
+    assert bus.delivery_errors == 1
+
+
+def test_recent_is_a_bounded_ring():
+    bus = ControlBus(history=3)
+    for i in range(10):
+        bus.publish("t", i)
+    assert bus.recent("t") == (7, 8, 9)
+    assert bus.recent("t", limit=2) == (8, 9)
+    assert bus.recent("untouched") == ()
+
+
+def test_history_must_be_positive():
+    with pytest.raises(ValueError):
+        ControlBus(history=0)

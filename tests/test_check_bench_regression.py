@@ -219,3 +219,16 @@ def test_uring_backend_benches_are_guarded_by_default(tmp_path):
         base = _write(tmp_path, "base.json", {name: 0.010})
         cur = _write(tmp_path, "cur.json", {name: 0.013})
         assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_service_manifest_benches_are_guarded_by_default(tmp_path):
+    """The service-mode durability benches (manifest replay, compaction
+    throughput) sit in the default wall-clock gate (the PR 9 pattern
+    extension)."""
+    for name in (
+        "bench_service.py::test_manifest_replay_small_store",
+        "bench_service.py::test_service_compaction_throughput",
+    ):
+        base = _write(tmp_path, "base.json", {name: 0.010})
+        cur = _write(tmp_path, "cur.json", {name: 0.013})
+        assert guard.main(["--baseline", base, "--current", cur]) == 1

@@ -128,3 +128,24 @@ def test_autotune_scenario_axes(capsys):
     assert main(["autotune", "--hidden", "8192", "--scenario", "microbatch",
                  "--steps", "8", "--drift-step", "4"]) == 0
     assert "scenario: microbatch" in capsys.readouterr().out
+
+
+def test_serve_parser_args():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["serve", "--steps", "6", "--kill-step", "2", "--budget-step", "-1",
+         "--seed", "7"]
+    )
+    assert (args.steps, args.kill_step, args.budget_step) == (6, 2, -1)
+    assert args.seed == 7 and args.store_dir is None
+
+
+def test_serve_command_runs_the_supervised_demo(tmp_path, capsys):
+    assert main(
+        ["serve", "--steps", "6", "--kill-step", "2", "--budget-step", "4",
+         "--store-dir", str(tmp_path / "store")]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "supervised restarts: 1" in out
+    assert "manifest records replayed" in out
+    assert "bit-exact" in out and "✓" in out
