@@ -52,7 +52,7 @@ from typing import Dict, List, Tuple
 #: bench-smoke job) that only catches catastrophic copy-path regressions.
 DEFAULT_PATTERN = (
     r"scheduler|offload|timeline|cpu_pool|prefetch|autotune|controller|buffers|tenan"
-    r"|kv|serve|uring|backend|service|manifest"
+    r"|kv|serve|uring|backend|service|manifest|breaker|hedge|recovery"
 )
 
 #: machine_info keys that must match for cross-run ratios to mean anything.

@@ -424,13 +424,186 @@ def _faults_functional(args: argparse.Namespace) -> None:
           "with CPU failover. ✓")
 
 
+def _faults_heal(args: argparse.Namespace) -> None:
+    """Self-healing chaos demo (architecture §12), three scenarios:
+
+    A. die -> heal -> resurrect: the SSD is killed mid-run (breaker
+       opens, placements fail over), then heals; half-open canary
+       probes re-close the breaker and the tier comes back — losses
+       stay bit-exact throughout.
+    B. brownout hedging A/B: deterministic stalls on blocking loads;
+       with hedged reads the duplicate completes first and the p99
+       latency collapses versus the unhedged baseline.
+    C. ENOSPC survival: one store root fills; write-leveling re-routes
+       chunks to the other root with zero failed requests.
+    """
+    import errno
+    import tempfile
+    import time as _time
+
+    import numpy as np
+
+    from repro.core import EngineConfig, OffloadPolicy, PolicyConfig, build_engine
+    from repro.data import SyntheticCorpus, TokenBatchLoader
+    from repro.device import GPU
+    from repro.io.faults import FaultPlan, inject_faults
+    from repro.io.scheduler import IORequest, IOScheduler, Priority
+    from repro.models import GPT
+    from repro.optim import SGD
+    from repro.train import Trainer
+
+    config = ModelConfig(
+        arch="gpt", hidden=64, num_layers=2, vocab_size=97, seq_len=32, head_dim=32
+    )
+    steps = 6
+
+    def run(plan=None, kill_before_step=None, heal_before_step=None,
+            probe_backoff_s=None, enospc=False, root0_cap=None):
+        gpu = GPU()
+        model = GPT(config, rng=np.random.default_rng(0)).to(gpu)
+        policy = OffloadPolicy(PolicyConfig(min_offload_numel=256))
+        kwargs = {}
+        if enospc:
+            kwargs["chunk_bytes"] = 32 << 10
+            kwargs["store_roots"] = [tempfile.mkdtemp(prefix="ssdtrain-heal-root1-")]
+        engine = build_engine(
+            EngineConfig(
+                target="tiered",
+                store_dir=tempfile.mkdtemp(prefix="ssdtrain-heal-"),
+                cpu_pool_bytes=64 << 10,
+                policy=policy,
+                probe_backoff_s=probe_backoff_s,
+                **kwargs,
+            )
+        )
+        if root0_cap is not None:
+            budget = {"left": root0_cap}
+
+            def gate(root_index, nbytes, _b=budget):
+                if root_index == 0:
+                    _b["left"] -= nbytes
+                    if _b["left"] < 0:
+                        raise OSError(errno.ENOSPC, "injected: store root 0 full")
+
+            engine.chunk_store.fault_gate = gate
+        cache = engine.cache()
+        injector = inject_faults(cache.offloader, plan) if plan is not None else None
+        trainer = Trainer(model, SGD(model.parameters(), lr=1e-3), gpu,
+                          strategy=PlacementStrategy.OFFLOAD, cache=cache)
+        loader = TokenBatchLoader(
+            SyntheticCorpus(vocab_size=config.vocab_size, seed=11),
+            batch_size=2, seq_len=config.seq_len, device=gpu,
+        )
+        losses = []
+        try:
+            for step in range(steps):
+                if injector is not None and kill_before_step == step:
+                    injector.kill()
+                if injector is not None and heal_before_step == step:
+                    injector.heal()
+                losses.append(trainer.train_step([loader.next_batch()]).loss)
+            offloader = cache.offloader
+            if probe_backoff_s is not None and heal_before_step is not None:
+                # Settle: drive any outstanding probe rounds so the demo
+                # asserts on the post-resurrection state, not a race.
+                deadline = _time.monotonic() + 5.0
+                while offloader.ssd_dead and _time.monotonic() < deadline:
+                    offloader.maybe_probe_ssd()
+                    _time.sleep(probe_backoff_s)
+            return losses, injector, cache.scheduler.stats, offloader
+        finally:
+            trainer.close()
+
+    clean, _, _, _ = run()
+
+    # -- scenario A: die -> heal -> half-open probes resurrect the tier
+    healed, inj, _, off = run(
+        plan=FaultPlan(seed=args.seed), kill_before_step=1, heal_before_step=3,
+        probe_backoff_s=0.005,
+    )
+    breaker = off.breaker
+    print(f"die->heal->resurrect: {inj.fault_stats.permanent_failures} permanent "
+          f"failures, breaker trips {breaker.stats.trips}, probes "
+          f"{breaker.stats.probes_allowed} ({breaker.stats.probe_successes} ok), "
+          f"resurrections {breaker.stats.resurrections}, "
+          f"final state {breaker.state!r}")
+    assert healed == clean, "die->heal cycle must keep losses bit-exact"
+    assert breaker.stats.trips >= 1, "the kill must open the breaker"
+    assert not off.ssd_dead, "the healed SSD tier must be resurrected"
+    assert breaker.stats.resurrections >= 1, "probes must re-close the breaker"
+
+    # -- scenario B: brownout -> hedged blocking loads cut the tail
+    def run_loads(hedge):
+        # Hedging needs spare lane capacity: wedged primaries hold their
+        # workers for the full stall, so the pool must fit every
+        # overlapping straggler plus the duplicates that rescue them.
+        scheduler = IOScheduler(
+            num_store_workers=1, num_load_workers=4,
+            hedge=hedge, hedge_delay_s=0.005,
+            name=f"heal-demo-{'hedged' if hedge else 'baseline'}",
+        )
+        stalled = {3, 9, 15}  # deterministic brownout stragglers
+        durations = []
+        try:
+            for i in range(20):
+                def body(i=i):
+                    if i in stalled:
+                        _time.sleep(0.12)  # the wedged primary read
+                    return i
+
+                request = IORequest(
+                    body, kind="load", priority=Priority.BLOCKING_LOAD,
+                    tensor_id=f"t{i}", nbytes=1024, lane="ssd",
+                    hedge_fn=lambda i=i: i,  # the duplicate is healthy
+                )
+                start = _time.monotonic()
+                scheduler.submit(request)
+                request.done_event.wait(5.0)
+                durations.append(_time.monotonic() - start)
+            return durations, scheduler.stats_snapshot()
+        finally:
+            scheduler.shutdown()
+
+    def p99(values):
+        ordered = sorted(values)
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+    base_durations, base_stats = run_loads(hedge=False)
+    hedged_durations, hedge_stats = run_loads(hedge=True)
+    print(f"brownout hedging A/B: blocking-load p99 "
+          f"{p99(base_durations) * 1e3:.1f} ms unhedged -> "
+          f"{p99(hedged_durations) * 1e3:.1f} ms hedged "
+          f"({hedge_stats.hedges_issued} hedges issued, "
+          f"{hedge_stats.hedges_won} won)")
+    assert base_stats.hedges_issued == 0
+    assert hedge_stats.hedges_won >= 1, "a hedge must win at least once"
+    assert p99(hedged_durations) < p99(base_durations), (
+        "hedged reads must cut the blocking-load tail"
+    )
+
+    # -- scenario C: ENOSPC on one store root -> re-route, zero failures
+    survived, _, c_sched, c_off = run(enospc=True, root0_cap=48 << 10)
+    store = c_off.file_store
+    print(f"ENOSPC on root 0: {store.enospc_root_skips} re-routed writes, "
+          f"full roots {store.full_roots}, {c_sched.failed} failed requests")
+    assert survived == clean, "ENOSPC re-routing must keep losses bit-exact"
+    assert c_sched.failed == 0, "a full root must not fail any request"
+    assert store.enospc_root_skips >= 1, "expected >=1 ENOSPC re-route"
+    print("\nSSD die->heal resurrected by canary probes, hedged reads cut "
+          "the brownout tail, ENOSPC survived with zero failures. ✓")
+
+
 def cmd_faults(args: argparse.Namespace) -> None:
     """Fault-scenario runner: the sim A/B of what transient retries,
     latency spikes, and a mid-run SSD death cost (stall, overhead,
     failover), plus ``--functional`` for the live chaos demo proving
-    bit-exact recovery on the functional engine."""
+    bit-exact recovery and ``--heal`` for the self-healing degraded-mode
+    demo (breaker resurrection, hedged reads, ENOSPC survival)."""
     from repro.sim import FaultScenario, build_segments, simulate_fault_run
 
+    if getattr(args, "heal", False):
+        _faults_heal(args)
+        return
     if args.functional:
         _faults_functional(args)
         return
@@ -950,6 +1123,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--functional", action="store_true",
                 help="run the live chaos demo on the functional engine "
                      "(injected faults, bit-exact recovery) instead of the sim A/B",
+            )
+            p.add_argument(
+                "--heal", action="store_true",
+                help="run the self-healing demo: SSD die->heal with breaker "
+                     "resurrection, hedged reads under brownout, and ENOSPC "
+                     "survival via store-root re-routing",
             )
             p.add_argument("--fault-rate", type=float, default=0.05,
                            help="expected fraction of transfers faulted per step")

@@ -130,6 +130,26 @@ class EngineConfig:
         io_direct: open write descriptors ``O_DIRECT`` (uring/gds-sim
             only) — aligned staging via arena leases, per-file fallback
             where the filesystem refuses.
+
+    Degraded-mode knobs (architecture §12):
+
+    Attributes:
+        io_deadlines: per-priority-class deadlines in seconds, e.g.
+            ``{"BLOCKING_LOAD": 0.5}``; a watchdog abandons requests
+            stuck past theirs (the hung-I/O failure mode) instead of
+            letting a wedged lane worker stall the step forever.
+        hedge_reads: issue a duplicate BLOCKING_LOAD on the same lane
+            after an adaptive delay; first completion wins, the loser is
+            cancelled (tail-latency insurance during brownouts).
+        hedge_delay_s: explicit hedge delay; ``None`` derives it from
+            the recent load-latency distribution (p99-based).
+        io_slow_request_s: per-op duration past which the lane health
+            tracker moves toward a *slow* (brownout) verdict — distinct
+            from *dead*: optional traffic sheds, blocking work continues.
+        probe_backoff_s: the SSD breaker's backoff before half-open
+            canary probes, and the opt-in for store-path auto-probing
+            (tiered target only); ``None`` leaves probing to the service
+            housekeeping loop.
     """
 
     target: str = "tiered"
@@ -153,6 +173,11 @@ class EngineConfig:
     prefetch_window: int = 8
     io_backend: str = "thread"
     io_direct: bool = False
+    io_deadlines: Optional[Dict[str, float]] = None
+    hedge_reads: bool = False
+    hedge_delay_s: Optional[float] = None
+    io_slow_request_s: Optional[float] = None
+    probe_backoff_s: Optional[float] = None
 
     def validate(self) -> None:
         """Raise :class:`EngineConfigError` on an inconsistent config.
@@ -210,6 +235,31 @@ class EngineConfig:
         if self.store_roots and self.chunk_bytes is None:
             raise EngineConfigError(
                 "store_roots (write-leveling) requires chunk_bytes (chunked store)"
+            )
+        if self.io_deadlines:
+            for cls, deadline in self.io_deadlines.items():
+                if deadline <= 0:
+                    raise EngineConfigError(
+                        f"io_deadlines[{cls!r}] must be positive: {deadline}"
+                    )
+        if self.hedge_delay_s is not None and self.hedge_delay_s <= 0:
+            raise EngineConfigError(
+                f"hedge_delay_s must be positive: {self.hedge_delay_s}"
+            )
+        if self.hedge_delay_s is not None and not self.hedge_reads:
+            raise EngineConfigError("hedge_delay_s requires hedge_reads")
+        if self.io_slow_request_s is not None and self.io_slow_request_s <= 0:
+            raise EngineConfigError(
+                f"io_slow_request_s must be positive: {self.io_slow_request_s}"
+            )
+        if self.probe_backoff_s is not None and self.probe_backoff_s <= 0:
+            raise EngineConfigError(
+                f"probe_backoff_s must be positive: {self.probe_backoff_s}"
+            )
+        if self.probe_backoff_s is not None and self.target != "tiered":
+            raise EngineConfigError(
+                "probe_backoff_s (SSD breaker auto-probing) requires the "
+                "tiered target"
             )
 
 
@@ -349,6 +399,7 @@ class Engine:
             legacy_dataplane=cfg.legacy_dataplane,
             durable=cfg.durable,
             store_roots=cfg.store_roots,
+            probe_backoff_s=cfg.probe_backoff_s,
         )
 
     @property
@@ -365,6 +416,13 @@ class Engine:
                     kwargs["max_retries"] = cfg.max_retries
                 if cfg.retry_backoff_s is not None:
                     kwargs["retry_backoff_s"] = cfg.retry_backoff_s
+                if cfg.io_deadlines:
+                    kwargs["deadlines"] = dict(cfg.io_deadlines)
+                if cfg.hedge_reads:
+                    kwargs["hedge"] = True
+                    kwargs["hedge_delay_s"] = cfg.hedge_delay_s
+                if cfg.io_slow_request_s is not None:
+                    kwargs["slow_request_s"] = cfg.io_slow_request_s
                 if cfg.io_backend == "uring":
                     kwargs["backend"] = UringBackend(direct=cfg.io_direct)
                 elif cfg.io_backend == "gds-sim":

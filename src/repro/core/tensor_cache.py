@@ -149,6 +149,10 @@ class CacheStats:
     #: Loads that failed terminally; the error surfaces to the blocking
     #: unpack as a RuntimeError instead of a hang.
     load_failures: int = 0
+    #: Prefetch rounds skipped because the load lane is in brownout
+    #: (slow verdict): optional look-ahead traffic sheds so blocking
+    #: loads get the remaining bandwidth.
+    prefetch_shed: int = 0
     #: Data-plane copy map (refreshed from the offloader's telemetry by
     #: :meth:`TensorCache.dataplane_stats` / ``on_step_end``): bytes the
     #: backend actually memcpy'd, allocations the pooled/streaming paths
@@ -864,6 +868,12 @@ class TensorCache:
                 tensor_id=str(rec.tid),
                 nbytes=rec.nbytes,
                 lane=self.offloader.load_lane(rec.tid),
+                # Tail-latency insurance: with hedging enabled, the
+                # scheduler's watchdog may re-run this body as a
+                # duplicate read.  ``do_load`` is idempotent — it
+                # re-reads the same tier copy and publishes the same
+                # values under the record lock.
+                hedge_fn=do_load,
             )
         )
         rec.load_job = job
@@ -880,6 +890,14 @@ class TensorCache:
         I/O tasks in the queue" (Sec. III-C2) without reloading the whole
         step's activations up front.
         """
+        health = getattr(self.scheduler, "health", None)
+        if health is not None and health.is_slow("ssd"):
+            # Brownout shed: look-ahead loads are optional traffic — a
+            # slow (but alive) lane serves blocking work only until the
+            # verdict clears.  Records the window skipped reach unpack
+            # via its blocking load instead.
+            self.stats.prefetch_shed += 1
+            return
         cursor = table.backward_cursor
         low = max(0, cursor - self.prefetch_window)
         for index in range(cursor - 1, low - 1, -1):

@@ -42,8 +42,9 @@ import numpy as np
 from repro.core.ids import TensorID
 from repro.core.offloader import CPUOffloader, Offloader, PinnedMemoryPool, SSDOffloader
 from repro.core.policy import OffloadPolicy, Tier
+from repro.io.breaker import BreakerState, CircuitBreaker, Listener
 from repro.io.buffers import BufferLease, DataPlaneStats, owned_copy
-from repro.io.errors import PermanentIOError, retry_call
+from repro.io.errors import PermanentIOError, is_enospc, retry_call
 from repro.io.gds import GDSRegistry
 from repro.io.scheduler import IORequest, IOScheduler, Priority
 from repro.io.tenancy import DEFAULT_TENANT, current_tenant, tenant_scope
@@ -76,6 +77,16 @@ class TierStats:
     #: budget — the failure-recovery path, not normal placement.
     failovers: int = 0
     failover_bytes: int = 0
+    #: Stores kept on the CPU tier because the SSD lane is browning out
+    #: (slow verdict, not dead): tail latency trades against capacity
+    #: until the lane speeds back up.
+    shed_stores: int = 0
+    shed_bytes: int = 0
+    #: ENOSPC events absorbed (root re-route, compact-and-retry, or CPU
+    #: degrade) without failing the step.
+    enospc_events: int = 0
+    #: Breaker probe rounds that re-closed and resurrected the SSD tier.
+    resurrections: int = 0
 
 
 class TieredOffloader(Offloader):
@@ -111,6 +122,7 @@ class TieredOffloader(Offloader):
         legacy_dataplane: bool = False,
         durable: bool = False,
         store_roots=None,
+        probe_backoff_s: Optional[float] = None,
     ) -> None:
         if cpu_pool_bytes < 0:
             raise ValueError(f"cpu_pool_bytes must be >= 0: {cpu_pool_bytes}")
@@ -159,19 +171,33 @@ class TieredOffloader(Offloader):
         #: installed by the adaptive controller, enforced on demand by
         #: :meth:`apply_watermark`.  0 = no proactive demotion.
         self._free_watermark_bytes = 0
-        #: SSD-tier death latch: set on the first PermanentIOError from
-        #: the SSD store (or when the scheduler's lane health declares
-        #: the ssd lane dead).  From then on every placement targets the
-        #: CPU tier — correctness over capacity — and the pinned pool is
-        #: allowed to overflow its cap rather than fail the step.
-        self._ssd_dead = False
-        #: Tenant-scoped death latches: an SSD failure attributed to one
+        #: SSD-tier circuit breaker: trips on the first PermanentIOError
+        #: from the SSD store (or when the scheduler's lane health
+        #: declares the ssd lane dead).  While open, every placement
+        #: targets the CPU tier — correctness over capacity — and the
+        #: pinned pool is allowed to overflow its cap rather than fail
+        #: the step.  Unlike the pre-PR10 latch this is not sticky:
+        #: after a backoff, :meth:`maybe_probe_ssd` canaries the device
+        #: and a passing probe budget resurrects the tier.
+        #: ``probe_backoff_s`` doubles as the breaker backoff *and* the
+        #: opt-in for store-path auto-probing; ``None`` (the default)
+        #: keeps the conservative backoff and probes only when the
+        #: service housekeeping loop (or a test) calls
+        #: :meth:`maybe_probe_ssd` explicitly.
+        self.probe_backoff_s = probe_backoff_s
+        backoff = probe_backoff_s if probe_backoff_s is not None else 0.05
+        self._breaker = CircuitBreaker(name="ssd", backoff_s=backoff)
+        #: Tenant-scoped breakers: an SSD failure attributed to one
         #: tenant (via the scheduler's per-tenant lane health or a failed
         #: store in that tenant's scope) degrades only that tenant's
         #: placement; every other tenant keeps its SSD tier.  The default
-        #: tenant never lands here — its failures drive the global latch,
-        #: preserving single-tenant behaviour exactly.
-        self._dead_tenants: Set[str] = set()
+        #: tenant never lands here — its failures drive the global
+        #: breaker, preserving single-tenant behaviour exactly.
+        self._tenant_breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_listener: Optional[Listener] = None
+        #: ``pool.overflow_allowed`` before the first trip, restored when
+        #: the last open breaker closes (resurrection exits overflow).
+        self._overflow_before_trip: Optional[bool] = None
         #: Owning tenant per stored tensor: demotions/evictions of a
         #: victim must run (and account) against the tenant that stored
         #: it, not whichever tenant's store triggered the pool pressure.
@@ -201,8 +227,14 @@ class TieredOffloader(Offloader):
     # ---------------------------------------------------------------- failover
     @property
     def ssd_dead(self) -> bool:
-        """True once the SSD tier has been written off (sticky)."""
-        return self._ssd_dead
+        """True while the SSD breaker is open (traffic routes around the
+        tier).  No longer sticky: a passed probe budget clears it."""
+        return self._breaker.is_open
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The global SSD-tier circuit breaker (state/stats surface)."""
+        return self._breaker
 
     def ssd_dead_for(self, tenant: str) -> bool:
         """True when ``tenant``'s SSD placement is written off (global
@@ -211,51 +243,183 @@ class TieredOffloader(Offloader):
 
     @property
     def dead_tenants(self) -> Set[str]:
-        """Tenants whose SSD tier is latched dead (copy)."""
-        return set(self._dead_tenants)
+        """Tenants whose own SSD breaker is currently open (copy)."""
+        with self._lock:
+            return {
+                tenant
+                for tenant, breaker in self._tenant_breakers.items()
+                if breaker.is_open
+            }
+
+    def _tenant_breaker_open(self, tenant: str) -> bool:
+        breaker = self._tenant_breakers.get(tenant)
+        return breaker is not None and breaker.is_open
+
+    def _tenant_breaker(self, tenant: str) -> CircuitBreaker:
+        """Get-or-create the breaker scoped to ``tenant`` (under lock)."""
+        with self._lock:
+            breaker = self._tenant_breakers.get(tenant)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    name=f"ssd/{tenant}", backoff_s=self._breaker.backoff_s
+                )
+                if self._breaker_listener is not None:
+                    breaker.add_listener(self._breaker_listener)
+                self._tenant_breakers[tenant] = breaker
+            return breaker
+
+    def set_breaker_listener(self, listener: Listener) -> None:
+        """Observe every breaker transition: ``listener(name, old, new,
+        reason)``.  Applied to the global breaker and to every tenant
+        breaker, existing and future (the service publishes these on its
+        control bus)."""
+        with self._lock:
+            self._breaker_listener = listener
+            breakers = [self._breaker, *self._tenant_breakers.values()]
+        for breaker in breakers:
+            breaker.add_listener(listener)
 
     def _ssd_unhealthy(self, tenant: Optional[str] = None) -> bool:
-        if self._ssd_dead:
+        if self._breaker.is_open:
             return True
         scheduler = self._scheduler
         if tenant is None or tenant == DEFAULT_TENANT:
             return scheduler is not None and scheduler.health.is_dead("ssd")
-        if tenant in self._dead_tenants:
+        if self._tenant_breaker_open(tenant):
             return True
         return scheduler is not None and scheduler.health.is_dead("ssd", tenant)
 
+    def _lane_slow(self) -> bool:
+        """Brownout verdict: the ssd lane is alive but past the slow
+        threshold — shed optional traffic, keep serving blocking work."""
+        scheduler = self._scheduler
+        return scheduler is not None and scheduler.health.is_slow("ssd")
+
     def _mark_ssd_dead(self, tenant: Optional[str] = None) -> None:
-        """Latch degraded mode; callers hold (or are about to release)
+        """Trip degraded mode; callers hold (or are about to release)
         ``self._lock``.
 
-        ``tenant`` scopes the latch: a non-default tenant's failure
+        ``tenant`` scopes the trip: a non-default tenant's failure
         degrades only that tenant's placement (the blast radius of the
         isolation guarantee), while the default tenant — and ``None`` —
-        keep the pre-tenancy global latch.
+        trip the pre-tenancy global breaker.
         """
+        if self._overflow_before_trip is None:
+            # Remember the operator's setting before degraded mode
+            # forces overflow on; resurrection restores it.
+            self._overflow_before_trip = self.pool.overflow_allowed
         if tenant is not None and tenant != DEFAULT_TENANT:
-            if tenant not in self._dead_tenants:
+            breaker = self._tenant_breaker(tenant)
+            # Trip only from CLOSED: callers re-sync this latch on every
+            # degraded placement, and knocking a HALF_OPEN breaker back
+            # to OPEN would double its backoff and starve the canary
+            # probes (probe failures re-open it via the breaker itself).
+            if breaker.state == BreakerState.CLOSED and breaker.trip(
+                "store failure"
+            ):
                 logger.warning(
-                    "SSD tier marked dead for tenant %r; "
+                    "SSD breaker opened for tenant %r; "
                     "failing that tenant's placements over to the CPU tier",
                     tenant,
                 )
-            self._dead_tenants.add(tenant)
             # The dead tenant's bytes may no longer spill, so its share
             # of the pool can exceed the capacity model: allow overflow
-            # rather than fail steps (same trade as the global latch).
+            # rather than fail steps (same trade as the global breaker).
             self.pool.overflow_allowed = True
             if self._scheduler is not None:
                 self._scheduler.health.mark_dead("ssd", tenant=tenant)
             return
-        if not self._ssd_dead:
+        if self._breaker.state == BreakerState.CLOSED and self._breaker.trip(
+            "store failure"
+        ):
             logger.warning(
-                "SSD tier marked dead; failing all placements over to the CPU tier"
+                "SSD breaker opened; failing all placements over to the CPU tier"
             )
-        self._ssd_dead = True
         self.pool.overflow_allowed = True
         if self._scheduler is not None:
             self._scheduler.health.mark_dead("ssd")
+
+    # ------------------------------------------------------ probing / healing
+    def maybe_probe_ssd(self, tenant: Optional[str] = None) -> Optional[bool]:
+        """Canary an open SSD breaker; resurrect the tier when it closes.
+
+        Single-flight and backoff-gated by the breaker itself, so this is
+        cheap to call from hot paths and housekeeping loops alike.
+        Probes the global breaker, then — when ``tenant`` names a
+        non-default tenant with its own tripped breaker — that one too.
+
+        Returns ``None`` when no probe was due, ``True`` when a canary
+        succeeded, ``False`` when it failed (the breaker re-opens with a
+        doubled backoff).
+        """
+        result = self._probe_one(self._breaker, None)
+        if tenant is not None and tenant != DEFAULT_TENANT:
+            with self._lock:
+                scoped = self._tenant_breakers.get(tenant)
+            if scoped is not None:
+                scoped_result = self._probe_one(scoped, tenant)
+                if result is None:
+                    result = scoped_result
+        return result
+
+    def _probe_one(
+        self, breaker: CircuitBreaker, tenant: Optional[str]
+    ) -> Optional[bool]:
+        if not breaker.allow_probe():
+            return None
+        if self._canary_probe():
+            if breaker.record_probe_success():
+                self._resurrect_ssd(tenant)
+            return True
+        breaker.record_probe_failure()
+        return False
+
+    def _canary_probe(self) -> bool:
+        """One tiny write + read-back + delete against the SSD store.
+
+        Runs through ``ssd.file_store`` so an attached fault injector —
+        or a genuinely broken device — is exercised exactly like
+        production traffic; a healed injector lets the canary through
+        and the breaker learns the device is back.
+        """
+        store = self.ssd.file_store
+        payload = np.arange(8, dtype=np.float32)  # 32-byte canary
+        canary_id = "__breaker_canary__"
+        try:
+            store.write(canary_id, payload)
+            flush = getattr(store, "flush", None)
+            if flush is not None:
+                flush()
+            back = store.read(canary_id, payload.shape, payload.dtype)
+            ok = bool(np.array_equal(back, payload))
+        except OSError:
+            ok = False
+        try:
+            store.delete(canary_id)
+        except OSError:
+            pass
+        return ok
+
+    def _resurrect_ssd(self, tenant: Optional[str]) -> None:
+        """Side effects of a breaker re-closing: placement re-enabled
+        (implicit — ``_ssd_unhealthy`` reads the breaker), lane-health
+        verdicts cleared, and pinned-pool overflow exited once no breaker
+        remains open.  Queued demotions resume at the next watermark
+        application / pool-pressure event."""
+        with self._lock:
+            if self._scheduler is not None:
+                self._scheduler.health.revive("ssd", tenant=tenant)
+            if not self._breaker.is_open and not any(
+                b.is_open for b in self._tenant_breakers.values()
+            ):
+                if self._overflow_before_trip is not None:
+                    self.pool.overflow_allowed = self._overflow_before_trip
+                    self._overflow_before_trip = None
+            self.stats.resurrections += 1
+        logger.warning(
+            "SSD tier resurrected%s: breaker closed after successful probes",
+            f" for tenant {tenant!r}" if tenant else "",
+        )
 
     def set_tier_listener(self, listener: Callable[[TensorID, Tier], None]) -> None:
         """Register a callback fired after a tensor moves tier (demotion
@@ -332,6 +496,15 @@ class TieredOffloader(Offloader):
         # re-store logic below assumes the SSD copy is either absent or
         # fully landed.
         self._await_inflight_write(tid)
+        # Opt-in self-healing on the hot path: with a tripped breaker
+        # whose backoff has elapsed, spend one cheap canary before
+        # deciding placement (single-flight — a store storm cannot
+        # hammer a struggling device).  Outside the tier lock: the
+        # canary is real I/O.
+        if self.probe_backoff_s is not None and (
+            self._breaker.is_open or self._tenant_breaker_open(owner)
+        ):
+            self.maybe_probe_ssd(owner)
         with self._lock:
             # With a dead SSD tier there is exactly one viable placement;
             # otherwise the policy sees the capacity the pool *could*
@@ -346,6 +519,17 @@ class TieredOffloader(Offloader):
                 placement = self.policy.place_for(
                     owner, nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
                 )
+                if (
+                    placement is Tier.SSD
+                    and self._lane_slow()
+                    and nbytes <= self.cpu_free_bytes()
+                ):
+                    # Brownout shed: the lane is alive but slow, and the
+                    # pool can absorb this store without demoting into
+                    # the very lane that is struggling.  Keep it warm.
+                    placement = Tier.CPU
+                    self.stats.shed_stores += 1
+                    self.stats.shed_bytes += nbytes
             # Re-store: drop the old backing copy first.  A cross-tier
             # move would otherwise leak it (orphaned SSD file / pinned
             # chunk refcount), and a CPU-tier overwrite must free its old
@@ -386,6 +570,29 @@ class TieredOffloader(Offloader):
                     placement = Tier.CPU
                     self.stats.failovers += 1
                     self.stats.failover_bytes += nbytes
+                except OSError as exc:
+                    if not is_enospc(exc):
+                        raise
+                    # Resource exhaustion is not device death: the
+                    # breaker stays closed.  Compact to free dead bytes
+                    # and retry once; a genuinely full device degrades
+                    # this store to the CPU tier (overflow-tolerant)
+                    # instead of failing the step.
+                    self.stats.enospc_events += 1
+                    if self._retry_store_after_compaction(tid, data):
+                        self._tier[tid] = Tier.SSD
+                        self._tid_owner[tid] = owner
+                        self.stats.ssd_stored_tensors += 1
+                        self.stats.ssd_stored_bytes += nbytes
+                    else:
+                        logger.warning(
+                            "SSD store of %s hit ENOSPC even after "
+                            "compaction; degrading to the CPU tier", tid,
+                        )
+                        placement = Tier.CPU
+                        self.pool.overflow_allowed = True
+                        self.stats.failovers += 1
+                        self.stats.failover_bytes += nbytes
                 else:
                     self._tier[tid] = Tier.SSD
                     self._tid_owner[tid] = owner
@@ -406,6 +613,28 @@ class TieredOffloader(Offloader):
                 self.stats.cpu_stored_bytes += nbytes
         self._fire(events)
 
+    def _retry_store_after_compaction(self, tid: TensorID, data) -> bool:
+        """ENOSPC recovery: force a GC pass to reclaim dead bytes, then
+        retry the SSD store once.  Holds the tier lock (callers do).
+        Returns True when the retried write landed."""
+        compact = getattr(self.ssd.file_store, "compact", None)
+        if compact is None:
+            return False
+        logger.warning(
+            "SSD store of %s hit ENOSPC; compacting and retrying", tid
+        )
+        try:
+            compact(max_dead_ratio=0.01)
+        except OSError:
+            return False  # compaction itself needs space it cannot get
+        try:
+            self.ssd.store(tid, data)
+        except OSError as exc:
+            if is_enospc(exc):
+                return False
+            raise
+        return True
+
     def _make_room(self, nbytes: int, events: List[Tuple[TensorID, Tier]]) -> None:
         """Demote LRU pool residents until ``nbytes`` fits; holds the lock.
 
@@ -423,20 +652,27 @@ class TieredOffloader(Offloader):
             victim_bytes = 0
             for cand, cand_bytes in self._lru.items():
                 cand_owner = self._tid_owner.get(cand, DEFAULT_TENANT)
-                if self._dead_tenants and self._ssd_unhealthy(cand_owner):
+                if self._tenant_breakers and self._ssd_unhealthy(cand_owner):
                     continue  # this tenant's bytes cannot spill anymore
                 victim, victim_bytes = cand, cand_bytes
                 break
             if victim is None:
                 # Every resident belongs to a dead-SSD tenant: nothing
                 # can spill, so the pool overflows (already allowed by
-                # the tenant latch) rather than failing the store.
+                # the tenant breaker) rather than failing the store.
                 return
-            self._demote_locked(victim, victim_bytes, events)
+            if not self._demote_locked(victim, victim_bytes, events):
+                # The spill could not run (device full, not dead): stop
+                # demoting and let the pool overflow rather than fail.
+                self.pool.overflow_allowed = True
+                return
 
     def _demote_locked(
         self, tid: TensorID, nbytes: int, events: List[Tuple[TensorID, Tier]]
-    ) -> None:
+    ) -> bool:
+        """Returns True when the victim was demoted (or its spill was
+        queued); False when the spill could not run and the victim stays
+        CPU-resident — the caller stops making room."""
         owner = self._tid_owner.get(tid, DEFAULT_TENANT)
         if self._scheduler is None:
             buf = self.cpu.peek(tid)
@@ -444,7 +680,7 @@ class TieredOffloader(Offloader):
                 self._lru.pop(tid, None)
                 self._tier.pop(tid, None)
                 self._tid_owner.pop(tid, None)
-                return
+                return True
             try:
                 retry_call(lambda: self.ssd.store(tid, buf))
             except Exception as exc:
@@ -455,7 +691,15 @@ class TieredOffloader(Offloader):
                 if isinstance(exc, PermanentIOError):
                     logger.warning("demotion of %s hit a dead SSD (%s)", tid, exc)
                     self._mark_ssd_dead(owner)
-                    return
+                    return False
+                if is_enospc(exc):
+                    # Full, not dead: keep the victim warm; the caller
+                    # overflows the pool instead of failing the store.
+                    self.stats.enospc_events += 1
+                    logger.warning(
+                        "demotion of %s hit ENOSPC; keeping it CPU-resident", tid
+                    )
+                    return False
                 raise
             self.cpu.evict(tid)
         else:
@@ -472,7 +716,7 @@ class TieredOffloader(Offloader):
             if taken is None:  # raced with a release (tier lock says no)
                 self._lru.pop(tid, None)
                 self._tier.pop(tid, None)
-                return
+                return True
             buf, lease = taken
             self._pending_demotions[tid] = buf
             # max_retries=0: _run_demotion is stateful (it pops the
@@ -503,6 +747,7 @@ class TieredOffloader(Offloader):
             # Async demotions fire the tier event when the write lands
             # (:meth:`_run_demotion`), not when the spill is queued.
             events.append((tid, Tier.SSD))
+        return True
 
     def _run_demotion(self, tid: TensorID) -> None:
         """Scheduler-side half of a demotion: the actual SSD write.
@@ -548,6 +793,8 @@ class TieredOffloader(Offloader):
                 with self._lock:
                     if isinstance(exc, PermanentIOError):
                         self._mark_ssd_dead(owner)
+                    elif is_enospc(exc):
+                        self.stats.enospc_events += 1
                     previous_overflow = self.pool.overflow_allowed
                     self.pool.overflow_allowed = True
                     try:
@@ -555,7 +802,9 @@ class TieredOffloader(Offloader):
                         # lease) re-enter the CPU tier as-is.
                         self.cpu.adopt(tid, buf, lease, tenant=owner)
                     finally:
-                        if not self._ssd_dead and owner not in self._dead_tenants:
+                        if not self._breaker.is_open and not self._tenant_breaker_open(
+                            owner
+                        ):
                             self.pool.overflow_allowed = previous_overflow
                     self._tier[tid] = Tier.CPU
                     self._lru[tid] = buf.nbytes
@@ -637,9 +886,15 @@ class TieredOffloader(Offloader):
         events: List[Tuple[TensorID, Tier]] = []
         demoted = 0
         with self._lock:
+            if self._lane_slow():
+                # Brownout shed: proactive demotions are optional traffic
+                # — keep them off a lane that is already struggling so
+                # blocking loads get what bandwidth remains.
+                return 0
             while self._lru and self.cpu_free_bytes() < self._free_watermark_bytes:
                 victim, victim_bytes = next(iter(self._lru.items()))
-                self._demote_locked(victim, victim_bytes, events)
+                if not self._demote_locked(victim, victim_bytes, events):
+                    break
                 demoted += 1
         self._fire(events)
         return demoted
@@ -651,9 +906,9 @@ class TieredOffloader(Offloader):
             nbytes = self._lru.get(tid)
             if nbytes is None:
                 return False
-            self._demote_locked(tid, nbytes, events)
+            moved = self._demote_locked(tid, nbytes, events)
         self._fire(events)
-        return True
+        return moved
 
     # ------------------------------------------------------------------- load
     def load(self, tid: TensorID, shape: Tuple[int, ...], dtype: np.dtype) -> np.ndarray:
@@ -780,6 +1035,12 @@ class TieredOffloader(Offloader):
         placement = self.policy.place_for(
             tenant, nbytes=nbytes, cpu_free_bytes=self.cpu_capacity_bytes
         )
+        if (
+            placement is Tier.SSD
+            and self._lane_slow()
+            and nbytes <= self.cpu_free_bytes()
+        ):
+            return "cpu"  # brownout shed: mirror store()'s placement
         return "cpu" if placement is Tier.CPU else "ssd"
 
     def shutdown(self) -> None:

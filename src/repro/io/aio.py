@@ -188,6 +188,8 @@ class IOJob:
 
     def _finish(self, state: JobState) -> None:
         with self._lock:
+            if self.done_event.is_set():  # already terminal; first wins
+                return
             self.state = state
             callbacks = list(self._callbacks)
             self._callbacks.clear()
@@ -232,16 +234,53 @@ class IOJob:
             return None, exc
         return result, None
 
-    def complete(self, result: Any, error: Optional[BaseException]) -> None:
-        """Apply a body outcome and finish — the CQ half."""
-        if error is not None:
+    def abandon(self, error: BaseException) -> bool:
+        """Force a RUNNING job to FAILED without waiting for its body.
+
+        The watchdog's half of the deadline contract: the body may be
+        wedged in the kernel (a hung ``pwrite``), so nobody can make it
+        return — but the waiter must still unblock and failover.  The
+        job goes terminal with ``error``; when the wedged body finally
+        returns, :meth:`complete` sees the terminal state and discards
+        the late outcome.  ``fn`` is deliberately *not* dropped here —
+        the body is still executing and owns its closure.  Returns True
+        when this call performed the transition.
+        """
+        with self._lock:
+            if self.done_event.is_set() or self.state is not JobState.RUNNING:
+                return False
+            self.state = JobState.FAILED
             self.error = error
-            self.fn = None  # drop closure refs (e.g. the tensor being stored)
-            self._finish(JobState.FAILED)
-            return
-        self.result = result
-        self.fn = None  # drop closure refs so GPU buffers can be reclaimed
-        self._finish(JobState.DONE)
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self.done_event.set()
+        self._dispatch(callbacks)
+        return True
+
+    def complete(self, result: Any, error: Optional[BaseException]) -> None:
+        """Apply a body outcome and finish — the CQ half.
+
+        Idempotent once terminal: a late body outcome arriving after
+        :meth:`abandon` (or after a hedge completed this job) is
+        discarded — first completion wins.  The check-and-transition is
+        one critical section, so an abandon can never interleave between
+        the guard and the terminal write.
+        """
+        with self._lock:
+            if self.done_event.is_set():
+                self.fn = None  # the body returned; closure refs can go now
+                return
+            if error is not None:
+                self.error = error
+                self.state = JobState.FAILED
+            else:
+                self.result = result
+                self.state = JobState.DONE
+            self.fn = None  # drop closure refs so GPU buffers can be reclaimed
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self.done_event.set()
+        self._dispatch(callbacks)
 
     def execute(self) -> None:
         """Run the claimed job body; caller must have won :meth:`claim`.

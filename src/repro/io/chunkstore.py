@@ -71,7 +71,7 @@ import numpy as np
 from repro.device.ssd import RAID0Array, SSD
 from repro.io.aio import count_syscalls, syscall_tape
 from repro.io.buffers import CopyCounter
-from repro.io.errors import IntegrityError
+from repro.io.errors import IntegrityError, is_enospc
 from repro.io.filestore import contiguous_view
 from repro.io.manifest import JournalWriter, read_journal
 from repro.io.uring import current_io_context, preadv_full, pwritev_full
@@ -180,6 +180,18 @@ class ChunkedTensorStore:
         #: the most recent driver.
         self.fd_table = None
         self._fd_tables: List[object] = []
+        #: Injectable per-root failure seam: ``fault_gate(root_index,
+        #: nbytes)`` runs before every physical chunk write and may
+        #: raise (the chaos harness injects per-root ``ENOSPC`` here).
+        #: ``None`` disables it — zero cost on the production path.
+        self.fault_gate = None
+        #: Root indices that returned ``ENOSPC``: write-leveling skips
+        #: them until compaction/clear frees space.  Guarded by _lock.
+        self._full_roots: set = set()
+        self._enospc_root_skips = 0
+        #: Set when an ``ENOSPC`` was absorbed — the engine's GC tick
+        #: consumes it to schedule an immediate compaction.
+        self._compaction_hint = False
 
         self._lock = threading.Lock()
         self._next_chunk_id = 0
@@ -432,6 +444,29 @@ class ChunkedTensorStore:
             return tuple(self._root_bytes)
 
     @property
+    def enospc_root_skips(self) -> int:
+        """ENOSPC write failures absorbed by re-routing to another root."""
+        with self._lock:
+            return self._enospc_root_skips
+
+    @property
+    def full_roots(self) -> Tuple[int, ...]:
+        """Root indices currently excluded from placement (device full)."""
+        with self._lock:
+            return tuple(sorted(self._full_roots))
+
+    def consume_compaction_hint(self) -> bool:
+        """Return (and clear) the "a root filled up, compact me" flag.
+
+        The housekeeping loop polls this so an ENOSPC event triggers a
+        GC pass promptly instead of waiting for the cadence timer.
+        """
+        with self._lock:
+            hint = self._compaction_hint
+            self._compaction_hint = False
+            return hint
+
+    @property
     def manifest_records_replayed(self) -> int:
         """Journal records applied when this instance was constructed."""
         return self._manifest_records_replayed
@@ -486,8 +521,16 @@ class ChunkedTensorStore:
     def _pick_root_locked(self) -> int:
         """Write-leveling placement: the root with the least lifetime
         bytes written takes the next chunk (ties break to the lowest
-        index, keeping the single-root case byte-identical)."""
-        return min(range(len(self.roots)), key=lambda i: (self._root_bytes[i], i))
+        index, keeping the single-root case byte-identical).  Roots that
+        returned ``ENOSPC`` are skipped while any other root remains —
+        degraded-capacity leveling — and reconsidered only when every
+        root is full (the caller's write then surfaces the error)."""
+        candidates = [
+            i for i in range(len(self.roots)) if i not in self._full_roots
+        ]
+        if not candidates:
+            candidates = list(range(len(self.roots)))
+        return min(candidates, key=lambda i: (self._root_bytes[i], i))
 
     def path_for(self, tensor_id: str) -> Path:
         """Chunk file holding (or destined to hold) ``tensor_id``."""
@@ -536,37 +579,25 @@ class ChunkedTensorStore:
         chunk_id = self._open_id
         nbytes = len(self._open_buf)
         start = time.monotonic()
-        ctx = current_io_context()
-        if ctx is not None and not self.legacy_copies:
-            # Batched backend: one pwritev over a pre-opened descriptor.
-            # The chunk staging buffer is ordinary (unaligned) host
-            # memory, so a direct descriptor is demoted to buffered —
-            # chunk flushes are already large sequential writes and the
-            # staging buffer *is* the host bounce by design.
-            self._attach_fd_table(ctx.fds)
-            path = str(self._chunk_path(chunk_id))
-            tape = syscall_tape()
-            with tape:
-                fd, direct, cached, _ = ctx.fds.acquire_write(path)
-                if direct:
-                    fd = ctx.fds.acquire_read(path)
-                    cached = True
-                pwritev_full(fd, [self._open_buf])
-                if cached:
-                    os.ftruncate(fd, nbytes)
-                    count_syscalls(1)
-            syscalls = tape.count
-            self.copy_stats.count_avoided(1)  # the bytes() payload temp
-        else:
-            with open(self._chunk_path(chunk_id), "wb") as f:
-                if self.legacy_copies:
-                    f.write(bytes(self._open_buf))
-                    self.copy_stats.count_copy(nbytes)
-                else:
-                    f.write(self._open_buf)
-                    self.copy_stats.count_avoided(1)  # the bytes() payload temp
-            syscalls = 3  # open + write + close
-            count_syscalls(syscalls)
+        while True:
+            root_index = self._chunk_root.get(chunk_id, 0)
+            try:
+                syscalls = self._write_chunk_locked(chunk_id, nbytes)
+                break
+            except OSError as exc:
+                if not is_enospc(exc):
+                    raise
+                # This root is full: remember it, steer write-leveling
+                # to the remaining roots, and retry the same chunk on
+                # the next-least-worn one.  Only when *every* root is
+                # full does the error surface to the caller (who then
+                # compacts / degrades to the CPU tier).
+                self._full_roots.add(root_index)
+                self._enospc_root_skips += 1
+                self._compaction_hint = True
+                if len(self._full_roots) >= len(self.roots):
+                    raise
+                self._chunk_root[chunk_id] = self._pick_root_locked()
         self._write_syscalls += syscalls
         self._chunks[chunk_id] = _ChunkMeta(
             chunk_id=chunk_id,
@@ -601,6 +632,46 @@ class ChunkedTensorStore:
             self.array.record_write(nbytes)
         self._throttle(nbytes, start)
 
+    def _write_chunk_locked(self, chunk_id: int, nbytes: int) -> int:
+        """One physical chunk-file write (the flush loop's retryable
+        unit); returns the syscalls it cost.  The ``fault_gate`` seam
+        fires first, so injected per-root failures surface exactly where
+        a real full filesystem would."""
+        if self.fault_gate is not None:
+            self.fault_gate(self._chunk_root.get(chunk_id, 0), nbytes)
+        ctx = current_io_context()
+        if ctx is not None and not self.legacy_copies:
+            # Batched backend: one pwritev over a pre-opened descriptor.
+            # The chunk staging buffer is ordinary (unaligned) host
+            # memory, so a direct descriptor is demoted to buffered —
+            # chunk flushes are already large sequential writes and the
+            # staging buffer *is* the host bounce by design.
+            self._attach_fd_table(ctx.fds)
+            path = str(self._chunk_path(chunk_id))
+            tape = syscall_tape()
+            with tape:
+                fd, direct, cached, _ = ctx.fds.acquire_write(path)
+                if direct:
+                    fd = ctx.fds.acquire_read(path)
+                    cached = True
+                pwritev_full(fd, [self._open_buf])
+                if cached:
+                    os.ftruncate(fd, nbytes)
+                    count_syscalls(1)
+            syscalls = tape.count
+            self.copy_stats.count_avoided(1)  # the bytes() payload temp
+        else:
+            with open(self._chunk_path(chunk_id), "wb") as f:
+                if self.legacy_copies:
+                    f.write(bytes(self._open_buf))
+                    self.copy_stats.count_copy(nbytes)
+                else:
+                    f.write(self._open_buf)
+                    self.copy_stats.count_avoided(1)  # the bytes() payload temp
+            syscalls = 3  # open + write + close
+            count_syscalls(syscalls)
+        return syscalls
+
     def write(self, tensor_id: str, data: np.ndarray) -> Path:
         """Append ``data`` to the open chunk; flush it when full.
 
@@ -633,9 +704,11 @@ class ChunkedTensorStore:
             )
             self._open_buf.extend(raw)
             self._open_entries[tensor_id] = loc
-            path = self._chunk_path(loc.chunk_id)
             if len(self._open_buf) >= self.chunk_bytes:
                 self._flush_locked()
+            # After the (possible) flush: an ENOSPC retry may have moved
+            # the chunk to another root, so resolve the path last.
+            path = self._chunk_path(loc.chunk_id)
         return path
 
     def flush(self) -> None:
@@ -863,6 +936,10 @@ class ChunkedTensorStore:
                 victims = victims[:max_chunks]
             for meta in victims:
                 reclaimed_dead += self._compact_one_locked(meta)
+            if reclaimed_dead > 0:
+                # Space was reclaimed: give previously-full roots another
+                # chance.  The next ENOSPC simply re-marks them.
+                self._full_roots.clear()
         return reclaimed_dead
 
     def _compact_one_locked(self, meta: _ChunkMeta) -> int:
@@ -982,6 +1059,7 @@ class ChunkedTensorStore:
                 meta.total_bytes for meta in self._chunks.values()
             )
             self._chunks = {}
+            self._full_roots.clear()
             self._journal_append({"op": "clear"})
             paths = [self._chunk_path(chunk_id) for chunk_id in chunk_ids]
             for chunk_id in chunk_ids:

@@ -27,6 +27,7 @@ structural ones where a retry provably cannot help
 
 from __future__ import annotations
 
+import errno
 import time
 from typing import Callable, Optional, TypeVar
 
@@ -54,6 +55,15 @@ class IntegrityError(OSError):
     exhausts the budget and surfaces to the waiter."""
 
 
+class DeadlineExceededError(OSError):
+    """The request sat past its per-class deadline and was abandoned by
+    the scheduler watchdog.  Not retryable — the original body may still
+    be wedged in the kernel, and re-running it would double-occupy the
+    lane; recovery is failover (and, for blocking loads, a hedge).  It
+    *is* a device verdict: a lane that keeps eating deadlines is as dead
+    to the placement policy as one that returns ``EIO``."""
+
+
 #: OSError subclasses where the failure is structural, not device noise:
 #: retrying the identical call cannot change the outcome.
 _NON_RETRYABLE_OSERRORS = (
@@ -64,13 +74,25 @@ _NON_RETRYABLE_OSERRORS = (
 )
 
 
+def is_enospc(exc: Optional[BaseException]) -> bool:
+    """Whether the failure is the filesystem running out of space.
+
+    ENOSPC gets its own lane through the taxonomy: it is not retryable
+    (the bytes will not appear on their own), but it is *not* a device
+    verdict either — a full root says nothing about the drive's health,
+    and the right response is write-leveling around the root plus
+    compaction, not lane death.
+    """
+    return isinstance(exc, OSError) and exc.errno == errno.ENOSPC
+
+
 def is_retryable(exc: BaseException) -> bool:
     """Whether one more attempt at the same operation can plausibly help."""
-    if isinstance(exc, PermanentIOError):
+    if isinstance(exc, (PermanentIOError, DeadlineExceededError)):
         return False
     if isinstance(exc, (TransientIOError, IntegrityError, TimeoutError)):
         return True
-    if isinstance(exc, _NON_RETRYABLE_OSERRORS):
+    if isinstance(exc, _NON_RETRYABLE_OSERRORS) or is_enospc(exc):
         return False
     return isinstance(exc, OSError)
 
@@ -85,6 +107,10 @@ def is_device_error(exc: Optional[BaseException]) -> bool:
     dead and trigger failover.
     """
     if not isinstance(exc, OSError):
+        return False
+    if is_enospc(exc):
+        # Resource exhaustion, not device death: handled by the store's
+        # write-leveling/compaction path, must not brick lane health.
         return False
     return not isinstance(exc, _NON_RETRYABLE_OSERRORS)
 

@@ -44,6 +44,7 @@ mock of it.
 
 from __future__ import annotations
 
+import errno
 import random
 import threading
 import time
@@ -80,6 +81,23 @@ class FaultPlan:
     bit_rot_rate: float = 0.0
     #: Op count after which the device is permanently dead (None = never).
     dead_after_ops: Optional[int] = None
+    #: Hung I/O: 1-based op indices that sleep ``hang_s`` (deterministic),
+    #: plus a probabilistic ``hang_rate`` drawn per op.  A hang is the
+    #: wedged-``pwrite`` mode the scheduler watchdog's deadlines exist
+    #: for: the op *does* eventually complete, long after any sane
+    #: deadline.
+    hang_ops: Optional[Tuple[int, ...]] = None
+    hang_rate: float = 0.0
+    hang_s: float = 0.25
+    #: Brownout: after ``brownout_after_ops`` operations every op sleeps
+    #: an extra ``brownout_latency_s`` — the sustained latency ramp that
+    #: must trip the *slow* lane verdict (distinct from *dead*) until
+    #: :meth:`FaultInjector.heal`.
+    brownout_after_ops: Optional[int] = None
+    brownout_latency_s: float = 0.02
+    #: Cumulative write-byte budget after which writes raise ``ENOSPC``
+    #: (resource exhaustion, not device death) until ``heal()``.
+    enospc_after_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -88,6 +106,7 @@ class FaultPlan:
             "latency_rate",
             "torn_write_rate",
             "bit_rot_rate",
+            "hang_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -98,6 +117,22 @@ class FaultPlan:
             raise ValueError(f"latency_spike_s must be >= 0: {self.latency_spike_s}")
         if self.dead_after_ops is not None and self.dead_after_ops < 0:
             raise ValueError(f"dead_after_ops must be >= 0: {self.dead_after_ops}")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0: {self.hang_s}")
+        if self.hang_ops is not None and any(op < 1 for op in self.hang_ops):
+            raise ValueError(f"hang_ops indices are 1-based: {self.hang_ops}")
+        if self.brownout_after_ops is not None and self.brownout_after_ops < 0:
+            raise ValueError(
+                f"brownout_after_ops must be >= 0: {self.brownout_after_ops}"
+            )
+        if self.brownout_latency_s < 0:
+            raise ValueError(
+                f"brownout_latency_s must be >= 0: {self.brownout_latency_s}"
+            )
+        if self.enospc_after_bytes is not None and self.enospc_after_bytes < 0:
+            raise ValueError(
+                f"enospc_after_bytes must be >= 0: {self.enospc_after_bytes}"
+            )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -119,6 +154,25 @@ class FaultPlan:
     def flaky_latency(cls, rate: float, spike_s: float, seed: int = 0) -> "FaultPlan":
         return cls(seed=seed, latency_rate=rate, latency_spike_s=spike_s)
 
+    @classmethod
+    def hung(cls, ops: Tuple[int, ...], hang_s: float, seed: int = 0) -> "FaultPlan":
+        """Deterministic hung I/O on the given 1-based op indices."""
+        return cls(seed=seed, hang_ops=tuple(ops), hang_s=hang_s)
+
+    @classmethod
+    def brownout(
+        cls, after_ops: int, latency_s: float, seed: int = 0
+    ) -> "FaultPlan":
+        """Sustained latency on every op past ``after_ops``."""
+        return cls(
+            seed=seed, brownout_after_ops=after_ops, brownout_latency_s=latency_s
+        )
+
+    @classmethod
+    def enospc(cls, after_bytes: int, seed: int = 0) -> "FaultPlan":
+        """Writes fail with ``ENOSPC`` once ``after_bytes`` have landed."""
+        return cls(seed=seed, enospc_after_bytes=after_bytes)
+
 
 @dataclass
 class FaultStats:
@@ -130,6 +184,9 @@ class FaultStats:
     injected_torn_writes: int = 0
     injected_bit_rot: int = 0
     permanent_failures: int = 0
+    injected_hangs: int = 0
+    injected_brownouts: int = 0
+    injected_enospc: int = 0
     #: Corruptions skipped because the backing file did not exist yet
     #: (e.g. a chunk store's open, unflushed chunk).
     skipped_corruptions: int = 0
@@ -152,6 +209,11 @@ class FaultInjector:
         self._rng = random.Random(self.plan.seed)
         self._lock = threading.Lock()
         self._dead = False
+        #: True once heal() ran: death/brownout/ENOSPC modes stop firing
+        #: (the replaced-cable / freed-space / cooled-down device).
+        self._healed = False
+        #: Cumulative bytes accepted by write() (the ENOSPC budget's meter).
+        self._bytes_written = 0
         #: Remaining forced-transient attempts per (op, tensor_id): once
         #: the RNG selects an op to fault, its first ``transient_repeats``
         #: attempts raise and the retry after that goes through.
@@ -162,6 +224,22 @@ class FaultInjector:
         """Programmatic permanent death (the mid-run bricked device)."""
         with self._lock:
             self._dead = True
+            self._healed = False
+
+    def heal(self) -> None:
+        """The device comes back: clears death and stops the sustained
+        modes (``dead_after_ops``, brownout, ENOSPC) from firing again.
+
+        The half of the die→heal→resurrect cycle the circuit breaker's
+        canary probes exist to detect — healing the injector does *not*
+        resurrect the tier by itself; the breaker has to notice.
+        Probabilistic per-op faults (transients, latency, hangs) keep
+        following the plan.
+        """
+        with self._lock:
+            self._dead = False
+            self._healed = True
+            self._bytes_written = 0
 
     @property
     def dead(self) -> bool:
@@ -175,7 +253,11 @@ class FaultInjector:
         spike = 0.0
         with self._lock:
             self.fault_stats.ops += 1
-            if plan.dead_after_ops is not None and self.fault_stats.ops > plan.dead_after_ops:
+            if (
+                plan.dead_after_ops is not None
+                and not self._healed
+                and self.fault_stats.ops > plan.dead_after_ops
+            ):
                 self._dead = True
             if self._dead:
                 self.fault_stats.permanent_failures += 1
@@ -212,6 +294,19 @@ class FaultInjector:
             if plan.latency_rate > 0 and self._rng.random() < plan.latency_rate:
                 self.fault_stats.injected_latency += 1
                 spike = plan.latency_spike_s
+            if plan.hang_s > 0 and (
+                (plan.hang_ops is not None and self.fault_stats.ops in plan.hang_ops)
+                or (plan.hang_rate > 0 and self._rng.random() < plan.hang_rate)
+            ):
+                self.fault_stats.injected_hangs += 1
+                spike = max(spike, plan.hang_s)
+            if (
+                plan.brownout_after_ops is not None
+                and not self._healed
+                and self.fault_stats.ops > plan.brownout_after_ops
+            ):
+                self.fault_stats.injected_brownouts += 1
+                spike += plan.brownout_latency_s
         return spike
 
     def _corrupt_at_rest(self, tensor_id: str) -> None:
@@ -250,11 +345,36 @@ class FaultInjector:
             with self._lock:
                 self.fault_stats.injected_bit_rot += 1
 
+    def _charge_enospc(self, nbytes: int) -> None:
+        """Meter the write-byte budget; raise ``ENOSPC`` once exhausted.
+
+        A plain ``OSError`` with ``errno.ENOSPC`` — not a
+        :class:`~repro.io.errors.PermanentIOError` — because a full
+        filesystem is resource exhaustion, not device death: the
+        taxonomy (:func:`~repro.io.errors.is_enospc`) routes it to
+        compaction/degrade handling instead of lane-health verdicts.
+        """
+        plan = self.plan
+        if plan.enospc_after_bytes is None:
+            return
+        with self._lock:
+            if self._healed:
+                return
+            if self._bytes_written + nbytes > plan.enospc_after_bytes:
+                self.fault_stats.injected_enospc += 1
+                raise OSError(
+                    errno.ENOSPC,
+                    f"injected ENOSPC ({self._bytes_written} + {nbytes} bytes "
+                    f"over the {plan.enospc_after_bytes}-byte budget)",
+                )
+            self._bytes_written += nbytes
+
     # -------------------------------------------------------------- store API
     def write(self, tensor_id: str, data):
         spike = self._roll("write", tensor_id)
         if spike > 0:
             time.sleep(spike)
+        self._charge_enospc(int(getattr(data, "nbytes", len(data))))
         path = self._store.write(tensor_id, data)
         self._corrupt_at_rest(tensor_id)
         return path

@@ -64,6 +64,19 @@ retry-with-backoff budget before failing, and every outcome feeds the
 per-lane :class:`LaneHealthTracker` — the signal the tiered offloader
 uses to fail a dead SSD over to the CPU tier and the adaptive controller
 uses to trim the budget on a degraded lane.
+
+**Degraded modes** (architecture §12): with ``deadlines`` and/or
+``hedge`` configured the scheduler runs a watchdog thread over the
+in-flight set.  A request stuck past its per-class deadline is
+*abandoned* — forced FAILED with :class:`~repro.io.errors
+.DeadlineExceededError` so the waiter unblocks and fails over, while
+the wedged body's eventual outcome is discarded (hung-I/O survival).
+A BLOCKING_LOAD stuck past the adaptive hedge delay gets a *hedged
+duplicate* submitted from its ``hedge_fn``; first completion wins, the
+loser is cancelled, and ``hedges_issued``/``hedges_won`` book the
+outcome.  ``slow_request_s`` arms a *slow* lane verdict distinct from
+*dead* — sustained high latency (brownout) sheds prefetch/demotion
+traffic off the lane without declaring the device gone.
 """
 
 from __future__ import annotations
@@ -81,6 +94,7 @@ from repro.io.aio import IOBackend, IOJob, IOLaneStats, JobState, ThreadBackend
 from repro.io.errors import (
     DEFAULT_MAX_RETRIES,
     DEFAULT_RETRY_BACKOFF_S,
+    DeadlineExceededError,
     PermanentIOError,
     is_device_error,
 )
@@ -133,6 +147,8 @@ class IORequest(IOJob):
         retry_backoff_s: Optional[float] = None,
         lease=None,
         tenant: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        hedge_fn: Optional[Callable[[], object]] = None,
     ) -> None:
         if kind not in REQUEST_KINDS:
             raise ValueError(f"unknown request kind {kind!r}; expected one of {REQUEST_KINDS}")
@@ -176,6 +192,20 @@ class IORequest(IOJob):
         #: :meth:`detach_lease` first; detach-then-decide under the
         #: owner's lock is the race-free order.
         self.lease = lease
+        #: Per-request deadline override (seconds of *execution* time
+        #: before the watchdog abandons it); ``None`` inherits the
+        #: scheduler's per-class deadline, if any.
+        self.deadline_s = deadline_s
+        #: Idempotent re-issue closure for hedged reads: the watchdog
+        #: builds the hedge request from this, so the duplicate does not
+        #: share the (possibly wedged) original body.  ``None`` opts the
+        #: request out of hedging.
+        self.hedge_fn = hedge_fn
+        #: The hedge duplicate issued for this request (at most one).
+        self.hedge: Optional["IORequest"] = None
+        #: True when this request *is* a hedge duplicate (never itself
+        #: hedged).
+        self.is_hedge = False
         #: Completion telemetry, stamped by the worker loop (monotonic
         #: seconds).  ``submitted_at`` is set by :meth:`IOScheduler.submit`.
         self.submitted_at: float = 0.0
@@ -225,6 +255,14 @@ class SchedulerStats:
     #: property suite pins down.
     leased_requests: int = 0
     leases_released: int = 0
+    #: Hedged-read books: duplicates issued by the watchdog for stuck
+    #: blocking loads, and the subset whose result completed the primary
+    #: first (the stall the hedge actually cut).
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    #: Requests force-failed by the watchdog for sitting past their
+    #: per-class deadline (hung-I/O failover).
+    deadline_abandons: int = 0
 
 
 #: Channel names completion telemetry is aggregated under: stores and
@@ -284,6 +322,11 @@ class LaneHealthSnapshot:
     failures: int = 0
     consecutive_failures: int = 0
     dead: bool = False
+    #: Brownout verdict: the lane answers, but sustained latency crossed
+    #: the slow threshold.  Distinct from ``dead`` — a slow lane sheds
+    #: deferrable traffic (prefetch, demotions) but keeps serving.
+    slow: bool = False
+    consecutive_slow: int = 0
 
 
 class LaneHealthTracker:
@@ -314,10 +357,21 @@ class LaneHealthTracker:
     degrade A's placement without touching B's.
     """
 
-    def __init__(self, death_threshold: int = 3) -> None:
+    def __init__(
+        self,
+        death_threshold: int = 3,
+        slow_threshold_s: Optional[float] = None,
+        slow_trip: int = 3,
+    ) -> None:
         if death_threshold < 1:
             raise ValueError(f"death_threshold must be >= 1: {death_threshold}")
+        if slow_trip < 1:
+            raise ValueError(f"slow_trip must be >= 1: {slow_trip}")
         self.death_threshold = death_threshold
+        #: Request duration at or above which an op counts as *slow*;
+        #: ``None`` disables the brownout verdict entirely.
+        self.slow_threshold_s = slow_threshold_s
+        self.slow_trip = slow_trip
         self._lock = threading.Lock()
         self._lanes: Dict[str, LaneHealthSnapshot] = {}
         #: Per-(lane, tenant) verdicts for non-default tenants.
@@ -359,6 +413,43 @@ class LaneHealthTracker:
             if permanent or state.consecutive_failures >= self.death_threshold:
                 state.dead = True
 
+    def record_duration(
+        self, lane: str, seconds: float, tenant: str = DEFAULT_TENANT
+    ) -> None:
+        """Feed one executed request's duration into the brownout verdict.
+
+        ``slow_trip`` consecutive ops at/above ``slow_threshold_s`` set
+        the lane *slow*; a single fast op clears it — the brownouts that
+        matter are sustained, and a device serving fast ops again has by
+        definition recovered.  Lane-global (not tenant-scoped): latency
+        is a device property, unlike quota-attributable failures.
+        """
+        if self.slow_threshold_s is None:
+            return
+        with self._lock:
+            state = self._state(lane)
+            if seconds >= self.slow_threshold_s:
+                state.consecutive_slow += 1
+                if state.consecutive_slow >= self.slow_trip:
+                    state.slow = True
+            else:
+                state.consecutive_slow = 0
+                state.slow = False
+
+    def is_slow(self, lane: str) -> bool:
+        with self._lock:
+            state = self._lanes.get(lane)
+            return state.slow if state is not None else False
+
+    def slow_lanes(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(name for name, s in self._lanes.items() if s.slow))
+
+    def mark_slow(self, lane: str) -> None:
+        """Force the brownout verdict (operator/test hook)."""
+        with self._lock:
+            self._state(lane).slow = True
+
     def mark_dead(self, lane: str, tenant: Optional[str] = None) -> None:
         """Brick the lane globally, or for one tenant only."""
         with self._lock:
@@ -376,6 +467,8 @@ class LaneHealthTracker:
                 state = self._state(lane)
                 state.dead = False
                 state.consecutive_failures = 0
+                state.slow = False
+                state.consecutive_slow = 0
                 if tenant is None:
                     for (ln, _), scoped in self._tenant_lanes.items():
                         if ln == lane:
@@ -410,27 +503,11 @@ class LaneHealthTracker:
 
     def tenant_snapshot(self) -> Dict[Tuple[str, str], LaneHealthSnapshot]:
         with self._lock:
-            return {
-                key: LaneHealthSnapshot(
-                    successes=s.successes,
-                    failures=s.failures,
-                    consecutive_failures=s.consecutive_failures,
-                    dead=s.dead,
-                )
-                for key, s in self._tenant_lanes.items()
-            }
+            return {key: replace(s) for key, s in self._tenant_lanes.items()}
 
     def snapshot(self) -> Dict[str, LaneHealthSnapshot]:
         with self._lock:
-            return {
-                lane: LaneHealthSnapshot(
-                    successes=s.successes,
-                    failures=s.failures,
-                    consecutive_failures=s.consecutive_failures,
-                    dead=s.dead,
-                )
-                for lane, s in self._lanes.items()
-            }
+            return {lane: replace(s) for lane, s in self._lanes.items()}
 
     def consume_failure_window(self) -> Dict[str, int]:
         """Failures per lane since the last call (the controller's feed)."""
@@ -693,6 +770,11 @@ class IOScheduler:
         tenants: Optional[TenantRegistry] = None,
         name: str = "ssdtrain-io",
         backend: Optional[IOBackend] = None,
+        deadlines: Optional[Dict[str, float]] = None,
+        hedge: bool = False,
+        hedge_delay_s: Optional[float] = None,
+        slow_request_s: Optional[float] = None,
+        watchdog_interval_s: float = 0.005,
     ) -> None:
         if num_store_workers < 1 or num_load_workers < 1:
             raise ValueError("each channel needs at least one worker")
@@ -704,6 +786,22 @@ class IOScheduler:
             raise ValueError(f"max_retries must be >= 0: {max_retries}")
         if retry_backoff_s < 0:
             raise ValueError(f"retry_backoff_s must be >= 0: {retry_backoff_s}")
+        for cls, seconds in (deadlines or {}).items():
+            if cls not in Priority.__members__:
+                raise ValueError(
+                    f"unknown deadline class {cls!r}; expected one of "
+                    f"{tuple(Priority.__members__)}"
+                )
+            if seconds <= 0:
+                raise ValueError(f"deadline for {cls} must be positive: {seconds}")
+        if hedge_delay_s is not None and hedge_delay_s < 0:
+            raise ValueError(f"hedge_delay_s must be >= 0: {hedge_delay_s}")
+        if slow_request_s is not None and slow_request_s <= 0:
+            raise ValueError(f"slow_request_s must be positive: {slow_request_s}")
+        if watchdog_interval_s <= 0:
+            raise ValueError(
+                f"watchdog_interval_s must be positive: {watchdog_interval_s}"
+            )
         self.name = name
         self.fifo = fifo
         self.coalesce_bytes = coalesce_bytes
@@ -721,9 +819,18 @@ class IOScheduler:
         self._parked: Dict[str, Deque[IORequest]] = {}
         self._park_lock = threading.Lock()
         self.stats = SchedulerStats()
+        #: Per-class execution deadlines (Priority name -> seconds) the
+        #: watchdog abandons stuck requests against; empty = no deadlines.
+        self.deadlines: Dict[str, float] = dict(deadlines or {})
+        #: Hedged-read knobs: ``hedge`` arms the watchdog's duplicate
+        #: issue for stuck blocking loads; ``hedge_delay_s`` pins the
+        #: stuck threshold (None = adaptive from recent load durations).
+        self.hedge = hedge
+        self.hedge_delay_s = hedge_delay_s
+        self.watchdog_interval_s = watchdog_interval_s
         #: Per-lane failure/death bookkeeping fed by request completions;
         #: the tiered offloader and the adaptive controller both read it.
-        self.health = LaneHealthTracker()
+        self.health = LaneHealthTracker(slow_threshold_s=slow_request_s)
         self._stats_lock = threading.Lock()
         # An Event, not a lock-guarded bool: worker loops read the flag
         # under their lane's condition while shutdown() runs under the
@@ -767,6 +874,22 @@ class IOScheduler:
                 )
                 self._workers.append(worker)
                 worker.start()
+        #: In-flight (begun, not finished) requests the watchdog scans;
+        #: maintained only when a watchdog runs.  Guarded by _inflight_lock.
+        self._inflight: set = set()
+        self._inflight_lock = threading.Lock()
+        #: Recent executed-load durations per lane, the adaptive hedge
+        #: delay's sample window.  Guarded by _stats_lock.
+        self._load_durations: Dict[str, Deque[float]] = {}
+        # The watchdog thread exists only when a degraded-mode feature
+        # needs it — a default-configured scheduler spawns no extra
+        # thread (the engine-lifecycle leak test counts on that).
+        self._watchdog: Optional[threading.Thread] = None
+        if self.deadlines or self.hedge:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name=f"{name}-watchdog", daemon=True
+            )
+            self._watchdog.start()
 
     # --------------------------------------------------------------- listeners
     def add_listener(self, listener: Callable[[str, IORequest], None]) -> None:
@@ -1317,6 +1440,126 @@ class IOScheduler:
             logger.exception("failing stranded request %s raised", request.label)
             request.done_event.set()
 
+    # ---------------------------------------------------- watchdog
+    # Runs only when deadlines or hedging are configured: scans the
+    # in-flight set, abandons requests stuck past their per-class
+    # deadline, and issues hedge duplicates for stuck blocking loads.
+
+    def hedge_delay_for(self, lane: str) -> float:
+        """Seconds a blocking load may run before its hedge is issued.
+
+        Explicit ``hedge_delay_s`` wins.  Otherwise adapt from the
+        lane's recent executed-load durations: the p99, capped at four
+        medians — on a healthy lane (tail ≈ median) only genuine
+        stragglers hedge, while under brownout (tail ≫ median) the
+        median cap pulls the delay down so hedges fire as soon as a
+        request exceeds 4x the typical latency.  With too few samples
+        the conservative 50 ms default applies.
+        """
+        if self.hedge_delay_s is not None:
+            return self.hedge_delay_s
+        with self._stats_lock:
+            samples = list(self._load_durations.get(lane, ()))
+        if len(samples) < 8:
+            return 0.05
+        ordered = sorted(samples)
+        p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        p50 = ordered[len(ordered) // 2]
+        return max(0.002, min(p99, 4.0 * p50))
+
+    def _deadline_of(self, request: IORequest) -> Optional[float]:
+        if request.deadline_s is not None:
+            return request.deadline_s
+        return self.deadlines.get(request.priority.name)
+
+    def _watchdog_loop(self) -> None:
+        while not self._shutdown.wait(self.watchdog_interval_s):
+            try:
+                self._watchdog_scan()
+            except Exception:  # a scan bug must not kill the watchdog
+                logger.exception("scheduler %s watchdog scan raised", self.name)
+
+    def _watchdog_scan(self, now: Optional[float] = None) -> None:
+        """One pass over the in-flight set (public for deterministic tests
+        via an explicit ``now``)."""
+        now = time.monotonic() if now is None else now
+        with self._inflight_lock:
+            inflight = list(self._inflight)
+        for request in inflight:
+            if request.done_event.is_set() or not request.started_at:
+                continue
+            elapsed = now - request.started_at
+            deadline = self._deadline_of(request)
+            if deadline is not None and elapsed > deadline:
+                self._abandon(request, elapsed, deadline)
+                continue
+            if (
+                self.hedge
+                and request.kind == "load"
+                and request.priority is Priority.BLOCKING_LOAD
+                and not request.is_hedge
+                and request.hedge is None
+                and request.hedge_fn is not None
+                and elapsed >= self.hedge_delay_for(request.lane)
+            ):
+                self._issue_hedge(request)
+
+    def _abandon(self, request: IORequest, elapsed: float, deadline: float) -> None:
+        """Force a stuck request FAILED; the wedged body's eventual
+        outcome is discarded by the job's first-completion-wins rule."""
+        error = DeadlineExceededError(
+            f"{request.label} exceeded its {deadline:.3f}s deadline on lane "
+            f"{request.lane!r} ({elapsed:.3f}s elapsed)"
+        )
+        if request.abandon(error):
+            with self._stats_lock:
+                self.stats.deadline_abandons += 1
+            self._safe_notify("abandon", request)
+
+    def _issue_hedge(self, request: IORequest) -> None:
+        """Submit the hedge duplicate for a stuck blocking load.
+
+        First completion wins: the hedge's DONE result completes the
+        primary (idempotent :meth:`~repro.io.aio.IOJob.complete` — a
+        late primary outcome is discarded), and a primary completing
+        first cancels a still-PENDING hedge.
+        """
+        hedge = IORequest(
+            request.hedge_fn,
+            kind="load",
+            priority=Priority.BLOCKING_LOAD,
+            tensor_id=request.tensor_id,
+            nbytes=request.nbytes,
+            lane=request.lane,
+            label=f"hedge:{request.label}",
+            tenant=request.tenant,
+        )
+        hedge.is_hedge = True
+        request.hedge = hedge
+
+        def hedge_done(job: IOJob, primary: IORequest = request) -> None:
+            if job.state is JobState.DONE and not primary.done_event.is_set():
+                primary.complete(job.result, None)
+                with self._stats_lock:
+                    self.stats.hedges_won += 1
+
+        hedge.add_done_callback(hedge_done)
+        try:
+            self.submit(hedge)
+        except Exception:
+            # Shutdown race or quota rejection: the hedge never ran;
+            # the primary proceeds as if no hedge had been issued.
+            logger.debug("hedge submit for %s refused", request.label, exc_info=True)
+            return
+        if hedge._parked:
+            # A parked hedge would fire long after the stall it was
+            # meant to cut; retract it rather than waste the quota.
+            self.cancel(hedge)
+            return
+        with self._stats_lock:
+            self.stats.hedges_issued += 1
+        request.add_done_callback(lambda _req, h=hedge: self.cancel(h))
+
     # ---------------------------------------------------- backend hooks
     # The installed IOBackend drives these for every request it claimed;
     # together they are the whole bookkeeping contract (docs §10).  Kept
@@ -1330,6 +1573,9 @@ class IOScheduler:
         the body runs — the channel busy interval opens here.
         """
         request.started_at = time.monotonic()
+        if self._watchdog is not None:
+            with self._inflight_lock:
+                self._inflight.add(request)
         self._channel_started(request)
         self._safe_notify("start", request)
 
@@ -1346,6 +1592,17 @@ class IOScheduler:
         """
         if not request.finished_at:
             request.finished_at = time.monotonic()
+        if self._watchdog is not None:
+            with self._inflight_lock:
+                self._inflight.discard(request)
+        duration = request.finished_at - request.started_at
+        self.health.record_duration(request.lane, duration)
+        if self.hedge and request.kind == "load":
+            with self._stats_lock:
+                window = self._load_durations.get(request.lane)
+                if window is None:
+                    window = self._load_durations[request.lane] = deque(maxlen=64)
+                window.append(duration)
         self._record_completion(request)
         self._force_terminal(request)
 
@@ -1476,6 +1733,8 @@ class IOScheduler:
                 lane.cond.notify_all()
         for worker in self._workers:
             worker.join(timeout=5)
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=5)
         # Only after the lane workers are gone: no batch can be in
         # flight, so the backend can stop its reaper and close its FDs.
         self.backend.shutdown()

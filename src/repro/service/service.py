@@ -30,6 +30,15 @@ State machine (see docs/architecture.md §11)::
                    |          v            v
                    +------ RESTARTING <----+     (supervisor-driven)
     any state -> STOPPED                         (stop() only)
+    HEALTHY/DEGRADED/RESTARTING -> FAILED        (crash-loop escalation)
+
+``FAILED`` is terminal: the supervisor's crash-loop breaker
+(``max_restarts`` within ``restart_window_s``) escalates an engine that
+dies on every start instead of restarting it forever; the final state
+event on the bus carries the reason.  The service also publishes every
+SSD circuit-breaker transition (``event: "breaker"``) and, each
+housekeeping tick, probes a tripped breaker so a healed device is
+resurrected without operator action (architecture §12).
 """
 
 from __future__ import annotations
@@ -55,6 +64,8 @@ class ServiceState(enum.Enum):
     DEGRADED = "degraded"
     RESTARTING = "restarting"
     STOPPED = "stopped"
+    #: Terminal: the supervisor gave up on a crash-looping engine.
+    FAILED = "failed"
 
 
 class EngineService:
@@ -126,6 +137,9 @@ class EngineService:
         """Build a fresh engine + housekeeping thread (lock held)."""
         self.engine = build_engine(self.config)
         self.generation += 1
+        set_listener = getattr(self.engine.offloader, "set_breaker_listener", None)
+        if set_listener is not None:
+            set_listener(self._on_breaker_event)
         self._wedged = False
         self._stop_tick = threading.Event()
         self._last_beat = self._clock()
@@ -152,6 +166,30 @@ class EngineService:
         if engine is not None:
             engine.shutdown()
 
+    def fail(self, reason: str = "") -> None:
+        """Terminal escalation: tear the engine down and mark the
+        service FAILED (no further restarts).
+
+        The supervisor's crash-loop breaker calls this when restarts
+        stop helping; the final ``state`` event on the bus carries the
+        reason.  Only :meth:`stop` moves the service out of FAILED.
+        """
+        with self._lock:
+            if self.state in (ServiceState.STOPPED, ServiceState.FAILED):
+                return
+            stop_tick, thread = self._stop_tick, self._tick_thread
+            engine, self.engine = self.engine, None
+            self._tick_thread = None
+            self._set_state(ServiceState.FAILED, reason=reason)
+        stop_tick.set()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5)
+        if engine is not None:
+            try:
+                engine.shutdown()
+            except Exception:
+                pass  # reaping a crash-looping engine must not block failing
+
     def restart(self, reason: str = "") -> None:
         """Reap the current engine and build a fresh one.
 
@@ -162,7 +200,7 @@ class EngineService:
         inside ``build_engine``, restoring the index bit-exact.
         """
         with self._lock:
-            if self.state is ServiceState.STOPPED:
+            if self.state in (ServiceState.STOPPED, ServiceState.FAILED):
                 return
             self._set_state(ServiceState.RESTARTING, reason=reason)
             stop_tick, thread = self._stop_tick, self._tick_thread
@@ -177,7 +215,8 @@ class EngineService:
             except Exception:
                 pass  # reaping a crashed engine must never block recovery
         with self._lock:
-            if self.state is ServiceState.STOPPED:  # stop() raced us
+            # stop() or fail() raced us: respect the terminal state.
+            if self.state in (ServiceState.STOPPED, ServiceState.FAILED):
                 return
             self._spawn_engine()
             self.restarts += 1
@@ -224,6 +263,25 @@ class EngineService:
         with self._lock:
             if self.state is ServiceState.DEGRADED:
                 self._set_state(ServiceState.HEALTHY, reason=reason)
+
+    def _on_breaker_event(
+        self, name: str, old: str, new: str, reason: str
+    ) -> None:
+        """Publish an SSD circuit-breaker transition on the event topic.
+
+        Fired by the offloader's breakers outside their locks; breaker
+        names scope the event (``"ssd"`` global, ``"ssd/<tenant>"``)."""
+        self.bus.publish(
+            TOPIC_EVENTS,
+            {
+                "event": "breaker",
+                "name": name,
+                "from": old,
+                "to": new,
+                "reason": reason,
+                "generation": self.generation,
+            },
+        )
 
     def _set_state(self, state: ServiceState, reason: str = "") -> None:
         previous, self.state = self.state, state
@@ -336,6 +394,24 @@ class EngineService:
                 TOPIC_TELEMETRY,
                 {"generation": self.generation, "stats": stats},
             )
+            # Self-healing: canary a tripped SSD breaker each tick (the
+            # breaker's own backoff + single-flight gating make this
+            # cheap), so a healed device is resurrected automatically.
+            probe = getattr(engine.offloader, "maybe_probe_ssd", None)
+            if probe is not None:
+                try:
+                    probe()
+                except Exception:
+                    pass  # a probe bug must never wedge housekeeping
+            # An ENOSPC-rerouted write wants GC *now*, not at the
+            # cadence timer: the hint jumps the queue.
+            store = engine.chunk_store
+            consume_hint = getattr(store, "consume_compaction_hint", None)
+            if consume_hint is not None and consume_hint():
+                try:
+                    self._run_gc(engine)
+                except OSError:
+                    pass  # device still full: the next hint retries
             if self.gc_interval_s is not None:
                 now = self._clock()
                 if now - self._last_gc >= self.gc_interval_s:
@@ -376,6 +452,12 @@ class Supervisor:
     exponentially (``backoff_base_s * 2**n`` capped at
     ``backoff_max_s``); a quiet period of ``backoff_reset_s`` resets
     the streak.
+
+    Crash-loop escalation: when ``max_restarts`` is set and that many
+    restarts land inside a sliding ``restart_window_s``, restarting has
+    demonstrably stopped helping — the supervisor publishes a final
+    ``supervisor-escalate`` event and moves the service to the terminal
+    ``FAILED`` state instead of burning restarts forever.
     """
 
     def __init__(
@@ -386,11 +468,19 @@ class Supervisor:
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 2.0,
         backoff_reset_s: float = 5.0,
+        max_restarts: Optional[int] = None,
+        restart_window_s: float = 30.0,
         clock=time.monotonic,
     ) -> None:
         if heartbeat_timeout_s <= 0:
             raise ValueError(
                 f"heartbeat_timeout_s must be positive: {heartbeat_timeout_s}"
+            )
+        if max_restarts is not None and max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1: {max_restarts}")
+        if restart_window_s <= 0:
+            raise ValueError(
+                f"restart_window_s must be positive: {restart_window_s}"
             )
         self.service = service
         self.heartbeat_timeout_s = heartbeat_timeout_s
@@ -398,12 +488,17 @@ class Supervisor:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.backoff_reset_s = backoff_reset_s
+        self.max_restarts = max_restarts
+        self.restart_window_s = restart_window_s
         self._clock = clock
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self.restarts_triggered = 0
+        self.escalations = 0
         self._streak = 0
         self._last_restart: Optional[float] = None
+        #: Restart timestamps inside the sliding escalation window.
+        self._restart_times: Deque[float] = deque()
 
     def start(self) -> None:
         if self._thread is not None:
@@ -443,6 +538,31 @@ class Supervisor:
                 self._streak = 0
             age = service.heartbeat_age()
             if age is not None and age > self.heartbeat_timeout_s:
+                if self.max_restarts is not None:
+                    cutoff = now - self.restart_window_s
+                    while self._restart_times and self._restart_times[0] < cutoff:
+                        self._restart_times.popleft()
+                    if len(self._restart_times) >= self.max_restarts:
+                        # Restarting has stopped helping: escalate to
+                        # the terminal FAILED state instead of looping.
+                        count = len(self._restart_times)
+                        service.bus.publish(
+                            TOPIC_EVENTS,
+                            {
+                                "event": "supervisor-escalate",
+                                "restarts_in_window": count,
+                                "window_s": self.restart_window_s,
+                                "heartbeat_age_s": age,
+                            },
+                        )
+                        self.escalations += 1
+                        service.fail(
+                            reason=(
+                                f"crash loop: {count} restarts in "
+                                f"{self.restart_window_s:g}s"
+                            )
+                        )
+                        continue
                 delay = self.next_backoff_s()
                 service.bus.publish(
                     TOPIC_EVENTS,
@@ -459,6 +579,7 @@ class Supervisor:
                 self.restarts_triggered += 1
                 self._streak += 1
                 self._last_restart = self._clock()
+                self._restart_times.append(self._last_restart)
                 continue
             dead = service.dead_lanes()
             if dead and state is ServiceState.HEALTHY:

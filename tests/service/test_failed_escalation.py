@@ -1,0 +1,212 @@
+"""Terminal FAILED state, crash-loop escalation, and breaker bus events.
+
+The service half of architecture §12: a persistently-crashing engine
+must not be restarted forever (the supervisor escalates to FAILED with
+a final bus event), and the engine's circuit-breaker transitions are
+published on the control bus — including the housekeeping-driven
+probe/resurrect cycle.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadPolicy, PolicyConfig, TensorID
+from repro.core.engine import EngineConfig
+from repro.io.breaker import BreakerState
+from repro.io.faults import FaultPlan, inject_faults
+from repro.service import (
+    ControlBus,
+    EngineService,
+    ServiceState,
+    Supervisor,
+    TOPIC_EVENTS,
+)
+
+TICK = 0.01
+
+
+def _wait(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.002)
+    raise TimeoutError("condition not reached")
+
+
+def _tiered_service(tmp_path, bus=None, **config_overrides):
+    kwargs = dict(
+        target="tiered",
+        store_dir=tmp_path / "store",
+        cpu_pool_bytes=64 << 10,
+    )
+    kwargs.update(config_overrides)
+    return EngineService(
+        EngineConfig(**kwargs),
+        heartbeat_interval_s=TICK,
+        gc_interval_s=None,
+        bus=bus,
+    )
+
+
+# ----------------------------------------------------------- FAILED state
+def test_fail_is_terminal_and_restart_revives(tmp_path):
+    service = _tiered_service(tmp_path)
+    service.start()
+    service.fail(reason="operator says no")
+    assert service.state is ServiceState.FAILED
+    assert service.engine is None
+    service.fail(reason="again")  # idempotent on a failed service
+    assert service.state is ServiceState.FAILED
+    # FAILED is terminal: restart() refuses to resurrect it, exactly
+    # like it refuses on STOPPED — otherwise a racing supervisor could
+    # undo the escalation.
+    service.restart(reason="supervisor races the escalation")
+    assert service.state is ServiceState.FAILED
+    # Operator recovery is explicit: stop() acknowledges the failure,
+    # then start() brings up a fresh generation.
+    service.stop()
+    assert service.state is ServiceState.STOPPED
+    service.start()
+    assert service.state is ServiceState.HEALTHY
+    service.stop()
+    assert service.state is ServiceState.STOPPED
+
+
+def test_fail_on_stopped_service_is_noop(tmp_path):
+    service = _tiered_service(tmp_path)
+    service.fail(reason="never started")
+    assert service.state is ServiceState.STOPPED
+
+
+# ----------------------------------------------------- crash-loop escalation
+def test_supervisor_validates_escalation_knobs(tmp_path):
+    service = _tiered_service(tmp_path)
+    with pytest.raises(ValueError):
+        Supervisor(service, max_restarts=0)
+    with pytest.raises(ValueError):
+        Supervisor(service, max_restarts=3, restart_window_s=0.0)
+
+
+def test_crash_loop_escalates_to_failed(tmp_path):
+    """An engine that dies on every start must not be restarted forever:
+    after ``max_restarts`` generations inside the sliding window the
+    supervisor publishes a final event and fails the service."""
+    bus = ControlBus()
+    service = _tiered_service(tmp_path, bus=bus)
+    supervisor = Supervisor(
+        service,
+        heartbeat_timeout_s=6 * TICK,
+        poll_interval_s=TICK,
+        backoff_base_s=TICK,
+        max_restarts=2,
+        restart_window_s=60.0,
+    )
+    with service, supervisor:
+        service.kill()
+        deadline = time.monotonic() + 15.0
+        while (
+            service.state is not ServiceState.FAILED
+            and time.monotonic() < deadline
+        ):
+            if service.state is ServiceState.HEALTHY:
+                service.kill()  # the engine "dies on every start"
+            time.sleep(TICK / 2)
+        assert service.state is ServiceState.FAILED
+        assert service.engine is None
+        assert supervisor.escalations == 1
+        assert supervisor.restarts_triggered == 2
+        # The supervisor gave up: no further restarts happen.
+        time.sleep(10 * TICK)
+        assert service.state is ServiceState.FAILED
+    events = [m for m in bus.recent(TOPIC_EVENTS) if m.get("event") == "supervisor-escalate"]
+    assert len(events) == 1
+    assert events[0]["restarts_in_window"] == 2
+    assert events[0]["window_s"] == 60.0
+    states = [
+        (m["from"], m["to"])
+        for m in bus.recent(TOPIC_EVENTS)
+        if m.get("event") == "state"
+    ]
+    # The escalation published a transition into FAILED.  (The final
+    # event is FAILED -> STOPPED from the with-block teardown: stop()
+    # is the one legal exit from the terminal state.)
+    assert any(to == "failed" for _from, to in states)
+    assert states[-1] == ("failed", "stopped")
+
+
+def test_slow_crashes_outside_window_keep_restarting(tmp_path):
+    """Restarts spaced wider than the window never escalate — the cap is
+    a *rate* limit, not a lifetime budget."""
+    service = _tiered_service(tmp_path)
+    supervisor = Supervisor(
+        service,
+        heartbeat_timeout_s=6 * TICK,
+        poll_interval_s=TICK,
+        backoff_base_s=TICK,
+        max_restarts=2,
+        restart_window_s=0.001,  # every restart immediately ages out
+    )
+    with service, supervisor:
+        for expected in (1, 2, 3):
+            service.kill()
+            _wait(lambda: service.restarts == expected)
+            _wait(lambda: service.state is ServiceState.HEALTHY)
+        assert supervisor.escalations == 0
+        assert service.state is ServiceState.HEALTHY
+
+
+# ------------------------------------------------------- breaker bus events
+def _breaker_events(bus):
+    return [m for m in bus.recent(TOPIC_EVENTS) if m.get("event") == "breaker"]
+
+
+def test_breaker_transitions_published_on_bus(tmp_path):
+    bus = ControlBus()
+    service = _tiered_service(tmp_path, bus=bus)
+    with service:
+        breaker = service.engine.offloader.breaker
+        breaker.trip("chaos: device pulled")
+        events = _breaker_events(bus)
+        assert events, "the trip must be published"
+        event = events[-1]
+        assert event["name"] == "ssd"
+        assert event["from"] == BreakerState.CLOSED
+        assert event["to"] == BreakerState.OPEN
+        assert event["reason"] == "chaos: device pulled"
+        assert event["generation"] == service.generation
+        breaker.reset("test cleanup")
+
+
+def test_housekeeping_probes_resurrect_tier_and_publish(tmp_path):
+    """The service's housekeeping loop drives the canary probes: after
+    the injector heals, the breaker walks OPEN -> HALF_OPEN -> CLOSED on
+    the bus and the tier serves stores again."""
+    bus = ControlBus()
+    policy = OffloadPolicy(
+        PolicyConfig(min_offload_numel=256, cpu_tier_max_tensor_bytes=2048)
+    )
+    service = _tiered_service(
+        tmp_path, bus=bus, policy=policy, probe_backoff_s=0.005
+    )
+    with service:
+        offloader = service.engine.offloader
+        injector = inject_faults(offloader, FaultPlan(seed=0))
+        injector.kill()
+        data = np.arange(1024, dtype=np.float32)
+        offloader.store(TensorID(stamp=1, shape=(1024,)), data)  # fails over
+        assert offloader.ssd_dead
+        injector.heal()
+        _wait(lambda: not offloader.ssd_dead)
+        assert offloader.stats.resurrections >= 1
+        transitions = [(m["from"], m["to"]) for m in _breaker_events(bus)]
+        assert (BreakerState.CLOSED, BreakerState.OPEN) in transitions
+        assert (BreakerState.OPEN, BreakerState.HALF_OPEN) in transitions
+        assert (BreakerState.HALF_OPEN, BreakerState.CLOSED) in transitions
+        # The resurrected tier takes new stores.
+        tid = TensorID(stamp=2, shape=(1024,))
+        offloader.store(tid, data)
+        out = offloader.load(tid, data.shape, data.dtype)
+        assert np.array_equal(out, data)

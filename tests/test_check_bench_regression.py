@@ -232,3 +232,17 @@ def test_service_manifest_benches_are_guarded_by_default(tmp_path):
         base = _write(tmp_path, "base.json", {name: 0.010})
         cur = _write(tmp_path, "cur.json", {name: 0.013})
         assert guard.main(["--baseline", base, "--current", cur]) == 1
+
+
+def test_recovery_benches_are_guarded_by_default(tmp_path):
+    """The self-healing benches (breaker cycle, hedge delay derivation,
+    failover store path) sit in the default wall-clock gate (the PR 10
+    pattern extension)."""
+    for name in (
+        "bench_recovery.py::test_breaker_trip_probe_close_cycle",
+        "bench_recovery.py::test_hedge_delay_derivation_hot_path",
+        "bench_recovery.py::test_failover_store_latency_dead_ssd",
+    ):
+        base = _write(tmp_path, "base.json", {name: 0.010})
+        cur = _write(tmp_path, "cur.json", {name: 0.013})
+        assert guard.main(["--baseline", base, "--current", cur]) == 1
